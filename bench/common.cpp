@@ -1,0 +1,146 @@
+#include "common.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace mmptcp::bench {
+
+Scale parse_scale(Flags& flags) {
+  Scale s;
+  const char* env = std::getenv("MMPTCP_BENCH_SCALE");
+  const bool env_full = env != nullptr && std::string(env) == "full";
+  s.full = flags.get_bool("full", env_full,
+                          "paper scale: k=8 4:1 FatTree (512 hosts)");
+  if (s.full) {
+    s.k = 8;
+    s.oversubscription = 4;
+    s.shorts = 20000;
+    s.rate_per_host = 10.0;
+    s.max_sim_time = Time::seconds(600);
+  }
+  s.k = static_cast<std::uint32_t>(flags.get_int("k", s.k, "FatTree k"));
+  s.oversubscription = static_cast<std::uint32_t>(flags.get_int(
+      "oversub", s.oversubscription, "edge oversubscription ratio"));
+  s.shorts = static_cast<std::uint32_t>(
+      flags.get_int("shorts", s.shorts, "number of short flows"));
+  s.rate_per_host = flags.get_double("rate", s.rate_per_host,
+                                     "short-flow arrivals/s per host");
+  s.short_bytes = static_cast<std::uint64_t>(flags.get_int(
+      "short-bytes", static_cast<std::int64_t>(s.short_bytes),
+      "short flow size in bytes"));
+  s.subflows = static_cast<std::uint32_t>(
+      flags.get_int("subflows", s.subflows, "MPTCP/MMPTCP subflow count"));
+  s.seed = static_cast<std::uint64_t>(
+      flags.get_int("seed", static_cast<std::int64_t>(s.seed), "RNG seed"));
+  s.max_sim_time = Time::seconds(
+      flags.get_int("max-sim-secs", s.max_sim_time.ns() / 1'000'000'000,
+                    "simulated-time budget"));
+  return s;
+}
+
+ScenarioConfig paper_scenario(const Scale& scale, Protocol proto,
+                              std::uint32_t subflows) {
+  ScenarioConfig cfg;
+  cfg.fat_tree.k = scale.k;
+  cfg.fat_tree.oversubscription = scale.oversubscription;
+  cfg.transport.protocol = proto;
+  cfg.transport.subflows = subflows;
+  cfg.short_flow_count = scale.shorts;
+  cfg.short_rate_per_host = scale.rate_per_host;
+  cfg.short_flow_bytes = scale.short_bytes;
+  cfg.seed = scale.seed;
+  cfg.max_sim_time = scale.max_sim_time;
+  return cfg;
+}
+
+void print_preamble(const std::string& binary, const std::string& artefact,
+                    const Scale& scale) {
+  std::printf("== %s ==\n", binary.c_str());
+  std::printf("reproduces: %s\n", artefact.c_str());
+  std::printf(
+      "scale: %s (k=%u, %u:1 oversubscribed, %u shorts of %llu B, "
+      "%.1f arrivals/s/host, seed %llu)\n\n",
+      scale.full ? "FULL (paper)" : "reduced (use --full for paper scale)",
+      scale.k, scale.oversubscription, scale.shorts,
+      static_cast<unsigned long long>(scale.short_bytes),
+      scale.rate_per_host, static_cast<unsigned long long>(scale.seed));
+}
+
+RunResult run_scenario(const ScenarioConfig& cfg) {
+  Scenario sc(cfg);
+  sc.run();
+  RunResult r;
+  r.fct_ms = sc.short_fct_ms();
+  r.long_goodput = sc.long_goodput_mbps();
+  r.utilization = sc.network_utilization();
+  r.completion = sc.short_completion_ratio();
+  r.rtos = sc.short_flow_rtos();
+  r.flows_with_rto = sc.short_flows_with_rto();
+  r.spurious = sc.total_spurious_retransmits();
+  const auto layers = sc.layer_stats();
+  if (const auto it = layers.find(LinkLayer::kAggCore); it != layers.end()) {
+    r.core_loss = it->second.loss_rate();
+  }
+  if (const auto it = layers.find(LinkLayer::kEdgeAgg); it != layers.end()) {
+    r.agg_loss = it->second.loss_rate();
+  }
+  r.end_time = sc.end_time();
+  return r;
+}
+
+std::string ms(double v) { return Table::num(v, 2); }
+
+void scatter_report(const ScenarioConfig& cfg, const char* csv_path) {
+  Scenario sc(cfg);
+  sc.run();
+  const Summary fct = sc.short_fct_ms();
+
+  std::printf("short flows: %zu completed (%.2f%%)\n", fct.count(),
+              sc.short_completion_ratio() * 100);
+  if (fct.count() == 0) return;
+  std::printf("FCT ms: mean=%.2f sd=%.2f p50=%.2f p90=%.2f p99=%.2f "
+              "max=%.2f\n",
+              fct.mean(), fct.stddev(), fct.percentile(50),
+              fct.percentile(90), fct.percentile(99), fct.max());
+  std::printf("flows with >=1 RTO/SYN-timeout: %llu; total RTOs: %llu\n\n",
+              static_cast<unsigned long long>(sc.short_flows_with_rto()),
+              static_cast<unsigned long long>(sc.short_flow_rtos()));
+
+  Table bands({"band", "flows"});
+  bands.add_row({"< 100 ms", Table::num(std::uint64_t(
+                                 fct.count() - fct.count_above(100.0)))});
+  const double edges[] = {100, 1000, 2000, 4000, 8000};
+  const char* labels[] = {"100 ms - 1 s", "1 - 2 s", "2 - 4 s", "4 - 8 s"};
+  for (int i = 0; i < 4; ++i) {
+    bands.add_row({labels[i],
+                   Table::num(std::uint64_t(fct.count_above(edges[i]) -
+                                            fct.count_above(edges[i + 1])))});
+  }
+  bands.add_row({"> 8 s", Table::num(std::uint64_t(fct.count_above(8000)))});
+  std::printf("%s\n", bands.to_string().c_str());
+
+  const auto shorts = sc.metrics().flows(
+      [](const FlowRecord& r) { return !r.long_flow && r.is_complete(); });
+  const std::size_t step = shorts.size() > 20 ? shorts.size() / 20 : 1;
+  Table series({"flow_id", "fct_ms", "rtos"});
+  for (std::size_t i = 0; i < shorts.size(); i += step) {
+    series.add_row({Table::num(std::uint64_t(shorts[i]->flow_id)),
+                    ms(shorts[i]->fct().to_millis()),
+                    Table::num(std::uint64_t(shorts[i]->rto_count +
+                                             shorts[i]->syn_timeouts))});
+  }
+  std::printf("decimated series (full data -> %s):\n%s\n", csv_path,
+              series.to_string().c_str());
+
+  if (std::FILE* f = std::fopen(csv_path, "w")) {
+    std::fputs("flow_id,fct_ms,rtos,syn_timeouts\n", f);
+    for (const auto* rec : shorts) {
+      std::fprintf(f, "%u,%.3f,%u,%u\n", rec->flow_id,
+                   rec->fct().to_millis(), rec->rto_count,
+                   rec->syn_timeouts);
+    }
+    std::fclose(f);
+  }
+}
+
+}  // namespace mmptcp::bench

@@ -1,0 +1,67 @@
+#pragma once
+
+// Shared plumbing for the per-figure bench binaries.
+//
+// Every bench runs the paper's scenario at a laptop-friendly scale by
+// default and switches to paper scale (k=8, 4:1, 512 hosts) with --full or
+// MMPTCP_BENCH_SCALE=full.  Individual knobs (--k, --shorts, --rate,
+// --seed, ...) can override either preset.
+
+#include <string>
+
+#include "util/flags.h"
+#include "util/table.h"
+#include "workload/scenario.h"
+
+namespace mmptcp::bench {
+
+/// Effective workload scale for one bench invocation.
+struct Scale {
+  bool full = false;
+  std::uint32_t k = 4;
+  std::uint32_t oversubscription = 4;
+  std::uint32_t shorts = 1000;
+  double rate_per_host = 8.0;
+  std::uint64_t short_bytes = 70 * 1024;
+  std::uint32_t subflows = 8;
+  std::uint64_t seed = 1;
+  Time max_sim_time = Time::seconds(120);
+};
+
+/// Reads the scale from flags + environment; registers the common flags.
+Scale parse_scale(Flags& flags);
+
+/// The paper's Figure-1 scenario at the given scale.
+ScenarioConfig paper_scenario(const Scale& scale, Protocol proto,
+                              std::uint32_t subflows);
+
+/// Prints the bench banner (what paper artefact this regenerates).
+void print_preamble(const std::string& binary, const std::string& artefact,
+                    const Scale& scale);
+
+/// Everything the tables report about one finished run.
+struct RunResult {
+  Summary fct_ms;           ///< short-flow completion times
+  Summary long_goodput;     ///< Mb/s per long flow
+  double utilization = 0;   ///< network-wide goodput / host capacity
+  double completion = 0;    ///< fraction of shorts that completed
+  std::uint64_t rtos = 0;   ///< RTOs + SYN timeouts across shorts
+  std::uint64_t flows_with_rto = 0;
+  std::uint64_t spurious = 0;
+  double core_loss = 0;     ///< drop rate at the core layer
+  double agg_loss = 0;      ///< drop rate at the aggregation layer
+  Time end_time;
+};
+
+/// Builds, runs and summarises one scenario.
+RunResult run_scenario(const ScenarioConfig& cfg);
+
+/// Convenience: "12.34" with sane precision for milliseconds.
+std::string ms(double v);
+
+/// Runs `cfg` and prints the Figure-1(b)/(c) style scatter report: FCT
+/// summary, second-resolution band histogram, decimated flow-id series;
+/// dumps the full per-flow series to `csv_path`.
+void scatter_report(const ScenarioConfig& cfg, const char* csv_path);
+
+}  // namespace mmptcp::bench

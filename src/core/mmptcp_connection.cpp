@@ -1,0 +1,73 @@
+#include "core/mmptcp_connection.h"
+
+namespace mmptcp {
+
+MmptcpConnection::MmptcpConnection(Simulation& sim, Metrics& metrics,
+                                   Host& local, Addr peer,
+                                   std::uint32_t flow_id, MmptcpConfig config)
+    : MptcpConnection(sim, metrics, local, peer, flow_id, config.mptcp),
+      mm_config_(config), policy_(config.phase) {}
+
+const PsSubflow* MmptcpConnection::ps_subflow() const {
+  if (subflow_count() == 0) return nullptr;
+  return dynamic_cast<const PsSubflow*>(&subflow(0));
+}
+
+std::unique_ptr<Subflow> MmptcpConnection::make_subflow(
+    std::uint8_t id, SocketRole role, std::uint16_t local_port,
+    std::uint16_t peer_port, bool join) {
+  if (id != 0) {
+    return MptcpConnection::make_subflow(id, role, local_port, peer_port,
+                                         join);
+  }
+  // The PS flow: single *uncoupled* window, reordering-robust dup-ACK
+  // policy, per-packet source-port randomisation.
+  TcpConfig cfg = config().tcp;
+  cfg.dupack = mm_config_.ps_dupack;
+  const std::uint32_t paths =
+      mm_config_.oracle != nullptr
+          ? mm_config_.oracle->path_count(local_host().addr(), peer_addr())
+          : 0;
+  return std::make_unique<PsSubflow>(
+      *this, role, local_port, peer_port, cfg, make_cc(/*coupled=*/false),
+      paths, sim_ref().rng().fork());
+}
+
+void MmptcpConnection::before_allocate(Subflow& sf) {
+  if (switched_ || sf.subflow_id() != 0) return;
+  // "Switching occurs when a certain amount of data has been
+  // transmitted" — measured as bytes the PS flow has put on the wire.
+  if (policy_.trigger_on_volume(sf.high_water())) switch_now();
+}
+
+void MmptcpConnection::note_congestion(Subflow& sf,
+                                       CongestionEventKind kind) {
+  if (switched_ || sf.subflow_id() != 0) return;
+  if (policy_.trigger_on_congestion(kind)) switch_now();
+}
+
+void MmptcpConnection::switch_now() {
+  check(role() == SocketRole::kClient, "only the sender switches phases");
+  if (switched_) return;
+  switched_ = true;
+  metrics_ref().on_phase_switch(flow_id(), sim_ref().now());
+  // "No more packets are put in the initial PS flow which is deactivated
+  //  when its window gets emptied."
+  subflow(0).freeze_stream();
+  // Chunks queued on the PS flow but never sent migrate to the MPTCP
+  // subflows; data already in the PS window drains normally.
+  std::vector<std::uint8_t> phase_two;
+  for (std::uint32_t i = 1; i <= config().subflow_count; ++i) {
+    phase_two.push_back(static_cast<std::uint8_t>(i));
+  }
+  set_assignable(std::move(phase_two));
+  requeue_assigned(0);
+  open_client_subflows(1, config().subflow_count);
+}
+
+void MmptcpConnection::on_subflow_drained(Subflow& sf) {
+  if (sf.subflow_id() == 0 && switched_) ps_drained_ = true;
+  MptcpConnection::on_subflow_drained(sf);
+}
+
+}  // namespace mmptcp

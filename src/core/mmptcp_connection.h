@@ -1,0 +1,77 @@
+#pragma once
+
+// MMPTCP — the paper's contribution.
+//
+// "Data transport takes place in two phases.  Initially, packets are
+//  randomly scattered in the network under a single TCP congestion window
+//  exploiting all available paths.  Most, if not all, short flows are
+//  expected to complete before switching to the second phase, during
+//  which, MMPTCP runs as standard MPTCP, efficiently handling long flows."
+//
+// Implementation: an MptcpConnection that starts with exactly one subflow
+// — the PsSubflow — and, when the switching policy triggers, freezes it
+// (no new data is mapped onto it; it drains and deactivates once its
+// window empties) and opens the configured number of regular MPTCP
+// subflows under LIA coupling.  Short flows complete inside the PS phase;
+// long flows get MPTCP's multi-path throughput.
+
+#include "core/phase_policy.h"
+#include "core/ps_subflow.h"
+#include "mptcp/mptcp_connection.h"
+#include "topo/network.h"
+
+namespace mmptcp {
+
+/// MMPTCP connection configuration.
+struct MmptcpConfig {
+  MptcpConfig mptcp{};          ///< phase-two subflow pool + socket knobs
+  PhaseSwitchConfig phase{};    ///< when to leave the PS phase
+  /// Dup-ACK policy for the PS flow (reordering robustness, §2).  Default:
+  /// static threshold 3 with the DSACK undo (undo_on_spurious) — our
+  /// ablation (bench/ablation_dupthresh) finds that revertible spurious
+  /// recoveries beat topology-raised thresholds, which forgo fast
+  /// retransmissions and pay full RTOs instead.
+  DupAckConfig ps_dupack{DupAckPolicyKind::kStatic, 3, 1.0, 2, 3, 90};
+  /// Source of equal-cost path counts for the topology-aware threshold
+  /// (may be null: the policy falls back to its minimum threshold).
+  const PathOracle* oracle = nullptr;
+};
+
+/// Client side of one MMPTCP connection (servers use MptcpConnection —
+/// the receive path is identical for the whole MPTCP family).
+class MmptcpConnection final : public MptcpConnection {
+ public:
+  MmptcpConnection(Simulation& sim, Metrics& metrics, Host& local, Addr peer,
+                   std::uint32_t flow_id, MmptcpConfig config);
+
+  bool switched() const { return switched_; }
+  bool ps_drained() const { return ps_drained_; }
+  const PsSubflow* ps_subflow() const;
+  const PhaseSwitchPolicy& policy() const { return policy_; }
+
+  /// Forces the PS -> MPTCP switch (tests / manual control).
+  void switch_now();
+
+ protected:
+  /// No MP_JOINs on establishment: phase two opens them at the switch.
+  std::uint32_t join_count() const override { return 0; }
+  /// Phase one assigns data to the PS flow only.
+  std::vector<std::uint8_t> initial_assignable() const override {
+    return {0};
+  }
+  std::unique_ptr<Subflow> make_subflow(std::uint8_t id, SocketRole role,
+                                        std::uint16_t local_port,
+                                        std::uint16_t peer_port,
+                                        bool join) override;
+  void before_allocate(Subflow& sf) override;
+  void note_congestion(Subflow& sf, CongestionEventKind kind) override;
+  void on_subflow_drained(Subflow& sf) override;
+
+ private:
+  MmptcpConfig mm_config_;
+  PhaseSwitchPolicy policy_;
+  bool switched_ = false;
+  bool ps_drained_ = false;
+};
+
+}  // namespace mmptcp

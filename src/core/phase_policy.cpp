@@ -1,0 +1,34 @@
+#include "core/phase_policy.h"
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+std::string to_string(SwitchPolicyKind kind) {
+  switch (kind) {
+    case SwitchPolicyKind::kDataVolume: return "data-volume";
+    case SwitchPolicyKind::kCongestionEvent: return "congestion-event";
+    case SwitchPolicyKind::kNever: return "never";
+  }
+  return "?";
+}
+
+PhaseSwitchPolicy::PhaseSwitchPolicy(PhaseSwitchConfig config)
+    : config_(config) {
+  require(config_.kind != SwitchPolicyKind::kDataVolume ||
+              config_.volume_bytes > 0,
+          "data-volume switching needs a positive threshold");
+}
+
+bool PhaseSwitchPolicy::trigger_on_volume(std::uint64_t mapped_bytes) const {
+  return config_.kind == SwitchPolicyKind::kDataVolume &&
+         mapped_bytes >= config_.volume_bytes;
+}
+
+bool PhaseSwitchPolicy::trigger_on_congestion(CongestionEventKind kind) const {
+  return config_.kind == SwitchPolicyKind::kCongestionEvent &&
+         (kind == CongestionEventKind::kFastRetransmit ||
+          kind == CongestionEventKind::kRto);
+}
+
+}  // namespace mmptcp

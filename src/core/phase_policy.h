@@ -1,0 +1,58 @@
+#pragma once
+
+// Phase-switching policies (§2 "Phase Switching"):
+//
+//  * kDataVolume      — switch after a configurable number of bytes has
+//                       been transmitted.  The paper's early evaluation
+//                       found this does not hurt long flows: the new
+//                       subflows wrap up the access-link capacity within a
+//                       few RTTs.
+//  * kCongestionEvent — switch when congestion is first inferred (a fast
+//                       retransmission or an RTO on the PS flow).
+//  * kNever           — never switch: the connection stays in packet
+//                       scatter forever (the "PS" baseline discussed in
+//                       [6] and used by the benches for comparison).
+
+#include <cstdint>
+#include <string>
+
+#include "tcp/tcp_socket.h"
+
+namespace mmptcp {
+
+enum class SwitchPolicyKind : std::uint8_t {
+  kDataVolume,
+  kCongestionEvent,
+  kNever,
+};
+
+std::string to_string(SwitchPolicyKind kind);
+
+/// Configuration of MMPTCP's PS -> MPTCP switch.
+struct PhaseSwitchConfig {
+  SwitchPolicyKind kind = SwitchPolicyKind::kDataVolume;
+  /// kDataVolume: switch once this many bytes have been handed to the PS
+  /// flow.  The default comfortably exceeds the paper's 70 KB short flows,
+  /// so shorts finish inside the PS phase.
+  std::uint64_t volume_bytes = 256 * 1024;
+};
+
+/// Pure decision logic for the phase switch (stateless; easy to test).
+class PhaseSwitchPolicy {
+ public:
+  explicit PhaseSwitchPolicy(PhaseSwitchConfig config);
+
+  /// True when `mapped_bytes` handed to the PS flow warrants switching.
+  bool trigger_on_volume(std::uint64_t mapped_bytes) const;
+
+  /// True when a PS-flow congestion event warrants switching (SYN
+  /// timeouts do not count: no data has flowed yet).
+  bool trigger_on_congestion(CongestionEventKind kind) const;
+
+  const PhaseSwitchConfig& config() const { return config_; }
+
+ private:
+  PhaseSwitchConfig config_;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,23 @@
+#include "core/ps_subflow.h"
+
+namespace mmptcp {
+
+PsSubflow::PsSubflow(MptcpConnection& conn, SocketRole role,
+                     std::uint16_t local_port, std::uint16_t peer_port,
+                     TcpConfig config, std::unique_ptr<CongestionControl> cc,
+                     std::uint32_t path_count, Rng rng)
+    : Subflow(conn, /*subflow_id=*/0, role, local_port, peer_port,
+              std::move(config), std::move(cc), /*join=*/false, path_count),
+      rng_(rng) {}
+
+void PsSubflow::decorate_data(Packet& pkt) {
+  Subflow::decorate_data(pkt);
+  // A fresh source port per packet decorrelates the ECMP hash at every
+  // switch; retransmissions get a new port too, steering them away from
+  // whatever path lost the original.
+  pkt.sport = static_cast<std::uint16_t>(49152 + rng_.uniform(16384));
+  pkt.flags |= pkt_flags::kPs;
+  ++ports_randomised_;
+}
+
+}  // namespace mmptcp

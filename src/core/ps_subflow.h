@@ -1,0 +1,41 @@
+#pragma once
+
+// The Packet-Scatter subflow — phase one of MMPTCP.
+//
+// A single TCP congestion window whose packets are sprayed across all
+// equal-cost paths: the subflow randomises its *source port on every
+// packet*, so hash-based ECMP at each switch picks an independent path per
+// packet (§2 "Packet Scatter Phase": scattering initiated at end hosts
+// through source-port randomisation rather than at switches).  ACKs echo
+// the randomised ports, spraying the reverse path too (implemented in
+// TcpSocket::send_ack_reply).
+//
+// Reordering robustness comes from the socket's DupAckPolicy — either the
+// topology-aware threshold computed from the FatTree addressing scheme or
+// the RR-TCP-style adaptive threshold (both from §2).
+
+#include "mptcp/subflow.h"
+#include "util/rng.h"
+
+namespace mmptcp {
+
+/// Subflow 0 of an MMPTCP connection during the packet-scatter phase.
+class PsSubflow final : public Subflow {
+ public:
+  PsSubflow(MptcpConnection& conn, SocketRole role, std::uint16_t local_port,
+            std::uint16_t peer_port, TcpConfig config,
+            std::unique_ptr<CongestionControl> cc, std::uint32_t path_count,
+            Rng rng);
+
+  /// Number of distinct source ports stamped so far (test observability).
+  std::uint64_t ports_randomised() const { return ports_randomised_; }
+
+ protected:
+  void decorate_data(Packet& pkt) override;
+
+ private:
+  Rng rng_;
+  std::uint64_t ports_randomised_ = 0;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,122 @@
+#include "core/transport_factory.h"
+
+namespace mmptcp {
+
+MptcpConfig TransportConfig::mptcp_config() const {
+  MptcpConfig cfg;
+  cfg.tcp = tcp;
+  cfg.subflow_count = subflows;
+  cfg.coupled = coupled;
+  cfg.scheduler = scheduler;
+  cfg.reinject_on_rto = reinject_on_rto;
+  cfg.server_port = server_port;
+  return cfg;
+}
+
+MmptcpConfig TransportConfig::mmptcp_config() const {
+  MmptcpConfig cfg;
+  cfg.mptcp = mptcp_config();
+  cfg.phase = phase;
+  cfg.ps_dupack = ps_dupack;
+  cfg.oracle = oracle;
+  return cfg;
+}
+
+ClientFlow::ClientFlow(Simulation& sim, Metrics& metrics, Host& src, Addr dst,
+                       const TransportConfig& config, std::uint64_t bytes,
+                       bool long_flow)
+    : protocol_(config.protocol) {
+  const std::uint64_t request = long_flow ? kLongFlow : bytes;
+  FlowRecord& rec = metrics.on_flow_started(
+      config.protocol, src.addr(), dst, long_flow ? 0 : bytes, long_flow,
+      sim.now());
+  flow_id_ = rec.flow_id;
+  switch (config.protocol) {
+    case Protocol::kTcp: {
+      tcp_ = std::make_unique<TcpSocket>(
+          sim, metrics, src, SocketRole::kClient, dst, src.ephemeral_port(),
+          config.server_port, src.next_token(), flow_id_, config.tcp,
+          std::make_unique<NewRenoCc>(config.tcp.mss,
+                                      config.tcp.initial_cwnd_segments));
+      tcp_->connect_and_send(request);
+      break;
+    }
+    case Protocol::kMptcp: {
+      conn_ = std::make_unique<MptcpConnection>(sim, metrics, src, dst,
+                                                flow_id_,
+                                                config.mptcp_config());
+      conn_->connect_and_send(request);
+      break;
+    }
+    case Protocol::kPacketScatter: {
+      MmptcpConfig cfg = config.mmptcp_config();
+      cfg.phase.kind = SwitchPolicyKind::kNever;
+      conn_ = std::make_unique<MmptcpConnection>(sim, metrics, src, dst,
+                                                 flow_id_, cfg);
+      conn_->connect_and_send(request);
+      break;
+    }
+    case Protocol::kMmptcp: {
+      conn_ = std::make_unique<MmptcpConnection>(sim, metrics, src, dst,
+                                                 flow_id_,
+                                                 config.mmptcp_config());
+      conn_->connect_and_send(request);
+      break;
+    }
+  }
+}
+
+bool ClientFlow::finished() const {
+  if (tcp_ != nullptr) return tcp_->sender_drained() || tcp_->dead();
+  return conn_->sender_complete();
+}
+
+Sink::Sink(Simulation& sim, Metrics& metrics, Host& host, std::uint16_t port,
+           TcpConfig server_tcp)
+    : sim_(sim), metrics_(metrics), host_(host), port_(port),
+      server_tcp_(server_tcp) {
+  host_.listen(port_, [this](const Packet& syn) { on_syn(syn); });
+}
+
+Sink::~Sink() {
+  // Server endpoints hold demux registrations on host_; drop them before
+  // removing the listener.
+  tcp_.clear();
+  mptcp_.clear();
+  host_.unlisten(port_);
+}
+
+void Sink::gc(Time before) {
+  const auto done_before = [&](std::uint32_t flow_id) {
+    const FlowRecord& rec = metrics_.record(flow_id);
+    return rec.is_complete() && rec.completed_at < before;
+  };
+  std::erase_if(tcp_, [&](const std::unique_ptr<TcpSocket>& s) {
+    return done_before(s->flow_id());
+  });
+  std::erase_if(mptcp_, [&](const std::unique_ptr<MptcpConnection>& c) {
+    return done_before(c->flow_id());
+  });
+}
+
+void Sink::on_syn(const Packet& syn) {
+  if (syn.has(pkt_flags::kDss)) {
+    MptcpConfig cfg;
+    cfg.tcp = server_tcp_;
+    cfg.server_port = port_;
+    auto conn = std::make_unique<MptcpConnection>(sim_, metrics_, host_, syn,
+                                                  cfg);
+    conn->accept(syn);
+    mptcp_.push_back(std::move(conn));
+    return;
+  }
+  auto sock = std::make_unique<TcpSocket>(
+      sim_, metrics_, host_, SocketRole::kServer, syn.src, syn.dport,
+      syn.sport, syn.token, syn.flow_id, server_tcp_,
+      std::make_unique<NewRenoCc>(server_tcp_.mss,
+                                  server_tcp_.initial_cwnd_segments));
+  sock->accept(syn);
+  tcp_.push_back(std::move(sock));
+}
+
+}  // namespace mmptcp

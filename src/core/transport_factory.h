@@ -1,0 +1,97 @@
+#pragma once
+
+// Uniform entry point for all four transports the benches compare:
+// TCP, MPTCP, pure packet scatter (MMPTCP that never switches) and MMPTCP.
+//
+// ClientFlow owns the client-side protocol machinery for one flow; Sink
+// listens on a host and builds the matching server side for every SYN it
+// sees (MPTCP-family SYNs carry the kDss flag).  This mirrors the paper's
+// deployment story: servers need no per-protocol configuration, and the
+// protocols coexist on the same network.
+
+#include <memory>
+#include <vector>
+
+#include "core/mmptcp_connection.h"
+
+namespace mmptcp {
+
+/// Everything needed to instantiate a flow of any protocol.
+struct TransportConfig {
+  Protocol protocol = Protocol::kMmptcp;
+  TcpConfig tcp{};                 ///< socket knobs (all protocols)
+  std::uint32_t subflows = 8;      ///< MPTCP / MMPTCP phase-2 subflows
+  PhaseSwitchConfig phase{};       ///< MMPTCP switching policy
+  /// PS-flow reordering policy (see MmptcpConfig::ps_dupack).
+  DupAckConfig ps_dupack{DupAckPolicyKind::kStatic, 3, 1.0, 2, 3, 90};
+  bool coupled = true;             ///< LIA coupling for MPTCP-family
+  SchedulerKind scheduler = SchedulerKind::kEagerRoundRobin;
+  bool reinject_on_rto = false;    ///< MPTCP reinjection ablation
+  const PathOracle* oracle = nullptr;
+  std::uint16_t server_port = 5001;
+
+  MptcpConfig mptcp_config() const;
+  MmptcpConfig mmptcp_config() const;
+};
+
+/// Owning handle for one client-side flow (any protocol).
+class ClientFlow {
+ public:
+  /// Registers the flow with `metrics` and starts the transfer.
+  /// `bytes` is the request size; pass `kLongFlow` for an unbounded
+  /// background flow.
+  ClientFlow(Simulation& sim, Metrics& metrics, Host& src, Addr dst,
+             const TransportConfig& config, std::uint64_t bytes,
+             bool long_flow);
+  static constexpr std::uint64_t kLongFlow = TcpSocket::kUnboundedBytes;
+
+  std::uint32_t flow_id() const { return flow_id_; }
+  Protocol protocol() const { return protocol_; }
+
+  /// True once the sender has nothing left to do: every byte (and FIN /
+  /// DATA_FIN) acknowledged, or the socket gave up.  Safe to destroy.
+  bool finished() const;
+
+  /// Underlying machinery (null when the protocol does not match).
+  TcpSocket* tcp() { return tcp_.get(); }
+  MptcpConnection* mptcp() { return conn_.get(); }
+  MmptcpConnection* mmptcp() {
+    return dynamic_cast<MmptcpConnection*>(conn_.get());
+  }
+
+ private:
+  Protocol protocol_;
+  std::uint32_t flow_id_;
+  std::unique_ptr<TcpSocket> tcp_;
+  std::unique_ptr<MptcpConnection> conn_;
+};
+
+/// Server-side acceptor: owns every server endpoint created on its port.
+class Sink {
+ public:
+  Sink(Simulation& sim, Metrics& metrics, Host& host, std::uint16_t port,
+       TcpConfig server_tcp);
+  ~Sink();
+
+  Sink(const Sink&) = delete;
+  Sink& operator=(const Sink&) = delete;
+
+  std::size_t accepted() const { return tcp_.size() + mptcp_.size(); }
+
+  /// Destroys server endpoints whose flow completed before `before`
+  /// (a TIME_WAIT-style linger keeps late retransmissions answerable).
+  void gc(Time before);
+
+ private:
+  void on_syn(const Packet& syn);
+
+  Simulation& sim_;
+  Metrics& metrics_;
+  Host& host_;
+  std::uint16_t port_;
+  TcpConfig server_tcp_;
+  std::vector<std::unique_ptr<TcpSocket>> tcp_;
+  std::vector<std::unique_ptr<MptcpConnection>> mptcp_;
+};
+
+}  // namespace mmptcp

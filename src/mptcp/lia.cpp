@@ -1,0 +1,71 @@
+#include "mptcp/lia.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+double lia_alpha(const std::vector<LiaView>& views) {
+  double best_ratio = 0.0;   // max_i cwnd_i / rtt_i^2
+  double sum_rate = 0.0;     // sum_i cwnd_i / rtt_i
+  double total = 0.0;
+  std::size_t usable = 0;
+  for (const LiaView& v : views) {
+    if (v.cwnd_bytes == 0) continue;
+    const double rtt = std::max(v.rtt_seconds, 1e-6);
+    const double cwnd = static_cast<double>(v.cwnd_bytes);
+    best_ratio = std::max(best_ratio, cwnd / (rtt * rtt));
+    sum_rate += cwnd / rtt;
+    total += cwnd;
+    ++usable;
+  }
+  if (usable < 2 || sum_rate <= 0.0) return 1.0;
+  return total * best_ratio / (sum_rate * sum_rate);
+}
+
+void LiaCoupler::add(const TcpSocket* subflow) {
+  check(subflow != nullptr, "cannot couple a null subflow");
+  subflows_.push_back(subflow);
+}
+
+std::uint64_t LiaCoupler::total_cwnd() const {
+  std::uint64_t total = 0;
+  for (const auto* sf : subflows_) {
+    if (sf->established() && !sf->dead()) total += sf->cwnd();
+  }
+  return std::max<std::uint64_t>(total, 1);
+}
+
+double LiaCoupler::alpha() const {
+  std::vector<LiaView> views;
+  views.reserve(subflows_.size());
+  for (const auto* sf : subflows_) {
+    // Subflows without an RTT sample yet are still in their first window;
+    // including them would let a spuriously tiny RTT dominate alpha.
+    if (!sf->established() || sf->dead() || !(sf->srtt() > Time::zero())) {
+      continue;
+    }
+    views.push_back(LiaView{sf->cwnd(), sf->srtt().to_seconds()});
+  }
+  return lia_alpha(views);
+}
+
+LiaCc::LiaCc(std::uint32_t mss, std::uint32_t initial_cwnd_segments,
+             const LiaCoupler* coupler)
+    : CongestionControl(mss, initial_cwnd_segments), coupler_(coupler) {
+  check(coupler != nullptr, "LiaCc needs a coupler");
+}
+
+void LiaCc::congestion_avoidance_increase(std::uint64_t acked) {
+  const double total = static_cast<double>(coupler_->total_cwnd());
+  const double alpha = coupler_->alpha();
+  const double own = static_cast<double>(cwnd());
+  const double m = static_cast<double>(mss());
+  const double coupled = alpha * static_cast<double>(acked) * m / total;
+  const double uncoupled = static_cast<double>(acked) * m / own;
+  const auto inc = static_cast<std::uint64_t>(std::min(coupled, uncoupled));
+  set_cwnd(cwnd() + std::max<std::uint64_t>(inc, 1));
+}
+
+}  // namespace mmptcp

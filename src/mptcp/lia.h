@@ -1,0 +1,63 @@
+#pragma once
+
+// RFC 6356 "Linked Increases Algorithm" (LIA) — MPTCP's coupled congestion
+// control.  Each subflow runs normal slow start and loss response; only
+// the congestion-avoidance increase is coupled:
+//
+//   per ACK of `acked` bytes on subflow i:
+//     cwnd_i += min( alpha * acked * MSS / cwnd_total ,  acked * MSS / cwnd_i )
+//
+//   alpha = cwnd_total * max_i(cwnd_i / rtt_i^2) / ( sum_i(cwnd_i / rtt_i) )^2
+//
+// The coupler recomputes alpha on demand from live subflow state.
+
+#include <memory>
+#include <vector>
+
+#include "tcp/congestion.h"
+#include "tcp/tcp_socket.h"
+
+namespace mmptcp {
+
+/// Snapshot of one subflow's state as LIA sees it.
+struct LiaView {
+  std::uint64_t cwnd_bytes = 0;
+  double rtt_seconds = 0.0;
+};
+
+/// RFC 6356 alpha over a set of subflow snapshots (pure; unit-testable).
+/// Returns 1.0 when fewer than two usable subflows are present.
+double lia_alpha(const std::vector<LiaView>& views);
+
+/// Shared view over a connection's subflows; computes alpha and the total
+/// window.  Subflows are registered once established.
+class LiaCoupler {
+ public:
+  void add(const TcpSocket* subflow);
+
+  /// Sum of cwnds of registered, established subflows (>= 1 to avoid /0).
+  std::uint64_t total_cwnd() const;
+
+  /// RFC 6356 aggressiveness factor; 1.0 when fewer than 2 usable subflows.
+  double alpha() const;
+
+  std::size_t size() const { return subflows_.size(); }
+
+ private:
+  std::vector<const TcpSocket*> subflows_;
+};
+
+/// Congestion controller for one LIA-coupled subflow.
+class LiaCc final : public CongestionControl {
+ public:
+  LiaCc(std::uint32_t mss, std::uint32_t initial_cwnd_segments,
+        const LiaCoupler* coupler);
+
+ protected:
+  void congestion_avoidance_increase(std::uint64_t acked) override;
+
+ private:
+  const LiaCoupler* coupler_;
+};
+
+}  // namespace mmptcp

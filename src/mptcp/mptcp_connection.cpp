@@ -1,0 +1,299 @@
+#include "mptcp/mptcp_connection.h"
+
+#include <algorithm>
+
+namespace mmptcp {
+
+MptcpConnection::MptcpConnection(Simulation& sim, Metrics& metrics,
+                                 Host& local, Addr peer,
+                                 std::uint32_t flow_id, MptcpConfig config)
+    : sim_(sim), metrics_(metrics), local_(local), role_(SocketRole::kClient),
+      peer_(peer), token_(local.next_token()), flow_id_(flow_id),
+      config_(config) {
+  require(config_.subflow_count >= 1, "need at least one subflow");
+  require(config_.subflow_count <= 64, "too many subflows");
+}
+
+MptcpConnection::MptcpConnection(Simulation& sim, Metrics& metrics,
+                                 Host& local, const Packet& syn,
+                                 MptcpConfig config)
+    : sim_(sim), metrics_(metrics), local_(local), role_(SocketRole::kServer),
+      peer_(syn.src), token_(syn.token), flow_id_(syn.flow_id),
+      config_(config) {}
+
+MptcpConnection::~MptcpConnection() {
+  // Subflows must die before the demux entry so late timer events on them
+  // are impossible once the token is gone.
+  subflows_.clear();
+  if (registered_) local_.unregister_token(token_);
+}
+
+void MptcpConnection::connect_and_send(std::uint64_t bytes) {
+  check(role_ == SocketRole::kClient, "only clients connect");
+  check(subflows_.empty(), "connect_and_send called twice");
+  total_bytes_ = bytes;
+  local_.register_token(token_, this);
+  registered_ = true;
+  assignable_ = initial_assignable();
+  // Only the initial subflow connects now; MP_JOINs wait for its
+  // handshake to hand the token to the peer (see on_subflow_established).
+  open_client_subflows(0, 1);
+}
+
+std::vector<std::uint8_t> MptcpConnection::initial_assignable() const {
+  std::vector<std::uint8_t> ids(config_.subflow_count);
+  for (std::uint32_t i = 0; i < config_.subflow_count; ++i) {
+    ids[i] = static_cast<std::uint8_t>(i);
+  }
+  return ids;
+}
+
+void MptcpConnection::set_assignable(std::vector<std::uint8_t> ids) {
+  assignable_ = std::move(ids);
+  rr_cursor_ = 0;
+}
+
+void MptcpConnection::requeue_assigned(std::uint8_t id) {
+  auto it = assigned_.find(id);
+  if (it == assigned_.end()) return;
+  // Preserve sequence order at the front of the reinjection queue.
+  while (!it->second.empty()) {
+    reinject_q_.push_front(it->second.back());
+    it->second.pop_back();
+  }
+  assigned_.erase(it);
+}
+
+Subflow* MptcpConnection::find_subflow(std::uint8_t id) {
+  for (const auto& s : subflows_) {
+    if (s->subflow_id() == id) return s.get();
+  }
+  return nullptr;
+}
+
+void MptcpConnection::refill_assignments() {
+  if (config_.scheduler != SchedulerKind::kEagerRoundRobin ||
+      role_ != SocketRole::kClient || assignable_.empty()) {
+    return;
+  }
+  while (data_next_ < total_bytes_) {
+    const std::uint64_t inflight = data_next_ - data_una_;
+    if (inflight >= config_.connection_window) break;
+    // Next assignable subflow in round-robin order, skipping frozen and
+    // dead ones.  A subflow that has not even connected yet still
+    // receives chunks — that eagerness is the point of this scheduler.
+    bool found = false;
+    std::uint8_t target_id = 0;
+    for (std::size_t t = 0; t < assignable_.size(); ++t) {
+      const std::size_t pos = (rr_cursor_ + t) % assignable_.size();
+      const std::uint8_t id = assignable_[pos];
+      Subflow* sf = find_subflow(id);
+      if (sf != nullptr && (sf->stream_frozen() || sf->dead())) continue;
+      found = true;
+      target_id = id;
+      rr_cursor_ = (pos + 1) % assignable_.size();
+      break;
+    }
+    if (!found) break;
+    const auto len = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        std::min<std::uint64_t>(config_.tcp.mss, total_bytes_ - data_next_),
+        config_.connection_window - inflight));
+    if (len == 0) break;
+    const bool last = total_bytes_ != TcpSocket::kUnboundedBytes &&
+                      data_next_ + len == total_bytes_;
+    assigned_[target_id].push_back(Mapping{data_next_, len, last});
+    data_next_ += len;
+    // No pokes here: callers pull right after, and window-unblocking
+    // pokes happen in on_data_ack / on_subflow_established.
+  }
+}
+
+void MptcpConnection::open_client_subflows(std::uint8_t first,
+                                           std::uint32_t n) {
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const auto id = static_cast<std::uint8_t>(first + i);
+    auto sf = make_subflow(id, SocketRole::kClient, local_.ephemeral_port(),
+                           config_.server_port, /*join=*/id != 0);
+    Subflow* raw = sf.get();
+    subflows_.push_back(std::move(sf));
+    // kUnboundedBytes: subflows never self-terminate; the mapping
+    // scheduler decides how much each carries.
+    raw->connect_and_send(TcpSocket::kUnboundedBytes);
+  }
+}
+
+std::unique_ptr<Subflow> MptcpConnection::make_subflow(
+    std::uint8_t id, SocketRole role, std::uint16_t local_port,
+    std::uint16_t peer_port, bool join) {
+  return std::make_unique<Subflow>(*this, id, role, local_port, peer_port,
+                                   config_.tcp, make_cc(config_.coupled),
+                                   join);
+}
+
+std::unique_ptr<CongestionControl> MptcpConnection::make_cc(
+    bool coupled_subflow) {
+  if (coupled_subflow) {
+    return std::make_unique<LiaCc>(config_.tcp.mss,
+                                   config_.tcp.initial_cwnd_segments,
+                                   &coupler_);
+  }
+  return std::make_unique<NewRenoCc>(config_.tcp.mss,
+                                     config_.tcp.initial_cwnd_segments);
+}
+
+void MptcpConnection::accept(const Packet& syn) {
+  check(role_ == SocketRole::kServer, "only servers accept");
+  check(syn.is_syn(), "accept needs a SYN");
+  local_.register_token(token_, this);
+  registered_ = true;
+  handle_packet(syn);
+}
+
+void MptcpConnection::handle_packet(const Packet& pkt) {
+  Subflow* sf = nullptr;
+  for (const auto& s : subflows_) {
+    if (s->subflow_id() == pkt.subflow) {
+      sf = s.get();
+      break;
+    }
+  }
+  if (sf == nullptr) {
+    sf = find_or_create_server_subflow(pkt);
+    if (sf == nullptr) return;  // stray non-SYN for an unknown subflow
+  }
+  sf->handle_packet(pkt);
+}
+
+Subflow* MptcpConnection::find_or_create_server_subflow(const Packet& pkt) {
+  if (role_ != SocketRole::kServer || !pkt.is_syn()) return nullptr;
+  auto sf = make_subflow(pkt.subflow, SocketRole::kServer, pkt.dport,
+                         pkt.sport, pkt.has(pkt_flags::kJoin));
+  Subflow* raw = sf.get();
+  subflows_.push_back(std::move(sf));
+  return raw;
+}
+
+std::optional<Mapping> MptcpConnection::allocate_mapping(
+    Subflow& sf, std::uint32_t max_len) {
+  before_allocate(sf);
+  if (sf.stream_frozen() || sf.dead()) return std::nullopt;
+  // Serve the reinjection queue first (data stranded on a timed-out or
+  // deactivated subflow), skipping anything already acknowledged.
+  while (!reinject_q_.empty()) {
+    Mapping m = reinject_q_.front();
+    if (m.data_seq + m.len <= data_una_) {
+      reinject_q_.pop_front();
+      continue;
+    }
+    if (m.len > max_len) return std::nullopt;  // retry when window opens
+    reinject_q_.pop_front();
+    return m;
+  }
+  if (config_.scheduler == SchedulerKind::kEagerRoundRobin) {
+    refill_assignments();
+    const auto it = assigned_.find(sf.subflow_id());
+    if (it == assigned_.end() || it->second.empty()) return std::nullopt;
+    if (it->second.front().len > max_len) return std::nullopt;
+    const Mapping m = it->second.front();
+    it->second.pop_front();
+    return m;
+  }
+  // Pull scheduler: hand out the next unmapped chunk on demand.
+  if (data_next_ >= total_bytes_) return std::nullopt;
+  // Connection-level flow control: the shared receive buffer bounds the
+  // total un-DATA_ACKed bytes across all subflows.
+  const std::uint64_t conn_inflight = data_next_ - data_una_;
+  if (conn_inflight >= config_.connection_window) return std::nullopt;
+  const auto len = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+      std::min<std::uint64_t>(max_len, total_bytes_ - data_next_),
+      config_.connection_window - conn_inflight));
+  const bool last = total_bytes_ != TcpSocket::kUnboundedBytes &&
+                    data_next_ + len == total_bytes_;
+  const Mapping m{data_next_, len, last};
+  data_next_ += len;
+  return m;
+}
+
+void MptcpConnection::on_data_ack(std::uint64_t data_ack) {
+  if (data_ack <= data_una_) return;
+  const bool was_blocked =
+      role_ == SocketRole::kClient &&
+      data_next_ - data_una_ >= config_.connection_window;
+  data_una_ = data_ack;
+  // Subflows that stalled on the connection window can pull again.
+  if (was_blocked) poke_all_subflows();
+}
+
+void MptcpConnection::on_data_segment(const Packet& pkt) {
+  if (pkt.payload > 0) {
+    const std::uint64_t newly =
+        data_rx_.insert(pkt.data_seq, pkt.data_seq + pkt.payload);
+    if (newly > 0) {
+      const std::uint64_t old = data_rcv_nxt_;
+      data_rcv_nxt_ = data_rx_.first_missing_after(data_rcv_nxt_);
+      if (data_rcv_nxt_ > old) {
+        metrics_.on_delivered(flow_id_, data_rcv_nxt_ - old);
+      }
+    }
+  }
+  if (pkt.has(pkt_flags::kDataFin)) {
+    data_fin_total_ = pkt.data_seq + pkt.payload;
+  }
+  check_receiver_complete();
+}
+
+void MptcpConnection::check_receiver_complete() {
+  if (receiver_complete_ || data_fin_total_ == std::uint64_t(-1)) return;
+  if (data_rcv_nxt_ >= data_fin_total_) {
+    receiver_complete_ = true;
+    metrics_.on_flow_completed(flow_id_, sim_.now());
+  }
+}
+
+bool MptcpConnection::sender_complete() const {
+  return total_bytes_ != TcpSocket::kUnboundedBytes &&
+         data_una_ >= total_bytes_;
+}
+
+void MptcpConnection::on_subflow_established(Subflow& sf) {
+  if (role_ != SocketRole::kClient) return;
+  if (config_.coupled) coupler_.add(&sf);
+  sf.poke();
+  if (sf.subflow_id() == 0 && !joins_opened_) {
+    joins_opened_ = true;
+    const std::uint32_t joins = join_count();
+    if (joins > 0) open_client_subflows(1, joins);
+  }
+}
+
+void MptcpConnection::on_subflow_congestion(Subflow& sf,
+                                            CongestionEventKind kind) {
+  if (kind == CongestionEventKind::kRto && config_.reinject_on_rto &&
+      role_ == SocketRole::kClient) {
+    // Make the timed-out subflow's stranded data eligible on its
+    // siblings: both the chunks it already sent...
+    for (const Mapping& m : sf.outstanding_mappings()) {
+      if (m.data_seq + m.len <= data_una_) continue;
+      const bool queued =
+          std::any_of(reinject_q_.begin(), reinject_q_.end(),
+                      [&m](const Mapping& q) {
+                        return q.data_seq == m.data_seq && q.len == m.len;
+                      });
+      if (!queued) reinject_q_.push_back(m);
+    }
+    // ...and the ones still waiting in its assignment queue.
+    requeue_assigned(sf.subflow_id());
+    poke_all_subflows();
+  }
+  note_congestion(sf, kind);
+}
+
+void MptcpConnection::on_subflow_drained(Subflow& sf) { (void)sf; }
+
+void MptcpConnection::poke_all_subflows() {
+  for (const auto& s : subflows_) {
+    if (s->established() && !s->dead() && !s->stream_frozen()) s->poke();
+  }
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,196 @@
+#pragma once
+
+// MPTCP connection: a pool of subflows, a data-sequence mapping scheduler,
+// connection-level reassembly with cumulative DATA_ACKs, and RFC 6356
+// coupled congestion control.
+//
+// Scheduling is pull-based: a subflow with congestion-window space asks
+// the connection for the next chunk of unmapped data; once mapped, a chunk
+// belongs to that subflow (retransmissions stay on the same subflow).
+// This mirrors the authors' WNS3 2014 ns-3 model, including its crucial
+// default of *no* opportunistic reinjection: when a subflow with a tiny
+// window loses a packet, the whole connection waits for that subflow's RTO
+// — the mechanism behind Figure 1(a)/(b) of the paper.  Reinjection after
+// a subflow RTO is available as an ablation (`reinject_on_rto`).
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "mptcp/lia.h"
+#include "mptcp/subflow.h"
+
+namespace mmptcp {
+
+/// How connection-level data is assigned to subflows.
+enum class SchedulerKind : std::uint8_t {
+  /// Chunks are committed round-robin across ALL planned subflows as soon
+  /// as the connection window allows — before the subflows have even
+  /// completed their handshakes.  This mirrors the authors' WNS3 2014
+  /// ns-3 model (and that era's MPTCP implementations): data stranded on
+  /// a slow, lossy or still-connecting subflow stalls the connection,
+  /// which is the mechanism behind Figure 1(a)/(b).
+  kEagerRoundRobin,
+  /// Subflows pull data only when they have congestion-window space — a
+  /// modern scheduler that sidesteps the stall pathology (ablation).
+  kPull,
+};
+
+/// Connection-level configuration.
+struct MptcpConfig {
+  TcpConfig tcp{};                ///< per-subflow socket knobs
+  std::uint32_t subflow_count = 8;
+  bool coupled = true;            ///< LIA on (off = uncoupled NewReno)
+  SchedulerKind scheduler = SchedulerKind::kEagerRoundRobin;
+  bool reinject_on_rto = false;   ///< remap a timed-out subflow's data
+  std::uint16_t server_port = 5001;
+  /// Connection-level window: bytes mapped but not yet cumulatively
+  /// DATA_ACKed may not exceed this.  Models the *shared* receive buffer
+  /// of real MPTCP — all subflows draw from one pool, so a connection
+  /// cannot put subflow_count x per-subflow-window bytes in flight.
+  std::uint64_t connection_window = 256 * 1024;
+};
+
+/// Client or server side of one MPTCP connection.
+class MptcpConnection : public Endpoint {
+ public:
+  /// Client constructor.
+  MptcpConnection(Simulation& sim, Metrics& metrics, Host& local, Addr peer,
+                  std::uint32_t flow_id, MptcpConfig config);
+
+  /// Server constructor (peer data taken from the first SYN).
+  MptcpConnection(Simulation& sim, Metrics& metrics, Host& local,
+                  const Packet& syn, MptcpConfig config);
+
+  ~MptcpConnection() override;
+
+  /// Client: opens the initial subflows and streams `bytes`.
+  virtual void connect_and_send(std::uint64_t bytes);
+
+  /// Server: processes the SYN that created this connection.
+  void accept(const Packet& syn);
+
+  /// Demultiplexes by subflow id (server side creates subflows on SYN).
+  void handle_packet(const Packet& pkt) override;
+
+  // ---- subflow callbacks ----
+  std::optional<Mapping> allocate_mapping(Subflow& sf, std::uint32_t max_len);
+  void on_data_ack(std::uint64_t data_ack);
+  void on_data_segment(const Packet& pkt);
+  void on_subflow_established(Subflow& sf);
+  void on_subflow_congestion(Subflow& sf, CongestionEventKind kind);
+  virtual void on_subflow_drained(Subflow& sf);
+  std::uint64_t data_rcv_nxt() const { return data_rcv_nxt_; }
+
+  // ---- introspection ----
+  std::size_t subflow_count() const { return subflows_.size(); }
+  Subflow& subflow(std::size_t i) { return *subflows_.at(i); }
+  const Subflow& subflow(std::size_t i) const { return *subflows_.at(i); }
+  std::uint64_t data_next() const { return data_next_; }
+  std::uint64_t data_una() const { return data_una_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  bool sender_complete() const;
+  bool receiver_complete() const { return receiver_complete_; }
+  std::uint32_t flow_id() const { return flow_id_; }
+  std::uint32_t token() const { return token_; }
+  std::size_t reinjection_queue_depth() const { return reinject_q_.size(); }
+
+  Simulation& sim_ref() { return sim_; }
+  Metrics& metrics_ref() { return metrics_; }
+  Host& local_host() { return local_; }
+  Addr peer_addr() const { return peer_; }
+  const MptcpConfig& config() const { return config_; }
+  SocketRole role() const { return role_; }
+
+ protected:
+  /// Number of MP_JOIN subflows opened once the initial subflow's
+  /// handshake completes (real MPTCP cannot join before the peer owns the
+  /// token).  MMPTCP returns 0: its extra subflows open at the phase
+  /// switch instead.
+  virtual std::uint32_t join_count() const {
+    return config_.subflow_count - 1;
+  }
+
+  /// Creates the subflow socket for `id` (MMPTCP overrides id 0 to build
+  /// the packet-scatter subflow).
+  virtual std::unique_ptr<Subflow> make_subflow(std::uint8_t id,
+                                                SocketRole role,
+                                                std::uint16_t local_port,
+                                                std::uint16_t peer_port,
+                                                bool join);
+
+  /// Hook invoked before serving a mapping request (MMPTCP's data-volume
+  /// phase switch checks the transmitted-bytes threshold here).
+  virtual void before_allocate(Subflow& sf) { (void)sf; }
+
+  /// Hook invoked on any subflow congestion event (MMPTCP's
+  /// congestion-event phase switch listens here).
+  virtual void note_congestion(Subflow& sf, CongestionEventKind kind) {
+    (void)sf;
+    (void)kind;
+  }
+
+  /// Subflow ids eligible for new chunk assignment at connect time
+  /// (MMPTCP restricts this to the PS flow until the phase switch).
+  virtual std::vector<std::uint8_t> initial_assignable() const;
+
+  /// Replaces the assignable set (MMPTCP's phase switch); chunks already
+  /// assigned to now-excluded subflows stay where they are unless the
+  /// caller migrates them via requeue_assigned().
+  void set_assignable(std::vector<std::uint8_t> ids);
+
+  /// Moves subflow `id`'s *unsent* assigned chunks to the reinjection
+  /// queue (served to any subflow).
+  void requeue_assigned(std::uint8_t id);
+
+  /// Creates + connects client subflows with ids [first, first+n).
+  void open_client_subflows(std::uint8_t first, std::uint32_t n);
+
+  /// Builds the default congestion controller for a subflow.
+  std::unique_ptr<CongestionControl> make_cc(bool coupled_subflow);
+
+  LiaCoupler& coupler() { return coupler_; }
+  void poke_all_subflows();
+
+ private:
+  Subflow* find_or_create_server_subflow(const Packet& pkt);
+  Subflow* find_subflow(std::uint8_t id);
+  void check_receiver_complete();
+  /// kEagerRoundRobin: commits chunks to assignable subflows while the
+  /// connection window has room.
+  void refill_assignments();
+
+  Simulation& sim_;
+  Metrics& metrics_;
+  Host& local_;
+  SocketRole role_;
+  Addr peer_;
+  std::uint32_t token_;
+  std::uint32_t flow_id_;
+  MptcpConfig config_;
+  bool registered_ = false;
+
+  std::vector<std::unique_ptr<Subflow>> subflows_;
+  LiaCoupler coupler_;
+
+  bool joins_opened_ = false;
+
+  // Sender-side data scheduling.
+  std::uint64_t total_bytes_ = 0;
+  std::uint64_t data_next_ = 0;  ///< next unmapped connection-level byte
+  std::uint64_t data_una_ = 0;   ///< highest cumulative DATA_ACK seen
+  std::deque<Mapping> reinject_q_;
+  // Eager round-robin scheduler state.
+  std::vector<std::uint8_t> assignable_;
+  std::map<std::uint8_t, std::deque<Mapping>> assigned_;
+  std::size_t rr_cursor_ = 0;
+
+  // Receiver-side reassembly.
+  IntervalSet data_rx_;
+  std::uint64_t data_rcv_nxt_ = 0;
+  std::uint64_t data_fin_total_ = std::uint64_t(-1);
+  bool receiver_complete_ = false;
+};
+
+}  // namespace mmptcp

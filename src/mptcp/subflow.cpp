@@ -1,0 +1,70 @@
+#include "mptcp/subflow.h"
+
+#include "mptcp/mptcp_connection.h"
+
+namespace mmptcp {
+
+Subflow::Subflow(MptcpConnection& conn, std::uint8_t subflow_id,
+                 SocketRole role, std::uint16_t local_port,
+                 std::uint16_t peer_port, TcpConfig config,
+                 std::unique_ptr<CongestionControl> cc, bool join,
+                 std::uint32_t path_count)
+    : TcpSocket(conn.sim_ref(), conn.metrics_ref(), conn.local_host(), role,
+                conn.peer_addr(), local_port, peer_port, conn.token(),
+                conn.flow_id(), config, std::move(cc), path_count),
+      conn_(conn), subflow_id_(subflow_id), join_(join) {
+  // Subflows end via the connection-level DATA_FIN, not a TCP FIN, and
+  // share the connection's token-demux registration.
+  disable_fin();
+  disable_demux_registration();
+}
+
+std::vector<Mapping> Subflow::outstanding_mappings() const {
+  std::vector<Mapping> out;
+  for (const auto& [seq, mapping] : mappings()) {
+    if (seq + mapping.len > snd_una()) out.push_back(mapping);
+  }
+  return out;
+}
+
+std::optional<Mapping> Subflow::next_mapping(std::uint32_t max_len) {
+  return conn_.allocate_mapping(*this, max_len);
+}
+
+void Subflow::decorate_data(Packet& pkt) {
+  pkt.subflow = subflow_id_;
+  pkt.flags |= pkt_flags::kDss;
+  if (pkt.is_syn() && join_) pkt.flags |= pkt_flags::kJoin;
+}
+
+void Subflow::decorate_ack(Packet& pkt) {
+  pkt.subflow = subflow_id_;
+  pkt.flags |= pkt_flags::kDss;
+  pkt.data_ack = conn_.data_rcv_nxt();
+}
+
+void Subflow::on_peer_ack(const Packet& pkt) {
+  if (pkt.has(pkt_flags::kDss)) conn_.on_data_ack(pkt.data_ack);
+}
+
+void Subflow::on_data_segment(const Packet& pkt) {
+  conn_.on_data_segment(pkt);
+}
+
+void Subflow::deliver_in_order(std::uint64_t /*newly*/) {
+  // Delivery accounting happens at the connection level (on_data_segment).
+}
+
+void Subflow::stream_complete() {
+  // Subflows carry no TCP FIN; connection-level DATA_FIN ends the flow.
+}
+
+void Subflow::on_established() { conn_.on_subflow_established(*this); }
+
+void Subflow::on_congestion_event(CongestionEventKind kind) {
+  conn_.on_subflow_congestion(*this, kind);
+}
+
+void Subflow::on_sender_drained() { conn_.on_subflow_drained(*this); }
+
+}  // namespace mmptcp

@@ -1,0 +1,48 @@
+#pragma once
+
+// One MPTCP subflow: a TcpSocket whose stream is fed by the connection's
+// data-sequence mapping scheduler and whose delivery events are forwarded
+// to connection-level reassembly.  Subflows never send TCP FINs — the
+// connection-level DATA_FIN (kDataFin on the last mapping) ends the flow.
+
+#include "tcp/tcp_socket.h"
+
+namespace mmptcp {
+
+class MptcpConnection;
+
+/// A subflow socket owned by an MptcpConnection.
+class Subflow : public TcpSocket {
+ public:
+  Subflow(MptcpConnection& conn, std::uint8_t subflow_id, SocketRole role,
+          std::uint16_t local_port, std::uint16_t peer_port,
+          TcpConfig config, std::unique_ptr<CongestionControl> cc,
+          bool join, std::uint32_t path_count = 0);
+
+  std::uint8_t subflow_id() const { return subflow_id_; }
+
+  /// Subflow-level sequence ranges sent but not yet acknowledged, with
+  /// their data-sequence mappings (used for reinjection after an RTO).
+  std::vector<Mapping> outstanding_mappings() const;
+
+ protected:
+  std::optional<Mapping> next_mapping(std::uint32_t max_len) override;
+  void decorate_data(Packet& pkt) override;
+  void decorate_ack(Packet& pkt) override;
+  void on_peer_ack(const Packet& pkt) override;
+  void on_data_segment(const Packet& pkt) override;
+  void deliver_in_order(std::uint64_t newly) override;
+  void stream_complete() override;
+  void on_established() override;
+  void on_congestion_event(CongestionEventKind kind) override;
+  void on_sender_drained() override;
+
+  MptcpConnection& connection() { return conn_; }
+
+ private:
+  MptcpConnection& conn_;
+  std::uint8_t subflow_id_;
+  bool join_;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,41 @@
+#pragma once
+
+// Network addressing.
+//
+// Addresses are opaque 32-bit values; the FatTree topology packs
+// (pod, switch, host) into them following the Al-Fares addressing scheme so
+// that switches can route algorithmically and end hosts can derive the
+// number of equal-cost paths to a peer (used by MMPTCP's dynamic dup-ACK
+// threshold).  The packing lives in topo/fat_tree.h; this header only
+// defines the opaque value type.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace mmptcp {
+
+/// Opaque network address (IPv4-like 32-bit value).
+struct Addr {
+  std::uint32_t raw = 0;
+
+  friend bool operator==(Addr a, Addr b) { return a.raw == b.raw; }
+  friend bool operator!=(Addr a, Addr b) { return a.raw != b.raw; }
+  friend bool operator<(Addr a, Addr b) { return a.raw < b.raw; }
+
+  /// Dotted rendering of the four bytes, e.g. "10.2.1.3".
+  std::string to_string() const {
+    return std::to_string(raw >> 24) + "." + std::to_string((raw >> 16) & 0xff) +
+           "." + std::to_string((raw >> 8) & 0xff) + "." +
+           std::to_string(raw & 0xff);
+  }
+};
+
+}  // namespace mmptcp
+
+template <>
+struct std::hash<mmptcp::Addr> {
+  std::size_t operator()(mmptcp::Addr a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.raw);
+  }
+};

@@ -1,0 +1,31 @@
+#include "net/ecmp.h"
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+namespace {
+// Finalizer from MurmurHash3 / splitmix64: cheap and well mixed.
+std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+std::uint64_t ecmp_hash(std::uint64_t salt, Addr src, Addr dst,
+                        std::uint16_t sport, std::uint16_t dport) {
+  std::uint64_t h = salt ^ 0x9e3779b97f4a7c15ULL;
+  h = mix64(h ^ (std::uint64_t(src.raw) << 32 | dst.raw));
+  h = mix64(h ^ (std::uint64_t(sport) << 16 | dport));
+  return h;
+}
+
+std::size_t ecmp_select(std::uint64_t salt, Addr src, Addr dst,
+                        std::uint16_t sport, std::uint16_t dport,
+                        std::size_t n) {
+  check(n > 0, "ecmp_select needs at least one candidate");
+  return static_cast<std::size_t>(ecmp_hash(salt, src, dst, sport, dport) % n);
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,27 @@
+#pragma once
+
+// Hash-based ECMP path selection (RFC 2992 style).
+//
+// Switches hash the flow 5-tuple together with a per-switch salt and pick
+// one of the candidate next hops.  The salt models vendor-specific hash
+// seeds: without it, every switch would make correlated choices and the
+// topology would behave like a single-path network.  Packet scatter works
+// by randomising the source port per packet, which decorrelates the hash
+// input at every hop.
+
+#include <cstdint>
+
+#include "net/address.h"
+
+namespace mmptcp {
+
+/// 64-bit mix of the flow tuple and a per-switch salt.
+std::uint64_t ecmp_hash(std::uint64_t salt, Addr src, Addr dst,
+                        std::uint16_t sport, std::uint16_t dport);
+
+/// Picks an index in [0, n) for the given tuple; n must be > 0.
+std::size_t ecmp_select(std::uint64_t salt, Addr src, Addr dst,
+                        std::uint16_t sport, std::uint16_t dport,
+                        std::size_t n);
+
+}  // namespace mmptcp

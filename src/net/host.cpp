@@ -1,0 +1,73 @@
+#include "net/host.h"
+
+#include "net/ecmp.h"
+
+namespace mmptcp {
+
+Host::Host(Simulation& sim, NodeId id, std::string name, Addr addr)
+    : Node(sim, id, std::move(name)), addr_(addr) {}
+
+void Host::send(const Packet& pkt) {
+  check(port_count() > 0, "host has no NIC attached");
+  port(pick_nic(pkt)).enqueue(pkt);
+}
+
+std::size_t Host::pick_nic(const Packet& pkt) const {
+  if (port_count() == 1) return 0;
+  if (nic_selector_) return nic_selector_(pkt) % port_count();
+  // Default: hash the tuple so distinct (sub)flows — and sprayed packets —
+  // spread across NICs while a fixed tuple stays on one NIC.
+  return ecmp_select(0x5eedu, pkt.src, pkt.dst, pkt.sport, pkt.dport,
+                     port_count());
+}
+
+void Host::register_token(std::uint32_t token, Endpoint* ep) {
+  check(ep != nullptr, "cannot register a null endpoint");
+  const auto [it, inserted] = by_token_.emplace(token, ep);
+  (void)it;
+  check(inserted, "token already registered on this host");
+}
+
+void Host::unregister_token(std::uint32_t token) { by_token_.erase(token); }
+
+void Host::listen(std::uint16_t port, AcceptHandler handler) {
+  check(static_cast<bool>(handler), "listener handler cannot be empty");
+  const auto [it, inserted] = listeners_.emplace(port, std::move(handler));
+  (void)it;
+  check(inserted, "port already has a listener");
+}
+
+void Host::unlisten(std::uint16_t port) { listeners_.erase(port); }
+
+std::uint32_t Host::next_token() {
+  ++token_counter_;
+  check(token_counter_ < (1u << 18), "per-host token space exhausted");
+  return (static_cast<std::uint32_t>(id()) + 1u) * (1u << 18) + token_counter_;
+}
+
+std::uint16_t Host::ephemeral_port() {
+  if (next_ephemeral_ == 0) next_ephemeral_ = 49152;  // wrapped
+  return next_ephemeral_++;
+}
+
+void Host::receive(Packet pkt, std::size_t /*in_port*/) {
+  if (pkt.dst != addr_) {
+    ++demux_misses_;  // misrouted packet; routers are tested against this
+    return;
+  }
+  if (const auto it = by_token_.find(pkt.token); it != by_token_.end()) {
+    ++delivered_packets_;
+    it->second->handle_packet(pkt);
+    return;
+  }
+  if (pkt.is_syn()) {
+    if (const auto it = listeners_.find(pkt.dport); it != listeners_.end()) {
+      ++delivered_packets_;
+      it->second(pkt);
+      return;
+    }
+  }
+  ++demux_misses_;
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,79 @@
+#pragma once
+
+// End host: NIC selection on send, connection demultiplexing on receive.
+//
+// Demux is token-based (MPTCP-style): every connection carries a 32-bit
+// token in each segment, so MMPTCP's per-packet source-port randomisation
+// never confuses the receiver.  SYNs without a known token go to the
+// listener registered on the destination port, which creates the
+// server-side endpoint.  Multi-homed hosts (dual-homed FatTree) pick the
+// NIC by hashing the packet's ports, so sprayed packets use all NICs.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "net/node.h"
+
+namespace mmptcp {
+
+/// Transport endpoint interface implemented by sockets / connections.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void handle_packet(const Packet& pkt) = 0;
+};
+
+/// A server-side accept callback; receives the SYN that opened the flow.
+using AcceptHandler = std::function<void(const Packet& syn)>;
+
+/// An end host with one or more NICs.
+class Host : public Node {
+ public:
+  Host(Simulation& sim, NodeId id, std::string name, Addr addr);
+
+  Addr addr() const { return addr_; }
+
+  /// Transmits via the selected NIC (all host ports are NICs).
+  void send(const Packet& pkt);
+
+  /// Registers/unregisters the endpoint owning `token`.
+  void register_token(std::uint32_t token, Endpoint* ep);
+  void unregister_token(std::uint32_t token);
+
+  /// Installs an accept handler for SYNs addressed to `port`.
+  void listen(std::uint16_t port, AcceptHandler handler);
+  void unlisten(std::uint16_t port);
+
+  /// Allocates a connection token unique within this simulation
+  /// (host id in the high bits, per-host counter in the low bits).
+  std::uint32_t next_token();
+
+  /// Allocates an ephemeral source port (demux never depends on it).
+  std::uint16_t ephemeral_port();
+
+  void receive(Packet pkt, std::size_t in_port) override;
+
+  /// Packets that matched no endpoint or listener (late segments etc.).
+  std::uint64_t demux_misses() const { return demux_misses_; }
+  /// Packets delivered to some endpoint or listener.
+  std::uint64_t delivered_packets() const { return delivered_packets_; }
+
+  /// Overrides NIC selection (rarely needed; default hashes the ports).
+  using NicSelector = std::function<std::size_t(const Packet&)>;
+  void set_nic_selector(NicSelector sel) { nic_selector_ = std::move(sel); }
+
+ private:
+  std::size_t pick_nic(const Packet& pkt) const;
+
+  Addr addr_;
+  std::unordered_map<std::uint32_t, Endpoint*> by_token_;
+  std::unordered_map<std::uint16_t, AcceptHandler> listeners_;
+  NicSelector nic_selector_;
+  std::uint32_t token_counter_ = 0;
+  std::uint16_t next_ephemeral_ = 49152;
+  std::uint64_t demux_misses_ = 0;
+  std::uint64_t delivered_packets_ = 0;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,87 @@
+#include "net/link.h"
+
+#include "net/node.h"
+
+namespace mmptcp {
+
+std::string to_string(LinkLayer layer) {
+  switch (layer) {
+    case LinkLayer::kHostEdge: return "host-edge";
+    case LinkLayer::kEdgeAgg: return "edge-agg";
+    case LinkLayer::kAggCore: return "agg-core";
+    case LinkLayer::kOther: return "other";
+  }
+  return "?";
+}
+
+Channel::Channel(Scheduler& sched, Time propagation_delay)
+    : sched_(sched), delay_(propagation_delay) {
+  check(!delay_.is_negative(), "propagation delay cannot be negative");
+}
+
+void Channel::attach_sink(Node* dst, std::size_t dst_port) {
+  check(dst_ == nullptr, "channel sink already attached");
+  check(dst != nullptr, "channel sink cannot be null");
+  dst_ = dst;
+  dst_port_ = dst_port;
+}
+
+void Channel::deliver(Packet pkt) {
+  check(dst_ != nullptr, "channel has no sink attached");
+  in_flight_.push_back(pkt);
+  sched_.schedule(delay_, [this] { on_arrival(); });
+}
+
+void Channel::on_arrival() {
+  check(!in_flight_.empty(), "channel arrival with no packet in flight");
+  Packet pkt = in_flight_.front();
+  in_flight_.pop_front();
+  dst_->receive(pkt, dst_port_);
+}
+
+Port::Port(Scheduler& sched, std::string name, std::uint64_t rate_bps,
+           QueueLimits limits, Channel* out, LinkLayer layer,
+           SharedBufferPool* pool)
+    : sched_(sched), name_(std::move(name)), rate_bps_(rate_bps),
+      queue_(limits, pool), out_(out), layer_(layer) {
+  check(rate_bps_ > 0, "port rate must be positive");
+  check(out_ != nullptr, "port needs an output channel");
+}
+
+void Port::enqueue(const Packet& pkt) {
+  const std::uint64_t index = offer_index_++;
+  if (drop_filter_ && drop_filter_(pkt, index)) {
+    ++counters_.injected_drops;
+    ++counters_.dropped_packets;
+    counters_.dropped_bytes += pkt.size_bytes();
+    return;
+  }
+  if (!queue_.try_push(pkt)) {
+    ++counters_.dropped_packets;
+    counters_.dropped_bytes += pkt.size_bytes();
+    return;
+  }
+  ++counters_.enqueued_packets;
+  counters_.enqueued_bytes += pkt.size_bytes();
+  maybe_start_tx();
+}
+
+void Port::maybe_start_tx() {
+  if (transmitting_ || queue_.empty()) return;
+  auto pkt = queue_.pop();
+  check(pkt.has_value(), "queue reported non-empty but pop failed");
+  in_tx_ = *pkt;
+  transmitting_ = true;
+  sched_.schedule(transmission_time(in_tx_.size_bytes(), rate_bps_),
+                  [this] { on_tx_done(); });
+}
+
+void Port::on_tx_done() {
+  ++counters_.tx_packets;
+  counters_.tx_bytes += in_tx_.size_bytes();
+  out_->deliver(in_tx_);
+  transmitting_ = false;
+  maybe_start_tx();
+}
+
+}  // namespace mmptcp

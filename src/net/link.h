@@ -1,0 +1,112 @@
+#pragma once
+
+// Egress ports and unidirectional channels.
+//
+// A Port owns the drop-tail queue and the transmitter state machine of one
+// network interface: store-and-forward, one packet serialising at a time at
+// the channel rate.  A Channel carries fully-serialised packets to the peer
+// node after a fixed propagation delay; since the delay is constant the
+// channel is FIFO and keeps its in-flight packets in a deque, so the
+// scheduler events capture only `this`.
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+
+#include "net/queue.h"
+#include "sim/scheduler.h"
+
+namespace mmptcp {
+
+class Node;
+
+/// Where a link sits in the datacenter hierarchy (for loss accounting).
+enum class LinkLayer : std::uint8_t {
+  kHostEdge,     ///< host <-> edge(ToR) links
+  kEdgeAgg,      ///< edge <-> aggregation links ("aggregation layer")
+  kAggCore,      ///< aggregation <-> core links ("core layer")
+  kOther,
+};
+
+std::string to_string(LinkLayer layer);
+
+/// Monotonic counters exposed by every port (read by the stats module).
+struct PortCounters {
+  std::uint64_t enqueued_packets = 0;
+  std::uint64_t enqueued_bytes = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t injected_drops = 0;  ///< test-hook forced drops
+};
+
+/// Unidirectional wire: fixed rate (modelled at the Port) and delay.
+class Channel {
+ public:
+  Channel(Scheduler& sched, Time propagation_delay);
+
+  /// Sets the receiving node and its ingress port index (wiring step).
+  void attach_sink(Node* dst, std::size_t dst_port);
+
+  /// Accepts a fully-serialised packet; delivers it after the delay.
+  void deliver(Packet pkt);
+
+  Time propagation_delay() const { return delay_; }
+  Node* sink() const { return dst_; }
+
+ private:
+  void on_arrival();
+
+  Scheduler& sched_;
+  Time delay_;
+  Node* dst_ = nullptr;
+  std::size_t dst_port_ = 0;
+  std::deque<Packet> in_flight_;
+};
+
+/// Egress interface: queue + serialising transmitter feeding a Channel.
+class Port {
+ public:
+  /// Called on every drop with the dropped packet (optional, for tests).
+  using DropFilter = std::function<bool(const Packet&, std::uint64_t index)>;
+
+  Port(Scheduler& sched, std::string name, std::uint64_t rate_bps,
+       QueueLimits limits, Channel* out, LinkLayer layer,
+       SharedBufferPool* pool = nullptr);
+
+  /// Enqueues for transmission; drops (and counts) when the queue is full
+  /// or the injected drop filter matches.
+  void enqueue(const Packet& pkt);
+
+  const PortCounters& counters() const { return counters_; }
+  LinkLayer layer() const { return layer_; }
+  std::uint64_t rate_bps() const { return rate_bps_; }
+  const std::string& name() const { return name_; }
+  std::size_t queue_packets() const { return queue_.size_packets(); }
+  std::uint64_t queue_bytes() const { return queue_.size_bytes(); }
+
+  /// Test hook: every would-be-enqueued packet is offered to `filter`;
+  /// returning true forces a drop.  Pass nullptr to clear.
+  void set_drop_filter(DropFilter filter) { drop_filter_ = std::move(filter); }
+
+ private:
+  void maybe_start_tx();
+  void on_tx_done();
+
+  Scheduler& sched_;
+  std::string name_;
+  std::uint64_t rate_bps_;
+  DropTailQueue queue_;
+  Channel* out_;
+  LinkLayer layer_;
+  PortCounters counters_;
+  DropFilter drop_filter_;
+  std::uint64_t offer_index_ = 0;  ///< packets offered so far (for filters)
+  bool transmitting_ = false;
+  Packet in_tx_{};
+};
+
+}  // namespace mmptcp

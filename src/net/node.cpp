@@ -1,0 +1,17 @@
+#include "net/node.h"
+
+namespace mmptcp {
+
+Node::Node(Simulation& sim, NodeId id, std::string name)
+    : sim_(sim), id_(id), name_(std::move(name)) {}
+
+std::size_t Node::add_port(std::uint64_t rate_bps, QueueLimits limits,
+                           Channel* out, LinkLayer layer,
+                           SharedBufferPool* pool) {
+  ports_.push_back(std::make_unique<Port>(
+      sim_.scheduler(), name_ + "/p" + std::to_string(ports_.size()),
+      rate_bps, limits, out, layer, pool));
+  return ports_.size() - 1;
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,25 @@
+#include "net/packet.h"
+
+#include <sstream>
+
+namespace mmptcp {
+
+std::string Packet::to_string() const {
+  std::ostringstream os;
+  os << src.to_string() << ':' << sport << ">" << dst.to_string() << ':'
+     << dport;
+  if (is_syn()) os << " SYN";
+  if (has(pkt_flags::kJoin)) os << " JOIN";
+  if (has(pkt_flags::kFin)) os << " FIN";
+  if (has(pkt_flags::kDataFin)) os << " DFIN";
+  if (has(pkt_flags::kPs)) os << " PS";
+  os << " sf=" << int(subflow) << " seq=" << seq << " ack=" << ack
+     << " len=" << payload;
+  if (has(pkt_flags::kDss)) {
+    os << " dseq=" << data_seq << " dack=" << data_ack;
+  }
+  os << " tok=" << token << " flow=" << flow_id;
+  return os.str();
+}
+
+}  // namespace mmptcp

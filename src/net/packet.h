@@ -1,0 +1,65 @@
+#pragma once
+
+// The simulated packet.
+//
+// One struct models every segment we need: plain TCP, MPTCP (DSS data
+// sequence mapping, token-based join) and MMPTCP packet-scatter segments.
+// Packets carry no payload bytes — only the byte *count* — since the
+// simulation's correctness properties are defined over sequence ranges.
+// Packets are small value types passed by value; no heap allocation.
+
+#include <cstdint>
+#include <string>
+
+#include "net/address.h"
+
+namespace mmptcp {
+
+/// Bit flags carried in a segment header.
+namespace pkt_flags {
+inline constexpr std::uint8_t kSyn = 1u << 0;      ///< connection/subflow open
+inline constexpr std::uint8_t kFin = 1u << 1;      ///< sender is done
+inline constexpr std::uint8_t kJoin = 1u << 2;     ///< MPTCP MP_JOIN subflow SYN
+inline constexpr std::uint8_t kDss = 1u << 3;      ///< carries data-seq mapping
+inline constexpr std::uint8_t kPs = 1u << 4;       ///< packet-scatter sprayed
+inline constexpr std::uint8_t kDataFin = 1u << 5;  ///< connection-level FIN
+inline constexpr std::uint8_t kDsack = 1u << 6;    ///< ACK of duplicate data
+}  // namespace pkt_flags
+
+/// A simulated TCP/MPTCP segment.
+struct Packet {
+  Addr src;
+  Addr dst;
+  std::uint16_t sport = 0;
+  std::uint16_t dport = 0;
+  std::uint8_t flags = 0;
+  std::uint8_t subflow = 0;   ///< subflow index within the connection
+  std::uint32_t token = 0;    ///< connection token used for demultiplexing
+  std::uint64_t seq = 0;      ///< subflow-level sequence (first payload byte)
+  std::uint64_t ack = 0;      ///< subflow-level cumulative ACK
+  std::uint32_t payload = 0;  ///< number of application bytes carried
+  std::uint64_t data_seq = 0; ///< connection-level sequence (DSS mapping)
+  std::uint64_t data_ack = 0; ///< connection-level cumulative ACK
+  std::uint64_t dsack_seq = 0; ///< duplicate segment's seq (with kDsack)
+  std::uint32_t flow_id = 0;  ///< simulation-wide flow id (tracing/stats)
+
+  /// IP + TCP header bytes for every segment.
+  static constexpr std::uint32_t kBaseHeaderBytes = 40;
+  /// Extra bytes when a DSS (data sequence signal) option is present.
+  static constexpr std::uint32_t kDssOptionBytes = 20;
+
+  bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
+  bool is_syn() const { return has(pkt_flags::kSyn); }
+  bool is_data() const { return payload > 0; }
+
+  /// Size on the wire, used for serialisation delay and queue occupancy.
+  std::uint32_t size_bytes() const {
+    return kBaseHeaderBytes + (has(pkt_flags::kDss) ? kDssOptionBytes : 0) +
+           payload;
+  }
+
+  /// Compact human-readable rendering for logs and test failures.
+  std::string to_string() const;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,54 @@
+#include "net/queue.h"
+
+namespace mmptcp {
+
+SharedBufferPool::SharedBufferPool(std::uint64_t capacity_bytes, double alpha)
+    : capacity_(capacity_bytes), alpha_(alpha) {
+  require(capacity_bytes > 0, "shared buffer capacity must be positive");
+  require(alpha > 0.0, "shared buffer alpha must be positive");
+}
+
+bool SharedBufferPool::admits(std::uint64_t port_bytes,
+                              std::uint32_t size) const {
+  if (used_ + size > capacity_) return false;
+  const double threshold = alpha_ * static_cast<double>(capacity_ - used_);
+  return static_cast<double>(port_bytes) + size <= threshold;
+}
+
+void SharedBufferPool::on_enqueue(std::uint32_t size) { used_ += size; }
+
+void SharedBufferPool::on_dequeue(std::uint32_t size) {
+  check(used_ >= size, "shared buffer accounting underflow");
+  used_ -= size;
+}
+
+DropTailQueue::DropTailQueue(QueueLimits limits, SharedBufferPool* pool)
+    : limits_(limits), pool_(pool) {}
+
+bool DropTailQueue::try_push(const Packet& pkt) {
+  const std::uint32_t size = pkt.size_bytes();
+  if (limits_.max_packets != 0 && packets_.size() >= limits_.max_packets) {
+    return false;
+  }
+  if (limits_.max_bytes != 0 && bytes_ + size > limits_.max_bytes) {
+    return false;
+  }
+  if (pool_ != nullptr && !pool_->admits(bytes_, size)) {
+    return false;
+  }
+  packets_.push_back(pkt);
+  bytes_ += size;
+  if (pool_ != nullptr) pool_->on_enqueue(size);
+  return true;
+}
+
+std::optional<Packet> DropTailQueue::pop() {
+  if (packets_.empty()) return std::nullopt;
+  Packet pkt = packets_.front();
+  packets_.pop_front();
+  bytes_ -= pkt.size_bytes();
+  if (pool_ != nullptr) pool_->on_dequeue(pkt.size_bytes());
+  return pkt;
+}
+
+}  // namespace mmptcp

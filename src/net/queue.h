@@ -1,0 +1,73 @@
+#pragma once
+
+// Egress queueing disciplines.
+//
+// DropTailQueue is the workhorse (the paper's ns-3 setup uses drop-tail
+// ports).  SharedBufferPool models the shared-memory switch fabric the
+// paper calls out as a cause of buffer pressure during incast: ports on the
+// same switch compete for one byte pool under a Dynamic-Threshold (DT)
+// admission rule (Choudhury & Hahne), so a hot port can starve its
+// siblings — exactly the effect MMPTCP's packet scatter is meant to dodge.
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "net/packet.h"
+#include "util/check.h"
+
+namespace mmptcp {
+
+/// Limits for a drop-tail queue; either bound may be disabled with 0.
+struct QueueLimits {
+  std::uint32_t max_packets = 100;  ///< 0 = unlimited
+  std::uint64_t max_bytes = 0;      ///< 0 = unlimited
+};
+
+/// Per-switch shared buffer pool with Dynamic-Threshold admission.
+class SharedBufferPool {
+ public:
+  /// `alpha` scales the per-port threshold: threshold = alpha * free bytes.
+  SharedBufferPool(std::uint64_t capacity_bytes, double alpha);
+
+  /// True if a port currently holding `port_bytes` may admit `size` more.
+  bool admits(std::uint64_t port_bytes, std::uint32_t size) const;
+
+  /// Records bytes entering / leaving the pool.
+  void on_enqueue(std::uint32_t size);
+  void on_dequeue(std::uint32_t size);
+
+  std::uint64_t used() const { return used_; }
+  std::uint64_t capacity() const { return capacity_; }
+
+ private:
+  std::uint64_t capacity_;
+  double alpha_;
+  std::uint64_t used_ = 0;
+};
+
+/// FIFO drop-tail queue with optional shared-buffer admission.
+class DropTailQueue {
+ public:
+  explicit DropTailQueue(QueueLimits limits = QueueLimits{},
+                         SharedBufferPool* pool = nullptr);
+
+  /// Attempts to enqueue; returns false (drop) when any bound is exceeded.
+  bool try_push(const Packet& pkt);
+
+  /// Removes and returns the head; nullopt when empty.
+  std::optional<Packet> pop();
+
+  bool empty() const { return packets_.empty(); }
+  std::size_t size_packets() const { return packets_.size(); }
+  std::uint64_t size_bytes() const { return bytes_; }
+  const QueueLimits& limits() const { return limits_; }
+
+ private:
+  QueueLimits limits_;
+  SharedBufferPool* pool_;  // not owned; may be null
+  std::deque<Packet> packets_;
+  std::uint64_t bytes_ = 0;
+};
+
+}  // namespace mmptcp

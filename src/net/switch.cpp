@@ -1,0 +1,38 @@
+#include "net/switch.h"
+
+namespace mmptcp {
+
+namespace {
+std::uint64_t salt_for(NodeId id) {
+  // splitmix64 of the node id: stable across runs, distinct across switches.
+  std::uint64_t z = static_cast<std::uint64_t>(id) + 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+}  // namespace
+
+Switch::Switch(Simulation& sim, NodeId id, std::string name)
+    : Node(sim, id, std::move(name)), salt_(salt_for(id)) {}
+
+void Switch::set_router(std::unique_ptr<Router> router) {
+  check(router != nullptr, "router cannot be null");
+  router_ = std::move(router);
+}
+
+void Switch::enable_shared_buffer(std::uint64_t capacity_bytes, double alpha) {
+  check(port_count() == 0, "enable shared buffer before adding ports");
+  pool_ = std::make_unique<SharedBufferPool>(capacity_bytes, alpha);
+}
+
+void Switch::receive(Packet pkt, std::size_t /*in_port*/) {
+  check(router_ != nullptr, "switch has no router installed");
+  const std::size_t out = router_->route(*this, pkt);
+  if (out >= port_count()) {
+    ++unroutable_;
+    return;
+  }
+  port(out).enqueue(pkt);
+}
+
+}  // namespace mmptcp

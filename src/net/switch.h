@@ -1,0 +1,56 @@
+#pragma once
+
+// Output-queued switch with pluggable routing.
+//
+// The Router strategy returns the egress port index for a packet; ECMP
+// choice happens inside the router (it sees the whole packet, including the
+// per-packet randomised source port that packet scatter relies on).
+// Optionally the switch models a shared-memory buffer: all its ports draw
+// from one SharedBufferPool, reproducing the buffer-pressure coupling the
+// paper attributes to commodity shared-memory switches.
+
+#include <memory>
+
+#include "net/node.h"
+#include "net/queue.h"
+
+namespace mmptcp {
+
+class Switch;
+
+/// Routing strategy: maps a packet to an egress port of `sw`.
+class Router {
+ public:
+  virtual ~Router() = default;
+  virtual std::size_t route(const Switch& sw, const Packet& pkt) const = 0;
+};
+
+/// A switch forwarding packets according to its Router.
+class Switch : public Node {
+ public:
+  Switch(Simulation& sim, NodeId id, std::string name);
+
+  /// Installs the routing strategy (must happen before traffic flows).
+  void set_router(std::unique_ptr<Router> router);
+
+  /// Enables the shared-memory buffer model for all ports added afterwards.
+  void enable_shared_buffer(std::uint64_t capacity_bytes, double alpha);
+
+  SharedBufferPool* shared_buffer() { return pool_.get(); }
+
+  /// Per-switch ECMP hash salt (derived deterministically from the node id).
+  std::uint64_t salt() const { return salt_; }
+
+  void receive(Packet pkt, std::size_t in_port) override;
+
+  /// Packets that arrived with no route (counted, then dropped).
+  std::uint64_t unroutable() const { return unroutable_; }
+
+ private:
+  std::unique_ptr<Router> router_;
+  std::unique_ptr<SharedBufferPool> pool_;
+  std::uint64_t salt_;
+  std::uint64_t unroutable_ = 0;
+};
+
+}  // namespace mmptcp

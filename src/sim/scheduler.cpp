@@ -1,0 +1,90 @@
+#include "sim/scheduler.h"
+
+#include <algorithm>
+
+namespace mmptcp {
+
+EventId Scheduler::schedule(Time delay, Callback cb) {
+  check(!delay.is_negative(), "cannot schedule into the past");
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+EventId Scheduler::schedule_at(Time at, Callback cb) {
+  check(at >= now_, "cannot schedule before the current time");
+  check(static_cast<bool>(cb), "cannot schedule an empty callback");
+  const std::uint64_t id = next_id_++;
+  heap_.push_back(Entry{at, next_seq_++, id, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), later);
+  return EventId{id};
+}
+
+void Scheduler::cancel(EventId id) {
+  if (!id.valid()) return;
+  // Only mark ids that could still be pending; stale ids are ignored.
+  if (id.value < next_id_) cancelled_.insert(id.value);
+}
+
+bool Scheduler::pop_next(Entry& out) {
+  while (!heap_.empty()) {
+    std::pop_heap(heap_.begin(), heap_.end(), later);
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    const auto it = cancelled_.find(e.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      continue;
+    }
+    out = std::move(e);
+    return true;
+  }
+  return false;
+}
+
+std::uint64_t Scheduler::run_until(Time until) {
+  std::uint64_t ran = 0;
+  stop_requested_ = false;
+  Entry e;
+  while (!heap_.empty()) {
+    // Peek: the top may be cancelled, so pop through pop_next and push back
+    // if it is beyond the horizon.
+    if (!pop_next(e)) break;
+    if (e.at > until) {
+      // Past the horizon: reinsert and stop.
+      heap_.push_back(std::move(e));
+      std::push_heap(heap_.begin(), heap_.end(), later);
+      break;
+    }
+    now_ = e.at;
+    e.cb();
+    ++executed_;
+    ++ran;
+    if (stop_requested_) break;
+  }
+  if (now_ < until && !stop_requested_) now_ = until;
+  return ran;
+}
+
+std::uint64_t Scheduler::run() {
+  std::uint64_t ran = 0;
+  stop_requested_ = false;
+  Entry e;
+  while (pop_next(e)) {
+    now_ = e.at;
+    e.cb();
+    ++executed_;
+    ++ran;
+    if (stop_requested_) break;
+  }
+  return ran;
+}
+
+bool Scheduler::step() {
+  Entry e;
+  if (!pop_next(e)) return false;
+  now_ = e.at;
+  e.cb();
+  ++executed_;
+  return true;
+}
+
+}  // namespace mmptcp

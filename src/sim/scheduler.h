@@ -1,0 +1,92 @@
+#pragma once
+
+// Discrete-event scheduler.
+//
+// Events are closures ordered by (time, insertion sequence); the sequence
+// tie-break makes same-timestamp execution FIFO and therefore runs fully
+// deterministic.  The heap is a std::vector managed with push_heap /
+// pop_heap so callbacks can be moved out on pop.  Cancellation is lazy:
+// cancelled ids go into a hash set and are skipped at pop time.
+
+#include <cstdint>
+#include <functional>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/check.h"
+
+namespace mmptcp {
+
+/// Opaque handle to a scheduled event (0 is never a valid id).
+struct EventId {
+  std::uint64_t value = 0;
+  bool valid() const { return value != 0; }
+};
+
+/// Binary-heap discrete-event queue with deterministic ordering.
+class Scheduler {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Current simulated time.
+  Time now() const { return now_; }
+
+  /// Schedules `cb` to run `delay` from now. Negative delays are rejected.
+  EventId schedule(Time delay, Callback cb);
+
+  /// Schedules `cb` at absolute time `at` (must be >= now()).
+  EventId schedule_at(Time at, Callback cb);
+
+  /// Cancels a pending event; cancelling an already-run or already-cancelled
+  /// event is a harmless no-op.
+  void cancel(EventId id);
+
+  /// Runs events with timestamp <= `until`; returns the number executed.
+  /// The clock ends at `until` (or later if an executed event advanced it).
+  std::uint64_t run_until(Time until);
+
+  /// Runs until the queue drains completely.
+  std::uint64_t run();
+
+  /// Runs at most one event; returns false when the queue is empty.
+  bool step();
+
+  /// Requests that run()/run_until() return after the current event.
+  void stop() { stop_requested_ = true; }
+
+  /// Number of live (non-cancelled) pending events.  Cancelling an id
+  /// that already executed leaves a stale tombstone until the queue
+  /// drains, so this is clamped rather than allowed to underflow.
+  std::size_t pending() const {
+    return heap_.size() > cancelled_.size() ? heap_.size() - cancelled_.size()
+                                            : 0;
+  }
+  std::uint64_t executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq = 0;
+    std::uint64_t id = 0;
+    Callback cb;
+  };
+  // Min-heap ordering: earliest time first, then insertion order.
+  static bool later(const Entry& a, const Entry& b) {
+    if (a.at != b.at) return a.at > b.at;
+    return a.seq > b.seq;
+  }
+
+  /// Pops the next live entry into `out`; false if the queue is empty.
+  bool pop_next(Entry& out);
+
+  std::vector<Entry> heap_;
+  std::unordered_set<std::uint64_t> cancelled_;
+  Time now_;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,42 @@
+#pragma once
+
+// Simulation context: the bundle of cross-cutting services (event queue,
+// deterministic randomness, logging) that every component needs.  Passed by
+// reference — there are no globals, so multiple simulations can coexist in
+// one process (the tests rely on this).
+
+#include <cstdint>
+
+#include "sim/scheduler.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace mmptcp {
+
+/// Owns the scheduler and the master RNG for one simulation run.
+class Simulation {
+ public:
+  explicit Simulation(std::uint64_t seed = 1, Logger logger = Logger())
+      : rng_(seed), logger_(std::move(logger)) {}
+
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  Scheduler& scheduler() { return scheduler_; }
+  const Scheduler& scheduler() const { return scheduler_; }
+
+  Time now() const { return scheduler_.now(); }
+
+  /// Master RNG; components should fork their own stream from it once at
+  /// construction so later draws do not perturb unrelated components.
+  Rng& rng() { return rng_; }
+
+  const Logger& logger() const { return logger_; }
+
+ private:
+  Scheduler scheduler_;
+  Rng rng_;
+  Logger logger_;
+};
+
+}  // namespace mmptcp

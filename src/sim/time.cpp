@@ -1,0 +1,39 @@
+#include "sim/time.h"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+Time Time::from_seconds(double s) {
+  return Time(static_cast<std::int64_t>(std::llround(s * 1e9)));
+}
+
+std::string Time::to_string() const {
+  std::ostringstream os;
+  const double a = std::abs(static_cast<double>(ns_));
+  os.precision(4);
+  if (a >= 1e9) {
+    os << to_seconds() << "s";
+  } else if (a >= 1e6) {
+    os << to_millis() << "ms";
+  } else if (a >= 1e3) {
+    os << to_micros() << "us";
+  } else {
+    os << ns_ << "ns";
+  }
+  return os.str();
+}
+
+Time transmission_time(std::uint64_t bytes, std::uint64_t bits_per_sec) {
+  check(bits_per_sec > 0, "link rate must be positive");
+  // ns = bits * 1e9 / rate, computed in __int128 to avoid overflow and
+  // rounded up so a transmission never takes zero time.
+  const unsigned __int128 bits = static_cast<unsigned __int128>(bytes) * 8;
+  const unsigned __int128 num = bits * 1000000000u + (bits_per_sec - 1);
+  return Time::nanos(static_cast<std::int64_t>(num / bits_per_sec));
+}
+
+}  // namespace mmptcp

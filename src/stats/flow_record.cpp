@@ -1,0 +1,15 @@
+#include "stats/flow_record.h"
+
+namespace mmptcp {
+
+std::string to_string(Protocol p) {
+  switch (p) {
+    case Protocol::kTcp: return "TCP";
+    case Protocol::kMptcp: return "MPTCP";
+    case Protocol::kPacketScatter: return "PS";
+    case Protocol::kMmptcp: return "MMPTCP";
+  }
+  return "?";
+}
+
+}  // namespace mmptcp

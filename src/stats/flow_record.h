@@ -1,0 +1,56 @@
+#pragma once
+
+// Per-flow bookkeeping shared by all transports.
+//
+// Completion is recorded when the *receiver* has the whole byte stream
+// (matching how flow completion time is normally measured in datacenter
+// transport papers); RTO / retransmission counters are incremented by the
+// sender-side machinery.
+
+#include <cstdint>
+#include <string>
+
+#include "net/address.h"
+#include "sim/time.h"
+
+namespace mmptcp {
+
+/// Transport protocol of a flow, as selected by the TransportFactory.
+enum class Protocol : std::uint8_t {
+  kTcp,            ///< single-path TCP NewReno
+  kMptcp,          ///< MPTCP with N subflows from the start
+  kPacketScatter,  ///< MMPTCP that never leaves the PS phase (baseline)
+  kMmptcp,         ///< the paper's hybrid: PS phase then MPTCP phase
+};
+
+std::string to_string(Protocol p);
+
+/// Everything we track about one flow.
+struct FlowRecord {
+  std::uint32_t flow_id = 0;
+  Protocol protocol = Protocol::kTcp;
+  Addr src;
+  Addr dst;
+  std::uint64_t request_bytes = 0;  ///< 0 = unbounded (long background flow)
+  bool long_flow = false;
+
+  Time start;                        ///< client initiated the connection
+  Time completed_at = Time::max();   ///< receiver held all bytes
+  std::uint64_t delivered_bytes = 0; ///< receiver-side in-order bytes
+
+  std::uint32_t rto_count = 0;
+  std::uint32_t fast_retransmits = 0;
+  std::uint32_t spurious_retransmits = 0;
+  std::uint32_t syn_timeouts = 0;
+  std::uint32_t packets_sent = 0;     ///< data segments (incl. rtx)
+  std::uint32_t subflows_used = 0;    ///< subflows that carried data
+  Time phase_switch_at = Time::max(); ///< MMPTCP PS->MPTCP switch
+
+  bool is_complete() const { return completed_at != Time::max(); }
+  bool switched_phase() const { return phase_switch_at != Time::max(); }
+
+  /// Flow completion time; only meaningful when is_complete().
+  Time fct() const { return completed_at - start; }
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,28 @@
+#include "stats/link_stats.h"
+
+namespace mmptcp {
+
+double LayerStats::utilization(Time duration) const {
+  const double secs = duration.to_seconds();
+  if (secs <= 0.0 || capacity_bps_sum == 0) return 0.0;
+  return static_cast<double>(tx_bytes) * 8.0 /
+         (static_cast<double>(capacity_bps_sum) * secs);
+}
+
+std::map<LinkLayer, LayerStats> collect_layer_stats(const Network& net) {
+  std::map<LinkLayer, LayerStats> out;
+  net.for_each_port([&out](const Node& /*node*/, const Port& port) {
+    LayerStats& s = out[port.layer()];
+    const PortCounters& c = port.counters();
+    s.offered_packets += c.enqueued_packets + c.dropped_packets;
+    s.enqueued_packets += c.enqueued_packets;
+    s.tx_packets += c.tx_packets;
+    s.tx_bytes += c.tx_bytes;
+    s.dropped_packets += c.dropped_packets;
+    s.port_count += 1;
+    s.capacity_bps_sum += port.rate_bps();
+  });
+  return out;
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,40 @@
+#pragma once
+
+// Per-layer link statistics, aggregated from port counters.
+//
+// The paper reports "average loss rate at the core and aggregation
+// layers"; these helpers classify every egress port by the layer tag its
+// link was built with and aggregate drops, transmissions and utilisation.
+
+#include <map>
+
+#include "topo/network.h"
+
+namespace mmptcp {
+
+/// Aggregated counters for one layer of the hierarchy.
+struct LayerStats {
+  std::uint64_t offered_packets = 0;  ///< enqueued + dropped
+  std::uint64_t enqueued_packets = 0;
+  std::uint64_t tx_packets = 0;
+  std::uint64_t tx_bytes = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t port_count = 0;
+  std::uint64_t capacity_bps_sum = 0;
+
+  /// Fraction of offered packets that were dropped at this layer.
+  double loss_rate() const {
+    return offered_packets == 0
+               ? 0.0
+               : static_cast<double>(dropped_packets) /
+                     static_cast<double>(offered_packets);
+  }
+
+  /// Fraction of this layer's capacity carried over `duration`.
+  double utilization(Time duration) const;
+};
+
+/// Walks every port of `net` and aggregates by LinkLayer.
+std::map<LinkLayer, LayerStats> collect_layer_stats(const Network& net);
+
+}  // namespace mmptcp

@@ -1,0 +1,122 @@
+#include "stats/metrics.h"
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+FlowRecord& Metrics::on_flow_started(Protocol proto, Addr src, Addr dst,
+                                     std::uint64_t request_bytes,
+                                     bool long_flow, Time now) {
+  FlowRecord rec;
+  rec.flow_id = static_cast<std::uint32_t>(flows_.size());
+  rec.protocol = proto;
+  rec.src = src;
+  rec.dst = dst;
+  rec.request_bytes = request_bytes;
+  rec.long_flow = long_flow;
+  rec.start = now;
+  flows_.push_back(rec);
+  return flows_.back();
+}
+
+FlowRecord& Metrics::record(std::uint32_t flow_id) {
+  check(flow_id < flows_.size(), "unknown flow id");
+  return flows_[flow_id];
+}
+
+const FlowRecord& Metrics::record(std::uint32_t flow_id) const {
+  check(flow_id < flows_.size(), "unknown flow id");
+  return flows_[flow_id];
+}
+
+void Metrics::on_delivered(std::uint32_t flow_id, std::uint64_t bytes) {
+  record(flow_id).delivered_bytes += bytes;
+}
+
+void Metrics::on_flow_completed(std::uint32_t flow_id, Time now) {
+  FlowRecord& rec = record(flow_id);
+  check(!rec.is_complete(), "flow completed twice");
+  rec.completed_at = now;
+}
+
+void Metrics::on_rto(std::uint32_t flow_id) { ++record(flow_id).rto_count; }
+
+void Metrics::on_fast_retransmit(std::uint32_t flow_id) {
+  ++record(flow_id).fast_retransmits;
+}
+
+void Metrics::on_spurious_retransmit(std::uint32_t flow_id) {
+  ++record(flow_id).spurious_retransmits;
+}
+
+void Metrics::on_syn_timeout(std::uint32_t flow_id) {
+  ++record(flow_id).syn_timeouts;
+}
+
+void Metrics::on_data_packet_sent(std::uint32_t flow_id) {
+  ++record(flow_id).packets_sent;
+}
+
+void Metrics::on_phase_switch(std::uint32_t flow_id, Time now) {
+  FlowRecord& rec = record(flow_id);
+  check(!rec.switched_phase(), "flow switched phase twice");
+  rec.phase_switch_at = now;
+}
+
+void Metrics::on_subflow_used(std::uint32_t flow_id) {
+  ++record(flow_id).subflows_used;
+}
+
+std::vector<const FlowRecord*> Metrics::flows(
+    const std::function<bool(const FlowRecord&)>& pred) const {
+  std::vector<const FlowRecord*> out;
+  for (const auto& rec : flows_) {
+    if (!pred || pred(rec)) out.push_back(&rec);
+  }
+  return out;
+}
+
+Summary Metrics::short_flow_fct_ms(Protocol proto) const {
+  Summary s;
+  for (const auto& rec : flows_) {
+    if (!rec.long_flow && rec.protocol == proto && rec.is_complete()) {
+      s.add(rec.fct().to_millis());
+    }
+  }
+  return s;
+}
+
+Summary Metrics::long_flow_goodput_mbps(Protocol proto, Time now) const {
+  Summary s;
+  for (const auto& rec : flows_) {
+    if (!rec.long_flow || rec.protocol != proto) continue;
+    const Time end = rec.is_complete() ? rec.completed_at : now;
+    const double secs = (end - rec.start).to_seconds();
+    if (secs <= 0) continue;
+    s.add(static_cast<double>(rec.delivered_bytes) * 8.0 / 1e6 / secs);
+  }
+  return s;
+}
+
+double Metrics::short_flow_completion_ratio(Protocol proto) const {
+  std::uint64_t total = 0, done = 0;
+  for (const auto& rec : flows_) {
+    if (rec.long_flow || rec.protocol != proto) continue;
+    ++total;
+    if (rec.is_complete()) ++done;
+  }
+  return total == 0 ? 1.0
+                    : static_cast<double>(done) / static_cast<double>(total);
+}
+
+std::uint64_t Metrics::total(
+    const std::function<std::uint64_t(const FlowRecord&)>& field,
+    const std::function<bool(const FlowRecord&)>& pred) const {
+  std::uint64_t sum = 0;
+  for (const auto& rec : flows_) {
+    if (!pred || pred(rec)) sum += field(rec);
+  }
+  return sum;
+}
+
+}  // namespace mmptcp

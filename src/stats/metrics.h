@@ -1,0 +1,66 @@
+#pragma once
+
+// Metrics registry: one per simulation run.
+//
+// Transports report events against a flow id; benches and tests query
+// summaries.  Flow ids are dense indices into a deque so records have
+// stable addresses and O(1) lookup.
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "stats/flow_record.h"
+#include "util/summary.h"
+
+namespace mmptcp {
+
+/// Collects flow records and protocol event counters for one run.
+class Metrics {
+ public:
+  /// Registers a new flow and returns its record (flow_id assigned).
+  FlowRecord& on_flow_started(Protocol proto, Addr src, Addr dst,
+                              std::uint64_t request_bytes, bool long_flow,
+                              Time now);
+
+  FlowRecord& record(std::uint32_t flow_id);
+  const FlowRecord& record(std::uint32_t flow_id) const;
+
+  /// Receiver-side events.
+  void on_delivered(std::uint32_t flow_id, std::uint64_t bytes);
+  void on_flow_completed(std::uint32_t flow_id, Time now);
+
+  /// Sender-side events.
+  void on_rto(std::uint32_t flow_id);
+  void on_fast_retransmit(std::uint32_t flow_id);
+  void on_spurious_retransmit(std::uint32_t flow_id);
+  void on_syn_timeout(std::uint32_t flow_id);
+  void on_data_packet_sent(std::uint32_t flow_id);
+  void on_phase_switch(std::uint32_t flow_id, Time now);
+  void on_subflow_used(std::uint32_t flow_id);
+
+  std::size_t flow_count() const { return flows_.size(); }
+
+  /// All records matching `pred` (nullptr = all).
+  std::vector<const FlowRecord*> flows(
+      const std::function<bool(const FlowRecord&)>& pred = nullptr) const;
+
+  /// FCTs (milliseconds) of completed short flows of `proto`.
+  Summary short_flow_fct_ms(Protocol proto) const;
+
+  /// Goodput (Mbit/s) of long flows of `proto`, measured to `now`.
+  Summary long_flow_goodput_mbps(Protocol proto, Time now) const;
+
+  /// Completed short flows / total short flows for `proto`.
+  double short_flow_completion_ratio(Protocol proto) const;
+
+  /// Sum of a counter over flows matching `pred`.
+  std::uint64_t total(
+      const std::function<std::uint64_t(const FlowRecord&)>& field,
+      const std::function<bool(const FlowRecord&)>& pred = nullptr) const;
+
+ private:
+  std::deque<FlowRecord> flows_;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,57 @@
+#include "tcp/congestion.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+CongestionControl::CongestionControl(std::uint32_t mss,
+                                     std::uint32_t initial_cwnd_segments)
+    : mss_(mss), cwnd_(std::uint64_t(mss) * initial_cwnd_segments),
+      ssthresh_(std::uint64_t(1) << 62) {
+  check(mss > 0, "MSS must be positive");
+  check(initial_cwnd_segments > 0, "initial cwnd must be at least 1 segment");
+}
+
+void CongestionControl::on_ack(std::uint64_t acked) {
+  if (in_slow_start()) {
+    // RFC 5681 ABC: grow by min(acked, MSS) per ACK.
+    cwnd_ += std::min<std::uint64_t>(acked, mss_);
+  } else {
+    congestion_avoidance_increase(acked);
+  }
+}
+
+void CongestionControl::congestion_avoidance_increase(std::uint64_t acked) {
+  // Approximately one MSS per RTT: MSS * MSS / cwnd per MSS acked.
+  const std::uint64_t inc = std::uint64_t(mss_) * mss_ * acked /
+                            (cwnd_ * std::max<std::uint64_t>(mss_, 1));
+  cwnd_ += std::max<std::uint64_t>(inc, 1);
+}
+
+void CongestionControl::enter_recovery(std::uint64_t flight) {
+  ssthresh_ = std::max<std::uint64_t>(flight / 2, 2 * std::uint64_t(mss_));
+  cwnd_ = ssthresh_ + 3 * std::uint64_t(mss_);
+}
+
+void CongestionControl::partial_ack(std::uint64_t acked) {
+  // Deflate by the amount acked (but keep at least one MSS), then add one
+  // MSS back for the retransmitted segment leaving the network.
+  const std::uint64_t room = cwnd_ > mss_ ? cwnd_ - mss_ : 0;
+  cwnd_ -= std::min(acked, room);
+  cwnd_ += mss_;
+}
+
+void CongestionControl::undo_after_spurious(std::uint64_t prior_cwnd,
+                                            std::uint64_t prior_ssthresh) {
+  cwnd_ = std::max<std::uint64_t>(prior_cwnd, mss_);
+  ssthresh_ = std::max<std::uint64_t>(prior_ssthresh, 2 * std::uint64_t(mss_));
+}
+
+void CongestionControl::on_rto(std::uint64_t flight) {
+  ssthresh_ = std::max<std::uint64_t>(flight / 2, 2 * std::uint64_t(mss_));
+  cwnd_ = mss_;
+}
+
+}  // namespace mmptcp

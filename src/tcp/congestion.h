@@ -1,0 +1,72 @@
+#pragma once
+
+// Congestion control.
+//
+// The socket owns the NewReno recovery *mechanics* (dup-ACK counting,
+// recover point, partial ACKs); the CongestionControl object owns the
+// *window arithmetic*.  MPTCP's LIA plugs in by overriding the congestion
+// avoidance increase only — slow start and loss responses are per-subflow,
+// exactly as RFC 6356 specifies.
+
+#include <cstdint>
+
+#include "sim/time.h"
+
+namespace mmptcp {
+
+/// Window arithmetic for one (sub)flow.  All quantities in bytes.
+class CongestionControl {
+ public:
+  CongestionControl(std::uint32_t mss, std::uint32_t initial_cwnd_segments);
+  virtual ~CongestionControl() = default;
+
+  std::uint64_t cwnd() const { return cwnd_; }
+  std::uint64_t ssthresh() const { return ssthresh_; }
+  std::uint32_t mss() const { return mss_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+  /// New cumulative ACK of `acked` bytes in normal (non-recovery) state.
+  void on_ack(std::uint64_t acked);
+
+  /// Entering fast recovery: ssthresh = max(flight/2, 2*MSS),
+  /// cwnd = ssthresh + 3*MSS (RFC 6582).
+  void enter_recovery(std::uint64_t flight);
+
+  /// A further dup-ACK while in recovery inflates the window by one MSS.
+  void dupack_inflate() { cwnd_ += mss_; }
+
+  /// Partial ACK in recovery: deflate by the amount acked, add back one
+  /// MSS, never below one MSS (RFC 6582 step 5).
+  void partial_ack(std::uint64_t acked);
+
+  /// Full ACK ends recovery: cwnd collapses to ssthresh.
+  void exit_recovery() { cwnd_ = ssthresh_; }
+
+  /// Retransmission timeout: ssthresh = max(flight/2, 2*MSS), cwnd = 1 MSS.
+  void on_rto(std::uint64_t flight);
+
+  /// RR-TCP style undo: a DSACK proved the loss inference wrong, so the
+  /// window reduction is reverted to the saved pre-recovery state.
+  void undo_after_spurious(std::uint64_t prior_cwnd,
+                           std::uint64_t prior_ssthresh);
+
+ protected:
+  /// Congestion-avoidance increase for `acked` bytes (NewReno default:
+  /// one MSS per window, i.e. cwnd += MSS*acked/cwnd per ACK).
+  virtual void congestion_avoidance_increase(std::uint64_t acked);
+
+  void set_cwnd(std::uint64_t cwnd) { cwnd_ = cwnd; }
+
+ private:
+  std::uint32_t mss_;
+  std::uint64_t cwnd_;
+  std::uint64_t ssthresh_;
+};
+
+/// Plain NewReno (used by single-path TCP and the packet-scatter phase).
+class NewRenoCc final : public CongestionControl {
+ public:
+  using CongestionControl::CongestionControl;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,44 @@
+#include "tcp/dupack_policy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+DupAckPolicy::DupAckPolicy(DupAckConfig config, std::uint32_t path_count)
+    : config_(config) {
+  check(config_.min_threshold >= 1, "min dup-ACK threshold must be >= 1");
+  check(config_.max_threshold >= config_.min_threshold,
+        "max dup-ACK threshold below min");
+  switch (config_.kind) {
+    case DupAckPolicyKind::kStatic:
+      threshold_ = clamp(config_.static_threshold);
+      break;
+    case DupAckPolicyKind::kTopologyAware:
+      threshold_ = clamp(static_cast<std::uint64_t>(
+          std::ceil(config_.beta * static_cast<double>(path_count))));
+      break;
+    case DupAckPolicyKind::kAdaptive:
+      threshold_ = config_.min_threshold;
+      break;
+  }
+}
+
+std::uint32_t DupAckPolicy::clamp(std::uint64_t v) const {
+  return static_cast<std::uint32_t>(std::clamp<std::uint64_t>(
+      v, config_.min_threshold, config_.max_threshold));
+}
+
+void DupAckPolicy::on_spurious_retransmit() {
+  if (config_.kind != DupAckPolicyKind::kAdaptive) return;
+  threshold_ = clamp(std::uint64_t(threshold_) + config_.adaptive_step);
+}
+
+void DupAckPolicy::on_rto() {
+  if (config_.kind != DupAckPolicyKind::kAdaptive) return;
+  threshold_ = clamp(threshold_ / 2);
+}
+
+}  // namespace mmptcp

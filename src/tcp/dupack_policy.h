@@ -1,0 +1,60 @@
+#pragma once
+
+// Duplicate-ACK threshold policies — the paper's two proposals for making
+// the packet-scatter phase robust to reordering (§2 "PS Phase"):
+//
+//  * kStatic          — classic TCP: three dup-ACKs (used by the baselines).
+//  * kTopologyAware   — proposal (1): derive the threshold from the number
+//                       of equal-cost paths between the endpoints, computed
+//                       from the FatTree addressing scheme.
+//  * kAdaptive        — proposal (2), RR-TCP style: start at 3 and raise
+//                       the threshold whenever a retransmission is proven
+//                       spurious by a DSACK-style duplicate notification;
+//                       decay multiplicatively on RTO so the threshold can
+//                       recover if paths become genuinely lossy.
+
+#include <cstdint>
+
+namespace mmptcp {
+
+enum class DupAckPolicyKind : std::uint8_t {
+  kStatic,
+  kTopologyAware,
+  kAdaptive,
+};
+
+/// Configuration for the dup-ACK threshold policy of one (sub)flow.
+struct DupAckConfig {
+  DupAckPolicyKind kind = DupAckPolicyKind::kStatic;
+  std::uint32_t static_threshold = 3;
+  /// kTopologyAware: threshold = clamp(ceil(beta * path_count)).
+  double beta = 1.0;
+  /// kAdaptive: additive increase per detected spurious retransmission.
+  std::uint32_t adaptive_step = 2;
+  std::uint32_t min_threshold = 3;
+  std::uint32_t max_threshold = 90;
+};
+
+/// Stateful threshold tracker owned by each sending (sub)flow.
+class DupAckPolicy {
+ public:
+  /// `path_count` is the equal-cost path count to the peer (only used by
+  /// kTopologyAware; pass 0 when unknown, which falls back to the minimum).
+  DupAckPolicy(DupAckConfig config, std::uint32_t path_count);
+
+  std::uint32_t threshold() const { return threshold_; }
+
+  /// A retransmission was proven spurious (DSACK-equivalent arrived).
+  void on_spurious_retransmit();
+
+  /// A retransmission timeout fired (adaptive policy decays).
+  void on_rto();
+
+ private:
+  std::uint32_t clamp(std::uint64_t v) const;
+
+  DupAckConfig config_;
+  std::uint32_t threshold_;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,29 @@
+#include "tcp/rtt_estimator.h"
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+void RttEstimator::add_sample(Time rtt) {
+  check(!rtt.is_negative(), "RTT sample cannot be negative");
+  if (samples_ == 0) {
+    srtt_ = rtt;
+    rttvar_ = Time::nanos(rtt.ns() / 2);
+  } else {
+    const Time err = Time::nanos(std::abs((srtt_ - rtt).ns()));
+    // RTTVAR = 3/4 RTTVAR + 1/4 |SRTT - R|; SRTT = 7/8 SRTT + 1/8 R.
+    rttvar_ = Time::nanos((3 * rttvar_.ns() + err.ns()) / 4);
+    srtt_ = Time::nanos((7 * srtt_.ns() + rtt.ns()) / 8);
+  }
+  ++samples_;
+}
+
+Time RttEstimator::rto() const {
+  if (samples_ == 0) return config_.initial_rto;
+  Time rto = srtt_ + 4 * rttvar_;
+  if (rto < config_.min_rto) rto = config_.min_rto;
+  if (rto > config_.max_rto) rto = config_.max_rto;
+  return rto;
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,44 @@
+#pragma once
+
+// RFC 6298 RTT estimation and retransmission timeout computation.
+//
+// SRTT / RTTVAR smoothing with the standard gains (alpha = 1/8,
+// beta = 1/4), RTO = SRTT + 4 * RTTVAR clamped into [min_rto, max_rto].
+// Karn's algorithm (never sample retransmitted segments) is enforced by
+// the socket, which owns the "timed segment" bookkeeping.
+
+#include "sim/time.h"
+
+namespace mmptcp {
+
+/// Bounds and defaults for the retransmission timer.
+struct RtoConfig {
+  Time min_rto = Time::seconds(1);     ///< ns-3-era default (RFC 6298 floor)
+  Time initial_rto = Time::seconds(1); ///< before the first RTT sample
+  Time max_rto = Time::seconds(60);
+};
+
+/// Smoothed RTT estimator producing the base (un-backed-off) RTO.
+class RttEstimator {
+ public:
+  explicit RttEstimator(RtoConfig config) : config_(config) {}
+
+  /// Feeds one RTT measurement (must be non-negative).
+  void add_sample(Time rtt);
+
+  bool has_sample() const { return samples_ > 0; }
+  Time srtt() const { return srtt_; }
+  Time rttvar() const { return rttvar_; }
+  std::uint64_t samples() const { return samples_; }
+
+  /// Base RTO: initial_rto before any sample, else clamped SRTT + 4*RTTVAR.
+  Time rto() const;
+
+ private:
+  RtoConfig config_;
+  Time srtt_;
+  Time rttvar_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace mmptcp

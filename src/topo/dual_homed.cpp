@@ -1,0 +1,176 @@
+#include "topo/dual_homed.h"
+
+#include "net/ecmp.h"
+
+namespace mmptcp {
+
+namespace {
+
+class DhEdgeRouter final : public Router {
+ public:
+  DhEdgeRouter(std::uint32_t pod, std::uint32_t pair, std::uint32_t uplinks,
+               std::uint32_t hosts)
+      : pod_(pod), pair_(pair), uplinks_(uplinks), hosts_(hosts) {}
+
+  std::size_t route(const Switch& sw, const Packet& pkt) const override {
+    if (!FatTreeAddr::is_host(pkt.dst)) return sw.port_count();
+    if (FatTreeAddr::pod(pkt.dst) == pod_ &&
+        FatTreeAddr::edge(pkt.dst) == pair_) {
+      const std::uint32_t h = FatTreeAddr::host_index(pkt.dst);
+      return h < hosts_ ? h : sw.port_count();
+    }
+    return hosts_ + ecmp_select(sw.salt(), pkt.src, pkt.dst, pkt.sport,
+                                pkt.dport, uplinks_);
+  }
+
+ private:
+  std::uint32_t pod_, pair_, uplinks_, hosts_;
+};
+
+class DhAggRouter final : public Router {
+ public:
+  DhAggRouter(std::uint32_t pod, std::uint32_t half_k, std::uint32_t pairs)
+      : pod_(pod), half_k_(half_k), pairs_(pairs) {}
+
+  std::size_t route(const Switch& sw, const Packet& pkt) const override {
+    if (!FatTreeAddr::is_host(pkt.dst)) return sw.port_count();
+    if (FatTreeAddr::pod(pkt.dst) == pod_) {
+      const std::uint32_t g = FatTreeAddr::edge(pkt.dst);  // pair index
+      if (g >= pairs_) return sw.port_count();
+      // ECMP between the two members of the pair (down ports 2g, 2g+1).
+      const std::size_t member =
+          ecmp_select(sw.salt() ^ 0x00dd, pkt.src, pkt.dst, pkt.sport,
+                      pkt.dport, 2);
+      return 2 * g + member;
+    }
+    return half_k_ + ecmp_select(sw.salt(), pkt.src, pkt.dst, pkt.sport,
+                                 pkt.dport, half_k_);
+  }
+
+ private:
+  std::uint32_t pod_, half_k_, pairs_;
+};
+
+class DhCoreRouter final : public Router {
+ public:
+  explicit DhCoreRouter(std::uint32_t k) : k_(k) {}
+
+  std::size_t route(const Switch& sw, const Packet& pkt) const override {
+    if (!FatTreeAddr::is_host(pkt.dst)) return sw.port_count();
+    const std::uint32_t p = FatTreeAddr::pod(pkt.dst);
+    return p < k_ ? p : sw.port_count();
+  }
+
+ private:
+  std::uint32_t k_;
+};
+
+}  // namespace
+
+DualHomedFatTree::DualHomedFatTree(Simulation& sim, DualHomedConfig config)
+    : config_(config), net_(sim) {
+  require(config_.k >= 4 && config_.k % 4 == 0,
+          "dual-homed FatTree k must be a multiple of 4");
+  require(config_.oversubscription >= 1, "oversubscription must be >= 1");
+  require(hosts_per_pair() <= 253, "too many hosts per pair for addressing");
+
+  const std::uint32_t half = config_.k / 2;
+  const std::uint32_t pairs = pairs_per_pod();
+  const std::uint32_t hosts = hosts_per_pair();
+  const LinkSpec host_link{config_.link_rate_bps, config_.link_delay,
+                           config_.host_queue, LinkLayer::kHostEdge,
+                           config_.queue};
+  const LinkSpec agg_link{config_.link_rate_bps, config_.link_delay,
+                          config_.queue, LinkLayer::kEdgeAgg, std::nullopt};
+  const LinkSpec core_link{config_.link_rate_bps, config_.link_delay,
+                           config_.queue, LinkLayer::kAggCore, std::nullopt};
+
+  for (std::uint32_t p = 0; p < config_.k; ++p) {
+    for (std::uint32_t g = 0; g < pairs; ++g) {
+      for (std::uint32_t h = 0; h < hosts; ++h) {
+        net_.make_host("dh" + std::to_string(p) + "." + std::to_string(g) +
+                           "." + std::to_string(h),
+                       FatTreeAddr::host(p, g, h));
+      }
+    }
+  }
+
+  edge_base_ = 0;
+  for (std::uint32_t p = 0; p < config_.k; ++p) {
+    for (std::uint32_t e = 0; e < half; ++e) {
+      Switch& sw = net_.make_switch("dhedge" + std::to_string(p) + "." +
+                                    std::to_string(e));
+      sw.set_router(std::make_unique<DhEdgeRouter>(p, e / 2, half, hosts));
+    }
+  }
+  agg_base_ = net_.switch_count();
+  for (std::uint32_t p = 0; p < config_.k; ++p) {
+    for (std::uint32_t a = 0; a < half; ++a) {
+      Switch& sw = net_.make_switch("dhagg" + std::to_string(p) + "." +
+                                    std::to_string(a));
+      sw.set_router(std::make_unique<DhAggRouter>(p, half, pairs));
+    }
+  }
+  core_base_ = net_.switch_count();
+  for (std::uint32_t c = 0; c < core_count(); ++c) {
+    Switch& sw = net_.make_switch("dhcore" + std::to_string(c));
+    sw.set_router(std::make_unique<DhCoreRouter>(config_.k));
+  }
+
+  // Host <-> edge: each host connects to both members of its pair, in
+  // member order, so edge ports [0, hosts) index hosts identically on both
+  // members and each host's NIC 0 / NIC 1 go to member 0 / member 1.
+  for (std::uint32_t p = 0; p < config_.k; ++p) {
+    for (std::uint32_t g = 0; g < pairs; ++g) {
+      for (std::uint32_t m = 0; m < 2; ++m) {
+        for (std::uint32_t h = 0; h < hosts; ++h) {
+          net_.connect(net_.host(host_index(p, g, h)),
+                       edge_switch(p, 2 * g + m), host_link);
+        }
+      }
+    }
+  }
+  for (std::uint32_t p = 0; p < config_.k; ++p) {
+    for (std::uint32_t a = 0; a < half; ++a) {
+      for (std::uint32_t e = 0; e < half; ++e) {
+        net_.connect(edge_switch(p, e), agg_switch(p, a), agg_link);
+      }
+    }
+  }
+  for (std::uint32_t a = 0; a < half; ++a) {
+    for (std::uint32_t j = 0; j < half; ++j) {
+      const std::uint32_t c = a * half + j;
+      for (std::uint32_t p = 0; p < config_.k; ++p) {
+        net_.connect(agg_switch(p, a), core_switch(c), core_link);
+      }
+    }
+  }
+}
+
+std::size_t DualHomedFatTree::host_index(std::uint32_t pod, std::uint32_t pair,
+                                         std::uint32_t h) const {
+  return (std::size_t(pod) * pairs_per_pod() + pair) * hosts_per_pair() + h;
+}
+
+Switch& DualHomedFatTree::edge_switch(std::uint32_t pod, std::uint32_t e) {
+  return net_.node_switch(edge_base_ + std::size_t(pod) * edges_per_pod() + e);
+}
+
+Switch& DualHomedFatTree::agg_switch(std::uint32_t pod, std::uint32_t a) {
+  return net_.node_switch(agg_base_ + std::size_t(pod) * edges_per_pod() + a);
+}
+
+Switch& DualHomedFatTree::core_switch(std::uint32_t c) {
+  return net_.node_switch(core_base_ + c);
+}
+
+std::uint32_t DualHomedFatTree::path_count(Addr a, Addr b) const {
+  if (!FatTreeAddr::is_host(a) || !FatTreeAddr::is_host(b)) return 0;
+  if (a == b) return 0;
+  const std::uint32_t half = config_.k / 2;
+  if (FatTreeAddr::pod(a) != FatTreeAddr::pod(b)) return 4 * half * half;
+  if (FatTreeAddr::edge(a) != FatTreeAddr::edge(b)) return 2 * config_.k;
+  return 2;
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,68 @@
+#pragma once
+
+// Dual-homed FatTree — the "multi-homed network topologies" the paper's
+// roadmap singles out as well-suited to MMPTCP: every host attaches to the
+// two edge switches of a pair, doubling the parallel paths at the access
+// layer and therefore the burst tolerance of the packet-scatter phase.
+//
+// Structure: identical to FatTree above the edge layer.  Edge switches in
+// a pod are grouped into pairs (2g, 2g+1); the hosts of pair g connect to
+// *both* members.  Downward routing at aggregation switches ECMPs between
+// the two pair members; hosts spread traffic across their two NICs by
+// hashing the packet's ports (so sprayed packets use both NICs).
+//
+// Addressing: 10.pod.pair.(host+2) — the "edge" byte holds the pair index.
+
+#include "topo/fat_tree.h"
+
+namespace mmptcp {
+
+/// Dual-homed FatTree construction parameters (k must be a multiple of 4
+/// so the k/2 edges of a pod pair up evenly; hosts per pair =
+/// oversubscription * k/2).
+struct DualHomedConfig {
+  std::uint32_t k = 4;
+  std::uint32_t oversubscription = 1;
+  std::uint64_t link_rate_bps = 100'000'000;
+  Time link_delay = Time::micros(20);
+  QueueLimits queue{100, 0};
+  /// Host egress queue (see FatTreeConfig::host_queue).
+  QueueLimits host_queue{0, 0};
+};
+
+/// Builder/owner of a dual-homed FatTree network.
+class DualHomedFatTree : public PathOracle {
+ public:
+  DualHomedFatTree(Simulation& sim, DualHomedConfig config);
+
+  Network& network() { return net_; }
+  const DualHomedConfig& config() const { return config_; }
+
+  std::uint32_t pods() const { return config_.k; }
+  std::uint32_t pairs_per_pod() const { return config_.k / 4; }
+  std::uint32_t edges_per_pod() const { return config_.k / 2; }
+  std::uint32_t hosts_per_pair() const {
+    return config_.oversubscription * config_.k / 2;
+  }
+  std::uint32_t core_count() const { return (config_.k / 2) * (config_.k / 2); }
+  std::size_t host_count() const { return net_.host_count(); }
+  Host& host(std::size_t i) { return net_.host(i); }
+
+  Switch& edge_switch(std::uint32_t pod, std::uint32_t e);
+  Switch& agg_switch(std::uint32_t pod, std::uint32_t a);
+  Switch& core_switch(std::uint32_t c);
+
+  /// Equal-cost paths between host addresses: 2 (same pair), 2k (same
+  /// pod), k^2 (inter-pod: 2 src edges x (k/2)^2 x 2 dst edges).
+  std::uint32_t path_count(Addr a, Addr b) const override;
+
+ private:
+  std::size_t host_index(std::uint32_t pod, std::uint32_t pair,
+                         std::uint32_t h) const;
+
+  DualHomedConfig config_;
+  Network net_;
+  std::size_t edge_base_ = 0, agg_base_ = 0, core_base_ = 0;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,48 @@
+#include "topo/network.h"
+
+namespace mmptcp {
+
+Host& Network::make_host(std::string name, Addr addr) {
+  hosts_.push_back(
+      std::make_unique<Host>(sim_, next_id_++, std::move(name), addr));
+  return *hosts_.back();
+}
+
+Switch& Network::make_switch(std::string name) {
+  switches_.push_back(
+      std::make_unique<Switch>(sim_, next_id_++, std::move(name)));
+  return *switches_.back();
+}
+
+void Network::connect(Node& a, Node& b, const LinkSpec& spec) {
+  auto pool_of = [](Node& n) -> SharedBufferPool* {
+    if (auto* sw = dynamic_cast<Switch*>(&n)) return sw->shared_buffer();
+    return nullptr;
+  };
+  channels_.push_back(
+      std::make_unique<Channel>(sim_.scheduler(), spec.delay));
+  Channel& ab = *channels_.back();
+  channels_.push_back(
+      std::make_unique<Channel>(sim_.scheduler(), spec.delay));
+  Channel& ba = *channels_.back();
+
+  const std::size_t ap =
+      a.add_port(spec.rate_bps, spec.queue, &ab, spec.layer, pool_of(a));
+  const std::size_t bp =
+      b.add_port(spec.rate_bps, spec.queue_b.value_or(spec.queue), &ba,
+                 spec.layer, pool_of(b));
+  ab.attach_sink(&b, bp);
+  ba.attach_sink(&a, ap);
+}
+
+void Network::for_each_port(
+    const std::function<void(const Node&, const Port&)>& fn) const {
+  for (const auto& h : hosts_) {
+    for (std::size_t i = 0; i < h->port_count(); ++i) fn(*h, h->port(i));
+  }
+  for (const auto& s : switches_) {
+    for (std::size_t i = 0; i < s->port_count(); ++i) fn(*s, s->port(i));
+  }
+}
+
+}  // namespace mmptcp

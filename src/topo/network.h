@@ -1,0 +1,79 @@
+#pragma once
+
+// Network: the container that owns every node and channel of a topology.
+//
+// Topology builders (FatTree, DualHomedFatTree) create nodes through the
+// factory methods and wire them with connect(), which builds the two
+// unidirectional channels and egress ports of a full-duplex link.  Stats
+// collection walks all ports through for_each_port().
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "net/host.h"
+#include "net/switch.h"
+
+namespace mmptcp {
+
+/// Interface for topologies that can report equal-cost path counts
+/// (consumed by MMPTCP's topology-aware dup-ACK threshold).
+class PathOracle {
+ public:
+  virtual ~PathOracle() = default;
+  /// Number of equal-cost paths between two host addresses (0 if equal).
+  virtual std::uint32_t path_count(Addr a, Addr b) const = 0;
+};
+
+/// Parameters of one full-duplex link.  `queue` bounds the egress queue at
+/// endpoint `a`; `queue_b` (if set) overrides the bound at endpoint `b` —
+/// used for host<->switch links where the host side models OS
+/// backpressure (unbounded) while the switch port stays shallow.
+struct LinkSpec {
+  std::uint64_t rate_bps = 100'000'000;
+  Time delay = Time::micros(20);
+  QueueLimits queue{};
+  LinkLayer layer = LinkLayer::kOther;
+  std::optional<QueueLimits> queue_b{};
+};
+
+/// Owns nodes and channels; provides wiring and iteration.
+class Network {
+ public:
+  explicit Network(Simulation& sim) : sim_(sim) {}
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Creates a host with the given address.
+  Host& make_host(std::string name, Addr addr);
+
+  /// Creates a switch (router installed separately by the builder).
+  Switch& make_switch(std::string name);
+
+  /// Wires a full-duplex link a<->b; both directions share the spec.
+  /// If an endpoint is a switch with a shared buffer enabled, its egress
+  /// port draws from that switch's pool.
+  void connect(Node& a, Node& b, const LinkSpec& spec);
+
+  std::size_t host_count() const { return hosts_.size(); }
+  std::size_t switch_count() const { return switches_.size(); }
+  Host& host(std::size_t i) { return *hosts_.at(i); }
+  const Host& host(std::size_t i) const { return *hosts_.at(i); }
+  Switch& node_switch(std::size_t i) { return *switches_.at(i); }
+
+  /// Invokes `fn` for every egress port in the network.
+  void for_each_port(const std::function<void(const Node&, const Port&)>& fn) const;
+
+  Simulation& sim() { return sim_; }
+
+ private:
+  Simulation& sim_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::vector<std::unique_ptr<Switch>> switches_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  NodeId next_id_ = 0;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,57 @@
+#pragma once
+
+// Runtime invariant checking for the simulator.
+//
+// `check()` is used for conditions that must hold even in release builds
+// (protocol and engine invariants whose violation would silently corrupt
+// results); it throws so tests can assert on violations.  `require()` is
+// the same idea for user-supplied configuration.
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace mmptcp {
+
+/// Error thrown when an internal invariant is violated.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Error thrown when a caller supplies invalid configuration.
+class ConfigError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+namespace detail {
+[[noreturn]] inline void fail_check(std::string_view msg,
+                                    const std::source_location& loc) {
+  throw InvariantError(std::string(loc.file_name()) + ":" +
+                       std::to_string(loc.line()) + ": invariant violated: " +
+                       std::string(msg));
+}
+[[noreturn]] inline void fail_require(std::string_view msg,
+                                      const std::source_location& loc) {
+  throw ConfigError(std::string(loc.file_name()) + ":" +
+                    std::to_string(loc.line()) + ": bad configuration: " +
+                    std::string(msg));
+}
+}  // namespace detail
+
+/// Abort (by throwing InvariantError) if an internal invariant is violated.
+inline void check(bool cond, std::string_view msg,
+                  std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::fail_check(msg, loc);
+}
+
+/// Abort (by throwing ConfigError) if user-supplied configuration is invalid.
+inline void require(
+    bool cond, std::string_view msg,
+    std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::fail_require(msg, loc);
+}
+
+}  // namespace mmptcp

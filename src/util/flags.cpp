@@ -1,0 +1,120 @@
+#include "util/flags.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+namespace {
+std::vector<std::string> to_vector(int argc, const char* const* argv) {
+  std::vector<std::string> out;
+  for (int i = 1; i < argc; ++i) out.emplace_back(argv[i]);
+  return out;
+}
+}  // namespace
+
+Flags::Flags(int argc, const char* const* argv)
+    : Flags(to_vector(argc, argv)) {}
+
+Flags::Flags(std::vector<std::string> args) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0) {
+      throw ConfigError("positional arguments are not supported: " + arg);
+    }
+    std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    } else if (i + 1 < args.size() && args[i + 1].rfind("--", 0) != 0) {
+      values_[body] = args[i + 1];
+      ++i;
+    } else {
+      values_[body] = "true";
+    }
+  }
+  for (const auto& [k, _] : values_) consumed_[k] = false;
+}
+
+std::optional<std::string> Flags::raw(const std::string& name) {
+  auto it = values_.find(name);
+  if (it == values_.end()) return std::nullopt;
+  consumed_[name] = true;
+  return it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& name, std::int64_t def,
+                            const std::string& help) {
+  described_.push_back({name, std::to_string(def), help});
+  auto v = raw(name);
+  if (!v) return def;
+  try {
+    return std::stoll(*v);
+  } catch (const std::exception&) {
+    throw ConfigError("flag --" + name + " expects an integer, got '" + *v +
+                      "'");
+  }
+}
+
+double Flags::get_double(const std::string& name, double def,
+                         const std::string& help) {
+  described_.push_back({name, std::to_string(def), help});
+  auto v = raw(name);
+  if (!v) return def;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw ConfigError("flag --" + name + " expects a number, got '" + *v +
+                      "'");
+  }
+}
+
+std::string Flags::get_string(const std::string& name, std::string def,
+                              const std::string& help) {
+  described_.push_back({name, def, help});
+  auto v = raw(name);
+  return v ? *v : def;
+}
+
+bool Flags::get_bool(const std::string& name, bool def,
+                     const std::string& help) {
+  described_.push_back({name, def ? "true" : "false", help});
+  auto v = raw(name);
+  if (!v) return def;
+  if (*v == "true" || *v == "1" || *v == "yes") return true;
+  if (*v == "false" || *v == "0" || *v == "no") return false;
+  throw ConfigError("flag --" + name + " expects a boolean, got '" + *v + "'");
+}
+
+bool Flags::help_requested() const { return values_.count("help") > 0; }
+
+std::string Flags::help(const std::string& program) const {
+  std::ostringstream os;
+  os << "usage: " << program << " [flags]\n";
+  for (const auto& d : described_) {
+    os << "  --" << d.name << " (default " << d.def << ")";
+    if (!d.help.empty()) os << "  " << d.help;
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::vector<std::string> Flags::unknown() const {
+  std::vector<std::string> out;
+  for (const auto& [name, used] : consumed_) {
+    if (!used && name != "help") out.push_back(name);
+  }
+  return out;
+}
+
+void Flags::check_unknown() const {
+  const auto u = unknown();
+  if (!u.empty()) {
+    std::string msg = "unknown flag(s):";
+    for (const auto& n : u) msg += " --" + n;
+    throw ConfigError(msg);
+  }
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,59 @@
+#pragma once
+
+// Minimal command-line flag parser for examples and benchmarks.
+//
+// Accepts `--name=value`, `--name value` and boolean `--name` forms.  Every
+// flag read through get_*() is recorded with its default so `help()` can
+// print an accurate usage table.  Unknown flags are detected by
+// `check_unknown()` once all gets have been performed.
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mmptcp {
+
+/// Tiny declarative CLI flag reader (no global state).
+class Flags {
+ public:
+  Flags(int argc, const char* const* argv);
+
+  /// Construct from a pre-split list (useful in tests).
+  explicit Flags(std::vector<std::string> args);
+
+  std::int64_t get_int(const std::string& name, std::int64_t def,
+                       const std::string& help = "");
+  double get_double(const std::string& name, double def,
+                    const std::string& help = "");
+  std::string get_string(const std::string& name, std::string def,
+                         const std::string& help = "");
+  /// A bare `--name` or `--name=true` yields true.
+  bool get_bool(const std::string& name, bool def,
+                const std::string& help = "");
+
+  /// True when `--help` was passed.
+  bool help_requested() const;
+
+  /// Usage text listing every flag read so far with default and help string.
+  std::string help(const std::string& program) const;
+
+  /// Names of flags present on the command line but never read.
+  std::vector<std::string> unknown() const;
+
+  /// Throws ConfigError if any unread flags remain (call after all gets).
+  void check_unknown() const;
+
+ private:
+  std::optional<std::string> raw(const std::string& name);
+
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  struct Described {
+    std::string name, def, help;
+  };
+  std::vector<Described> described_;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,123 @@
+#include "util/interval_set.h"
+
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+std::uint64_t IntervalSet::insert(std::uint64_t lo, std::uint64_t hi) {
+  check(lo <= hi, "IntervalSet::insert requires lo <= hi");
+  if (lo == hi) return 0;
+
+  std::uint64_t new_lo = lo;
+  std::uint64_t new_hi = hi;
+  std::uint64_t added = hi - lo;
+
+  // Find the first interval whose lo could interact: start from the
+  // predecessor of `lo` (it may cover or touch us).
+  auto it = intervals_.upper_bound(lo);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second >= lo) {  // overlaps or touches from the left
+      new_lo = prev->first;
+      if (prev->second > new_hi) new_hi = prev->second;
+      added -= std::min(prev->second, hi) - std::max(prev->first, lo);
+      it = intervals_.erase(prev);
+    }
+  }
+  // Absorb all intervals starting within [new_lo, new_hi].
+  while (it != intervals_.end() && it->first <= new_hi) {
+    if (it->second > new_hi) {
+      added -= (hi > it->first) ? hi - it->first : 0;
+      new_hi = it->second;
+    } else {
+      const std::uint64_t olo = std::max(it->first, lo);
+      const std::uint64_t ohi = std::min(it->second, hi);
+      if (ohi > olo) added -= ohi - olo;
+    }
+    it = intervals_.erase(it);
+  }
+  intervals_.emplace(new_lo, new_hi);
+  covered_ += added;
+  return added;
+}
+
+bool IntervalSet::contains(std::uint64_t lo, std::uint64_t hi) const {
+  check(lo <= hi, "IntervalSet::contains requires lo <= hi");
+  if (lo == hi) return true;
+  auto it = intervals_.upper_bound(lo);
+  if (it == intervals_.begin()) return false;
+  const auto& prev = *std::prev(it);
+  return prev.first <= lo && prev.second >= hi;
+}
+
+bool IntervalSet::intersects(std::uint64_t lo, std::uint64_t hi) const {
+  check(lo <= hi, "IntervalSet::intersects requires lo <= hi");
+  if (lo == hi) return false;
+  auto it = intervals_.upper_bound(lo);
+  if (it != intervals_.begin()) {
+    const auto& prev = *std::prev(it);
+    if (prev.second > lo) return true;
+  }
+  return it != intervals_.end() && it->first < hi;
+}
+
+std::uint64_t IntervalSet::first_missing_after(std::uint64_t from) const {
+  auto it = intervals_.upper_bound(from);
+  if (it == intervals_.begin()) return from;
+  const auto& prev = *std::prev(it);
+  return (prev.second > from) ? prev.second : from;
+}
+
+std::uint64_t IntervalSet::erase(std::uint64_t lo, std::uint64_t hi) {
+  check(lo <= hi, "IntervalSet::erase requires lo <= hi");
+  if (lo == hi) return 0;
+  std::uint64_t removed = 0;
+
+  auto it = intervals_.upper_bound(lo);
+  if (it != intervals_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second > lo) {
+      // prev overlaps [lo, hi): split / trim it.
+      const std::uint64_t plo = prev->first;
+      const std::uint64_t phi = prev->second;
+      intervals_.erase(prev);
+      if (plo < lo) intervals_.emplace(plo, lo);
+      if (phi > hi) intervals_.emplace(hi, phi);
+      removed += std::min(phi, hi) - lo;
+      it = intervals_.upper_bound(lo);
+    }
+  }
+  while (it != intervals_.end() && it->first < hi) {
+    const std::uint64_t ilo = it->first;
+    const std::uint64_t ihi = it->second;
+    it = intervals_.erase(it);
+    if (ihi > hi) {
+      intervals_.emplace(hi, ihi);
+      removed += hi - ilo;
+    } else {
+      removed += ihi - ilo;
+    }
+  }
+  covered_ -= removed;
+  return removed;
+}
+
+void IntervalSet::clear() {
+  intervals_.clear();
+  covered_ = 0;
+}
+
+std::string IntervalSet::to_string() const {
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& [lo, hi] : intervals_) {
+    if (!first) os << ' ';
+    os << '[' << lo << ',' << hi << ')';
+    first = false;
+  }
+  return os.str();
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,56 @@
+#pragma once
+
+// Half-open interval set over 64-bit sequence space.
+//
+// Used by TCP receivers to track out-of-order byte ranges and by MPTCP /
+// MMPTCP connections to track delivered data-sequence ranges.  Intervals
+// are kept disjoint, sorted, and coalesced, so `first_missing_after()` is
+// O(log n) and the common in-order case touches one map node.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mmptcp {
+
+/// Ordered set of disjoint half-open intervals [lo, hi) over uint64.
+class IntervalSet {
+ public:
+  /// Inserts [lo, hi), merging with any overlapping or adjacent intervals.
+  /// Returns the number of *new* units covered (0 if fully present already).
+  std::uint64_t insert(std::uint64_t lo, std::uint64_t hi);
+
+  /// True if every unit of [lo, hi) is present. Empty ranges are contained.
+  bool contains(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// True if any unit of [lo, hi) is present.
+  bool intersects(std::uint64_t lo, std::uint64_t hi) const;
+
+  /// Smallest value >= from that is NOT covered by the set.
+  std::uint64_t first_missing_after(std::uint64_t from) const;
+
+  /// Removes [lo, hi) from the set; returns the number of units removed.
+  std::uint64_t erase(std::uint64_t lo, std::uint64_t hi);
+
+  /// Total number of units covered.
+  std::uint64_t covered() const { return covered_; }
+
+  /// Number of disjoint intervals.
+  std::size_t interval_count() const { return intervals_.size(); }
+
+  bool empty() const { return intervals_.empty(); }
+  void clear();
+
+  /// Debug rendering, e.g. "[0,10) [20,25)".
+  std::string to_string() const;
+
+  /// Iteration over the underlying map (lo -> hi), for tests and stats.
+  auto begin() const { return intervals_.begin(); }
+  auto end() const { return intervals_.end(); }
+
+ private:
+  std::map<std::uint64_t, std::uint64_t> intervals_;  // lo -> hi
+  std::uint64_t covered_ = 0;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,44 @@
+#include "util/logging.h"
+
+#include <iostream>
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+LogLevel parse_log_level(const std::string& text) {
+  if (text == "off") return LogLevel::kOff;
+  if (text == "error") return LogLevel::kError;
+  if (text == "warn") return LogLevel::kWarn;
+  if (text == "info") return LogLevel::kInfo;
+  if (text == "debug") return LogLevel::kDebug;
+  if (text == "trace") return LogLevel::kTrace;
+  throw ConfigError("unknown log level '" + text + "'");
+}
+
+std::string to_string(LogLevel level) {
+  switch (level) {
+    case LogLevel::kOff: return "off";
+    case LogLevel::kError: return "error";
+    case LogLevel::kWarn: return "warn";
+    case LogLevel::kInfo: return "info";
+    case LogLevel::kDebug: return "debug";
+    case LogLevel::kTrace: return "trace";
+  }
+  return "?";
+}
+
+LogSink::LogSink(std::ostream* out) : out_(out ? out : &std::cerr) {}
+
+void LogSink::write(LogLevel level, const std::string& component,
+                    const std::string& message) {
+  (*out_) << '[' << to_string(level) << "] ";
+  if (!component.empty()) (*out_) << component << ": ";
+  (*out_) << message << '\n';
+}
+
+Logger make_stderr_logger(LogLevel level, const std::string& component) {
+  return Logger(std::make_shared<LogSink>(), component, level);
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,71 @@
+#pragma once
+
+// Lightweight leveled logging.
+//
+// The simulator is hot-path sensitive, so logging is a per-Logger runtime
+// level check plus lazily-formatted messages: the format lambda only runs
+// when the level is enabled.  There is no global mutable logger; components
+// receive a Logger (usually from Simulation) by value — it is a cheap
+// handle onto a shared sink.
+
+#include <functional>
+#include <iosfwd>
+#include <memory>
+#include <sstream>
+#include <string>
+
+namespace mmptcp {
+
+enum class LogLevel : int { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
+
+/// Parses "off|error|warn|info|debug|trace" (throws ConfigError otherwise).
+LogLevel parse_log_level(const std::string& text);
+std::string to_string(LogLevel level);
+
+/// Shared destination for log output (stderr by default).
+class LogSink {
+ public:
+  explicit LogSink(std::ostream* out = nullptr);
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+ private:
+  std::ostream* out_;
+};
+
+/// Cheap handle combining a sink, a component name, and a level threshold.
+class Logger {
+ public:
+  Logger() = default;
+  Logger(std::shared_ptr<LogSink> sink, std::string component, LogLevel level)
+      : sink_(std::move(sink)), component_(std::move(component)),
+        level_(level) {}
+
+  bool enabled(LogLevel level) const {
+    return sink_ && static_cast<int>(level) <= static_cast<int>(level_);
+  }
+
+  /// Logs `make_message()` iff `level` is enabled (lazy formatting).
+  template <typename Fn>
+  void log(LogLevel level, Fn&& make_message) const {
+    if (enabled(level)) sink_->write(level, component_, make_message());
+  }
+
+  /// Derives a logger for a sub-component (same sink and level).
+  Logger child(const std::string& name) const {
+    return Logger(sink_, component_.empty() ? name : component_ + "." + name,
+                  level_);
+  }
+
+  LogLevel level() const { return level_; }
+
+ private:
+  std::shared_ptr<LogSink> sink_;
+  std::string component_;
+  LogLevel level_ = LogLevel::kOff;
+};
+
+/// Convenience factory: logger writing to stderr at `level`.
+Logger make_stderr_logger(LogLevel level, const std::string& component = "");
+
+}  // namespace mmptcp

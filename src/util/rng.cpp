@@ -1,0 +1,77 @@
+#include "util/rng.h"
+
+#include <cmath>
+
+namespace mmptcp {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t v, int k) {
+  return (v << k) | (v >> (64 - k));
+}
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+Rng Rng::fork() { return Rng(next() ^ 0xa5a5a5a55a5a5a5aULL); }
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  check(bound > 0, "Rng::uniform bound must be positive");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = std::uint64_t(-1) - std::uint64_t(-1) % bound;
+  std::uint64_t v = next();
+  while (v >= limit) v = next();
+  return v % bound;
+}
+
+std::int64_t Rng::uniform_range(std::int64_t lo, std::int64_t hi) {
+  check(lo <= hi, "Rng::uniform_range requires lo <= hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // span == 0 means the full 64-bit range [INT64_MIN, INT64_MAX].
+  const std::uint64_t draw = (span == 0) ? next() : uniform(span);
+  return lo + static_cast<std::int64_t>(draw);
+}
+
+double Rng::uniform01() {
+  // 53 random bits scaled into [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::exponential(double mean) {
+  check(mean > 0.0, "Rng::exponential mean must be positive");
+  double u = uniform01();
+  // Guard against log(0).
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+bool Rng::bernoulli(double p) {
+  check(p >= 0.0 && p <= 1.0, "Rng::bernoulli p must be in [0,1]");
+  return uniform01() < p;
+}
+
+}  // namespace mmptcp

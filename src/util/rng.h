@@ -1,0 +1,64 @@
+#pragma once
+
+// Deterministic random number generation.
+//
+// The simulator must produce bit-identical runs for a given master seed on
+// every platform, so we implement xoshiro256++ directly instead of relying
+// on standard-library distributions (whose outputs are
+// implementation-defined).  Components obtain independent streams via
+// `fork()`, which derives a child seed from the parent stream; this keeps
+// results stable when one component draws more or fewer numbers.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+/// xoshiro256++ pseudo-random generator with deterministic, portable output.
+class Rng {
+ public:
+  /// Seeds the generator; any 64-bit value (including 0) is acceptable.
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialises the state from `seed` via splitmix64.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next();
+
+  /// Derives an independent child generator (stable stream splitting).
+  Rng fork();
+
+  /// Uniform integer in [0, bound). `bound` must be > 0.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_range(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// Exponentially distributed double with the given mean (> 0).
+  double exponential(double mean);
+
+  /// Bernoulli trial with probability `p` in [0, 1].
+  bool bernoulli(double p);
+
+  /// Uniformly shuffles `items` in place (Fisher-Yates).
+  template <typename T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(uniform(i));
+      using std::swap;
+      swap(items[i - 1], items[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,105 @@
+#include "util/summary.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+void Summary::add(double value) {
+  samples_.push_back(value);
+  sorted_valid_ = false;
+  sum_ += value;
+  const double delta = value - mean_run_;
+  mean_run_ += delta / static_cast<double>(samples_.size());
+  m2_run_ += delta * (value - mean_run_);
+}
+
+void Summary::add_all(const std::vector<double>& values) {
+  for (double v : values) add(v);
+}
+
+double Summary::mean() const {
+  return samples_.empty() ? 0.0 : mean_run_;
+}
+
+double Summary::stddev() const {
+  if (samples_.size() < 2) return 0.0;
+  return std::sqrt(m2_run_ / static_cast<double>(samples_.size() - 1));
+}
+
+void Summary::ensure_sorted() const {
+  if (sorted_valid_) return;
+  sorted_ = samples_;
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_valid_ = true;
+}
+
+double Summary::min() const {
+  check(!samples_.empty(), "Summary::min on empty summary");
+  ensure_sorted();
+  return sorted_.front();
+}
+
+double Summary::max() const {
+  check(!samples_.empty(), "Summary::max on empty summary");
+  ensure_sorted();
+  return sorted_.back();
+}
+
+double Summary::percentile(double p) const {
+  check(!samples_.empty(), "Summary::percentile on empty summary");
+  check(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+  ensure_sorted();
+  if (sorted_.size() == 1) return sorted_[0];
+  const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::size_t Summary::count_above(double threshold) const {
+  ensure_sorted();
+  return static_cast<std::size_t>(
+      sorted_.end() -
+      std::upper_bound(sorted_.begin(), sorted_.end(), threshold));
+}
+
+std::vector<std::size_t> Summary::histogram(double lo, double hi,
+                                            std::size_t bins) const {
+  check(bins > 0, "histogram needs at least one bin");
+  check(hi > lo, "histogram needs hi > lo");
+  std::vector<std::size_t> out(bins, 0);
+  const double width = (hi - lo) / static_cast<double>(bins);
+  for (double v : samples_) {
+    double idx = (v - lo) / width;
+    std::size_t b;
+    if (idx < 0) {
+      b = 0;
+    } else if (idx >= static_cast<double>(bins)) {
+      b = bins - 1;
+    } else {
+      b = static_cast<std::size_t>(idx);
+    }
+    ++out[b];
+  }
+  return out;
+}
+
+std::string Summary::to_string() const {
+  std::ostringstream os;
+  os.precision(4);
+  if (samples_.empty()) {
+    os << "n=0";
+    return os.str();
+  }
+  os << "n=" << count() << " mean=" << mean() << " sd=" << stddev()
+     << " p50=" << percentile(50) << " p99=" << percentile(99)
+     << " max=" << max();
+  return os.str();
+}
+
+}  // namespace mmptcp

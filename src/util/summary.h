@@ -1,0 +1,55 @@
+#pragma once
+
+// Descriptive statistics used throughout the benchmarks and tests:
+// streaming mean/variance (Welford) plus an exact sample store for
+// percentiles and histograms.  Sample counts in this project are at most a
+// few hundred thousand, so storing doubles is fine.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmptcp {
+
+/// Collects samples; computes mean, stddev, percentiles, histogram.
+class Summary {
+ public:
+  void add(double value);
+  void add_all(const std::vector<double>& values);
+
+  std::size_t count() const { return samples_.size(); }
+  double sum() const { return sum_; }
+  double mean() const;
+  /// Sample (n-1) standard deviation; 0 when fewer than 2 samples.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Exact percentile by linear interpolation; p in [0, 100].
+  double percentile(double p) const;
+
+  /// Number of samples with value > threshold.
+  std::size_t count_above(double threshold) const;
+
+  /// Fixed-width histogram over [lo, hi) with `bins` buckets; values outside
+  /// are clamped into the first/last bucket.
+  std::vector<std::size_t> histogram(double lo, double hi,
+                                     std::size_t bins) const;
+
+  /// One-line rendering: "n=.. mean=.. sd=.. p50=.. p99=.. max=..".
+  std::string to_string() const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  std::vector<double> samples_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  double sum_ = 0;
+  // Welford running moments (kept for numerical robustness of stddev).
+  double mean_run_ = 0;
+  double m2_run_ = 0;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,41 @@
+#pragma once
+
+// Aligned plain-text table printer used by the benchmark harnesses to emit
+// the rows/series the paper reports.  Cells are strings; numeric helpers
+// format with fixed precision so columns line up.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmptcp {
+
+/// Builds and renders a fixed-column text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Adds a row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with column alignment, a header underline, and 2-space gaps.
+  std::string to_string() const;
+
+  /// Renders as CSV (no alignment padding).
+  std::string to_csv() const;
+
+  /// Formats `v` with `digits` decimal places.
+  static std::string num(double v, int digits = 2);
+  static std::string num(std::int64_t v);
+  static std::string num(std::uint64_t v);
+  /// Formats a ratio as a percentage string like "3.42%".
+  static std::string pct(double ratio, int digits = 2);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mmptcp

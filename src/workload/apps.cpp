@@ -1,0 +1,24 @@
+#include "workload/apps.h"
+
+namespace mmptcp {
+
+SinkFarm::SinkFarm(Simulation& sim, Metrics& metrics, Network& net,
+                   std::uint16_t port, TcpConfig server_tcp)
+    : metrics_(metrics) {
+  for (std::size_t i = 0; i < net.host_count(); ++i) {
+    sinks_.push_back(std::make_unique<Sink>(sim, metrics, net.host(i), port,
+                                            server_tcp));
+  }
+}
+
+std::size_t SinkFarm::total_accepted() const {
+  std::size_t total = 0;
+  for (const auto& s : sinks_) total += s->accepted();
+  return total;
+}
+
+void SinkFarm::gc(Time before) {
+  for (const auto& s : sinks_) s->gc(before);
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,31 @@
+#pragma once
+
+// Application-layer helpers shared by scenarios, examples and benches.
+
+#include <memory>
+#include <vector>
+
+#include "core/transport_factory.h"
+#include "topo/network.h"
+
+namespace mmptcp {
+
+/// Installs a Sink on every host of a network and owns them; provides
+/// garbage collection of long-finished server endpoints so 100k-flow runs
+/// do not accumulate dead state.
+class SinkFarm {
+ public:
+  SinkFarm(Simulation& sim, Metrics& metrics, Network& net,
+           std::uint16_t port, TcpConfig server_tcp);
+
+  std::size_t total_accepted() const;
+
+  /// Destroys server endpoints whose flow completed before `before`.
+  void gc(Time before);
+
+ private:
+  Metrics& metrics_;
+  std::vector<std::unique_ptr<Sink>> sinks_;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,16 @@
+#include "workload/arrivals.h"
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+PoissonArrivals::PoissonArrivals(Rng rng, double rate_per_sec)
+    : rng_(rng), rate_(rate_per_sec) {
+  require(rate_per_sec > 0.0, "arrival rate must be positive");
+}
+
+Time PoissonArrivals::next_gap() {
+  return Time::from_seconds(rng_.exponential(1.0 / rate_));
+}
+
+}  // namespace mmptcp

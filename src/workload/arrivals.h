@@ -1,0 +1,28 @@
+#pragma once
+
+// Flow arrival processes.  Short flows in the paper arrive "according to a
+// Poisson process" per sender; PoissonArrivals produces the exponential
+// inter-arrival gaps for one sender's stream.
+
+#include "sim/time.h"
+#include "util/rng.h"
+
+namespace mmptcp {
+
+/// Exponential inter-arrival generator (one per sending host).
+class PoissonArrivals {
+ public:
+  /// `rate_per_sec` flows per second (> 0).
+  PoissonArrivals(Rng rng, double rate_per_sec);
+
+  /// Next inter-arrival gap.
+  Time next_gap();
+
+  double rate() const { return rate_; }
+
+ private:
+  Rng rng_;
+  double rate_;
+};
+
+}  // namespace mmptcp

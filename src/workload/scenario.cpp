@@ -1,0 +1,240 @@
+#include "workload/scenario.h"
+
+#include <algorithm>
+
+namespace mmptcp {
+
+Scenario::Scenario(ScenarioConfig config)
+    : cfg_(std::move(config)), sim_(cfg_.seed) {
+  build();
+}
+
+Scenario::~Scenario() {
+  // Flows hold demux registrations on hosts owned by the topology; drop
+  // them first so teardown order is safe.
+  flows_.clear();
+  sinks_.reset();
+}
+
+void Scenario::build() {
+  if (cfg_.dual_homed) {
+    dh_ = std::make_unique<DualHomedFatTree>(sim_, cfg_.dual);
+    net_ = &dh_->network();
+  } else {
+    ft_ = std::make_unique<FatTree>(sim_, cfg_.fat_tree);
+    net_ = &ft_->network();
+  }
+  transport_ = cfg_.transport;
+  transport_.oracle = &oracle();
+  transport_.server_port = cfg_.port;
+  long_transport_ = cfg_.long_transport.value_or(cfg_.transport);
+  long_transport_.oracle = &oracle();
+  long_transport_.server_port = cfg_.port;
+
+  sinks_ = std::make_unique<SinkFarm>(sim_, metrics_, *net_, cfg_.port,
+                                      transport_.tcp);
+
+  const std::size_t n = net_->host_count();
+  require(n >= 2, "scenario needs at least two hosts");
+  Rng topo_rng = sim_.rng().fork();
+  perm_ = permutation_matrix(topo_rng, n);
+
+  const auto long_count = static_cast<std::size_t>(
+      cfg_.long_host_fraction * static_cast<double>(n));
+  long_hosts_ = sample_without_replacement(topo_rng, n, long_count);
+  std::vector<bool> is_long(n, false);
+  for (std::size_t h : long_hosts_) is_long[h] = true;
+  for (std::size_t h = 0; h < n; ++h) {
+    if (!is_long[h]) short_hosts_.push_back(h);
+  }
+
+  arrivals_.reserve(short_hosts_.size());
+  for (std::size_t i = 0; i < short_hosts_.size(); ++i) {
+    arrivals_.emplace_back(sim_.rng().fork(), cfg_.short_rate_per_host);
+  }
+  size_rng_ = sim_.rng().fork();
+  hotspot_rng_ = sim_.rng().fork();
+}
+
+const PathOracle& Scenario::oracle() const {
+  if (ft_) return *ft_;
+  return *dh_;
+}
+
+void Scenario::run() {
+  if (cfg_.start_long_flows && !long_hosts_.empty()) start_long_flows();
+  for (std::size_t i = 0; i < short_hosts_.size(); ++i) {
+    schedule_short_arrival(i);
+  }
+  sim_.scheduler().schedule(cfg_.check_interval, [this] { periodic_check(); });
+  sim_.scheduler().run_until(cfg_.max_sim_time);
+  end_time_ = sim_.now();
+}
+
+void Scenario::start_long_flows() {
+  Rng stagger = sim_.rng().fork();
+  for (std::size_t h : long_hosts_) {
+    const Time at = Time::nanos(static_cast<std::int64_t>(
+        stagger.uniform(static_cast<std::uint64_t>(
+            std::max<std::int64_t>(cfg_.long_start_spread.ns(), 1)))));
+    sim_.scheduler().schedule_at(at, [this, h] {
+      flows_.push_back(std::make_unique<ClientFlow>(
+          sim_, metrics_, host(h), host(perm_[h]).addr(), long_transport_,
+          ClientFlow::kLongFlow, /*long_flow=*/true));
+    });
+  }
+}
+
+void Scenario::schedule_short_arrival(std::size_t role_idx) {
+  const Time gap = arrivals_[role_idx].next_gap();
+  sim_.scheduler().schedule(gap, [this, role_idx] {
+    if (stopped_ || shorts_started_ >= cfg_.short_flow_count) return;
+    start_short_flow(short_hosts_[role_idx]);
+    schedule_short_arrival(role_idx);
+  });
+}
+
+void Scenario::start_short_flow(std::size_t src_idx) {
+  ++shorts_started_;
+  const std::size_t dst = pick_destination(src_idx);
+  const std::uint64_t bytes = cfg_.short_sizes
+                                  ? cfg_.short_sizes->sample(size_rng_)
+                                  : cfg_.short_flow_bytes;
+  flows_.push_back(std::make_unique<ClientFlow>(
+      sim_, metrics_, host(src_idx), host(dst).addr(), transport_, bytes,
+      /*long_flow=*/false));
+}
+
+std::size_t Scenario::pick_destination(std::size_t src_idx) {
+  if (cfg_.hotspot_fraction > 0.0 &&
+      hotspot_rng_.bernoulli(cfg_.hotspot_fraction)) {
+    // Hosts are pod-major, so rack (0,0) is the index prefix.
+    const std::size_t rack =
+        ft_ ? ft_->hosts_per_edge()
+            : dh_->hosts_per_pair();
+    std::size_t dst = hotspot_rng_.uniform(rack);
+    if (dst == src_idx) dst = (dst + 1) % net_->host_count();
+    return dst;
+  }
+  return perm_[src_idx];
+}
+
+void Scenario::periodic_check() {
+  if (stopped_) return;
+  sinks_->gc(sim_.now() - cfg_.server_linger);
+  std::erase_if(flows_, [this](const std::unique_ptr<ClientFlow>& f) {
+    const FlowRecord& rec = metrics_.record(f->flow_id());
+    return !rec.long_flow && rec.is_complete() && f->finished();
+  });
+  if (shorts_started_ >= cfg_.short_flow_count) {
+    std::uint64_t done = 0, shorts = 0;
+    for (const auto* rec : metrics_.flows()) {
+      if (rec->long_flow) continue;
+      ++shorts;
+      if (rec->is_complete()) ++done;
+    }
+    if (shorts >= cfg_.short_flow_count && done == shorts) {
+      stopped_ = true;
+      sim_.scheduler().stop();
+      return;
+    }
+  }
+  sim_.scheduler().schedule(cfg_.check_interval, [this] { periodic_check(); });
+}
+
+Summary Scenario::short_fct_ms() const {
+  return metrics_.short_flow_fct_ms(cfg_.transport.protocol);
+}
+
+Summary Scenario::long_goodput_mbps() const {
+  return metrics_.long_flow_goodput_mbps(long_transport_.protocol,
+                                         end_time_);
+}
+
+std::map<LinkLayer, LayerStats> Scenario::layer_stats() const {
+  return collect_layer_stats(*net_);
+}
+
+double Scenario::network_utilization() const {
+  const double secs = end_time_.to_seconds();
+  if (secs <= 0.0) return 0.0;
+  std::uint64_t delivered = 0;
+  for (const auto* rec : metrics_.flows()) delivered += rec->delivered_bytes;
+  // Total host access capacity (counts every NIC, so dual-homed hosts
+  // contribute twice).
+  double capacity = 0.0;
+  net_->for_each_port([&capacity](const Node& node, const Port& port) {
+    if (dynamic_cast<const Host*>(&node) != nullptr) {
+      capacity += static_cast<double>(port.rate_bps());
+    }
+  });
+  if (capacity <= 0.0) return 0.0;
+  return static_cast<double>(delivered) * 8.0 / (capacity * secs);
+}
+
+double Scenario::short_completion_ratio() const {
+  return metrics_.short_flow_completion_ratio(cfg_.transport.protocol);
+}
+
+std::uint64_t Scenario::short_flow_rtos() const {
+  return metrics_.total(
+      [](const FlowRecord& r) {
+        return std::uint64_t(r.rto_count) + r.syn_timeouts;
+      },
+      [](const FlowRecord& r) { return !r.long_flow; });
+}
+
+std::uint64_t Scenario::short_flows_with_rto() const {
+  return metrics_.total(
+      [](const FlowRecord& r) {
+        return (r.rto_count + r.syn_timeouts) > 0 ? 1u : 0u;
+      },
+      [](const FlowRecord& r) { return !r.long_flow; });
+}
+
+std::uint64_t Scenario::total_spurious_retransmits() const {
+  return metrics_.total(
+      [](const FlowRecord& r) { return r.spurious_retransmits; });
+}
+
+IncastResult run_incast(const IncastConfig& config) {
+  Simulation sim(config.seed);
+  FatTree ft(sim, config.fat_tree);
+  Metrics metrics;
+  require(config.senders + ft.hosts_per_edge() <= ft.host_count(),
+          "incast needs enough hosts outside the receiver's rack");
+
+  TransportConfig transport = config.transport;
+  transport.oracle = &ft;
+
+  Sink sink(sim, metrics, ft.host(0), transport.server_port, transport.tcp);
+  const Addr receiver = ft.host(0).addr();
+
+  std::vector<std::unique_ptr<ClientFlow>> flows;
+  // Senders start after the hosts under the receiver's rack, so every
+  // flow crosses the fabric and converges on one access link.
+  const std::size_t first = ft.hosts_per_edge();
+  for (std::uint32_t i = 0; i < config.senders; ++i) {
+    Host& src = ft.host(first + i);
+    flows.push_back(std::make_unique<ClientFlow>(
+        sim, metrics, src, receiver, transport, config.bytes,
+        /*long_flow=*/false));
+  }
+  sim.scheduler().run_until(config.max_sim_time);
+
+  IncastResult result;
+  result.fct_ms = metrics.short_flow_fct_ms(transport.protocol);
+  Time last = Time::zero();
+  for (const auto* rec : metrics.flows()) {
+    result.rtos += rec->rto_count;
+    result.syn_timeouts += rec->syn_timeouts;
+    result.fast_retransmits += rec->fast_retransmits;
+    if (rec->is_complete()) last = std::max(last, rec->completed_at);
+  }
+  result.completion_ratio =
+      metrics.short_flow_completion_ratio(transport.protocol);
+  result.makespan = last;
+  return result;
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,158 @@
+#pragma once
+
+// The paper's evaluation scenario, as described in the Figure 1 caption:
+//
+//   "a simulated 4:1 over-subscribed FatTree topology ... One third of the
+//    servers run long (background) flows.  The rest run short flows (70KBs
+//    each) which are scheduled according to a Poisson process.  All flows
+//    are scheduled based on a permutation traffic matrix."
+//
+// Scenario builds the topology, assigns host roles, starts long background
+// flows, generates Poisson short-flow arrivals, runs to completion, and
+// exposes the measurements every bench needs (FCT summaries, per-layer
+// loss rates, long-flow goodput, network utilisation).  The roadmap's
+// hotspot experiment is a knob (a fraction of shorts is redirected at one
+// rack), as is the dual-homed topology.
+
+#include <map>
+#include <memory>
+
+#include "core/transport_factory.h"
+#include "stats/link_stats.h"
+#include "topo/dual_homed.h"
+#include "topo/fat_tree.h"
+#include "workload/apps.h"
+#include "workload/arrivals.h"
+#include "workload/size_dist.h"
+#include "workload/traffic_matrix.h"
+
+namespace mmptcp {
+
+/// Full description of one simulation run.
+struct ScenarioConfig {
+  // --- topology (FatTree by default; dual-homed for the roadmap bench) ---
+  FatTreeConfig fat_tree{.k = 4, .oversubscription = 4};
+  bool dual_homed = false;
+  DualHomedConfig dual{.k = 4, .oversubscription = 4};
+
+  // --- transport under test (applies to long and short flows alike) ---
+  TransportConfig transport{};
+  /// Optional override for long (background) flows, enabling controlled
+  /// experiments that vary only the short-flow transport.
+  std::optional<TransportConfig> long_transport{};
+
+  // --- roles & workload ---
+  double long_host_fraction = 1.0 / 3.0;
+  bool start_long_flows = true;
+  Time long_start_spread = Time::millis(100);
+  std::uint32_t short_flow_count = 2000;   ///< stop after this many shorts
+  double short_rate_per_host = 8.0;        ///< Poisson arrivals/s per host
+  std::uint64_t short_flow_bytes = 70 * 1024;
+  /// Optional size distribution for shorts (overrides short_flow_bytes).
+  std::shared_ptr<SizeDistribution> short_sizes;
+  /// Fraction of short flows redirected at rack (pod 0, edge 0) — the
+  /// roadmap's hotspot experiment.  0 disables.
+  double hotspot_fraction = 0.0;
+
+  // --- control ---
+  std::uint64_t seed = 1;
+  Time max_sim_time = Time::seconds(120);
+  Time check_interval = Time::millis(50);
+  Time server_linger = Time::seconds(20);  ///< server endpoint GC delay
+  std::uint16_t port = 5001;
+};
+
+/// Builds and runs one scenario; query results afterwards.
+class Scenario {
+ public:
+  explicit Scenario(ScenarioConfig config);
+  ~Scenario();
+
+  Scenario(const Scenario&) = delete;
+  Scenario& operator=(const Scenario&) = delete;
+
+  /// Runs until every short flow completed (checked periodically) or
+  /// max_sim_time, whichever first.
+  void run();
+
+  // ---- accessors ----
+  Simulation& sim() { return sim_; }
+  Metrics& metrics() { return metrics_; }
+  const Metrics& metrics() const { return metrics_; }
+  Network& network() { return *net_; }
+  const PathOracle& oracle() const;
+  FatTree* fat_tree() { return ft_.get(); }
+  std::size_t host_count() const { return net_->host_count(); }
+  Time end_time() const { return end_time_; }
+  std::uint32_t shorts_started() const { return shorts_started_; }
+  const std::vector<std::size_t>& permutation() const { return perm_; }
+  const std::vector<std::size_t>& long_hosts() const { return long_hosts_; }
+
+  // ---- result helpers ----
+  Summary short_fct_ms() const;
+  Summary long_goodput_mbps() const;
+  std::map<LinkLayer, LayerStats> layer_stats() const;
+  /// Goodput of all flows divided by total host access capacity.
+  double network_utilization() const;
+  double short_completion_ratio() const;
+  /// Total RTOs (and SYN timeouts) across short flows.
+  std::uint64_t short_flow_rtos() const;
+  std::uint64_t short_flows_with_rto() const;
+  std::uint64_t total_spurious_retransmits() const;
+
+ private:
+  void build();
+  void start_long_flows();
+  void schedule_short_arrival(std::size_t role_idx);
+  void start_short_flow(std::size_t host_idx);
+  std::size_t pick_destination(std::size_t src_idx);
+  void periodic_check();
+  Host& host(std::size_t i) { return net_->host(i); }
+
+  ScenarioConfig cfg_;
+  Simulation sim_;
+  std::unique_ptr<FatTree> ft_;
+  std::unique_ptr<DualHomedFatTree> dh_;
+  Network* net_ = nullptr;
+  Metrics metrics_;
+  TransportConfig transport_;  ///< cfg_.transport with the oracle filled in
+  TransportConfig long_transport_;  ///< transport for background flows
+  std::unique_ptr<SinkFarm> sinks_;
+  std::vector<std::unique_ptr<ClientFlow>> flows_;
+  std::vector<std::size_t> perm_;
+  std::vector<std::size_t> long_hosts_;
+  std::vector<std::size_t> short_hosts_;
+  std::vector<PoissonArrivals> arrivals_;  ///< parallel to short_hosts_
+  Rng size_rng_;
+  Rng hotspot_rng_;
+  std::uint32_t shorts_started_ = 0;
+  Time end_time_;
+  bool stopped_ = false;
+};
+
+/// N-to-1 synchronized burst — the paper's objective (3), "tolerance to
+/// sudden and high bursts of traffic".
+struct IncastConfig {
+  FatTreeConfig fat_tree{.k = 4, .oversubscription = 4};
+  TransportConfig transport{};
+  std::uint32_t senders = 32;
+  std::uint64_t bytes = 70 * 1024;
+  std::uint64_t seed = 1;
+  Time max_sim_time = Time::seconds(60);
+};
+
+/// Outcome of one incast run.
+struct IncastResult {
+  Summary fct_ms;
+  std::uint64_t rtos = 0;
+  std::uint64_t syn_timeouts = 0;
+  std::uint64_t fast_retransmits = 0;
+  double completion_ratio = 0.0;
+  Time makespan;  ///< last completion time
+};
+
+/// Runs the incast microbenchmark (receiver = host 0; senders spread over
+/// the remaining racks, all starting at t = 0).
+IncastResult run_incast(const IncastConfig& config);
+
+}  // namespace mmptcp

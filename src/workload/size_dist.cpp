@@ -1,0 +1,106 @@
+#include "workload/size_dist.h"
+
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+FixedSize::FixedSize(std::uint64_t bytes) : bytes_(bytes) {
+  require(bytes > 0, "flow size must be positive");
+}
+std::uint64_t FixedSize::sample(Rng& /*rng*/) const { return bytes_; }
+double FixedSize::mean_bytes() const { return static_cast<double>(bytes_); }
+
+UniformSize::UniformSize(std::uint64_t lo, std::uint64_t hi)
+    : lo_(lo), hi_(hi) {
+  require(lo > 0 && lo <= hi, "need 0 < lo <= hi");
+}
+std::uint64_t UniformSize::sample(Rng& rng) const {
+  return lo_ + rng.uniform(hi_ - lo_ + 1);
+}
+double UniformSize::mean_bytes() const {
+  return (static_cast<double>(lo_) + static_cast<double>(hi_)) / 2.0;
+}
+
+BoundedParetoSize::BoundedParetoSize(double alpha, std::uint64_t lo,
+                                     std::uint64_t hi)
+    : alpha_(alpha), lo_(static_cast<double>(lo)),
+      hi_(static_cast<double>(hi)) {
+  require(alpha > 0.0, "Pareto shape must be positive");
+  require(lo > 0 && lo < hi, "need 0 < lo < hi");
+}
+
+std::uint64_t BoundedParetoSize::sample(Rng& rng) const {
+  // Inverse transform for the bounded Pareto CDF.
+  const double u = rng.uniform01();
+  const double la = std::pow(lo_, alpha_);
+  const double ha = std::pow(hi_, alpha_);
+  const double x = std::pow(-(u * ha - u * la - ha) / (ha * la), -1.0 / alpha_);
+  return static_cast<std::uint64_t>(x);
+}
+
+double BoundedParetoSize::mean_bytes() const {
+  if (alpha_ == 1.0) {
+    return lo_ * hi_ / (hi_ - lo_) * std::log(hi_ / lo_);
+  }
+  const double la = std::pow(lo_, alpha_);
+  return la / (1.0 - std::pow(lo_ / hi_, alpha_)) * alpha_ /
+         (alpha_ - 1.0) * (1.0 / std::pow(lo_, alpha_ - 1.0) -
+                           1.0 / std::pow(hi_, alpha_ - 1.0));
+}
+
+EmpiricalSize::EmpiricalSize(std::vector<Knot> knots)
+    : knots_(std::move(knots)) {
+  require(knots_.size() >= 2, "empirical CDF needs at least two knots");
+  require(knots_.front().cdf == 0.0 && knots_.back().cdf == 1.0,
+          "empirical CDF must span [0, 1]");
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    require(knots_[i].cdf > knots_[i - 1].cdf,
+            "empirical CDF must be strictly increasing");
+    require(knots_[i].bytes >= knots_[i - 1].bytes,
+            "empirical CDF bytes must be non-decreasing");
+  }
+}
+
+std::uint64_t EmpiricalSize::sample(Rng& rng) const {
+  const double u = rng.uniform01();
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    if (u <= knots_[i].cdf) {
+      const auto& a = knots_[i - 1];
+      const auto& b = knots_[i];
+      const double frac = (u - a.cdf) / (b.cdf - a.cdf);
+      const double bytes = static_cast<double>(a.bytes) +
+                           frac * static_cast<double>(b.bytes - a.bytes);
+      return static_cast<std::uint64_t>(std::max(bytes, 1.0));
+    }
+  }
+  return knots_.back().bytes;
+}
+
+double EmpiricalSize::mean_bytes() const {
+  double mean = 0.0;
+  for (std::size_t i = 1; i < knots_.size(); ++i) {
+    const auto& a = knots_[i - 1];
+    const auto& b = knots_[i];
+    mean += (b.cdf - a.cdf) *
+            (static_cast<double>(a.bytes) + static_cast<double>(b.bytes)) /
+            2.0;
+  }
+  return mean;
+}
+
+EmpiricalSize EmpiricalSize::web_search() {
+  // In the spirit of the DCTCP web-search workload: ~50% of flows under
+  // 10 KB, a long tail reaching tens of MB.
+  return EmpiricalSize({{0.0, 1 * 1024},
+                        {0.15, 5 * 1024},
+                        {0.50, 10 * 1024},
+                        {0.70, 70 * 1024},
+                        {0.85, 300 * 1024},
+                        {0.95, 2 * 1024 * 1024},
+                        {0.99, 10 * 1024 * 1024},
+                        {1.0, 30 * 1024 * 1024}});
+}
+
+}  // namespace mmptcp

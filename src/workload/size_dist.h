@@ -1,0 +1,80 @@
+#pragma once
+
+// Flow-size distributions.
+//
+// The paper's headline experiment uses fixed 70 KB shorts; the roadmap
+// experiments ("a wide range of network scenarios ... network loads,
+// traffic matrices") call for heavier-tailed mixes, so we also provide
+// uniform, bounded-Pareto, and empirical-CDF distributions (with a
+// web-search-like preset in the style of the DCTCP workload).
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mmptcp {
+
+/// Samples flow sizes in bytes.
+class SizeDistribution {
+ public:
+  virtual ~SizeDistribution() = default;
+  virtual std::uint64_t sample(Rng& rng) const = 0;
+  /// Analytic or empirical mean (used to compute offered load).
+  virtual double mean_bytes() const = 0;
+};
+
+/// Every flow has the same size.
+class FixedSize final : public SizeDistribution {
+ public:
+  explicit FixedSize(std::uint64_t bytes);
+  std::uint64_t sample(Rng& rng) const override;
+  double mean_bytes() const override;
+
+ private:
+  std::uint64_t bytes_;
+};
+
+/// Uniform in [lo, hi].
+class UniformSize final : public SizeDistribution {
+ public:
+  UniformSize(std::uint64_t lo, std::uint64_t hi);
+  std::uint64_t sample(Rng& rng) const override;
+  double mean_bytes() const override;
+
+ private:
+  std::uint64_t lo_, hi_;
+};
+
+/// Bounded Pareto with shape `alpha` on [lo, hi].
+class BoundedParetoSize final : public SizeDistribution {
+ public:
+  BoundedParetoSize(double alpha, std::uint64_t lo, std::uint64_t hi);
+  std::uint64_t sample(Rng& rng) const override;
+  double mean_bytes() const override;
+
+ private:
+  double alpha_;
+  double lo_, hi_;
+};
+
+/// Piecewise-linear inverse CDF over (probability, bytes) knots.
+class EmpiricalSize final : public SizeDistribution {
+ public:
+  struct Knot {
+    double cdf;           ///< in [0, 1], strictly increasing across knots
+    std::uint64_t bytes;  ///< non-decreasing across knots
+  };
+  explicit EmpiricalSize(std::vector<Knot> knots);
+  std::uint64_t sample(Rng& rng) const override;
+  double mean_bytes() const override;
+
+  /// Web-search-like heavy-tailed mix (most flows tiny, a few of many MB).
+  static EmpiricalSize web_search();
+
+ private:
+  std::vector<Knot> knots_;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,42 @@
+#include "workload/traffic_matrix.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+std::vector<std::size_t> permutation_matrix(Rng& rng, std::size_t n) {
+  require(n >= 2, "a permutation matrix needs at least two hosts");
+  std::vector<std::size_t> pi(n);
+  std::iota(pi.begin(), pi.end(), 0);
+  rng.shuffle(pi);
+  // Repair fixed points by swapping with the next position (cyclically);
+  // the neighbour cannot itself be a fixed point after the swap.
+  for (std::size_t i = 0; i < n; ++i) {
+    if (pi[i] == i) std::swap(pi[i], pi[(i + 1) % n]);
+  }
+  check(is_valid_permutation(pi), "permutation repair failed");
+  return pi;
+}
+
+bool is_valid_permutation(const std::vector<std::size_t>& pi) {
+  std::vector<bool> seen(pi.size(), false);
+  for (std::size_t i = 0; i < pi.size(); ++i) {
+    if (pi[i] >= pi.size() || pi[i] == i || seen[pi[i]]) return false;
+    seen[pi[i]] = true;
+  }
+  return true;
+}
+
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n,
+                                                    std::size_t count) {
+  require(count <= n, "cannot sample more than the population");
+  std::vector<std::size_t> all(n);
+  std::iota(all.begin(), all.end(), 0);
+  rng.shuffle(all);
+  all.resize(count);
+  return all;
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,30 @@
+#pragma once
+
+// Traffic matrices.
+//
+// The paper's evaluation schedules every flow "based on a permutation
+// traffic matrix": each host sends to exactly one other host and receives
+// from exactly one.  We generate a uniform random permutation with no
+// fixed points (a derangement-ish repair pass swaps any self-mapping with
+// a neighbour), so no host talks to itself.
+
+#include <cstddef>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace mmptcp {
+
+/// Random permutation of {0..n-1} with no fixed points (n >= 2).
+std::vector<std::size_t> permutation_matrix(Rng& rng, std::size_t n);
+
+/// Validates the permutation-traffic-matrix invariants (bijection, no
+/// self-loops); used by tests and by Scenario in debug runs.
+bool is_valid_permutation(const std::vector<std::size_t>& pi);
+
+/// Picks `count` distinct indices out of {0..n-1} (the "one third of the
+/// servers run long flows" role assignment).
+std::vector<std::size_t> sample_without_replacement(Rng& rng, std::size_t n,
+                                                    std::size_t count);
+
+}  // namespace mmptcp

@@ -1,0 +1,160 @@
+// MMPTCP end-to-end behaviour: phase switching, PS drain, and byte
+// conservation across the switch.
+
+#include "core/mmptcp_connection.h"
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace mmptcp {
+namespace {
+
+using testing::MiniFatTree;
+
+TransportConfig mmptcp_cfg(std::uint64_t volume = 256 * 1024,
+                           std::uint32_t subflows = 4) {
+  TransportConfig cfg;
+  cfg.protocol = Protocol::kMmptcp;
+  cfg.subflows = subflows;
+  cfg.phase.kind = SwitchPolicyKind::kDataVolume;
+  cfg.phase.volume_bytes = volume;
+  return cfg;
+}
+
+TEST(Mmptcp, ShortFlowStaysInPsPhase) {
+  MiniFatTree net;
+  auto& flow = net.flow(0, 15, mmptcp_cfg(), 70 * 1024);
+  net.run(Time::seconds(10));
+  const auto& rec = net.record(flow);
+  ASSERT_TRUE(rec.is_complete());
+  EXPECT_EQ(rec.delivered_bytes, 70u * 1024u);
+  EXPECT_FALSE(rec.switched_phase());
+  EXPECT_FALSE(flow.mmptcp()->switched());
+  EXPECT_EQ(flow.mmptcp()->subflow_count(), 1u);
+  EXPECT_EQ(rec.subflows_used, 1u);
+}
+
+TEST(Mmptcp, LargeFlowSwitchesAtVolumeThreshold) {
+  MiniFatTree net;
+  auto& flow = net.flow(0, 15, mmptcp_cfg(100 * 1024, 4), 500 * 1024);
+  net.run(Time::seconds(30));
+  const auto& rec = net.record(flow);
+  ASSERT_TRUE(rec.is_complete());
+  EXPECT_EQ(rec.delivered_bytes, 500u * 1024u);
+  ASSERT_TRUE(rec.switched_phase());
+  MmptcpConnection* conn = flow.mmptcp();
+  EXPECT_TRUE(conn->switched());
+  EXPECT_EQ(conn->subflow_count(), 1u + 4u);
+  // The switch happened when ~100 KB had been handed to the PS flow.
+  EXPECT_GE(conn->data_next(), 100u * 1024u);
+}
+
+TEST(Mmptcp, PsFlowFreezesAndDrainsAfterSwitch) {
+  MiniFatTree net;
+  auto& flow = net.flow(0, 15, mmptcp_cfg(100 * 1024, 2), 400 * 1024);
+  net.run(Time::seconds(30));
+  MmptcpConnection* conn = flow.mmptcp();
+  ASSERT_TRUE(conn->switched());
+  const auto* ps = conn->ps_subflow();
+  ASSERT_NE(ps, nullptr);
+  EXPECT_TRUE(ps->stream_frozen());
+  EXPECT_TRUE(ps->sender_drained());
+  EXPECT_TRUE(conn->ps_drained());
+}
+
+TEST(Mmptcp, NoNewDataOnPsAfterSwitch) {
+  MiniFatTree net;
+  auto& flow = net.flow(0, 15, mmptcp_cfg(100 * 1024, 2), 400 * 1024);
+  net.run(Time::seconds(30));
+  MmptcpConnection* conn = flow.mmptcp();
+  const auto* ps = conn->ps_subflow();
+  ASSERT_TRUE(conn->switched());
+  // Everything the PS flow ever sent maps below (threshold + one window),
+  // far below the total: the tail travelled on the MPTCP subflows.
+  EXPECT_LT(ps->high_water(), 200u * 1024u);
+  EXPECT_TRUE(net.record(flow).is_complete());
+}
+
+TEST(Mmptcp, SwitchTimeRecordedInMetrics) {
+  MiniFatTree net;
+  auto& flow = net.flow(0, 15, mmptcp_cfg(70 * 1024, 2), 300 * 1024);
+  net.run(Time::seconds(30));
+  const auto& rec = net.record(flow);
+  ASSERT_TRUE(rec.switched_phase());
+  EXPECT_GT(rec.phase_switch_at, rec.start);
+  EXPECT_LT(rec.phase_switch_at, rec.completed_at);
+}
+
+TEST(Mmptcp, CongestionEventPolicySwitchesOnFirstLoss) {
+  MiniFatTree net;
+  TransportConfig cfg = mmptcp_cfg();
+  cfg.phase.kind = SwitchPolicyKind::kCongestionEvent;
+  cfg.tcp.rto.min_rto = Time::millis(200);
+  // Drop one early data packet to force a congestion event.
+  std::uint64_t data_seen = 0;
+  net.ft.host(0).port(0).set_drop_filter(
+      [&data_seen](const Packet& pkt, std::uint64_t) {
+        return pkt.payload > 0 && data_seen++ == 5;
+      });
+  auto& flow = net.flow(0, 15, cfg, 2'000'000);
+  net.run(Time::seconds(30));
+  const auto& rec = net.record(flow);
+  ASSERT_TRUE(rec.is_complete());
+  EXPECT_TRUE(rec.switched_phase());
+  EXPECT_TRUE(flow.mmptcp()->switched());
+}
+
+TEST(Mmptcp, CongestionEventPolicyWithoutLossNeverSwitches) {
+  MiniFatTree net;
+  TransportConfig cfg = mmptcp_cfg();
+  cfg.phase.kind = SwitchPolicyKind::kCongestionEvent;
+  auto& flow = net.flow(0, 15, cfg, 1'000'000);
+  net.run(Time::seconds(30));
+  const auto& rec = net.record(flow);
+  ASSERT_TRUE(rec.is_complete());
+  EXPECT_FALSE(rec.switched_phase());
+  EXPECT_EQ(rec.rto_count, 0u);
+}
+
+TEST(Mmptcp, ByteConservationAcrossThePhaseSwitch) {
+  // The invariant the phase switch must not break: every connection-level
+  // byte is delivered exactly once even though two different subflow
+  // machineries carried the stream.
+  for (std::uint64_t seed : {1, 2, 3, 4, 5}) {
+    MiniFatTree net(FatTreeConfig{}, seed);
+    auto& flow = net.flow(0, 15, mmptcp_cfg(64 * 1024, 3), 333'333);
+    net.run(Time::seconds(30));
+    const auto& rec = net.record(flow);
+    ASSERT_TRUE(rec.is_complete()) << "seed " << seed;
+    ASSERT_EQ(rec.delivered_bytes, 333'333u) << "seed " << seed;
+  }
+}
+
+TEST(Mmptcp, ManualSwitchNow) {
+  MiniFatTree net;
+  auto& flow = net.flow(0, 15, mmptcp_cfg(1 << 30, 3), 0, /*long=*/true);
+  net.run(Time::millis(100));
+  MmptcpConnection* conn = flow.mmptcp();
+  ASSERT_FALSE(conn->switched());
+  conn->switch_now();
+  EXPECT_TRUE(conn->switched());
+  EXPECT_EQ(conn->subflow_count(), 4u);
+  net.run(Time::millis(400));
+  EXPECT_GT(net.record(flow).subflows_used, 1u);
+  conn->switch_now();  // idempotent
+  EXPECT_EQ(conn->subflow_count(), 4u);
+}
+
+TEST(Mmptcp, LongFlowThroughputSurvivesTheSwitch) {
+  MiniFatTree net;
+  auto& flow = net.flow(0, 15, mmptcp_cfg(256 * 1024, 4), 0, /*long=*/true);
+  net.run(Time::seconds(3));
+  const auto& rec = net.record(flow);
+  ASSERT_TRUE(rec.switched_phase());
+  // ~100 Mb/s access link for ~3 s: expect most of the capacity used.
+  EXPECT_GT(rec.delivered_bytes, 20'000'000u);
+}
+
+}  // namespace
+}  // namespace mmptcp

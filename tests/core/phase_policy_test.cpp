@@ -1,0 +1,61 @@
+#include "core/phase_policy.h"
+
+#include <gtest/gtest.h>
+
+namespace mmptcp {
+namespace {
+
+TEST(PhasePolicy, DataVolumeTriggersAtThreshold) {
+  PhaseSwitchConfig cfg;
+  cfg.kind = SwitchPolicyKind::kDataVolume;
+  cfg.volume_bytes = 100'000;
+  PhaseSwitchPolicy p(cfg);
+  EXPECT_FALSE(p.trigger_on_volume(0));
+  EXPECT_FALSE(p.trigger_on_volume(99'999));
+  EXPECT_TRUE(p.trigger_on_volume(100'000));
+  EXPECT_TRUE(p.trigger_on_volume(1'000'000));
+}
+
+TEST(PhasePolicy, DataVolumeIgnoresCongestion) {
+  PhaseSwitchConfig cfg;
+  cfg.kind = SwitchPolicyKind::kDataVolume;
+  PhaseSwitchPolicy p(cfg);
+  EXPECT_FALSE(p.trigger_on_congestion(CongestionEventKind::kFastRetransmit));
+  EXPECT_FALSE(p.trigger_on_congestion(CongestionEventKind::kRto));
+}
+
+TEST(PhasePolicy, CongestionEventTriggersOnLossSignals) {
+  PhaseSwitchConfig cfg;
+  cfg.kind = SwitchPolicyKind::kCongestionEvent;
+  PhaseSwitchPolicy p(cfg);
+  EXPECT_TRUE(p.trigger_on_congestion(CongestionEventKind::kFastRetransmit));
+  EXPECT_TRUE(p.trigger_on_congestion(CongestionEventKind::kRto));
+  // SYN timeouts are pre-data: no subflows worth opening yet.
+  EXPECT_FALSE(p.trigger_on_congestion(CongestionEventKind::kSynTimeout));
+  EXPECT_FALSE(p.trigger_on_volume(std::uint64_t(1) << 40));
+}
+
+TEST(PhasePolicy, NeverMeansNever) {
+  PhaseSwitchConfig cfg;
+  cfg.kind = SwitchPolicyKind::kNever;
+  PhaseSwitchPolicy p(cfg);
+  EXPECT_FALSE(p.trigger_on_volume(std::uint64_t(1) << 40));
+  EXPECT_FALSE(p.trigger_on_congestion(CongestionEventKind::kRto));
+}
+
+TEST(PhasePolicy, ZeroVolumeRejected) {
+  PhaseSwitchConfig cfg;
+  cfg.kind = SwitchPolicyKind::kDataVolume;
+  cfg.volume_bytes = 0;
+  EXPECT_THROW(PhaseSwitchPolicy{cfg}, ConfigError);
+}
+
+TEST(PhasePolicy, Names) {
+  EXPECT_EQ(to_string(SwitchPolicyKind::kDataVolume), "data-volume");
+  EXPECT_EQ(to_string(SwitchPolicyKind::kCongestionEvent),
+            "congestion-event");
+  EXPECT_EQ(to_string(SwitchPolicyKind::kNever), "never");
+}
+
+}  // namespace
+}  // namespace mmptcp

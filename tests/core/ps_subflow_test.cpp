@@ -1,0 +1,121 @@
+// Packet-scatter subflow: per-packet source-port randomisation, sprayed
+// ACK return path, PS flagging, and the topology-aware dup-ACK threshold.
+
+#include "core/ps_subflow.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_util.h"
+#include "core/mmptcp_connection.h"
+
+namespace mmptcp {
+namespace {
+
+using testing::MiniFatTree;
+using testing::PacketTap;
+
+TransportConfig ps_cfg() {
+  TransportConfig cfg;
+  cfg.protocol = Protocol::kPacketScatter;  // MMPTCP that never switches
+  return cfg;
+}
+
+TEST(PsSubflow, RandomisesSourcePortPerPacket) {
+  MiniFatTree net;
+  PacketTap tap(net.ft.host(0).port(0));
+  auto& flow = net.flow(0, 15, ps_cfg(), 70 * 1024);
+  net.run(Time::seconds(10));
+  ASSERT_TRUE(net.record(flow).is_complete());
+  std::set<std::uint16_t> sports;
+  std::uint64_t data_packets = 0;
+  for (const Packet& p : tap.seen()) {
+    if (p.payload == 0) continue;
+    ++data_packets;
+    sports.insert(p.sport);
+    EXPECT_TRUE(p.has(pkt_flags::kPs));
+    EXPECT_GE(p.sport, 49152);
+  }
+  ASSERT_GE(data_packets, 50u);  // 70 KB / 1400 B
+  // With ~51 packets over 16k ports, collisions are rare: expect almost
+  // one distinct port per packet.
+  EXPECT_GE(sports.size(), data_packets - 5);
+}
+
+TEST(PsSubflow, AcksEchoTheSprayedPorts) {
+  MiniFatTree net;
+  PacketTap out_tap(net.ft.host(0).port(0));
+  PacketTap back_tap(net.ft.host(15).port(0));
+  auto& flow = net.flow(0, 15, ps_cfg(), 20 * 1400);
+  net.run(Time::seconds(10));
+  ASSERT_TRUE(net.record(flow).is_complete());
+  // Collect the randomised data sports and the ACK dports: ACKs must go
+  // back to the randomised ports (spraying the reverse path).
+  std::set<std::uint16_t> data_sports, ack_dports;
+  for (const Packet& p : out_tap.seen()) {
+    if (p.payload > 0) data_sports.insert(p.sport);
+  }
+  for (const Packet& p : back_tap.seen()) {
+    if (p.payload == 0 && !p.is_syn()) ack_dports.insert(p.dport);
+  }
+  EXPECT_GE(ack_dports.size(), 15u);
+  for (const auto port : ack_dports) {
+    EXPECT_TRUE(data_sports.count(port)) << "ACK to unknown port " << port;
+  }
+}
+
+TEST(PsSubflow, SpraysAcrossAllCores) {
+  MiniFatTree net;
+  auto& flow = net.flow(0, 15, ps_cfg(), 200 * 1024);  // inter-pod
+  net.run(Time::seconds(10));
+  ASSERT_TRUE(net.record(flow).is_complete());
+  for (std::uint32_t c = 0; c < net.ft.core_count(); ++c) {
+    std::uint64_t tx = 0;
+    Switch& core = net.ft.core_switch(c);
+    for (std::size_t p = 0; p < core.port_count(); ++p) {
+      tx += core.port(p).counters().tx_packets;
+    }
+    EXPECT_GT(tx, 0u) << "core " << c << " unused by packet scatter";
+  }
+}
+
+TEST(PsSubflow, TopologyAwareThresholdFromOracle) {
+  MiniFatTree net;  // k=4: inter-pod path count = 4
+  TransportConfig cfg = ps_cfg();
+  cfg.ps_dupack.kind = DupAckPolicyKind::kTopologyAware;
+  auto& inter_pod = net.flow(0, 15, cfg, 1400);
+  auto& same_edge = net.flow(2, 3, cfg, 1400);
+  net.run(Time::millis(1));  // just construction; no need to finish
+  const auto* ps1 = inter_pod.mmptcp()->ps_subflow();
+  const auto* ps2 = same_edge.mmptcp()->ps_subflow();
+  ASSERT_NE(ps1, nullptr);
+  ASSERT_NE(ps2, nullptr);
+  EXPECT_EQ(ps1->dupack_threshold(), 4u);  // (k/2)^2
+  EXPECT_EQ(ps2->dupack_threshold(), 3u);  // 1 path, floored at 3
+}
+
+TEST(PsSubflow, CompletesDespiteReordering) {
+  // Inter-pod spray reorders packets across 4 unequal-length queues; the
+  // raised dup-ACK threshold must prevent RTOs on a clean network.
+  MiniFatTree net;
+  auto& flow = net.flow(0, 15, ps_cfg(), 500 * 1024);
+  net.run(Time::seconds(20));
+  const auto& rec = net.record(flow);
+  ASSERT_TRUE(rec.is_complete());
+  EXPECT_EQ(rec.delivered_bytes, 500u * 1024u);
+  EXPECT_EQ(rec.rto_count, 0u);
+}
+
+TEST(PsSubflow, NeverLeavesPsPhase) {
+  MiniFatTree net;
+  auto& flow = net.flow(0, 15, ps_cfg(), 2'000'000);  // way over threshold
+  net.run(Time::seconds(30));
+  const auto& rec = net.record(flow);
+  ASSERT_TRUE(rec.is_complete());
+  EXPECT_FALSE(rec.switched_phase());
+  EXPECT_EQ(flow.mmptcp()->subflow_count(), 1u);
+}
+
+}  // namespace
+}  // namespace mmptcp

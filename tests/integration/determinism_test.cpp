@@ -1,0 +1,60 @@
+// Bit-level reproducibility: identical seeds produce identical runs.
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace mmptcp {
+namespace {
+
+ScenarioConfig cfg(std::uint64_t seed) {
+  ScenarioConfig c;
+  c.fat_tree.k = 4;
+  c.transport.protocol = Protocol::kMmptcp;
+  c.transport.subflows = 4;
+  c.short_flow_count = 50;
+  c.short_rate_per_host = 20.0;
+  c.max_sim_time = Time::seconds(30);
+  c.seed = seed;
+  return c;
+}
+
+std::vector<double> fcts(const Scenario& sc) {
+  std::vector<double> out;
+  for (const auto* rec : sc.metrics().flows(
+           [](const FlowRecord& r) { return !r.long_flow; })) {
+    out.push_back(rec->is_complete() ? rec->fct().to_seconds() : -1.0);
+  }
+  return out;
+}
+
+TEST(Determinism, SameSeedSameTrace) {
+  Scenario a(cfg(42)), b(cfg(42));
+  a.run();
+  b.run();
+  EXPECT_EQ(a.sim().scheduler().executed(), b.sim().scheduler().executed());
+  EXPECT_EQ(a.end_time(), b.end_time());
+  EXPECT_EQ(fcts(a), fcts(b));
+  EXPECT_EQ(a.short_flow_rtos(), b.short_flow_rtos());
+}
+
+TEST(Determinism, DifferentSeedsDiverge) {
+  Scenario a(cfg(1)), b(cfg(2));
+  a.run();
+  b.run();
+  EXPECT_NE(fcts(a), fcts(b));
+}
+
+TEST(Determinism, ProtocolsDoNotShareRngStreams) {
+  // Changing only the protocol must not crash or hang; runs stay
+  // reproducible per (seed, protocol) pair.
+  ScenarioConfig c1 = cfg(7);
+  c1.transport.protocol = Protocol::kTcp;
+  Scenario a(c1), b(c1);
+  a.run();
+  b.run();
+  EXPECT_EQ(fcts(a), fcts(b));
+}
+
+}  // namespace
+}  // namespace mmptcp

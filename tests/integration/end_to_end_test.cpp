@@ -1,0 +1,119 @@
+// Cross-module invariants: byte conservation, routing cleanliness and
+// delivery exactness for every protocol under contention.
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+#include "workload/scenario.h"
+
+namespace mmptcp {
+namespace {
+
+class EveryProtocol : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(EveryProtocol, ContendedMixDeliversEveryByteExactlyOnce) {
+  ScenarioConfig cfg;
+  cfg.fat_tree.k = 4;
+  cfg.fat_tree.oversubscription = 2;
+  cfg.transport.protocol = GetParam();
+  cfg.transport.subflows = 4;
+  cfg.short_flow_count = 80;
+  cfg.short_rate_per_host = 20.0;
+  // Generous horizon: a worst-case RTO backoff cascade (1+2+4+8+16+32 s)
+  // must still fit before the deadline.
+  cfg.max_sim_time = Time::seconds(200);
+  cfg.seed = 5;
+  Scenario sc(cfg);
+  sc.run();
+  EXPECT_EQ(sc.shorts_started(), 80u);
+  for (const auto* rec : sc.metrics().flows(
+           [](const FlowRecord& r) { return !r.long_flow; })) {
+    ASSERT_TRUE(rec->is_complete())
+        << to_string(GetParam()) << " flow " << rec->flow_id;
+    ASSERT_EQ(rec->delivered_bytes, rec->request_bytes)
+        << to_string(GetParam()) << " flow " << rec->flow_id;
+  }
+}
+
+TEST_P(EveryProtocol, NoUnroutablePacketsEver) {
+  ScenarioConfig cfg;
+  cfg.fat_tree.k = 4;
+  cfg.transport.protocol = GetParam();
+  cfg.short_flow_count = 40;
+  cfg.short_rate_per_host = 30.0;
+  cfg.max_sim_time = Time::seconds(30);
+  Scenario sc(cfg);
+  sc.run();
+  for (std::size_t i = 0; i < sc.network().switch_count(); ++i) {
+    EXPECT_EQ(sc.network().node_switch(i).unroutable(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllFour, EveryProtocol,
+    ::testing::Values(Protocol::kTcp, Protocol::kMptcp,
+                      Protocol::kPacketScatter, Protocol::kMmptcp),
+    [](const ::testing::TestParamInfo<Protocol>& info) {
+      return to_string(info.param);
+    });
+
+TEST(EndToEnd, MixedProtocolsCoexistOnOneFabric) {
+  // The paper's deployment claim: MMPTCP coexists with TCP and MPTCP.
+  testing::MiniFatTree net;
+  TransportConfig tcp_cfg;
+  tcp_cfg.protocol = Protocol::kTcp;
+  TransportConfig mptcp_cfg;
+  mptcp_cfg.protocol = Protocol::kMptcp;
+  mptcp_cfg.subflows = 4;
+  TransportConfig mm_cfg;
+  mm_cfg.protocol = Protocol::kMmptcp;
+  mm_cfg.subflows = 4;
+
+  auto& f1 = net.flow(0, 15, tcp_cfg, 400 * 1024);
+  auto& f2 = net.flow(1, 14, mptcp_cfg, 400 * 1024);
+  auto& f3 = net.flow(2, 13, mm_cfg, 400 * 1024);
+  net.run(Time::seconds(30));
+  EXPECT_TRUE(net.record(f1).is_complete());
+  EXPECT_TRUE(net.record(f2).is_complete());
+  EXPECT_TRUE(net.record(f3).is_complete());
+}
+
+TEST(EndToEnd, SharedBottleneckIsSplitReasonably) {
+  // Three flows of different protocols from the same edge to the same
+  // destination edge: all should make progress (no starvation).
+  testing::MiniFatTree net;
+  TransportConfig tcp_cfg;
+  tcp_cfg.protocol = Protocol::kTcp;
+  TransportConfig mm_cfg;
+  mm_cfg.protocol = Protocol::kMmptcp;
+  mm_cfg.subflows = 4;
+  auto& f1 = net.flow(0, 14, tcp_cfg, 0, /*long=*/true);
+  auto& f2 = net.flow(1, 15, mm_cfg, 0, /*long=*/true);
+  net.run(Time::seconds(3));
+  const auto d1 = net.record(f1).delivered_bytes;
+  const auto d2 = net.record(f2).delivered_bytes;
+  EXPECT_GT(d1, 1'000'000u);
+  EXPECT_GT(d2, 1'000'000u);
+}
+
+TEST(EndToEnd, DemuxMissesStayNegligible) {
+  ScenarioConfig cfg;
+  cfg.fat_tree.k = 4;
+  cfg.transport.protocol = Protocol::kMmptcp;
+  cfg.short_flow_count = 60;
+  cfg.short_rate_per_host = 20.0;
+  cfg.max_sim_time = Time::seconds(30);
+  Scenario sc(cfg);
+  sc.run();
+  std::uint64_t misses = 0, delivered = 0;
+  for (std::size_t i = 0; i < sc.host_count(); ++i) {
+    misses += sc.network().host(i).demux_misses();
+    delivered += sc.network().host(i).delivered_packets();
+  }
+  EXPECT_GT(delivered, 0u);
+  // Late segments for GC'd endpoints are possible but must be rare.
+  EXPECT_LT(double(misses), 0.001 * double(delivered) + 5.0);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,57 @@
+// Burst (incast) tolerance — the paper's objective (3).
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace mmptcp {
+namespace {
+
+IncastConfig make(Protocol proto, std::uint32_t senders) {
+  IncastConfig cfg;
+  cfg.fat_tree.k = 4;
+  cfg.fat_tree.oversubscription = 4;  // 64 hosts
+  cfg.transport.protocol = proto;
+  cfg.transport.subflows = 4;
+  cfg.senders = senders;
+  cfg.bytes = 70 * 1024;
+  return cfg;
+}
+
+TEST(Incast, AllProtocolsEventuallyDeliverEverything) {
+  for (Protocol proto : {Protocol::kTcp, Protocol::kMptcp,
+                         Protocol::kPacketScatter, Protocol::kMmptcp}) {
+    const IncastResult r = run_incast(make(proto, 16));
+    EXPECT_DOUBLE_EQ(r.completion_ratio, 1.0) << to_string(proto);
+    EXPECT_EQ(r.fct_ms.count(), 16u) << to_string(proto);
+  }
+}
+
+TEST(Incast, MakespanIsAtLeastTheSerialisationBound) {
+  // 16 senders x 70 KB through one 100 Mb/s access link.
+  const IncastResult r = run_incast(make(Protocol::kMmptcp, 16));
+  const double bound_ms = 16.0 * 70 * 1024 * 8 / 100e6 * 1e3;
+  EXPECT_GE(r.makespan.to_millis(), bound_ms * 0.9);
+}
+
+TEST(Incast, LargerFanInTakesLonger) {
+  const IncastResult small = run_incast(make(Protocol::kMmptcp, 8));
+  const IncastResult big = run_incast(make(Protocol::kMmptcp, 32));
+  EXPECT_GT(big.makespan, small.makespan);
+  EXPECT_DOUBLE_EQ(big.completion_ratio, 1.0);
+}
+
+TEST(Incast, MmptcpToleratesBurstsAtLeastAsWellAsMptcp) {
+  const IncastResult mptcp = run_incast(make(Protocol::kMptcp, 32));
+  const IncastResult mm = run_incast(make(Protocol::kMmptcp, 32));
+  EXPECT_LE(mm.rtos + mm.syn_timeouts, mptcp.rtos + mptcp.syn_timeouts);
+}
+
+TEST(Incast, SendersOutsideReceiverRack) {
+  // Sanity of the harness itself: sender count is bounded by topology.
+  IncastConfig cfg = make(Protocol::kTcp, 1000);
+  EXPECT_THROW(run_incast(cfg), ConfigError);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,101 @@
+// Seeded, coarse-grained versions of the paper's headline comparisons.
+// Margins are deliberately loose: these guard the *direction* of every
+// claim (who wins), not exact numbers — the benches report the numbers.
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace mmptcp {
+namespace {
+
+ScenarioConfig base(Protocol proto, std::uint32_t subflows,
+                    std::uint64_t seed = 3) {
+  ScenarioConfig cfg;
+  cfg.fat_tree.k = 4;
+  cfg.fat_tree.oversubscription = 4;  // the paper's 4:1
+  cfg.transport.protocol = proto;
+  cfg.transport.subflows = subflows;
+  cfg.short_flow_count = 500;
+  cfg.short_rate_per_host = 6.0;
+  cfg.max_sim_time = Time::seconds(200);
+  cfg.seed = seed;
+  return cfg;
+}
+
+std::uint64_t syn_stalled_shorts(const Scenario& sc) {
+  return sc.metrics().total(
+      [](const FlowRecord& r) { return r.syn_timeouts > 0 ? 1u : 0u; },
+      [](const FlowRecord& r) { return !r.long_flow; });
+}
+
+TEST(ProtocolComparison, MptcpSubflowSynStallsGrowWithSubflowCount) {
+  // Figure 1(a)'s mechanism: with the eager scheduler, every extra
+  // subflow is another SYN whose loss strands that subflow's chunks for
+  // a 3-second connection timeout.  Aggregated over seeds to tame the
+  // Poisson noise of rare SYN losses.
+  std::uint64_t one_total = 0, eight_total = 0;
+  double eight_p99 = 0;
+  for (std::uint64_t seed : {3, 4, 5}) {
+    Scenario one(base(Protocol::kMptcp, 1, seed));
+    one.run();
+    one_total += syn_stalled_shorts(one);
+    Scenario eight(base(Protocol::kMptcp, 8, seed));
+    eight.run();
+    eight_total += syn_stalled_shorts(eight);
+    eight_p99 = std::max(eight_p99, eight.short_fct_ms().percentile(99));
+  }
+  EXPECT_GE(eight_total + 3, one_total);  // grows (small tolerance)
+  // And the tail cannot improve: p99 stays in the RTO bands.
+  EXPECT_GE(eight_p99, 900.0);
+}
+
+TEST(ProtocolComparison, MmptcpBeatsMptcpOnShortFlowTail) {
+  // Figure 1(b) vs 1(c): MMPTCP collapses the completion-time tail.
+  Scenario mptcp(base(Protocol::kMptcp, 8));
+  mptcp.run();
+  Scenario mm(base(Protocol::kMmptcp, 8));
+  mm.run();
+  const Summary m_fct = mptcp.short_fct_ms();
+  const Summary h_fct = mm.short_fct_ms();
+  EXPECT_LT(h_fct.stddev(), m_fct.stddev());
+  EXPECT_LT(h_fct.percentile(99), m_fct.percentile(99));
+  EXPECT_LT(mm.short_flows_with_rto(), mptcp.short_flows_with_rto());
+}
+
+TEST(ProtocolComparison, MmptcpLongFlowThroughputAtParityWithMptcp) {
+  // §3: "both protocols achieve the same average throughput for long
+  // flows and overall network utilisation".
+  Scenario mptcp(base(Protocol::kMptcp, 8));
+  mptcp.run();
+  Scenario mm(base(Protocol::kMmptcp, 8));
+  mm.run();
+  const double m = mptcp.long_goodput_mbps().mean();
+  const double h = mm.long_goodput_mbps().mean();
+  EXPECT_GT(h, 0.7 * m);  // parity within a generous margin
+}
+
+TEST(ProtocolComparison, PacketScatterAvoidsRtosOnShorts) {
+  Scenario ps(base(Protocol::kPacketScatter, 1));
+  ps.run();
+  Scenario mptcp(base(Protocol::kMptcp, 8));
+  mptcp.run();
+  EXPECT_LE(ps.short_flows_with_rto(), mptcp.short_flows_with_rto());
+}
+
+TEST(ProtocolComparison, MmptcpMatchesPsForShortFlows) {
+  // Shorts never leave the PS phase, so MMPTCP's short-flow behaviour
+  // should track the pure packet-scatter baseline closely (any residual
+  // gap is background heat: MMPTCP longs run in MPTCP mode post-switch).
+  Scenario ps(base(Protocol::kPacketScatter, 1));
+  ps.run();
+  Scenario mm(base(Protocol::kMmptcp, 8));
+  mm.run();
+  const double ps_p50 = ps.short_fct_ms().percentile(50);
+  const double mm_p50 = mm.short_fct_ms().percentile(50);
+  EXPECT_LT(mm_p50, ps_p50 * 3 + 10);
+  EXPECT_GT(mm_p50, ps_p50 / 3 - 10);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,83 @@
+// The reinjection ablation: the paper's MPTCP model does NOT remap data
+// stranded on a timed-out subflow (the root cause of Figure 1(b)'s
+// multi-second completion times).  With reinjection enabled, a dead
+// subflow's data migrates to its siblings after the first RTO.
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace mmptcp {
+namespace {
+
+using testing::MiniFatTree;
+
+TransportConfig cfg_with(bool reinject) {
+  TransportConfig cfg;
+  cfg.protocol = Protocol::kMptcp;
+  cfg.subflows = 4;
+  cfg.reinject_on_rto = reinject;
+  cfg.tcp.rto.min_rto = Time::millis(200);
+  cfg.tcp.rto.initial_rto = Time::millis(200);
+  return cfg;
+}
+
+/// Kills subflow `id` of every flow by dropping all its data packets at
+/// the client NIC.
+void kill_subflow(Host& host, std::uint8_t id) {
+  host.port(0).set_drop_filter([id](const Packet& pkt, std::uint64_t) {
+    return pkt.payload > 0 && pkt.subflow == id;
+  });
+}
+
+TEST(Reinjection, WithoutItAFlowStrandedOnADeadSubflowNeverFinishes) {
+  MiniFatTree net;
+  kill_subflow(net.ft.host(0), 1);
+  auto& flow = net.flow(0, 15, cfg_with(false), 100 * 1024);
+  net.run(Time::seconds(15));
+  // Subflow 1's mapped bytes can never be delivered: the connection is
+  // permanently incomplete (this is what multi-RTO stalls look like with
+  // an unlucky drop pattern).
+  const auto& rec = net.record(flow);
+  EXPECT_FALSE(rec.is_complete());
+  EXPECT_GT(rec.rto_count, 2u);  // the dead subflow keeps backing off
+  EXPECT_LT(rec.delivered_bytes, 100u * 1024u);
+}
+
+TEST(Reinjection, WithItTheFlowCompletesAfterOneRto) {
+  MiniFatTree net;
+  kill_subflow(net.ft.host(0), 1);
+  auto& flow = net.flow(0, 15, cfg_with(true), 100 * 1024);
+  net.run(Time::seconds(15));
+  const auto& rec = net.record(flow);
+  ASSERT_TRUE(rec.is_complete());
+  EXPECT_EQ(rec.delivered_bytes, 100u * 1024u);
+  EXPECT_GE(rec.rto_count, 1u);  // the trigger
+  // Completion happens shortly after the first RTO (200 ms), not after a
+  // long back-off cascade.
+  EXPECT_LT(rec.fct(), Time::seconds(3));
+}
+
+TEST(Reinjection, QueueDrainsOnceSiblingsCatchUp) {
+  MiniFatTree net;
+  kill_subflow(net.ft.host(0), 1);
+  auto& flow = net.flow(0, 15, cfg_with(true), 100 * 1024);
+  net.run(Time::seconds(15));
+  MptcpConnection* conn = flow.mptcp();
+  ASSERT_NE(conn, nullptr);
+  EXPECT_EQ(conn->reinjection_queue_depth(), 0u);
+  EXPECT_TRUE(conn->sender_complete());
+}
+
+TEST(Reinjection, HealthySubflowsNeverTriggerIt) {
+  MiniFatTree net;
+  auto& flow = net.flow(0, 15, cfg_with(true), 100 * 1024);
+  net.run(Time::seconds(15));
+  MptcpConnection* conn = flow.mptcp();
+  EXPECT_TRUE(net.record(flow).is_complete());
+  EXPECT_EQ(conn->reinjection_queue_depth(), 0u);
+  EXPECT_EQ(net.record(flow).rto_count, 0u);
+}
+
+}  // namespace
+}  // namespace mmptcp

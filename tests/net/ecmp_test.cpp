@@ -1,0 +1,75 @@
+#include "net/ecmp.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/check.h"
+
+namespace mmptcp {
+namespace {
+
+TEST(Ecmp, SelectStaysInRange) {
+  for (std::uint16_t sport = 0; sport < 1000; ++sport) {
+    const auto pick =
+        ecmp_select(1, Addr{10}, Addr{20}, sport, 5001, 7);
+    EXPECT_LT(pick, 7u);
+  }
+}
+
+TEST(Ecmp, DeterministicForSameTuple) {
+  const auto a = ecmp_select(42, Addr{1}, Addr{2}, 100, 200, 16);
+  const auto b = ecmp_select(42, Addr{1}, Addr{2}, 100, 200, 16);
+  EXPECT_EQ(a, b);
+}
+
+TEST(Ecmp, SaltDecorrelatesSwitches) {
+  // Two switches with different salts must not make identical choices for
+  // every flow (that would collapse the multipath fabric).
+  int same = 0;
+  for (std::uint16_t sport = 0; sport < 1000; ++sport) {
+    const auto a = ecmp_select(1, Addr{1}, Addr{2}, sport, 5001, 4);
+    const auto b = ecmp_select(2, Addr{1}, Addr{2}, sport, 5001, 4);
+    if (a == b) ++same;
+  }
+  EXPECT_GT(same, 150);  // ~25% expected
+  EXPECT_LT(same, 400);
+}
+
+TEST(Ecmp, SourcePortSpreadsFlows) {
+  // Randomising the source port (packet scatter) must reach every path.
+  std::vector<int> hits(16, 0);
+  for (std::uint16_t sport = 49152; sport < 49152 + 2000; ++sport) {
+    ++hits[ecmp_select(7, Addr{1}, Addr{2}, sport, 5001, 16)];
+  }
+  for (int h : hits) EXPECT_GT(h, 0);
+}
+
+TEST(Ecmp, RoughlyUniformAcrossBuckets) {
+  constexpr int kBuckets = 8;
+  constexpr int kTrials = 80000;
+  std::vector<int> hits(kBuckets, 0);
+  for (int i = 0; i < kTrials; ++i) {
+    ++hits[ecmp_select(99, Addr{std::uint32_t(i)}, Addr{2},
+                       std::uint16_t(i * 31), 5001, kBuckets)];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(h, kTrials / kBuckets, kTrials / kBuckets * 0.1);
+  }
+}
+
+TEST(Ecmp, ZeroCandidatesRejected) {
+  EXPECT_THROW(ecmp_select(1, Addr{1}, Addr{2}, 1, 2, 0), InvariantError);
+}
+
+TEST(Ecmp, HashMixesAllInputs) {
+  const auto base = ecmp_hash(1, Addr{1}, Addr{2}, 3, 4);
+  EXPECT_NE(base, ecmp_hash(2, Addr{1}, Addr{2}, 3, 4));
+  EXPECT_NE(base, ecmp_hash(1, Addr{9}, Addr{2}, 3, 4));
+  EXPECT_NE(base, ecmp_hash(1, Addr{1}, Addr{9}, 3, 4));
+  EXPECT_NE(base, ecmp_hash(1, Addr{1}, Addr{2}, 9, 4));
+  EXPECT_NE(base, ecmp_hash(1, Addr{1}, Addr{2}, 3, 9));
+}
+
+}  // namespace
+}  // namespace mmptcp

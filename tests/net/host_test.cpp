@@ -1,0 +1,158 @@
+#include "net/host.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "../test_util.h"
+
+namespace mmptcp {
+namespace {
+
+using testing::PairNet;
+
+/// Endpoint that records everything delivered to it.
+class RecordingEndpoint final : public Endpoint {
+ public:
+  void handle_packet(const Packet& pkt) override { received.push_back(pkt); }
+  std::vector<Packet> received;
+};
+
+Packet packet_between(const Host& from, const Host& to) {
+  Packet p;
+  p.src = from.addr();
+  p.dst = to.addr();
+  p.sport = 1000;
+  p.dport = 5001;
+  return p;
+}
+
+TEST(Host, DeliversByToken) {
+  PairNet pn;
+  RecordingEndpoint ep;
+  pn.b.register_token(77, &ep);
+  Packet p = packet_between(pn.a, pn.b);
+  p.token = 77;
+  pn.a.send(p);
+  pn.sim.scheduler().run();
+  ASSERT_EQ(ep.received.size(), 1u);
+  EXPECT_EQ(ep.received[0].token, 77u);
+  EXPECT_EQ(pn.b.delivered_packets(), 1u);
+}
+
+TEST(Host, SynGoesToListener) {
+  PairNet pn;
+  std::vector<Packet> accepted;
+  pn.b.listen(5001, [&](const Packet& syn) { accepted.push_back(syn); });
+  Packet p = packet_between(pn.a, pn.b);
+  p.flags = pkt_flags::kSyn;
+  p.token = 123;  // unknown token: must fall through to the listener
+  pn.a.send(p);
+  pn.sim.scheduler().run();
+  ASSERT_EQ(accepted.size(), 1u);
+  EXPECT_EQ(accepted[0].token, 123u);
+}
+
+TEST(Host, TokenTakesPrecedenceOverListener) {
+  PairNet pn;
+  RecordingEndpoint ep;
+  pn.b.register_token(9, &ep);
+  bool listener_hit = false;
+  pn.b.listen(5001, [&](const Packet&) { listener_hit = true; });
+  Packet p = packet_between(pn.a, pn.b);
+  p.flags = pkt_flags::kSyn;
+  p.token = 9;
+  pn.a.send(p);
+  pn.sim.scheduler().run();
+  EXPECT_EQ(ep.received.size(), 1u);
+  EXPECT_FALSE(listener_hit);
+}
+
+TEST(Host, UnmatchedPacketCountsAsDemuxMiss) {
+  PairNet pn;
+  Packet p = packet_between(pn.a, pn.b);
+  p.token = 404;
+  pn.a.send(p);
+  pn.sim.scheduler().run();
+  EXPECT_EQ(pn.b.demux_misses(), 1u);
+  EXPECT_EQ(pn.b.delivered_packets(), 0u);
+}
+
+TEST(Host, NonSynForUnknownTokenNotGivenToListener) {
+  PairNet pn;
+  bool listener_hit = false;
+  pn.b.listen(5001, [&](const Packet&) { listener_hit = true; });
+  Packet p = packet_between(pn.a, pn.b);  // no SYN flag
+  p.token = 5;
+  pn.a.send(p);
+  pn.sim.scheduler().run();
+  EXPECT_FALSE(listener_hit);
+  EXPECT_EQ(pn.b.demux_misses(), 1u);
+}
+
+TEST(Host, WrongDestinationDropped) {
+  PairNet pn;
+  RecordingEndpoint ep;
+  pn.b.register_token(1, &ep);
+  Packet p = packet_between(pn.a, pn.b);
+  p.dst = Addr{0xdeadbeef};  // not b's address, but the direct link
+  p.token = 1;               // delivers it to b anyway
+  pn.a.send(p);
+  pn.sim.scheduler().run();
+  EXPECT_TRUE(ep.received.empty());
+  EXPECT_EQ(pn.b.demux_misses(), 1u);
+}
+
+TEST(Host, UnregisterStopsDelivery) {
+  PairNet pn;
+  RecordingEndpoint ep;
+  pn.b.register_token(8, &ep);
+  pn.b.unregister_token(8);
+  Packet p = packet_between(pn.a, pn.b);
+  p.token = 8;
+  pn.a.send(p);
+  pn.sim.scheduler().run();
+  EXPECT_TRUE(ep.received.empty());
+}
+
+TEST(Host, DuplicateTokenRegistrationRejected) {
+  PairNet pn;
+  RecordingEndpoint e1, e2;
+  pn.a.register_token(5, &e1);
+  EXPECT_THROW(pn.a.register_token(5, &e2), InvariantError);
+}
+
+TEST(Host, DuplicateListenerRejected) {
+  PairNet pn;
+  pn.a.listen(80, [](const Packet&) {});
+  EXPECT_THROW(pn.a.listen(80, [](const Packet&) {}), InvariantError);
+  pn.a.unlisten(80);
+  EXPECT_NO_THROW(pn.a.listen(80, [](const Packet&) {}));
+}
+
+TEST(Host, TokensAreUniquePerHostAndAcrossHosts) {
+  PairNet pn;
+  std::set<std::uint32_t> tokens;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(tokens.insert(pn.a.next_token()).second);
+    EXPECT_TRUE(tokens.insert(pn.b.next_token()).second);
+  }
+}
+
+TEST(Host, EphemeralPortsAdvance) {
+  PairNet pn;
+  const auto p1 = pn.a.ephemeral_port();
+  const auto p2 = pn.a.ephemeral_port();
+  EXPECT_NE(p1, p2);
+  EXPECT_GE(p1, 49152);
+}
+
+TEST(Host, SendWithoutNicRejected) {
+  Simulation sim(1);
+  Network net(sim);
+  Host& lonely = net.make_host("lonely", Addr{1});
+  EXPECT_THROW(lonely.send(Packet{}), InvariantError);
+}
+
+}  // namespace
+}  // namespace mmptcp

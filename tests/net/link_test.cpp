@@ -1,0 +1,148 @@
+#include "net/link.h"
+
+#include <gtest/gtest.h>
+
+#include "net/node.h"
+#include "sim/simulation.h"
+
+namespace mmptcp {
+namespace {
+
+/// Records arrivals with timestamps.
+class SinkNode final : public Node {
+ public:
+  SinkNode(Simulation& sim, NodeId id) : Node(sim, id, "sink") {}
+
+  void receive(Packet pkt, std::size_t in_port) override {
+    arrivals.push_back({sim().now(), pkt, in_port});
+  }
+
+  struct Arrival {
+    Time at;
+    Packet pkt;
+    std::size_t in_port;
+  };
+  std::vector<Arrival> arrivals;
+};
+
+/// One port + channel feeding a SinkNode.
+struct Rig {
+  explicit Rig(std::uint64_t rate = 100'000'000,
+               Time delay = Time::micros(10),
+               QueueLimits limits = QueueLimits{100, 0})
+      : sim(1), sink(sim, 0), channel(sim.scheduler(), delay),
+        port(sim.scheduler(), "p", rate, limits, &channel,
+             LinkLayer::kHostEdge) {
+    channel.attach_sink(&sink, 7);
+  }
+
+  Simulation sim;
+  SinkNode sink;
+  Channel channel;
+  Port port;
+};
+
+Packet make_packet(std::uint32_t payload) {
+  Packet p;
+  p.payload = payload;
+  return p;
+}
+
+TEST(Link, SinglePacketTiming) {
+  Rig rig;  // 100 Mb/s, 10 us propagation
+  rig.port.enqueue(make_packet(1460));  // 1500 wire bytes -> 120 us
+  rig.sim.scheduler().run();
+  ASSERT_EQ(rig.sink.arrivals.size(), 1u);
+  EXPECT_EQ(rig.sink.arrivals[0].at, Time::micros(130));
+  EXPECT_EQ(rig.sink.arrivals[0].in_port, 7u);
+}
+
+TEST(Link, BackToBackPacketsSerialise) {
+  Rig rig;
+  rig.port.enqueue(make_packet(1460));
+  rig.port.enqueue(make_packet(1460));
+  rig.sim.scheduler().run();
+  ASSERT_EQ(rig.sink.arrivals.size(), 2u);
+  EXPECT_EQ(rig.sink.arrivals[0].at, Time::micros(130));
+  EXPECT_EQ(rig.sink.arrivals[1].at, Time::micros(250));  // +120 us
+}
+
+TEST(Link, FifoDeliveryOrder) {
+  Rig rig;
+  for (std::uint32_t i = 0; i < 5; ++i) rig.port.enqueue(make_packet(i));
+  rig.sim.scheduler().run();
+  ASSERT_EQ(rig.sink.arrivals.size(), 5u);
+  for (std::uint32_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(rig.sink.arrivals[i].pkt.payload, i);
+  }
+}
+
+TEST(Link, QueueOverflowDropsAndCounts) {
+  Rig rig(100'000'000, Time::micros(10), QueueLimits{2, 0});
+  // First packet starts transmitting immediately (leaves the queue), so
+  // capacity 2 admits three packets in total before dropping.
+  for (int i = 0; i < 5; ++i) rig.port.enqueue(make_packet(1000));
+  rig.sim.scheduler().run();
+  EXPECT_EQ(rig.sink.arrivals.size(), 3u);
+  EXPECT_EQ(rig.port.counters().dropped_packets, 2u);
+  EXPECT_EQ(rig.port.counters().enqueued_packets, 3u);
+  EXPECT_EQ(rig.port.counters().tx_packets, 3u);
+}
+
+TEST(Link, CountersTrackBytes) {
+  Rig rig;
+  rig.port.enqueue(make_packet(960));  // 1000 wire bytes
+  rig.sim.scheduler().run();
+  EXPECT_EQ(rig.port.counters().tx_bytes, 1000u);
+  EXPECT_EQ(rig.port.counters().enqueued_bytes, 1000u);
+}
+
+TEST(Link, DropFilterInjectsLoss) {
+  Rig rig;
+  rig.port.set_drop_filter([](const Packet&, std::uint64_t index) {
+    return index == 1;  // drop the second packet offered
+  });
+  for (std::uint32_t i = 0; i < 3; ++i) rig.port.enqueue(make_packet(i));
+  rig.sim.scheduler().run();
+  ASSERT_EQ(rig.sink.arrivals.size(), 2u);
+  EXPECT_EQ(rig.sink.arrivals[0].pkt.payload, 0u);
+  EXPECT_EQ(rig.sink.arrivals[1].pkt.payload, 2u);
+  EXPECT_EQ(rig.port.counters().injected_drops, 1u);
+  EXPECT_EQ(rig.port.counters().dropped_packets, 1u);
+}
+
+TEST(Link, ZeroDelayChannelStillOrders) {
+  Rig rig(100'000'000, Time::zero());
+  rig.port.enqueue(make_packet(100));
+  rig.port.enqueue(make_packet(200));
+  rig.sim.scheduler().run();
+  ASSERT_EQ(rig.sink.arrivals.size(), 2u);
+  EXPECT_EQ(rig.sink.arrivals[0].pkt.payload, 100u);
+}
+
+TEST(Link, LayerTagPreserved) {
+  Rig rig;
+  EXPECT_EQ(rig.port.layer(), LinkLayer::kHostEdge);
+  EXPECT_EQ(to_string(LinkLayer::kAggCore), "agg-core");
+  EXPECT_EQ(to_string(LinkLayer::kEdgeAgg), "edge-agg");
+}
+
+TEST(Link, InvalidConstructionRejected) {
+  Simulation sim(1);
+  Channel ch(sim.scheduler(), Time::micros(1));
+  EXPECT_THROW(Port(sim.scheduler(), "p", 0, QueueLimits{}, &ch,
+                    LinkLayer::kOther),
+               InvariantError);
+  EXPECT_THROW(Port(sim.scheduler(), "p", 1000, QueueLimits{}, nullptr,
+                    LinkLayer::kOther),
+               InvariantError);
+}
+
+TEST(Link, ChannelRequiresAttachedSink) {
+  Simulation sim(1);
+  Channel ch(sim.scheduler(), Time::micros(1));
+  EXPECT_THROW(ch.deliver(Packet{}), InvariantError);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,76 @@
+#include "net/packet.h"
+
+#include <gtest/gtest.h>
+
+namespace mmptcp {
+namespace {
+
+TEST(Packet, BaseHeaderSize) {
+  Packet p;
+  EXPECT_EQ(p.size_bytes(), 40u);  // IP + TCP, no payload
+}
+
+TEST(Packet, PayloadAddsToWireSize) {
+  Packet p;
+  p.payload = 1400;
+  EXPECT_EQ(p.size_bytes(), 1440u);
+}
+
+TEST(Packet, DssOptionAddsHeaderBytes) {
+  Packet p;
+  p.payload = 1400;
+  p.flags |= pkt_flags::kDss;
+  EXPECT_EQ(p.size_bytes(), 1460u);
+}
+
+TEST(Packet, FlagHelpers) {
+  Packet p;
+  EXPECT_FALSE(p.is_syn());
+  EXPECT_FALSE(p.is_data());
+  p.flags |= pkt_flags::kSyn;
+  p.payload = 1;
+  EXPECT_TRUE(p.is_syn());
+  EXPECT_TRUE(p.is_data());
+  EXPECT_TRUE(p.has(pkt_flags::kSyn));
+  EXPECT_FALSE(p.has(pkt_flags::kFin));
+}
+
+TEST(Packet, FlagsAreDistinctBits) {
+  const std::uint8_t all = pkt_flags::kSyn | pkt_flags::kFin |
+                           pkt_flags::kJoin | pkt_flags::kDss |
+                           pkt_flags::kPs | pkt_flags::kDataFin |
+                           pkt_flags::kDsack;
+  int bits = 0;
+  for (int i = 0; i < 8; ++i) bits += (all >> i) & 1;
+  EXPECT_EQ(bits, 7);
+}
+
+TEST(Packet, ToStringMentionsKeyFields) {
+  Packet p;
+  p.src = Addr{0x0a010203};
+  p.dst = Addr{0x0a040506};
+  p.sport = 1234;
+  p.dport = 5001;
+  p.seq = 42;
+  p.payload = 100;
+  p.flags = pkt_flags::kSyn | pkt_flags::kPs;
+  const auto s = p.to_string();
+  EXPECT_NE(s.find("10.1.2.3"), std::string::npos);
+  EXPECT_NE(s.find("5001"), std::string::npos);
+  EXPECT_NE(s.find("SYN"), std::string::npos);
+  EXPECT_NE(s.find("PS"), std::string::npos);
+  EXPECT_NE(s.find("seq=42"), std::string::npos);
+}
+
+TEST(Addr, DottedRendering) {
+  EXPECT_EQ((Addr{0x0a000102}.to_string()), "10.0.1.2");
+}
+
+TEST(Addr, Comparisons) {
+  EXPECT_EQ((Addr{5}), (Addr{5}));
+  EXPECT_NE((Addr{5}), (Addr{6}));
+  EXPECT_LT((Addr{5}), (Addr{6}));
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,101 @@
+#include "net/queue.h"
+
+#include <gtest/gtest.h>
+
+namespace mmptcp {
+namespace {
+
+Packet make_packet(std::uint32_t payload) {
+  Packet p;
+  p.payload = payload;
+  return p;
+}
+
+TEST(DropTailQueue, FifoOrder) {
+  DropTailQueue q;
+  for (std::uint32_t i = 1; i <= 3; ++i) {
+    EXPECT_TRUE(q.try_push(make_packet(i * 100)));
+  }
+  EXPECT_EQ(q.pop()->payload, 100u);
+  EXPECT_EQ(q.pop()->payload, 200u);
+  EXPECT_EQ(q.pop()->payload, 300u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(DropTailQueue, PacketLimitDrops) {
+  DropTailQueue q({2, 0});
+  EXPECT_TRUE(q.try_push(make_packet(10)));
+  EXPECT_TRUE(q.try_push(make_packet(10)));
+  EXPECT_FALSE(q.try_push(make_packet(10)));
+  EXPECT_EQ(q.size_packets(), 2u);
+}
+
+TEST(DropTailQueue, ByteLimitDrops) {
+  DropTailQueue q({0, 100});
+  EXPECT_TRUE(q.try_push(make_packet(20)));  // 60 wire bytes
+  EXPECT_FALSE(q.try_push(make_packet(20))); // would exceed 100
+  EXPECT_TRUE(q.try_push(make_packet(0)));   // 40 bytes fits exactly
+  EXPECT_EQ(q.size_bytes(), 100u);
+}
+
+TEST(DropTailQueue, UnlimitedWhenBothZero) {
+  DropTailQueue q({0, 0});
+  for (int i = 0; i < 10000; ++i) ASSERT_TRUE(q.try_push(make_packet(1400)));
+  EXPECT_EQ(q.size_packets(), 10000u);
+}
+
+TEST(DropTailQueue, ByteAccountingAcrossPops) {
+  DropTailQueue q;
+  q.try_push(make_packet(100));
+  q.try_push(make_packet(200));
+  EXPECT_EQ(q.size_bytes(), 140u + 240u);
+  q.pop();
+  EXPECT_EQ(q.size_bytes(), 240u);
+  q.pop();
+  EXPECT_EQ(q.size_bytes(), 0u);
+}
+
+TEST(SharedBufferPool, AdmitsUpToCapacity) {
+  SharedBufferPool pool(1000, 1000.0);  // huge alpha: only capacity binds
+  EXPECT_TRUE(pool.admits(0, 1000));
+  pool.on_enqueue(900);
+  EXPECT_TRUE(pool.admits(0, 100));
+  EXPECT_FALSE(pool.admits(0, 101));
+  pool.on_dequeue(900);
+  EXPECT_EQ(pool.used(), 0u);
+}
+
+TEST(SharedBufferPool, DynamicThresholdLimitsHotPort) {
+  // alpha=1: a port may hold at most as much as the remaining free space.
+  SharedBufferPool pool(1000, 1.0);
+  // Port already holding 600 with 400 free: threshold is 400 -> reject.
+  pool.on_enqueue(600);
+  EXPECT_FALSE(pool.admits(600, 1));
+  // A fresh port (holding 0) may still enqueue.
+  EXPECT_TRUE(pool.admits(0, 300));
+}
+
+TEST(SharedBufferPool, AccountingUnderflowCaught) {
+  SharedBufferPool pool(100, 1.0);
+  EXPECT_THROW(pool.on_dequeue(1), InvariantError);
+}
+
+TEST(SharedBufferPool, InvalidConfigRejected) {
+  EXPECT_THROW(SharedBufferPool(0, 1.0), ConfigError);
+  EXPECT_THROW(SharedBufferPool(100, 0.0), ConfigError);
+}
+
+TEST(DropTailQueue, SharedPoolGatesAdmission) {
+  SharedBufferPool pool(200, 1000.0);
+  DropTailQueue q1({0, 0}, &pool);
+  DropTailQueue q2({0, 0}, &pool);
+  EXPECT_TRUE(q1.try_push(make_packet(60)));   // 100 bytes
+  EXPECT_TRUE(q2.try_push(make_packet(60)));   // pool now full (200)
+  EXPECT_FALSE(q1.try_push(make_packet(0)));   // no room for 40 more
+  q2.pop();                                    // frees 100
+  EXPECT_TRUE(q1.try_push(make_packet(0)));
+  EXPECT_EQ(pool.used(), 140u);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,165 @@
+#include "sim/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mmptcp {
+namespace {
+
+TEST(Scheduler, ExecutesInTimeOrder) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(Time::millis(3), [&] { order.push_back(3); });
+  s.schedule(Time::millis(1), [&] { order.push_back(1); });
+  s.schedule(Time::millis(2), [&] { order.push_back(2); });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(s.now(), Time::millis(3));
+}
+
+TEST(Scheduler, SameTimestampIsFifo) {
+  Scheduler s;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    s.schedule(Time::millis(5), [&order, i] { order.push_back(i); });
+  }
+  s.run();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Scheduler, ClockAdvancesToEventTime) {
+  Scheduler s;
+  Time seen;
+  s.schedule(Time::micros(250), [&] { seen = s.now(); });
+  s.run();
+  EXPECT_EQ(seen, Time::micros(250));
+}
+
+TEST(Scheduler, CancelPreventsExecution) {
+  Scheduler s;
+  bool ran = false;
+  const EventId id = s.schedule(Time::millis(1), [&] { ran = true; });
+  s.cancel(id);
+  s.run();
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, CancelAfterExecutionIsNoop) {
+  Scheduler s;
+  const EventId id = s.schedule(Time::millis(1), [] {});
+  s.run();
+  s.cancel(id);  // must not disturb future events
+  bool ran = false;
+  s.schedule(Time::millis(1), [&] { ran = true; });
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, CancelInvalidIdIsNoop) {
+  Scheduler s;
+  s.cancel(EventId{});
+  s.cancel(EventId{9999});
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+TEST(Scheduler, RunUntilStopsAtHorizon) {
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(Time::millis(1), [&] { order.push_back(1); });
+  s.schedule(Time::millis(10), [&] { order.push_back(10); });
+  const auto ran = s.run_until(Time::millis(5));
+  EXPECT_EQ(ran, 1u);
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(s.now(), Time::millis(5));  // clock parked at the horizon
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 10}));
+}
+
+TEST(Scheduler, RunUntilIncludesEventsAtHorizon) {
+  Scheduler s;
+  bool ran = false;
+  s.schedule(Time::millis(5), [&] { ran = true; });
+  s.run_until(Time::millis(5));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Scheduler, EventsCanScheduleMoreEvents) {
+  Scheduler s;
+  std::vector<Time> at;
+  s.schedule(Time::millis(1), [&] {
+    at.push_back(s.now());
+    s.schedule(Time::millis(1), [&] { at.push_back(s.now()); });
+  });
+  s.run();
+  ASSERT_EQ(at.size(), 2u);
+  EXPECT_EQ(at[0], Time::millis(1));
+  EXPECT_EQ(at[1], Time::millis(2));
+}
+
+TEST(Scheduler, StopHaltsRun) {
+  Scheduler s;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    s.schedule(Time::millis(i), [&] {
+      ++count;
+      if (count == 3) s.stop();
+    });
+  }
+  s.run();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(s.pending(), 7u);
+}
+
+TEST(Scheduler, StepExecutesExactlyOne) {
+  Scheduler s;
+  int count = 0;
+  s.schedule(Time::millis(1), [&] { ++count; });
+  s.schedule(Time::millis(2), [&] { ++count; });
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(s.step());
+  EXPECT_EQ(count, 2);
+  EXPECT_FALSE(s.step());
+}
+
+TEST(Scheduler, SchedulingInThePastThrows) {
+  Scheduler s;
+  s.schedule(Time::millis(5), [] {});
+  s.run();
+  EXPECT_THROW(s.schedule_at(Time::millis(1), [] {}), InvariantError);
+  EXPECT_THROW(s.schedule(Time::millis(-1), [] {}), InvariantError);
+}
+
+TEST(Scheduler, EmptyCallbackRejected) {
+  Scheduler s;
+  EXPECT_THROW(s.schedule(Time::millis(1), Scheduler::Callback{}),
+               InvariantError);
+}
+
+TEST(Scheduler, ExecutedCounter) {
+  Scheduler s;
+  for (int i = 0; i < 5; ++i) s.schedule(Time::millis(i + 1), [] {});
+  s.run();
+  EXPECT_EQ(s.executed(), 5u);
+}
+
+TEST(Scheduler, ManyEventsStressOrdering) {
+  Scheduler s;
+  Time last = Time::zero();
+  bool monotone = true;
+  for (int i = 0; i < 20000; ++i) {
+    s.schedule(Time::nanos((i * 7919) % 100000), [&] {
+      if (s.now() < last) monotone = false;
+      last = s.now();
+    });
+  }
+  s.run();
+  EXPECT_TRUE(monotone);
+  EXPECT_EQ(s.executed(), 20000u);
+}
+
+}  // namespace
+}  // namespace mmptcp

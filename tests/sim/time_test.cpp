@@ -1,0 +1,91 @@
+#include "sim/time.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace mmptcp {
+namespace {
+
+TEST(Time, UnitConstructorsAgree) {
+  EXPECT_EQ(Time::seconds(1), Time::millis(1000));
+  EXPECT_EQ(Time::millis(1), Time::micros(1000));
+  EXPECT_EQ(Time::micros(1), Time::nanos(1000));
+  EXPECT_EQ(Time::zero().ns(), 0);
+}
+
+TEST(Time, Arithmetic) {
+  const Time a = Time::millis(3);
+  const Time b = Time::millis(2);
+  EXPECT_EQ((a + b).ns(), 5'000'000);
+  EXPECT_EQ((a - b).ns(), 1'000'000);
+  EXPECT_EQ((a * 4).ns(), 12'000'000);
+  EXPECT_EQ((4 * a).ns(), 12'000'000);
+  EXPECT_EQ((a / 3).ns(), 1'000'000);
+  EXPECT_EQ(a / b, 1);  // integer ratio
+  Time c = a;
+  c += b;
+  EXPECT_EQ(c, Time::millis(5));
+  c -= a;
+  EXPECT_EQ(c, b);
+}
+
+TEST(Time, Comparisons) {
+  EXPECT_LT(Time::micros(1), Time::micros(2));
+  EXPECT_LE(Time::micros(2), Time::micros(2));
+  EXPECT_GT(Time::micros(3), Time::micros(2));
+  EXPECT_NE(Time::micros(3), Time::micros(2));
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(Time::millis(1500).to_seconds(), 1.5);
+  EXPECT_DOUBLE_EQ(Time::micros(2500).to_millis(), 2.5);
+  EXPECT_DOUBLE_EQ(Time::nanos(3500).to_micros(), 3.5);
+}
+
+TEST(Time, FromSecondsRounds) {
+  EXPECT_EQ(Time::from_seconds(1.5), Time::millis(1500));
+  EXPECT_EQ(Time::from_seconds(0.0000000005).ns(), 1);  // rounds up from 0.5ns
+}
+
+TEST(Time, NegativeDetection) {
+  EXPECT_TRUE((Time::zero() - Time::nanos(1)).is_negative());
+  EXPECT_FALSE(Time::zero().is_negative());
+  EXPECT_TRUE(Time::zero().is_zero());
+}
+
+TEST(Time, ToStringPicksUnit) {
+  EXPECT_EQ(Time::seconds(2).to_string(), "2s");
+  EXPECT_EQ(Time::millis(3).to_string(), "3ms");
+  EXPECT_EQ(Time::micros(4).to_string(), "4us");
+  EXPECT_EQ(Time::nanos(5).to_string(), "5ns");
+}
+
+TEST(TransmissionTime, ExactValues) {
+  // 1500 bytes at 100 Mb/s = 120 us.
+  EXPECT_EQ(transmission_time(1500, 100'000'000), Time::micros(120));
+  // 1 byte at 1 Gb/s = 8 ns.
+  EXPECT_EQ(transmission_time(1, 1'000'000'000), Time::nanos(8));
+}
+
+TEST(TransmissionTime, RoundsUpToOneNanosecond) {
+  // 1 byte at 100 Gb/s = 0.08 ns -> rounds up to 1 ns.
+  EXPECT_EQ(transmission_time(1, 100'000'000'000ULL), Time::nanos(1));
+}
+
+TEST(TransmissionTime, ZeroBytesZeroTime) {
+  EXPECT_EQ(transmission_time(0, 1'000'000), Time::zero());
+}
+
+TEST(TransmissionTime, RejectsZeroRate) {
+  EXPECT_THROW(transmission_time(100, 0), InvariantError);
+}
+
+TEST(TransmissionTime, NoOverflowOnHugeInputs) {
+  // 1 TB at 1 kb/s: enormous but must not overflow the intermediate math.
+  const Time t = transmission_time(1'000'000'000'000ULL, 1000);
+  EXPECT_GT(t, Time::seconds(1'000'000));
+}
+
+}  // namespace
+}  // namespace mmptcp

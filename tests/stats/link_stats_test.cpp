@@ -1,0 +1,92 @@
+#include "stats/link_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "topo/fat_tree.h"
+
+namespace mmptcp {
+namespace {
+
+class NullEndpoint final : public Endpoint {
+ public:
+  void handle_packet(const Packet&) override {}
+};
+
+TEST(LinkStats, AggregatesByLayer) {
+  Simulation sim(1);
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  FatTree ft(sim, cfg);
+  NullEndpoint ep;
+  ft.host(15).register_token(1, &ep);
+  // Push some inter-pod traffic through the fabric.
+  for (int i = 0; i < 50; ++i) {
+    Packet p;
+    p.src = ft.host(0).addr();
+    p.dst = ft.host(15).addr();
+    p.sport = static_cast<std::uint16_t>(1000 + i);
+    p.token = 1;
+    p.payload = 1400;
+    ft.host(0).send(p);
+  }
+  sim.scheduler().run();
+
+  const auto stats = collect_layer_stats(ft.network());
+  ASSERT_TRUE(stats.count(LinkLayer::kHostEdge));
+  ASSERT_TRUE(stats.count(LinkLayer::kEdgeAgg));
+  ASSERT_TRUE(stats.count(LinkLayer::kAggCore));
+  // Host->edge carries all 50; edge->agg and agg->core carry 50 total in
+  // the up direction (plus 0 down drops).
+  EXPECT_EQ(stats.at(LinkLayer::kHostEdge).tx_packets, 100u);  // up + down
+  EXPECT_EQ(stats.at(LinkLayer::kEdgeAgg).tx_packets, 100u);
+  EXPECT_EQ(stats.at(LinkLayer::kAggCore).tx_packets, 100u);
+  EXPECT_EQ(stats.at(LinkLayer::kAggCore).dropped_packets, 0u);
+  EXPECT_DOUBLE_EQ(stats.at(LinkLayer::kAggCore).loss_rate(), 0.0);
+}
+
+TEST(LinkStats, LossRateCountsDrops) {
+  Simulation sim(1);
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  cfg.queue = QueueLimits{2, 0};  // tiny switch queues force drops
+  FatTree ft(sim, cfg);
+  NullEndpoint ep;
+  ft.host(15).register_token(1, &ep);
+  // Two senders converge on one destination: the fan-in overflows the
+  // destination edge's 2-packet down-port queue.
+  for (int i = 0; i < 200; ++i) {
+    for (const std::size_t src : {std::size_t(0), std::size_t(2)}) {
+      Packet p;
+      p.src = ft.host(src).addr();
+      p.dst = ft.host(15).addr();
+      p.sport = 777;
+      p.token = 1;
+      p.payload = 1400;
+      ft.host(src).send(p);
+    }
+  }
+  sim.scheduler().run();
+  const auto stats = collect_layer_stats(ft.network());
+  std::uint64_t drops = 0;
+  for (const auto& [layer, s] : stats) drops += s.dropped_packets;
+  EXPECT_GT(drops, 0u);
+}
+
+TEST(LinkStats, UtilizationMath) {
+  LayerStats s;
+  s.tx_bytes = 12'500'000;  // 100 Mbit
+  s.capacity_bps_sum = 100'000'000;
+  EXPECT_NEAR(s.utilization(Time::seconds(2)), 0.5, 1e-9);
+  EXPECT_DOUBLE_EQ(s.utilization(Time::zero()), 0.0);
+}
+
+TEST(LinkStats, LossRateGuardsEmpty) {
+  LayerStats s;
+  EXPECT_DOUBLE_EQ(s.loss_rate(), 0.0);
+  s.offered_packets = 10;
+  s.dropped_packets = 1;
+  EXPECT_DOUBLE_EQ(s.loss_rate(), 0.1);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,139 @@
+#include "stats/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace mmptcp {
+namespace {
+
+TEST(Metrics, FlowIdsAreDense) {
+  Metrics m;
+  const auto& a = m.on_flow_started(Protocol::kTcp, Addr{1}, Addr{2}, 100,
+                                    false, Time::zero());
+  const auto& b = m.on_flow_started(Protocol::kMptcp, Addr{1}, Addr{2}, 0,
+                                    true, Time::millis(5));
+  EXPECT_EQ(a.flow_id, 0u);
+  EXPECT_EQ(b.flow_id, 1u);
+  EXPECT_EQ(m.flow_count(), 2u);
+  EXPECT_THROW(m.record(2), InvariantError);
+}
+
+TEST(Metrics, CompletionAndFct) {
+  Metrics m;
+  auto& rec = m.on_flow_started(Protocol::kTcp, Addr{1}, Addr{2}, 100, false,
+                                Time::millis(10));
+  EXPECT_FALSE(rec.is_complete());
+  m.on_flow_completed(rec.flow_id, Time::millis(35));
+  EXPECT_TRUE(rec.is_complete());
+  EXPECT_EQ(rec.fct(), Time::millis(25));
+  EXPECT_THROW(m.on_flow_completed(rec.flow_id, Time::millis(40)),
+               InvariantError);
+}
+
+TEST(Metrics, CountersAccumulate) {
+  Metrics m;
+  auto& rec = m.on_flow_started(Protocol::kMmptcp, Addr{1}, Addr{2}, 100,
+                                false, Time::zero());
+  m.on_rto(rec.flow_id);
+  m.on_rto(rec.flow_id);
+  m.on_fast_retransmit(rec.flow_id);
+  m.on_spurious_retransmit(rec.flow_id);
+  m.on_syn_timeout(rec.flow_id);
+  m.on_data_packet_sent(rec.flow_id);
+  m.on_delivered(rec.flow_id, 70);
+  m.on_subflow_used(rec.flow_id);
+  EXPECT_EQ(rec.rto_count, 2u);
+  EXPECT_EQ(rec.fast_retransmits, 1u);
+  EXPECT_EQ(rec.spurious_retransmits, 1u);
+  EXPECT_EQ(rec.syn_timeouts, 1u);
+  EXPECT_EQ(rec.packets_sent, 1u);
+  EXPECT_EQ(rec.delivered_bytes, 70u);
+  EXPECT_EQ(rec.subflows_used, 1u);
+}
+
+TEST(Metrics, PhaseSwitchRecordedOnce) {
+  Metrics m;
+  auto& rec = m.on_flow_started(Protocol::kMmptcp, Addr{1}, Addr{2}, 0, true,
+                                Time::zero());
+  EXPECT_FALSE(rec.switched_phase());
+  m.on_phase_switch(rec.flow_id, Time::millis(3));
+  EXPECT_TRUE(rec.switched_phase());
+  EXPECT_EQ(rec.phase_switch_at, Time::millis(3));
+  EXPECT_THROW(m.on_phase_switch(rec.flow_id, Time::millis(4)),
+               InvariantError);
+}
+
+TEST(Metrics, ShortFlowFctFiltersProtocolAndCompletion) {
+  Metrics m;
+  auto& t1 = m.on_flow_started(Protocol::kTcp, Addr{1}, Addr{2}, 100, false,
+                               Time::zero());
+  m.on_flow_completed(t1.flow_id, Time::millis(10));
+  auto& t2 = m.on_flow_started(Protocol::kTcp, Addr{1}, Addr{2}, 100, false,
+                               Time::zero());
+  (void)t2;  // never completes
+  auto& mp = m.on_flow_started(Protocol::kMptcp, Addr{1}, Addr{2}, 100,
+                               false, Time::zero());
+  m.on_flow_completed(mp.flow_id, Time::millis(50));
+  auto& lg = m.on_flow_started(Protocol::kTcp, Addr{1}, Addr{2}, 0, true,
+                               Time::zero());
+  m.on_flow_completed(lg.flow_id, Time::millis(99));  // long: excluded
+
+  const Summary s = m.short_flow_fct_ms(Protocol::kTcp);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 10.0);
+  EXPECT_DOUBLE_EQ(m.short_flow_completion_ratio(Protocol::kTcp), 0.5);
+}
+
+TEST(Metrics, LongFlowGoodput) {
+  Metrics m;
+  auto& lg = m.on_flow_started(Protocol::kMptcp, Addr{1}, Addr{2}, 0, true,
+                               Time::zero());
+  m.on_delivered(lg.flow_id, 12'500'000);  // 100 Mbit
+  const Summary g = m.long_flow_goodput_mbps(Protocol::kMptcp,
+                                             Time::seconds(2));
+  EXPECT_EQ(g.count(), 1u);
+  EXPECT_NEAR(g.mean(), 50.0, 1e-9);  // 100 Mbit over 2 s
+}
+
+TEST(Metrics, FlowsFilter) {
+  Metrics m;
+  m.on_flow_started(Protocol::kTcp, Addr{1}, Addr{2}, 100, false,
+                    Time::zero());
+  m.on_flow_started(Protocol::kTcp, Addr{1}, Addr{2}, 0, true, Time::zero());
+  EXPECT_EQ(m.flows().size(), 2u);
+  EXPECT_EQ(m.flows([](const FlowRecord& r) { return r.long_flow; }).size(),
+            1u);
+}
+
+TEST(Metrics, TotalAggregatesField) {
+  Metrics m;
+  auto& a = m.on_flow_started(Protocol::kTcp, Addr{1}, Addr{2}, 1, false,
+                              Time::zero());
+  auto& b = m.on_flow_started(Protocol::kTcp, Addr{1}, Addr{2}, 1, false,
+                              Time::zero());
+  m.on_rto(a.flow_id);
+  m.on_rto(b.flow_id);
+  m.on_rto(b.flow_id);
+  EXPECT_EQ(m.total([](const FlowRecord& r) -> std::uint64_t {
+    return r.rto_count;
+  }),
+            3u);
+}
+
+TEST(Metrics, EmptyGoodputAndRatios) {
+  Metrics m;
+  EXPECT_EQ(m.long_flow_goodput_mbps(Protocol::kTcp, Time::seconds(1)).count(),
+            0u);
+  EXPECT_DOUBLE_EQ(m.short_flow_completion_ratio(Protocol::kTcp), 1.0);
+}
+
+TEST(Protocol, Names) {
+  EXPECT_EQ(to_string(Protocol::kTcp), "TCP");
+  EXPECT_EQ(to_string(Protocol::kMptcp), "MPTCP");
+  EXPECT_EQ(to_string(Protocol::kPacketScatter), "PS");
+  EXPECT_EQ(to_string(Protocol::kMmptcp), "MMPTCP");
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,106 @@
+#include "tcp/congestion.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace mmptcp {
+namespace {
+
+constexpr std::uint32_t kMss = 1000;
+
+TEST(NewReno, InitialWindow) {
+  NewRenoCc cc(kMss, 4);
+  EXPECT_EQ(cc.cwnd(), 4000u);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(NewReno, SlowStartGrowsByAckedBytesCappedAtMss) {
+  NewRenoCc cc(kMss, 2);
+  cc.on_ack(kMss);
+  EXPECT_EQ(cc.cwnd(), 3000u);
+  cc.on_ack(400);  // partial segment acked
+  EXPECT_EQ(cc.cwnd(), 3400u);
+  cc.on_ack(5000);  // stretch ACK still capped at one MSS
+  EXPECT_EQ(cc.cwnd(), 4400u);
+}
+
+TEST(NewReno, SlowStartDoublesPerWindow) {
+  NewRenoCc cc(kMss, 2);
+  // ACK a full window's worth, one MSS at a time: cwnd doubles.
+  cc.on_ack(kMss);
+  cc.on_ack(kMss);
+  EXPECT_EQ(cc.cwnd(), 4000u);
+}
+
+TEST(NewReno, CongestionAvoidanceLinear) {
+  NewRenoCc cc(kMss, 2);
+  cc.enter_recovery(10 * kMss);  // ssthresh = 5 MSS
+  cc.exit_recovery();            // cwnd = ssthresh = 5 MSS
+  EXPECT_FALSE(cc.in_slow_start());
+  const auto before = cc.cwnd();
+  // One full window of ACKs grows the window by about one MSS.
+  const int acks = static_cast<int>(before / kMss);
+  for (int i = 0; i < acks; ++i) cc.on_ack(kMss);
+  EXPECT_NEAR(double(cc.cwnd()), double(before + kMss), double(kMss) * 0.2);
+}
+
+TEST(NewReno, EnterRecoverySetsSsthreshAndInflates) {
+  NewRenoCc cc(kMss, 10);
+  cc.enter_recovery(10 * kMss);
+  EXPECT_EQ(cc.ssthresh(), 5000u);
+  EXPECT_EQ(cc.cwnd(), 5000u + 3 * kMss);
+}
+
+TEST(NewReno, SsthreshFloorsAtTwoMss) {
+  NewRenoCc cc(kMss, 2);
+  cc.enter_recovery(kMss);  // flight/2 would be 500
+  EXPECT_EQ(cc.ssthresh(), 2 * kMss);
+}
+
+TEST(NewReno, DupackInflation) {
+  NewRenoCc cc(kMss, 10);
+  cc.enter_recovery(10 * kMss);
+  const auto before = cc.cwnd();
+  cc.dupack_inflate();
+  EXPECT_EQ(cc.cwnd(), before + kMss);
+}
+
+TEST(NewReno, PartialAckDeflates) {
+  NewRenoCc cc(kMss, 10);
+  cc.enter_recovery(10 * kMss);  // cwnd = 8000
+  cc.partial_ack(3 * kMss);
+  EXPECT_EQ(cc.cwnd(), 8000u - 3000u + 1000u);
+}
+
+TEST(NewReno, PartialAckNeverBelowOneMss) {
+  NewRenoCc cc(kMss, 2);
+  cc.on_rto(2 * kMss);  // cwnd = 1 MSS
+  cc.partial_ack(50 * kMss);
+  EXPECT_GE(cc.cwnd(), kMss);
+}
+
+TEST(NewReno, ExitRecoveryCollapsesToSsthresh) {
+  NewRenoCc cc(kMss, 10);
+  cc.enter_recovery(10 * kMss);
+  cc.dupack_inflate();
+  cc.dupack_inflate();
+  cc.exit_recovery();
+  EXPECT_EQ(cc.cwnd(), cc.ssthresh());
+}
+
+TEST(NewReno, RtoResetsToOneMss) {
+  NewRenoCc cc(kMss, 10);
+  cc.on_rto(8 * kMss);
+  EXPECT_EQ(cc.cwnd(), kMss);
+  EXPECT_EQ(cc.ssthresh(), 4 * kMss);
+  EXPECT_TRUE(cc.in_slow_start());
+}
+
+TEST(NewReno, InvalidConstruction) {
+  EXPECT_THROW(NewRenoCc(0, 4), InvariantError);
+  EXPECT_THROW(NewRenoCc(kMss, 0), InvariantError);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,105 @@
+#include "tcp/dupack_policy.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace mmptcp {
+namespace {
+
+DupAckConfig make(DupAckPolicyKind kind) {
+  DupAckConfig c;
+  c.kind = kind;
+  return c;
+}
+
+TEST(DupAckPolicy, StaticIsThree) {
+  DupAckPolicy p(make(DupAckPolicyKind::kStatic), 16);
+  EXPECT_EQ(p.threshold(), 3u);
+  p.on_spurious_retransmit();
+  p.on_rto();
+  EXPECT_EQ(p.threshold(), 3u);  // static never moves
+}
+
+TEST(DupAckPolicy, StaticRespectsConfiguredValue) {
+  DupAckConfig c = make(DupAckPolicyKind::kStatic);
+  c.static_threshold = 7;
+  DupAckPolicy p(c, 0);
+  EXPECT_EQ(p.threshold(), 7u);
+}
+
+TEST(DupAckPolicy, TopologyAwareUsesPathCount) {
+  // k=8 FatTree inter-pod: 16 paths -> threshold 16.
+  DupAckPolicy p(make(DupAckPolicyKind::kTopologyAware), 16);
+  EXPECT_EQ(p.threshold(), 16u);
+}
+
+TEST(DupAckPolicy, TopologyAwareFloorsAtMin) {
+  // Same-edge: one path; threshold still at least 3.
+  DupAckPolicy p(make(DupAckPolicyKind::kTopologyAware), 1);
+  EXPECT_EQ(p.threshold(), 3u);
+  DupAckPolicy unknown(make(DupAckPolicyKind::kTopologyAware), 0);
+  EXPECT_EQ(unknown.threshold(), 3u);
+}
+
+TEST(DupAckPolicy, TopologyAwareBetaScales) {
+  DupAckConfig c = make(DupAckPolicyKind::kTopologyAware);
+  c.beta = 0.5;
+  DupAckPolicy p(c, 16);
+  EXPECT_EQ(p.threshold(), 8u);
+  c.beta = 2.0;
+  DupAckPolicy q(c, 16);
+  EXPECT_EQ(q.threshold(), 32u);
+}
+
+TEST(DupAckPolicy, TopologyAwareCapsAtMax) {
+  DupAckConfig c = make(DupAckPolicyKind::kTopologyAware);
+  c.max_threshold = 20;
+  DupAckPolicy p(c, 64);
+  EXPECT_EQ(p.threshold(), 20u);
+}
+
+TEST(DupAckPolicy, AdaptiveStartsAtMinimum) {
+  DupAckPolicy p(make(DupAckPolicyKind::kAdaptive), 16);
+  EXPECT_EQ(p.threshold(), 3u);
+}
+
+TEST(DupAckPolicy, AdaptiveRaisesOnSpuriousRetransmit) {
+  DupAckConfig c = make(DupAckPolicyKind::kAdaptive);
+  c.adaptive_step = 2;
+  DupAckPolicy p(c, 0);
+  p.on_spurious_retransmit();
+  EXPECT_EQ(p.threshold(), 5u);
+  p.on_spurious_retransmit();
+  EXPECT_EQ(p.threshold(), 7u);
+}
+
+TEST(DupAckPolicy, AdaptiveDecaysOnRto) {
+  DupAckConfig c = make(DupAckPolicyKind::kAdaptive);
+  DupAckPolicy p(c, 0);
+  for (int i = 0; i < 10; ++i) p.on_spurious_retransmit();
+  const auto high = p.threshold();
+  p.on_rto();
+  EXPECT_EQ(p.threshold(), std::max(high / 2, 3u));
+}
+
+TEST(DupAckPolicy, AdaptiveRespectsCeiling) {
+  DupAckConfig c = make(DupAckPolicyKind::kAdaptive);
+  c.max_threshold = 10;
+  DupAckPolicy p(c, 0);
+  for (int i = 0; i < 100; ++i) p.on_spurious_retransmit();
+  EXPECT_EQ(p.threshold(), 10u);
+}
+
+TEST(DupAckPolicy, InvalidBoundsRejected) {
+  DupAckConfig c = make(DupAckPolicyKind::kStatic);
+  c.min_threshold = 5;
+  c.max_threshold = 4;
+  EXPECT_THROW(DupAckPolicy(c, 0), InvariantError);
+  DupAckConfig z = make(DupAckPolicyKind::kStatic);
+  z.min_threshold = 0;
+  EXPECT_THROW(DupAckPolicy(z, 0), InvariantError);
+}
+
+}  // namespace
+}  // namespace mmptcp

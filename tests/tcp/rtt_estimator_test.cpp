@@ -1,0 +1,68 @@
+#include "tcp/rtt_estimator.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace mmptcp {
+namespace {
+
+RtoConfig cfg(Time min_rto = Time::millis(200),
+              Time initial = Time::seconds(1),
+              Time max_rto = Time::seconds(60)) {
+  return RtoConfig{min_rto, initial, max_rto};
+}
+
+TEST(RttEstimator, InitialRtoBeforeAnySample) {
+  RttEstimator est(cfg(Time::millis(200), Time::seconds(3)));
+  EXPECT_FALSE(est.has_sample());
+  EXPECT_EQ(est.rto(), Time::seconds(3));
+}
+
+TEST(RttEstimator, FirstSampleSetsSrttAndVar) {
+  RttEstimator est(cfg());
+  est.add_sample(Time::millis(100));
+  EXPECT_TRUE(est.has_sample());
+  EXPECT_EQ(est.srtt(), Time::millis(100));
+  EXPECT_EQ(est.rttvar(), Time::millis(50));
+  // RTO = SRTT + 4 * RTTVAR = 300 ms.
+  EXPECT_EQ(est.rto(), Time::millis(300));
+}
+
+TEST(RttEstimator, SmoothingFollowsRfc6298) {
+  RttEstimator est(cfg());
+  est.add_sample(Time::millis(100));
+  est.add_sample(Time::millis(200));
+  // RTTVAR = 3/4*50 + 1/4*|100-200| = 62.5ms; SRTT = 7/8*100 + 1/8*200.
+  EXPECT_EQ(est.srtt(), Time::micros(112500));
+  EXPECT_EQ(est.rttvar(), Time::micros(62500));
+}
+
+TEST(RttEstimator, MinRtoClamp) {
+  RttEstimator est(cfg(Time::seconds(1)));
+  est.add_sample(Time::millis(1));  // tiny RTT
+  EXPECT_EQ(est.rto(), Time::seconds(1));
+}
+
+TEST(RttEstimator, MaxRtoClamp) {
+  RttEstimator est(cfg(Time::millis(1), Time::seconds(1), Time::seconds(2)));
+  est.add_sample(Time::seconds(10));
+  EXPECT_EQ(est.rto(), Time::seconds(2));
+}
+
+TEST(RttEstimator, ConvergesOnStableRtt) {
+  RttEstimator est(cfg(Time::millis(1)));
+  for (int i = 0; i < 100; ++i) est.add_sample(Time::millis(10));
+  EXPECT_EQ(est.srtt(), Time::millis(10));
+  // Variance decays toward zero, so RTO approaches SRTT.
+  EXPECT_LT(est.rto(), Time::millis(12));
+  EXPECT_EQ(est.samples(), 100u);
+}
+
+TEST(RttEstimator, NegativeSampleRejected) {
+  RttEstimator est(cfg());
+  EXPECT_THROW(est.add_sample(Time::zero() - Time::nanos(1)), InvariantError);
+}
+
+}  // namespace
+}  // namespace mmptcp

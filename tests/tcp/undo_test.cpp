@@ -1,0 +1,125 @@
+// White-box test of the RR-TCP spurious-recovery undo: fabricated ACK
+// streams drive one client socket through a fast retransmit that a DSACK
+// then proves spurious; the window reduction must be reverted.
+
+#include <gtest/gtest.h>
+
+#include "../test_util.h"
+
+namespace mmptcp {
+namespace {
+
+using testing::PairNet;
+
+struct UndoRig {
+  explicit UndoRig(bool undo_enabled) : pn() {
+    TcpConfig cfg;
+    cfg.undo_on_spurious = undo_enabled;
+    auto& rec = pn.metrics.on_flow_started(Protocol::kTcp, pn.a.addr(),
+                                           pn.b.addr(), 0, false,
+                                           pn.sim.now());
+    client = std::make_unique<TcpSocket>(
+        pn.sim, pn.metrics, pn.a, SocketRole::kClient, pn.b.addr(), 1000,
+        5001, pn.a.next_token(), rec.flow_id, cfg,
+        std::make_unique<NewRenoCc>(cfg.mss, cfg.initial_cwnd_segments));
+    client->connect_and_send(200 * 1400);
+  }
+
+  Packet ack(std::uint64_t ack_no, std::uint8_t flags = 0,
+             std::uint64_t dsack = 0) {
+    Packet p;
+    p.src = pn.b.addr();
+    p.dst = pn.a.addr();
+    p.sport = 5001;
+    p.dport = 1000;
+    p.token = client->token();
+    p.ack = ack_no;
+    p.flags = flags;
+    p.dsack_seq = dsack;
+    return p;
+  }
+
+  /// Flushes transmissions without letting the RTO timer fire.
+  void flush() { pn.sim.scheduler().run_until(pn.sim.now() + Time::millis(5)); }
+
+  /// Establishes and grows the window by acking `segments` in order.
+  void warm_up(int segments) {
+    client->handle_packet(ack(0, pkt_flags::kSyn));  // fabricated SYN-ACK
+    flush();
+    for (int i = 1; i <= segments; ++i) {
+      client->handle_packet(ack(std::uint64_t(i) * 1400));
+      flush();
+    }
+  }
+
+  PairNet pn;
+  std::unique_ptr<TcpSocket> client;
+};
+
+TEST(SpuriousUndo, DsackRestoresTheWindow) {
+  UndoRig rig(/*undo_enabled=*/true);
+  rig.warm_up(10);
+  const std::uint64_t before = rig.client->cwnd();
+  // Three duplicate ACKs -> fast retransmit, window halves.
+  for (int i = 0; i < 3; ++i) {
+    rig.client->handle_packet(rig.ack(10 * 1400));
+  }
+  rig.flush();
+  EXPECT_EQ(rig.client->local_fast_retransmits(), 1u);
+  EXPECT_LT(rig.client->cwnd(), before);
+  // A DSACK for the retransmitted segment proves it spurious.
+  rig.client->handle_packet(
+      rig.ack(11 * 1400, pkt_flags::kDsack, 10 * 1400));
+  EXPECT_GE(rig.client->cwnd(), before);
+  EXPECT_EQ(rig.client->local_spurious_retransmits(), 1u);
+}
+
+TEST(SpuriousUndo, DisabledConfigKeepsTheReduction) {
+  UndoRig rig(/*undo_enabled=*/false);
+  rig.warm_up(10);
+  const std::uint64_t before = rig.client->cwnd();
+  for (int i = 0; i < 3; ++i) {
+    rig.client->handle_packet(rig.ack(10 * 1400));
+  }
+  rig.flush();
+  rig.client->handle_packet(
+      rig.ack(11 * 1400, pkt_flags::kDsack, 10 * 1400));
+  // Spuriousness is still *counted* (policy feedback), but the window
+  // reduction stands.
+  EXPECT_EQ(rig.client->local_spurious_retransmits(), 1u);
+  EXPECT_LT(rig.client->cwnd(), before);
+}
+
+TEST(SpuriousUndo, DsackForOtherSegmentsDoesNotUndo) {
+  UndoRig rig(/*undo_enabled=*/true);
+  rig.warm_up(10);
+  const std::uint64_t before = rig.client->cwnd();
+  for (int i = 0; i < 3; ++i) {
+    rig.client->handle_packet(rig.ack(10 * 1400));
+  }
+  rig.flush();
+  // DSACK for an unrelated (older) duplicate: not our retransmission.
+  rig.client->handle_packet(rig.ack(11 * 1400, pkt_flags::kDsack, 3 * 1400));
+  EXPECT_LT(rig.client->cwnd(), before);
+}
+
+TEST(SpuriousUndo, RtoClearsThePendingUndo) {
+  UndoRig rig(/*undo_enabled=*/true);
+  rig.warm_up(6);
+  for (int i = 0; i < 3; ++i) {
+    rig.client->handle_packet(rig.ack(6 * 1400));
+  }
+  rig.flush();
+  EXPECT_EQ(rig.client->local_fast_retransmits(), 1u);
+  // Let the retransmission timer fire (nothing acks it).
+  rig.pn.sim.scheduler().run_until(rig.pn.sim.now() + Time::seconds(5));
+  EXPECT_GE(rig.client->local_rto_count(), 1u);
+  const std::uint64_t after_rto = rig.client->cwnd();
+  // A late DSACK must NOT restore the pre-recovery window: the timeout
+  // was real evidence of loss.
+  rig.client->handle_packet(rig.ack(7 * 1400, pkt_flags::kDsack, 6 * 1400));
+  EXPECT_LE(rig.client->cwnd(), after_rto + 2 * 1400);
+}
+
+}  // namespace
+}  // namespace mmptcp

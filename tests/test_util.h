@@ -1,0 +1,89 @@
+#pragma once
+
+// Shared fixtures for the test suite:
+//  * PairNet    — two hosts on one full-duplex link (socket mechanics).
+//  * MiniFatTree — a FatTree with sinks on every host and a helper to
+//                  launch a flow of any protocol (protocol behaviour).
+//  * PacketTap  — observe (or selectively drop) traffic through a Port.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/transport_factory.h"
+#include "topo/fat_tree.h"
+#include "workload/apps.h"
+
+namespace mmptcp::testing {
+
+/// Records every packet offered to a Port; optionally drops by predicate.
+class PacketTap {
+ public:
+  /// Attaches to `port`; `drop` may be null (observe only).
+  explicit PacketTap(Port& port,
+                     std::function<bool(const Packet&)> drop = nullptr) {
+    port.set_drop_filter([this, drop = std::move(drop)](
+                             const Packet& pkt, std::uint64_t /*index*/) {
+      seen_.push_back(pkt);
+      return drop ? drop(pkt) : false;
+    });
+  }
+
+  const std::vector<Packet>& seen() const { return seen_; }
+  std::size_t count() const { return seen_.size(); }
+
+ private:
+  std::vector<Packet> seen_;
+};
+
+/// Two hosts joined by one full-duplex link.
+struct PairNet {
+  explicit PairNet(std::uint64_t rate_bps = 100'000'000,
+                   Time delay = Time::micros(20),
+                   QueueLimits queue = QueueLimits{0, 0},
+                   std::uint64_t seed = 1)
+      : sim(seed), net(sim), a(net.make_host("a", Addr{0x0a000001})),
+        b(net.make_host("b", Addr{0x0a000002})) {
+    net.connect(a, b, LinkSpec{rate_bps, delay, queue, LinkLayer::kOther});
+  }
+
+  Simulation sim;
+  Network net;
+  Host& a;
+  Host& b;
+  Metrics metrics;
+};
+
+/// FatTree + sinks + flow launcher.
+struct MiniFatTree {
+  explicit MiniFatTree(FatTreeConfig cfg = FatTreeConfig{},
+                       std::uint64_t seed = 1,
+                       TcpConfig server_tcp = TcpConfig{})
+      : sim(seed), ft(sim, cfg),
+        sinks(sim, metrics, ft.network(), 5001, server_tcp) {}
+
+  /// Starts a flow from host `src` to host `dst` (indices).
+  ClientFlow& flow(std::size_t src, std::size_t dst, TransportConfig cfg,
+                   std::uint64_t bytes, bool long_flow = false) {
+    cfg.oracle = &ft;
+    flows.push_back(std::make_unique<ClientFlow>(
+        sim, metrics, ft.host(src), ft.host(dst).addr(), cfg, bytes,
+        long_flow));
+    return *flows.back();
+  }
+
+  /// Runs until `until` sim time.
+  void run(Time until) { sim.scheduler().run_until(until); }
+
+  const FlowRecord& record(const ClientFlow& f) const {
+    return metrics.record(f.flow_id());
+  }
+
+  Simulation sim;
+  Metrics metrics;
+  FatTree ft;
+  SinkFarm sinks;
+  std::vector<std::unique_ptr<ClientFlow>> flows;
+};
+
+}  // namespace mmptcp::testing

@@ -1,0 +1,146 @@
+#include "topo/fat_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mmptcp {
+namespace {
+
+FatTreeConfig cfg(std::uint32_t k, std::uint32_t oversub) {
+  FatTreeConfig c;
+  c.k = k;
+  c.oversubscription = oversub;
+  return c;
+}
+
+TEST(FatTree, CanonicalK4Counts) {
+  Simulation sim(1);
+  FatTree ft(sim, cfg(4, 1));
+  EXPECT_EQ(ft.host_count(), 16u);           // k^3/4
+  EXPECT_EQ(ft.pods(), 4u);
+  EXPECT_EQ(ft.edges_per_pod(), 2u);
+  EXPECT_EQ(ft.aggs_per_pod(), 2u);
+  EXPECT_EQ(ft.core_count(), 4u);            // (k/2)^2
+  EXPECT_EQ(ft.hosts_per_edge(), 2u);
+  EXPECT_EQ(ft.network().switch_count(), 4u * 2 + 4u * 2 + 4u);
+}
+
+TEST(FatTree, OversubscriptionScalesHosts) {
+  Simulation sim(1);
+  FatTree ft(sim, cfg(4, 4));
+  EXPECT_EQ(ft.hosts_per_edge(), 8u);
+  EXPECT_EQ(ft.host_count(), 64u);
+  // Switch population does not change with oversubscription.
+  EXPECT_EQ(ft.network().switch_count(), 20u);
+}
+
+TEST(FatTree, PaperScaleTopology) {
+  // The paper: k=8, 4:1 oversubscribed, 512 servers.
+  Simulation sim(1);
+  FatTree ft(sim, cfg(8, 4));
+  EXPECT_EQ(ft.host_count(), 512u);
+  EXPECT_EQ(ft.hosts_per_edge(), 16u);
+  EXPECT_EQ(ft.core_count(), 16u);
+  EXPECT_EQ(ft.network().switch_count(), 8u * 4 + 8u * 4 + 16u);
+}
+
+TEST(FatTree, PortCountsMatchRoles) {
+  Simulation sim(1);
+  FatTree ft(sim, cfg(4, 2));
+  // Edge: hosts_per_edge down + k/2 up.
+  EXPECT_EQ(ft.edge_switch(0, 0).port_count(), 4u + 2u);
+  // Agg: k/2 down + k/2 up.
+  EXPECT_EQ(ft.agg_switch(1, 1).port_count(), 4u);
+  // Core: one port per pod.
+  EXPECT_EQ(ft.core_switch(3).port_count(), 4u);
+  // Host: single NIC.
+  EXPECT_EQ(ft.host(0).port_count(), 1u);
+}
+
+TEST(FatTree, AddressesAreUniqueAndWellFormed) {
+  Simulation sim(1);
+  FatTree ft(sim, cfg(4, 2));
+  std::set<std::uint32_t> seen;
+  for (std::size_t i = 0; i < ft.host_count(); ++i) {
+    const Addr a = ft.host(i).addr();
+    EXPECT_TRUE(FatTreeAddr::is_host(a)) << a.to_string();
+    EXPECT_TRUE(seen.insert(a.raw).second) << "duplicate " << a.to_string();
+  }
+}
+
+TEST(FatTree, AddressPackingRoundTrips) {
+  const Addr a = FatTreeAddr::host(3, 1, 7);
+  EXPECT_EQ(FatTreeAddr::pod(a), 3u);
+  EXPECT_EQ(FatTreeAddr::edge(a), 1u);
+  EXPECT_EQ(FatTreeAddr::host_index(a), 7u);
+  EXPECT_EQ(a.to_string(), "10.3.1.9");
+}
+
+TEST(FatTree, HostAtMatchesAddressing) {
+  Simulation sim(1);
+  FatTree ft(sim, cfg(4, 2));
+  Host& h = ft.host_at(2, 1, 3);
+  EXPECT_EQ(h.addr(), FatTreeAddr::host(2, 1, 3));
+}
+
+TEST(FatTree, PathCounts) {
+  Simulation sim(1);
+  FatTree ft(sim, cfg(8, 4));
+  const Addr same = FatTreeAddr::host(0, 0, 0);
+  EXPECT_EQ(ft.path_count(same, same), 0u);
+  // Same edge: exactly one path (through the shared edge switch).
+  EXPECT_EQ(ft.path_count(FatTreeAddr::host(0, 0, 0),
+                          FatTreeAddr::host(0, 0, 1)),
+            1u);
+  // Same pod, different edge: k/2 paths (one per aggregation switch).
+  EXPECT_EQ(ft.path_count(FatTreeAddr::host(0, 0, 0),
+                          FatTreeAddr::host(0, 1, 0)),
+            4u);
+  // Different pods: (k/2)^2 paths (one per core switch).
+  EXPECT_EQ(ft.path_count(FatTreeAddr::host(0, 0, 0),
+                          FatTreeAddr::host(5, 2, 0)),
+            16u);
+}
+
+TEST(FatTree, PathCountRejectsNonHostAddresses) {
+  EXPECT_EQ(FatTree::path_count(Addr{0}, FatTreeAddr::host(0, 0, 0), 4), 0u);
+}
+
+TEST(FatTree, ConfigValidation) {
+  Simulation sim(1);
+  EXPECT_THROW(FatTree(sim, cfg(3, 1)), ConfigError);   // odd k
+  EXPECT_THROW(FatTree(sim, cfg(2, 1)), ConfigError);   // too small
+  EXPECT_THROW(FatTree(sim, cfg(4, 0)), ConfigError);   // zero oversub
+  EXPECT_THROW(FatTree(sim, cfg(4, 200)), ConfigError); // address overflow
+}
+
+TEST(FatTree, LinkLayerTagging) {
+  Simulation sim(1);
+  FatTree ft(sim, cfg(4, 1));
+  EXPECT_EQ(ft.host(0).port(0).layer(), LinkLayer::kHostEdge);
+  Switch& edge = ft.edge_switch(0, 0);
+  EXPECT_EQ(edge.port(0).layer(), LinkLayer::kHostEdge);       // down
+  EXPECT_EQ(edge.port(ft.hosts_per_edge()).layer(), LinkLayer::kEdgeAgg);
+  Switch& agg = ft.agg_switch(0, 0);
+  EXPECT_EQ(agg.port(0).layer(), LinkLayer::kEdgeAgg);         // down
+  EXPECT_EQ(agg.port(ft.k() / 2).layer(), LinkLayer::kAggCore);
+  EXPECT_EQ(ft.core_switch(0).port(0).layer(), LinkLayer::kAggCore);
+}
+
+TEST(FatTree, SharedBufferOptionInstallsPools) {
+  Simulation sim(1);
+  FatTreeConfig c = cfg(4, 1);
+  c.shared_buffer = true;
+  c.shared_buffer_bytes = 1 << 20;
+  FatTree ft(sim, c);
+  EXPECT_NE(ft.edge_switch(0, 0).shared_buffer(), nullptr);
+  EXPECT_EQ(ft.edge_switch(0, 0).shared_buffer()->capacity(), 1u << 20);
+  // Default (no shared buffer) leaves ports independent.
+  Simulation sim2(1);
+  FatTree plain(sim2, cfg(4, 1));
+  EXPECT_EQ(plain.edge_switch(0, 0).shared_buffer(), nullptr);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,173 @@
+// End-to-end routing behaviour on the FatTree: reachability, latency
+// bounds, deterministic ECMP for a fixed tuple, and spray coverage with
+// randomised source ports (the mechanism packet scatter relies on).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "topo/fat_tree.h"
+#include "util/rng.h"
+
+namespace mmptcp {
+namespace {
+
+/// Captures packets delivered to a host token.
+class CaptureEndpoint final : public Endpoint {
+ public:
+  void handle_packet(const Packet& pkt) override { packets.push_back(pkt); }
+  std::vector<Packet> packets;
+};
+
+struct RoutedFatTree {
+  explicit RoutedFatTree(std::uint32_t k = 4, std::uint32_t oversub = 1)
+      : sim(1), ft(sim, [&] {
+          FatTreeConfig c;
+          c.k = k;
+          c.oversubscription = oversub;
+          return c;
+        }()) {}
+
+  /// Sends one packet from host `src` to host `dst` with the given ports;
+  /// returns whether it arrived (after draining the event queue).
+  bool send_and_check(std::size_t src, std::size_t dst, std::uint16_t sport,
+                      std::uint16_t dport) {
+    CaptureEndpoint ep;
+    Host& to = ft.host(dst);
+    to.register_token(4242, &ep);
+    Packet p;
+    p.src = ft.host(src).addr();
+    p.dst = to.addr();
+    p.sport = sport;
+    p.dport = dport;
+    p.token = 4242;
+    ft.host(src).send(p);
+    sim.scheduler().run();
+    to.unregister_token(4242);
+    return ep.packets.size() == 1;
+  }
+
+  Simulation sim;
+  FatTree ft;
+};
+
+TEST(Routing, AllPairsReachableOnK4) {
+  RoutedFatTree rt(4, 1);
+  const std::size_t n = rt.ft.host_count();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t d = 0; d < n; ++d) {
+      if (s == d) continue;
+      ASSERT_TRUE(rt.send_and_check(s, d, 1000, 5001))
+          << "no route " << s << " -> " << d;
+    }
+  }
+}
+
+TEST(Routing, SampledPairsReachableOnOversubscribedK8) {
+  RoutedFatTree rt(8, 4);
+  Rng rng(3);
+  for (int trial = 0; trial < 60; ++trial) {
+    const auto s = rng.uniform(rt.ft.host_count());
+    auto d = rng.uniform(rt.ft.host_count());
+    if (d == s) d = (d + 1) % rt.ft.host_count();
+    ASSERT_TRUE(rt.send_and_check(s, d, std::uint16_t(1000 + trial), 5001));
+  }
+}
+
+TEST(Routing, LatencyMatchesHopCount) {
+  RoutedFatTree rt(4, 1);
+  CaptureEndpoint ep;
+  // Inter-pod: host->edge->agg->core->agg->edge->host = 6 links.
+  Host& dst = rt.ft.host_at(3, 1, 1);
+  dst.register_token(7, &ep);
+  Packet p;
+  p.src = rt.ft.host_at(0, 0, 0).addr();
+  p.dst = dst.addr();
+  p.token = 7;
+  p.payload = 0;  // 40-byte segment
+  rt.ft.host_at(0, 0, 0).send(p);
+  rt.sim.scheduler().run();
+  ASSERT_EQ(ep.packets.size(), 1u);
+  // 6 hops x (serialisation 40B@100Mb/s = 3.2us + propagation 20us).
+  const Time expect = 6 * (transmission_time(40, 100'000'000) +
+                           Time::micros(20));
+  EXPECT_EQ(rt.sim.now(), expect);
+}
+
+TEST(Routing, FixedTupleUsesSingleCorePath) {
+  RoutedFatTree rt(4, 1);
+  // Send 20 identical-tuple packets inter-pod; exactly one core switch
+  // must carry all of them (ECMP is deterministic per tuple).
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(rt.send_and_check(0, 15, 3333, 5001));
+  }
+  int cores_used = 0;
+  for (std::uint32_t c = 0; c < rt.ft.core_count(); ++c) {
+    std::uint64_t tx = 0;
+    Switch& core = rt.ft.core_switch(c);
+    for (std::size_t pp = 0; pp < core.port_count(); ++pp) {
+      tx += core.port(pp).counters().tx_packets;
+    }
+    if (tx > 0) ++cores_used;
+  }
+  EXPECT_EQ(cores_used, 1);
+}
+
+TEST(Routing, RandomisedSourcePortsSprayAcrossAllCores) {
+  RoutedFatTree rt(4, 1);
+  Rng rng(11);
+  for (int i = 0; i < 300; ++i) {
+    ASSERT_TRUE(rt.send_and_check(
+        0, 15, static_cast<std::uint16_t>(49152 + rng.uniform(16384)),
+        5001));
+  }
+  // All four cores must have carried traffic (spray coverage).
+  for (std::uint32_t c = 0; c < rt.ft.core_count(); ++c) {
+    std::uint64_t tx = 0;
+    Switch& core = rt.ft.core_switch(c);
+    for (std::size_t pp = 0; pp < core.port_count(); ++pp) {
+      tx += core.port(pp).counters().tx_packets;
+    }
+    EXPECT_GT(tx, 0u) << "core " << c << " never used";
+  }
+}
+
+TEST(Routing, IntraPodTrafficNeverTouchesCore) {
+  RoutedFatTree rt(4, 1);
+  Rng rng(13);
+  for (int i = 0; i < 100; ++i) {
+    // Hosts 0..3 are pod 0 (2 edges x 2 hosts).
+    ASSERT_TRUE(rt.send_and_check(
+        0, 2, static_cast<std::uint16_t>(rng.uniform(60000)), 5001));
+  }
+  for (std::uint32_t c = 0; c < rt.ft.core_count(); ++c) {
+    Switch& core = rt.ft.core_switch(c);
+    for (std::size_t pp = 0; pp < core.port_count(); ++pp) {
+      EXPECT_EQ(core.port(pp).counters().tx_packets, 0u);
+    }
+  }
+}
+
+TEST(Routing, SameEdgeTrafficStaysLocal) {
+  RoutedFatTree rt(4, 1);
+  ASSERT_TRUE(rt.send_and_check(0, 1, 1000, 5001));  // same edge
+  Switch& agg0 = rt.ft.agg_switch(0, 0);
+  Switch& agg1 = rt.ft.agg_switch(0, 1);
+  for (std::size_t pp = 0; pp < agg0.port_count(); ++pp) {
+    EXPECT_EQ(agg0.port(pp).counters().tx_packets, 0u);
+    EXPECT_EQ(agg1.port(pp).counters().tx_packets, 0u);
+  }
+}
+
+TEST(Routing, NonHostDestinationCountsUnroutable) {
+  RoutedFatTree rt(4, 1);
+  Packet p;
+  p.src = rt.ft.host(0).addr();
+  p.dst = Addr{0x7f000001};  // not a FatTree host address
+  rt.ft.host(0).send(p);
+  rt.sim.scheduler().run();
+  EXPECT_EQ(rt.ft.edge_switch(0, 0).unroutable(), 1u);
+}
+
+}  // namespace
+}  // namespace mmptcp

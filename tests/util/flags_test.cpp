@@ -1,0 +1,90 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+#include "util/check.h"
+
+namespace mmptcp {
+namespace {
+
+TEST(Flags, EqualsForm) {
+  Flags f({"--flows=200", "--rate=2.5", "--name=foo"});
+  EXPECT_EQ(f.get_int("flows", 1), 200);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 1.0), 2.5);
+  EXPECT_EQ(f.get_string("name", "bar"), "foo");
+}
+
+TEST(Flags, SpaceSeparatedForm) {
+  Flags f({"--flows", "300", "--name", "x"});
+  EXPECT_EQ(f.get_int("flows", 1), 300);
+  EXPECT_EQ(f.get_string("name", ""), "x");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  Flags f({});
+  EXPECT_EQ(f.get_int("flows", 42), 42);
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 1.5), 1.5);
+  EXPECT_EQ(f.get_string("name", "d"), "d");
+  EXPECT_FALSE(f.get_bool("full", false));
+}
+
+TEST(Flags, BareBooleanIsTrue) {
+  Flags f({"--full"});
+  EXPECT_TRUE(f.get_bool("full", false));
+}
+
+TEST(Flags, ExplicitBooleans) {
+  Flags f({"--a=true", "--b=false", "--c=1", "--d=no"});
+  EXPECT_TRUE(f.get_bool("a", false));
+  EXPECT_FALSE(f.get_bool("b", true));
+  EXPECT_TRUE(f.get_bool("c", false));
+  EXPECT_FALSE(f.get_bool("d", true));
+}
+
+TEST(Flags, BadValuesThrow) {
+  Flags f({"--flows=abc", "--rate=xyz", "--full=maybe"});
+  EXPECT_THROW(f.get_int("flows", 0), ConfigError);
+  EXPECT_THROW(f.get_double("rate", 0), ConfigError);
+  EXPECT_THROW(f.get_bool("full", false), ConfigError);
+}
+
+TEST(Flags, PositionalArgumentsRejected) {
+  EXPECT_THROW(Flags({"positional"}), ConfigError);
+}
+
+TEST(Flags, UnknownFlagsDetected) {
+  Flags f({"--known=1", "--unknown=2"});
+  f.get_int("known", 0);
+  const auto u = f.unknown();
+  ASSERT_EQ(u.size(), 1u);
+  EXPECT_EQ(u[0], "unknown");
+  EXPECT_THROW(f.check_unknown(), ConfigError);
+}
+
+TEST(Flags, CheckUnknownPassesWhenAllConsumed) {
+  Flags f({"--a=1"});
+  f.get_int("a", 0);
+  EXPECT_NO_THROW(f.check_unknown());
+}
+
+TEST(Flags, HelpRequested) {
+  Flags f({"--help"});
+  EXPECT_TRUE(f.help_requested());
+  EXPECT_FALSE(Flags({}).help_requested());
+}
+
+TEST(Flags, HelpListsDescribedFlags) {
+  Flags f({});
+  f.get_int("flows", 7, "number of flows");
+  const auto text = f.help("prog");
+  EXPECT_NE(text.find("--flows"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+  EXPECT_NE(text.find("number of flows"), std::string::npos);
+}
+
+TEST(Flags, NegativeNumbersAsValues) {
+  Flags f({"--delta=-5"});
+  EXPECT_EQ(f.get_int("delta", 0), -5);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,193 @@
+#include "util/interval_set.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/rng.h"
+
+namespace mmptcp {
+namespace {
+
+TEST(IntervalSet, StartsEmpty) {
+  IntervalSet s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.covered(), 0u);
+  EXPECT_EQ(s.interval_count(), 0u);
+  EXPECT_EQ(s.first_missing_after(0), 0u);
+}
+
+TEST(IntervalSet, SingleInsert) {
+  IntervalSet s;
+  EXPECT_EQ(s.insert(10, 20), 10u);
+  EXPECT_EQ(s.covered(), 10u);
+  EXPECT_TRUE(s.contains(10, 20));
+  EXPECT_TRUE(s.contains(12, 15));
+  EXPECT_FALSE(s.contains(9, 11));
+  EXPECT_FALSE(s.contains(19, 21));
+}
+
+TEST(IntervalSet, EmptyRangeInsertIsNoop) {
+  IntervalSet s;
+  EXPECT_EQ(s.insert(5, 5), 0u);
+  EXPECT_TRUE(s.empty());
+  EXPECT_TRUE(s.contains(5, 5));  // empty range is vacuously contained
+}
+
+TEST(IntervalSet, DisjointInsertsStaySeparate) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_EQ(s.covered(), 20u);
+  EXPECT_FALSE(s.contains(0, 30));
+  EXPECT_TRUE(s.intersects(5, 25));
+  EXPECT_FALSE(s.intersects(10, 20));
+}
+
+TEST(IntervalSet, AdjacentInsertsCoalesce) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(10, 20);
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.contains(0, 20));
+}
+
+TEST(IntervalSet, OverlappingInsertCountsOnlyNewUnits) {
+  IntervalSet s;
+  EXPECT_EQ(s.insert(0, 10), 10u);
+  EXPECT_EQ(s.insert(5, 15), 5u);
+  EXPECT_EQ(s.covered(), 15u);
+  EXPECT_EQ(s.interval_count(), 1u);
+}
+
+TEST(IntervalSet, InsertBridgingManyIntervals) {
+  IntervalSet s;
+  s.insert(0, 2);
+  s.insert(4, 6);
+  s.insert(8, 10);
+  EXPECT_EQ(s.insert(1, 9), 4u);  // fills [2,4) and [6,8)
+  EXPECT_EQ(s.interval_count(), 1u);
+  EXPECT_TRUE(s.contains(0, 10));
+}
+
+TEST(IntervalSet, FullyContainedInsertAddsNothing) {
+  IntervalSet s;
+  s.insert(0, 100);
+  EXPECT_EQ(s.insert(10, 90), 0u);
+  EXPECT_EQ(s.covered(), 100u);
+}
+
+TEST(IntervalSet, FirstMissingAfter) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 30);
+  EXPECT_EQ(s.first_missing_after(0), 10u);
+  EXPECT_EQ(s.first_missing_after(5), 10u);
+  EXPECT_EQ(s.first_missing_after(10), 10u);
+  EXPECT_EQ(s.first_missing_after(15), 15u);
+  EXPECT_EQ(s.first_missing_after(20), 30u);
+  EXPECT_EQ(s.first_missing_after(29), 30u);
+  EXPECT_EQ(s.first_missing_after(30), 30u);
+  EXPECT_EQ(s.first_missing_after(100), 100u);
+}
+
+TEST(IntervalSet, EraseMiddleSplits) {
+  IntervalSet s;
+  s.insert(0, 30);
+  EXPECT_EQ(s.erase(10, 20), 10u);
+  EXPECT_EQ(s.interval_count(), 2u);
+  EXPECT_TRUE(s.contains(0, 10));
+  EXPECT_TRUE(s.contains(20, 30));
+  EXPECT_FALSE(s.intersects(10, 20));
+  EXPECT_EQ(s.covered(), 20u);
+}
+
+TEST(IntervalSet, EraseAcrossSeveralIntervals) {
+  IntervalSet s;
+  s.insert(0, 5);
+  s.insert(10, 15);
+  s.insert(20, 25);
+  EXPECT_EQ(s.erase(3, 22), 2u + 5u + 2u);
+  EXPECT_TRUE(s.contains(0, 3));
+  EXPECT_TRUE(s.contains(22, 25));
+  EXPECT_EQ(s.covered(), 6u);
+}
+
+TEST(IntervalSet, EraseNothing) {
+  IntervalSet s;
+  s.insert(0, 10);
+  EXPECT_EQ(s.erase(20, 30), 0u);
+  EXPECT_EQ(s.erase(5, 5), 0u);
+  EXPECT_EQ(s.covered(), 10u);
+}
+
+TEST(IntervalSet, ClearResets) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.clear();
+  EXPECT_TRUE(s.empty());
+  EXPECT_EQ(s.covered(), 0u);
+}
+
+TEST(IntervalSet, ToStringRendering) {
+  IntervalSet s;
+  s.insert(0, 10);
+  s.insert(20, 25);
+  EXPECT_EQ(s.to_string(), "[0,10) [20,25)");
+}
+
+TEST(IntervalSet, InvalidRangesThrow) {
+  IntervalSet s;
+  EXPECT_THROW(s.insert(10, 5), InvariantError);
+  EXPECT_THROW(s.contains(10, 5), InvariantError);
+  EXPECT_THROW(s.erase(10, 5), InvariantError);
+}
+
+TEST(IntervalSet, LargeValuesNearUint64Max) {
+  IntervalSet s;
+  const std::uint64_t big = std::uint64_t(-1) - 100;
+  s.insert(big, big + 50);
+  EXPECT_TRUE(s.contains(big, big + 50));
+  EXPECT_EQ(s.first_missing_after(big), big + 50);
+}
+
+// Property test: random inserts/erases agree with a unit-by-unit model.
+class IntervalSetProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(IntervalSetProperty, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  IntervalSet s;
+  std::set<std::uint64_t> model;
+  constexpr std::uint64_t kSpace = 200;
+  for (int step = 0; step < 400; ++step) {
+    const std::uint64_t lo = rng.uniform(kSpace);
+    const std::uint64_t hi = lo + rng.uniform(30);
+    if (rng.bernoulli(0.7)) {
+      const std::uint64_t added = s.insert(lo, hi);
+      std::uint64_t model_added = 0;
+      for (std::uint64_t u = lo; u < hi; ++u) {
+        if (model.insert(u).second) ++model_added;
+      }
+      ASSERT_EQ(added, model_added) << "step " << step;
+    } else {
+      const std::uint64_t removed = s.erase(lo, hi);
+      std::uint64_t model_removed = 0;
+      for (std::uint64_t u = lo; u < hi; ++u) model_removed += model.erase(u);
+      ASSERT_EQ(removed, model_removed) << "step " << step;
+    }
+    ASSERT_EQ(s.covered(), model.size());
+    // Spot-check membership and first_missing_after.
+    const std::uint64_t probe = rng.uniform(kSpace);
+    ASSERT_EQ(s.contains(probe, probe + 1), model.count(probe) == 1);
+    std::uint64_t expect_missing = probe;
+    while (model.count(expect_missing) == 1) ++expect_missing;
+    ASSERT_EQ(s.first_missing_after(probe), expect_missing);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IntervalSetProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,144 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace mmptcp {
+namespace {
+
+TEST(Rng, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a.next();
+  a.reseed(7);
+  EXPECT_EQ(a.next(), first);
+}
+
+TEST(Rng, ForkIsIndependentOfParentDrawCount) {
+  // A fork taken at the same point yields the same child stream.
+  Rng p1(9), p2(9);
+  Rng c1 = p1.fork();
+  Rng c2 = p2.fork();
+  EXPECT_EQ(c1.next(), c2.next());
+  // Parent and child streams differ.
+  Rng p3(9);
+  Rng c3 = p3.fork();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (p3.next() == c3.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, UniformRespectsBound) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.uniform(17), 17u);
+}
+
+TEST(Rng, UniformOfOneIsZero) {
+  Rng r(3);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.uniform(1), 0u);
+}
+
+TEST(Rng, UniformZeroBoundThrows) {
+  Rng r(3);
+  EXPECT_THROW(r.uniform(0), InvariantError);
+}
+
+TEST(Rng, UniformIsRoughlyUniform) {
+  Rng r(11);
+  std::vector<int> buckets(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[r.uniform(10)];
+  for (int count : buckets) {
+    EXPECT_NEAR(count, n / 10, n / 10 * 0.1);
+  }
+}
+
+TEST(Rng, UniformRangeInclusive) {
+  Rng r(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all five values appear
+}
+
+TEST(Rng, Uniform01InHalfOpenUnitInterval) {
+  Rng r(13);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = r.uniform01();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, ExponentialHasRequestedMean) {
+  Rng r(17);
+  const double mean = 4.0;
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) sum += r.exponential(mean);
+  EXPECT_NEAR(sum / n, mean, 0.05 * mean);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveMean) {
+  Rng r(1);
+  EXPECT_THROW(r.exponential(0.0), InvariantError);
+  EXPECT_THROW(r.exponential(-1.0), InvariantError);
+}
+
+TEST(Rng, BernoulliMatchesProbability) {
+  Rng r(19);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, BernoulliEdges) {
+  Rng r(21);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.bernoulli(0.0));
+    EXPECT_TRUE(r.bernoulli(1.0));
+  }
+  EXPECT_THROW(r.bernoulli(1.5), InvariantError);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng r(23);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  r.shuffle(v);
+  EXPECT_TRUE(std::is_permutation(v.begin(), v.end(), sorted.begin()));
+}
+
+TEST(Rng, ShuffleActuallyShuffles) {
+  Rng r(29);
+  std::vector<int> v(100);
+  for (int i = 0; i < 100; ++i) v[i] = i;
+  const auto before = v;
+  r.shuffle(v);
+  EXPECT_NE(v, before);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,113 @@
+#include "util/summary.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+#include "util/check.h"
+
+namespace mmptcp {
+namespace {
+
+TEST(Summary, MeanAndStdDevExact) {
+  Summary s;
+  s.add_all({2, 4, 4, 4, 5, 5, 7, 9});
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  // Sample stddev with n-1 = sqrt(32/7).
+  EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(Summary, EmptySummaryBehaviour) {
+  Summary s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_THROW(s.min(), InvariantError);
+  EXPECT_THROW(s.max(), InvariantError);
+  EXPECT_THROW(s.percentile(50), InvariantError);
+  EXPECT_EQ(s.to_string(), "n=0");
+}
+
+TEST(Summary, SingleSample) {
+  Summary s;
+  s.add(3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.percentile(0), 3.5);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 3.5);
+}
+
+TEST(Summary, PercentileInterpolates) {
+  Summary s;
+  s.add_all({10, 20, 30, 40});
+  EXPECT_DOUBLE_EQ(s.percentile(0), 10);
+  EXPECT_DOUBLE_EQ(s.percentile(100), 40);
+  EXPECT_DOUBLE_EQ(s.percentile(50), 25);   // midway between 20 and 30
+  EXPECT_DOUBLE_EQ(s.percentile(25), 17.5); // 0.75 of the way 10 -> 20
+}
+
+TEST(Summary, PercentileBoundsChecked) {
+  Summary s;
+  s.add(1);
+  EXPECT_THROW(s.percentile(-1), InvariantError);
+  EXPECT_THROW(s.percentile(101), InvariantError);
+}
+
+TEST(Summary, MinMax) {
+  Summary s;
+  s.add_all({5, -1, 7, 3});
+  EXPECT_DOUBLE_EQ(s.min(), -1);
+  EXPECT_DOUBLE_EQ(s.max(), 7);
+}
+
+TEST(Summary, CountAbove) {
+  Summary s;
+  s.add_all({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count_above(3), 2u);    // strictly greater
+  EXPECT_EQ(s.count_above(0), 5u);
+  EXPECT_EQ(s.count_above(5), 0u);
+}
+
+TEST(Summary, HistogramBinsAndClamping) {
+  Summary s;
+  s.add_all({-5, 0, 1, 5, 9, 15});
+  const auto h = s.histogram(0, 10, 2);  // bins [0,5) and [5,10)
+  ASSERT_EQ(h.size(), 2u);
+  EXPECT_EQ(h[0], 3u);  // -5 clamped, 0, 1
+  EXPECT_EQ(h[1], 3u);  // 5, 9, 15 clamped
+}
+
+TEST(Summary, HistogramValidation) {
+  Summary s;
+  EXPECT_THROW(s.histogram(0, 10, 0), InvariantError);
+  EXPECT_THROW(s.histogram(10, 10, 2), InvariantError);
+}
+
+TEST(Summary, AddAfterQueryKeepsCorrectOrder) {
+  Summary s;
+  s.add_all({3, 1});
+  EXPECT_DOUBLE_EQ(s.percentile(100), 3);
+  s.add(10);  // invalidates the sorted cache
+  EXPECT_DOUBLE_EQ(s.percentile(100), 10);
+  EXPECT_DOUBLE_EQ(s.min(), 1);
+}
+
+TEST(Summary, WelfordMatchesNaiveOnManySamples) {
+  Summary s;
+  double sum = 0, sq = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    const double v = std::sin(i) * 100 + i * 0.01;
+    s.add(v);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = (sq - n * mean * mean) / (n - 1);
+  EXPECT_NEAR(s.mean(), mean, 1e-9);
+  EXPECT_NEAR(s.stddev(), std::sqrt(var), 1e-6);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,54 @@
+#include "util/table.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace mmptcp {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"proto", "fct"});
+  t.add_row({"TCP", "12.5"});
+  t.add_row({"MMPTCP", "9.1"});
+  const auto out = t.to_string();
+  EXPECT_NE(out.find("proto"), std::string::npos);
+  EXPECT_NE(out.find("MMPTCP"), std::string::npos);
+  // Every line in a column-aligned table starts its second column at the
+  // same offset; check via the header underline length.
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ConfigError);
+}
+
+TEST(Table, EmptyHeaderRejected) {
+  EXPECT_THROW(Table({}), ConfigError);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(3.0, 0), "3");
+  EXPECT_EQ(Table::num(std::int64_t(-5)), "-5");
+  EXPECT_EQ(Table::num(std::uint64_t(7)), "7");
+  EXPECT_EQ(Table::pct(0.034251, 2), "3.43%");
+}
+
+TEST(Table, RowCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+}  // namespace
+}  // namespace mmptcp

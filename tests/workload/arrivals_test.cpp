@@ -1,0 +1,48 @@
+#include "workload/arrivals.h"
+
+#include <gtest/gtest.h>
+#include <cmath>
+
+namespace mmptcp {
+namespace {
+
+TEST(PoissonArrivals, GapsArePositive) {
+  PoissonArrivals p(Rng(1), 100.0);
+  for (int i = 0; i < 1000; ++i) EXPECT_GT(p.next_gap(), Time::zero());
+}
+
+TEST(PoissonArrivals, MeanGapMatchesRate) {
+  PoissonArrivals p(Rng(2), 50.0);  // mean gap 20 ms
+  double total = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += p.next_gap().to_seconds();
+  EXPECT_NEAR(total / n, 0.02, 0.001);
+}
+
+TEST(PoissonArrivals, CoefficientOfVariationNearOne) {
+  // Exponential gaps have CV = 1 (distinguishes from uniform/fixed).
+  PoissonArrivals p(Rng(3), 10.0);
+  double sum = 0, sq = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double g = p.next_gap().to_seconds();
+    sum += g;
+    sq += g * g;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(std::sqrt(var) / mean, 1.0, 0.05);
+}
+
+TEST(PoissonArrivals, DeterministicPerSeed) {
+  PoissonArrivals a(Rng(7), 5.0), b(Rng(7), 5.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_gap(), b.next_gap());
+}
+
+TEST(PoissonArrivals, RejectsNonPositiveRate) {
+  EXPECT_THROW(PoissonArrivals(Rng(1), 0.0), ConfigError);
+  EXPECT_THROW(PoissonArrivals(Rng(1), -2.0), ConfigError);
+}
+
+}  // namespace
+}  // namespace mmptcp

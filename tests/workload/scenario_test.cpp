@@ -1,0 +1,137 @@
+#include "workload/scenario.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mmptcp {
+namespace {
+
+ScenarioConfig small_scenario(Protocol proto, std::uint32_t shorts = 60) {
+  ScenarioConfig cfg;
+  cfg.fat_tree.k = 4;
+  cfg.fat_tree.oversubscription = 2;
+  cfg.transport.protocol = proto;
+  cfg.transport.subflows = 4;
+  cfg.short_flow_count = shorts;
+  cfg.short_rate_per_host = 20.0;
+  cfg.max_sim_time = Time::seconds(30);
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Scenario, RolePartitionIsExactAndDisjoint) {
+  Scenario sc(small_scenario(Protocol::kTcp));
+  EXPECT_EQ(sc.host_count(), 32u);
+  EXPECT_EQ(sc.long_hosts().size(), 32u / 3);
+  std::set<std::size_t> longs(sc.long_hosts().begin(),
+                              sc.long_hosts().end());
+  EXPECT_EQ(longs.size(), sc.long_hosts().size());
+  EXPECT_TRUE(is_valid_permutation(sc.permutation()));
+}
+
+TEST(Scenario, AllShortFlowsComplete) {
+  Scenario sc(small_scenario(Protocol::kTcp));
+  sc.run();
+  EXPECT_EQ(sc.shorts_started(), 60u);
+  EXPECT_DOUBLE_EQ(sc.short_completion_ratio(), 1.0);
+  EXPECT_EQ(sc.short_fct_ms().count(), 60u);
+  // Stopped early once the shorts finished, not at the horizon.
+  EXPECT_LT(sc.end_time(), Time::seconds(30));
+}
+
+TEST(Scenario, LongFlowsKeepRunningAndMoveBytes) {
+  Scenario sc(small_scenario(Protocol::kTcp));
+  sc.run();
+  const Summary g = sc.long_goodput_mbps();
+  EXPECT_EQ(g.count(), sc.long_hosts().size());
+  EXPECT_GT(g.mean(), 1.0);  // they got some real bandwidth
+}
+
+TEST(Scenario, UtilizationWithinPhysicalBounds) {
+  Scenario sc(small_scenario(Protocol::kTcp));
+  sc.run();
+  EXPECT_GT(sc.network_utilization(), 0.0);
+  EXPECT_LE(sc.network_utilization(), 1.0);
+}
+
+TEST(Scenario, LayerStatsCoverAllThreeLayers) {
+  Scenario sc(small_scenario(Protocol::kMmptcp));
+  sc.run();
+  const auto stats = sc.layer_stats();
+  ASSERT_TRUE(stats.count(LinkLayer::kHostEdge));
+  ASSERT_TRUE(stats.count(LinkLayer::kEdgeAgg));
+  ASSERT_TRUE(stats.count(LinkLayer::kAggCore));
+  EXPECT_GT(stats.at(LinkLayer::kAggCore).tx_packets, 0u);
+}
+
+TEST(Scenario, EveryShortFlowDeliversItsRequest) {
+  Scenario sc(small_scenario(Protocol::kMmptcp));
+  sc.run();
+  for (const auto* rec : sc.metrics().flows(
+           [](const FlowRecord& r) { return !r.long_flow; })) {
+    EXPECT_TRUE(rec->is_complete());
+    EXPECT_EQ(rec->delivered_bytes, rec->request_bytes);
+  }
+}
+
+TEST(Scenario, HotspotRedirectsDestinations) {
+  ScenarioConfig cfg = small_scenario(Protocol::kTcp, 40);
+  cfg.hotspot_fraction = 1.0;  // every short flow goes to rack (0,0)
+  cfg.start_long_flows = false;
+  Scenario sc(cfg);
+  sc.run();
+  const std::size_t rack = 8;  // k=4, oversub=2 -> 4 hosts/edge... see below
+  for (const auto* rec : sc.metrics().flows(
+           [](const FlowRecord& r) { return !r.long_flow; })) {
+    EXPECT_LT(FatTreeAddr::pod(rec->dst), 1u);    // pod 0
+    EXPECT_EQ(FatTreeAddr::edge(rec->dst), 0u);   // edge 0
+  }
+  (void)rack;
+}
+
+TEST(Scenario, SizeDistributionOverridesFixedBytes) {
+  ScenarioConfig cfg = small_scenario(Protocol::kTcp, 30);
+  cfg.short_sizes = std::make_shared<UniformSize>(1000, 2000);
+  Scenario sc(cfg);
+  sc.run();
+  for (const auto* rec : sc.metrics().flows(
+           [](const FlowRecord& r) { return !r.long_flow; })) {
+    EXPECT_GE(rec->request_bytes, 1000u);
+    EXPECT_LE(rec->request_bytes, 2000u);
+  }
+}
+
+TEST(Scenario, DualHomedTopologyRuns) {
+  ScenarioConfig cfg = small_scenario(Protocol::kMmptcp, 30);
+  cfg.dual_homed = true;
+  cfg.dual.k = 4;
+  cfg.dual.oversubscription = 2;
+  Scenario sc(cfg);
+  sc.run();
+  EXPECT_DOUBLE_EQ(sc.short_completion_ratio(), 1.0);
+}
+
+TEST(Scenario, NoLongFlowsOptionLeavesOnlyShorts) {
+  ScenarioConfig cfg = small_scenario(Protocol::kTcp, 30);
+  cfg.start_long_flows = false;
+  Scenario sc(cfg);
+  sc.run();
+  EXPECT_EQ(sc.metrics().flows([](const FlowRecord& r) {
+    return r.long_flow;
+  }).size(),
+            0u);
+  EXPECT_DOUBLE_EQ(sc.short_completion_ratio(), 1.0);
+}
+
+TEST(Scenario, MaxSimTimeBoundsTheRun) {
+  ScenarioConfig cfg = small_scenario(Protocol::kTcp, 100000);  // unreachable
+  cfg.max_sim_time = Time::millis(200);
+  Scenario sc(cfg);
+  sc.run();
+  EXPECT_EQ(sc.end_time(), Time::millis(200));
+  EXPECT_LT(sc.shorts_started(), 100000u);
+}
+
+}  // namespace
+}  // namespace mmptcp

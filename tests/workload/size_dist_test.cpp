@@ -1,0 +1,104 @@
+#include "workload/size_dist.h"
+
+#include <gtest/gtest.h>
+
+namespace mmptcp {
+namespace {
+
+TEST(SizeDist, FixedAlwaysSame) {
+  FixedSize d(70 * 1024);
+  Rng rng(1);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(d.sample(rng), 70u * 1024u);
+  EXPECT_DOUBLE_EQ(d.mean_bytes(), 70.0 * 1024);
+  EXPECT_THROW(FixedSize(0), ConfigError);
+}
+
+TEST(SizeDist, UniformStaysInBoundsAndMeanMatches) {
+  UniformSize d(100, 200);
+  Rng rng(2);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = d.sample(rng);
+    ASSERT_GE(v, 100u);
+    ASSERT_LE(v, 200u);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, d.mean_bytes(), 1.0);
+  EXPECT_DOUBLE_EQ(d.mean_bytes(), 150.0);
+  EXPECT_THROW(UniformSize(10, 5), ConfigError);
+}
+
+TEST(SizeDist, BoundedParetoStaysInBounds) {
+  BoundedParetoSize d(1.2, 1000, 1'000'000);
+  Rng rng(3);
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = d.sample(rng);
+    ASSERT_GE(v, 999u);  // floating point rounding at the boundary
+    ASSERT_LE(v, 1'000'001u);
+  }
+}
+
+TEST(SizeDist, BoundedParetoIsHeavyTailed) {
+  BoundedParetoSize d(1.2, 1000, 1'000'000);
+  Rng rng(4);
+  int small = 0, large = 0;
+  for (int i = 0; i < 100000; ++i) {
+    const auto v = d.sample(rng);
+    if (v < 3000) ++small;
+    if (v > 100'000) ++large;
+  }
+  EXPECT_GT(small, 50000);  // most flows tiny
+  EXPECT_GT(large, 200);    // but a real tail exists (P ~ 0.4%)
+}
+
+TEST(SizeDist, BoundedParetoEmpiricalMeanMatchesFormula) {
+  BoundedParetoSize d(1.5, 1000, 500'000);
+  Rng rng(5);
+  double sum = 0;
+  const int n = 400000;
+  for (int i = 0; i < n; ++i) sum += static_cast<double>(d.sample(rng));
+  EXPECT_NEAR(sum / n, d.mean_bytes(), d.mean_bytes() * 0.03);
+}
+
+TEST(SizeDist, EmpiricalInterpolatesBetweenKnots) {
+  EmpiricalSize d({{0.0, 100}, {1.0, 200}});
+  Rng rng(6);
+  for (int i = 0; i < 10000; ++i) {
+    const auto v = d.sample(rng);
+    ASSERT_GE(v, 100u);
+    ASSERT_LE(v, 200u);
+  }
+  EXPECT_DOUBLE_EQ(d.mean_bytes(), 150.0);
+}
+
+TEST(SizeDist, EmpiricalValidation) {
+  using K = EmpiricalSize::Knot;
+  EXPECT_THROW(EmpiricalSize({K{0.0, 1}}), ConfigError);  // too few knots
+  EXPECT_THROW(EmpiricalSize({K{0.1, 1}, K{1.0, 2}}), ConfigError);
+  EXPECT_THROW(EmpiricalSize({K{0.0, 1}, K{0.9, 2}}), ConfigError);
+  EXPECT_THROW(EmpiricalSize({K{0.0, 1}, K{0.0, 2}, K{1.0, 3}}),
+               ConfigError);
+  EXPECT_THROW(EmpiricalSize({K{0.0, 5}, K{0.5, 2}, K{1.0, 9}}),
+               ConfigError);  // bytes decrease
+}
+
+TEST(SizeDist, WebSearchPresetShape) {
+  const EmpiricalSize d = EmpiricalSize::web_search();
+  Rng rng(7);
+  int tiny = 0, huge = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = d.sample(rng);
+    ASSERT_GE(v, 1u);
+    ASSERT_LE(v, 30u * 1024 * 1024);
+    if (v <= 10 * 1024) ++tiny;
+    if (v >= 1024 * 1024) ++huge;
+  }
+  EXPECT_GT(tiny, n / 3);       // ~half of flows are small
+  EXPECT_GT(huge, n / 100);     // a long tail of multi-MB flows
+  EXPECT_GT(d.mean_bytes(), 100.0 * 1024);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -1,0 +1,72 @@
+#include "workload/traffic_matrix.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mmptcp {
+namespace {
+
+class PermutationSize : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PermutationSize, ValidPermutationWithNoFixedPoints) {
+  Rng rng(GetParam() * 31 + 7);
+  const auto pi = permutation_matrix(rng, GetParam());
+  EXPECT_TRUE(is_valid_permutation(pi));
+  for (std::size_t i = 0; i < pi.size(); ++i) EXPECT_NE(pi[i], i);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PermutationSize,
+                         ::testing::Values(2, 3, 4, 5, 16, 17, 64, 513));
+
+TEST(TrafficMatrix, DeterministicForSeed) {
+  Rng a(5), b(5);
+  EXPECT_EQ(permutation_matrix(a, 100), permutation_matrix(b, 100));
+}
+
+TEST(TrafficMatrix, DifferentSeedsDiffer) {
+  Rng a(5), b(6);
+  EXPECT_NE(permutation_matrix(a, 100), permutation_matrix(b, 100));
+}
+
+TEST(TrafficMatrix, RejectsTinyPopulations) {
+  Rng rng(1);
+  EXPECT_THROW(permutation_matrix(rng, 0), ConfigError);
+  EXPECT_THROW(permutation_matrix(rng, 1), ConfigError);
+}
+
+TEST(TrafficMatrix, ValidatorCatchesBadInputs) {
+  EXPECT_FALSE(is_valid_permutation({0, 1}));     // fixed points
+  EXPECT_FALSE(is_valid_permutation({1, 1}));     // not a bijection
+  EXPECT_FALSE(is_valid_permutation({2, 0}));     // out of range
+  EXPECT_TRUE(is_valid_permutation({1, 0}));
+}
+
+TEST(TrafficMatrix, SampleWithoutReplacementUniqueAndInRange) {
+  Rng rng(9);
+  const auto sample = sample_without_replacement(rng, 100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 30u);
+  for (auto v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(TrafficMatrix, SampleAllAndNone) {
+  Rng rng(9);
+  EXPECT_EQ(sample_without_replacement(rng, 5, 5).size(), 5u);
+  EXPECT_TRUE(sample_without_replacement(rng, 5, 0).empty());
+  EXPECT_THROW(sample_without_replacement(rng, 5, 6), ConfigError);
+}
+
+TEST(TrafficMatrix, SamplingIsUnbiased) {
+  // Each index should be picked roughly count/n of the time.
+  std::vector<int> hits(20, 0);
+  for (std::uint64_t seed = 0; seed < 2000; ++seed) {
+    Rng rng(seed);
+    for (auto v : sample_without_replacement(rng, 20, 5)) ++hits[v];
+  }
+  for (int h : hits) EXPECT_NEAR(h, 500, 120);
+}
+
+}  // namespace
+}  // namespace mmptcp
