@@ -1,65 +1,12 @@
-// Out-of-order handling study (§2 "Packet Scatter Phase"):
+// Out-of-order handling study (§2 "Packet Scatter Phase"): static-3 vs
+// topology-aware vs adaptive RR-TCP duplicate-ACK thresholds under
+// packet scatter.
 //
-//   (1) dynamically assigning the duplicate-ACK threshold from
-//       topology-specific information (the FatTree addressing scheme), vs
-//   (2) an RR-TCP style adaptive threshold driven by DSACK-detected
-//       spurious retransmissions, vs
-//   the classic static threshold of 3 that packet scatter breaks.
+// Thin wrapper over the experiment engine: registered as
+// "ablation_dupthresh".
 
-#include <cstdio>
-
-#include "common.h"
-
-using namespace mmptcp;
-using namespace mmptcp::bench;
+#include "exp/cli.h"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  Scale scale = parse_scale(flags);
-  if (flags.help_requested()) {
-    std::fputs(flags.help(argv[0]).c_str(), stdout);
-    return 0;
-  }
-  flags.check_unknown();
-  print_preamble("ablation_dupthresh",
-                 "section 2 'PS Phase' reordering-robustness study", scale);
-
-  Table table({"dupack_policy", "spurious_rtx", "fast_rtx_flows",
-               "flows_with_rto", "short_mean_ms", "short_sd_ms",
-               "short_p99_ms"});
-  struct Variant {
-    const char* name;
-    DupAckPolicyKind kind;
-  };
-  const Variant variants[] = {
-      {"static-3 (classic TCP)", DupAckPolicyKind::kStatic},
-      {"topology-aware (paper #1)", DupAckPolicyKind::kTopologyAware},
-      {"adaptive RR-TCP (paper #2)", DupAckPolicyKind::kAdaptive},
-  };
-  for (const Variant& v : variants) {
-    ScenarioConfig cfg = paper_scenario(scale, Protocol::kPacketScatter, 1);
-    cfg.transport.ps_dupack.kind = v.kind;
-    Scenario sc(cfg);
-    sc.run();
-    const Summary fct = sc.short_fct_ms();
-    const auto fast_rtx_flows = sc.metrics().total(
-        [](const FlowRecord& r) { return r.fast_retransmits > 0 ? 1u : 0u; },
-        [](const FlowRecord& r) { return !r.long_flow; });
-    table.add_row({v.name, Table::num(sc.total_spurious_retransmits()),
-                   Table::num(fast_rtx_flows),
-                   Table::num(sc.short_flows_with_rto()),
-                   ms(fct.count() ? fct.mean() : 0),
-                   ms(fct.count() ? fct.stddev() : 0),
-                   ms(fct.count() ? fct.percentile(99) : 0)});
-    std::printf("  [%s done]\n", v.name);
-  }
-  std::printf("\n%s\n", table.to_string().c_str());
-  std::printf(
-      "expected shape: static-3 fires many spurious retransmissions from "
-      "spray-induced reordering, but the DSACK undo makes them nearly "
-      "free, so its FCTs stay best; raising the threshold "
-      "(topology-aware, adaptive) trades spurious retransmissions for "
-      "forgone recoveries that cost full RTOs — visible as a worse tail. "
-      "This is the study the paper's section 2 calls for.\n");
-  return 0;
+  return mmptcp::exp::run_registered_main("ablation_dupthresh", argc, argv);
 }

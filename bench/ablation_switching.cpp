@@ -1,75 +1,12 @@
-// Phase-switching study (§2 "Phase Switching"):
+// Phase-switching study (§2 "Phase Switching"): volume thresholds from
+// 70 KB to 4 MB, the congestion-event trigger, pure packet scatter,
+// plain MPTCP and the MPTCP reinjection ablation.
 //
-//  * Data-volume thresholds from 70 KB to 4 MB — the paper's claim is that
-//    volume-based switching "does not exert any negative effects on the
-//    throughput of long flows since the opening of multiple sub-flows
-//    after switching can wrap up access link capacity in a few RTTs".
-//  * The congestion-event trigger (switch at first fast-rtx/RTO).
-//  * Never switching (pure packet scatter) and plain MPTCP as endpoints
-//    of the design space.
-//  * The reinjection ablation for MPTCP (why Figure 1(b) stalls happen).
+// Thin wrapper over the experiment engine: registered as
+// "ablation_switching".
 
-#include <cstdio>
-
-#include "common.h"
-
-using namespace mmptcp;
-using namespace mmptcp::bench;
+#include "exp/cli.h"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  Scale scale = parse_scale(flags);
-  if (flags.help_requested()) {
-    std::fputs(flags.help(argv[0]).c_str(), stdout);
-    return 0;
-  }
-  flags.check_unknown();
-  print_preamble("ablation_switching",
-                 "section 2 'Phase Switching' design study", scale);
-
-  Table table({"variant", "short_mean_ms", "short_sd_ms", "short_p99_ms",
-               "flows_with_rto", "long_goodput_mbps", "utilization"});
-  auto add = [&table](const std::string& name, const RunResult& r) {
-    table.add_row({name, ms(r.fct_ms.mean()), ms(r.fct_ms.stddev()),
-                   ms(r.fct_ms.percentile(99)), Table::num(r.flows_with_rto),
-                   ms(r.long_goodput.count() ? r.long_goodput.mean() : 0.0),
-                   Table::pct(r.utilization)});
-  };
-
-  for (const std::uint64_t kb : {70, 128, 256, 512, 1024, 4096}) {
-    ScenarioConfig cfg =
-        paper_scenario(scale, Protocol::kMmptcp, scale.subflows);
-    cfg.transport.phase.kind = SwitchPolicyKind::kDataVolume;
-    cfg.transport.phase.volume_bytes = kb * 1024;
-    add("volume " + std::to_string(kb) + "KB", run_scenario(cfg));
-    std::printf("  [volume=%lluKB done]\n",
-                static_cast<unsigned long long>(kb));
-  }
-  {
-    ScenarioConfig cfg =
-        paper_scenario(scale, Protocol::kMmptcp, scale.subflows);
-    cfg.transport.phase.kind = SwitchPolicyKind::kCongestionEvent;
-    add("congestion-event", run_scenario(cfg));
-    std::printf("  [congestion-event done]\n");
-  }
-  add("never (pure PS)",
-      run_scenario(paper_scenario(scale, Protocol::kPacketScatter, 1)));
-  std::printf("  [never done]\n");
-  add("MPTCP (no PS phase)",
-      run_scenario(paper_scenario(scale, Protocol::kMptcp, scale.subflows)));
-  std::printf("  [mptcp done]\n");
-  {
-    ScenarioConfig cfg =
-        paper_scenario(scale, Protocol::kMptcp, scale.subflows);
-    cfg.transport.reinject_on_rto = true;
-    add("MPTCP + reinjection", run_scenario(cfg));
-    std::printf("  [mptcp+reinjection done]\n");
-  }
-
-  std::printf("\n%s\n", table.to_string().c_str());
-  std::printf(
-      "expected shape: long-flow goodput roughly flat across volume "
-      "thresholds (the paper's claim); short-flow tail degrades toward "
-      "the MPTCP row as the threshold shrinks below the 70KB flow size.\n");
-  return 0;
+  return mmptcp::exp::run_registered_main("ablation_switching", argc, argv);
 }

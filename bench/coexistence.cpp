@@ -1,92 +1,14 @@
-// Discussion claim (§3): "we expect that MMPTCP will be readily
-// deployable in existing data centres as it can coexist with other
-// transport protocols ... Early results suggest that it could co-exist in
-// harmony with them."
+// Discussion claim (§3): MMPTCP "could co-exist in harmony" with other
+// transports.  Long flows of TCP, MPTCP and MMPTCP share one fabric
+// under a permutation matrix; reports per-protocol goodput and Jain's
+// fairness index.
 //
-// Long flows of TCP, MPTCP and MMPTCP share one fabric under a
-// permutation matrix; the table reports per-protocol goodput and Jain's
-// fairness index across all long flows.
+// Thin wrapper over the experiment engine: registered as "coexistence".
+// The old --pull flag is now the "scheduler" axis
+// (--set scheduler=pull); --secs is the "secs" axis.
 
-#include <cstdio>
-
-#include "common.h"
-
-using namespace mmptcp;
-using namespace mmptcp::bench;
-
-namespace {
-
-double jain_index(const std::vector<double>& xs) {
-  double sum = 0, sq = 0;
-  for (double x : xs) {
-    sum += x;
-    sq += x * x;
-  }
-  if (sq <= 0) return 1.0;
-  return sum * sum / (static_cast<double>(xs.size()) * sq);
-}
-
-}  // namespace
+#include "exp/cli.h"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  Scale scale = parse_scale(flags);
-  const auto secs = flags.get_int("secs", 5, "simulated seconds to run");
-  const bool pull = flags.get_bool(
-      "pull", false, "use the modern pull scheduler instead of eager-RR");
-  if (flags.help_requested()) {
-    std::fputs(flags.help(argv[0]).c_str(), stdout);
-    return 0;
-  }
-  flags.check_unknown();
-  print_preamble("coexistence",
-                 "section 3: coexistence/fairness with TCP and MPTCP",
-                 scale);
-
-  Simulation sim(scale.seed);
-  FatTreeConfig ftc;
-  ftc.k = scale.k;
-  ftc.oversubscription = scale.oversubscription;
-  FatTree ft(sim, ftc);
-  Metrics metrics;
-  SinkFarm sinks(sim, metrics, ft.network(), 5001, TcpConfig{});
-
-  Rng rng = sim.rng().fork();
-  const auto perm = permutation_matrix(rng, ft.host_count());
-
-  // One long flow per host, protocols interleaved round-robin.
-  const Protocol protos[] = {Protocol::kTcp, Protocol::kMptcp,
-                             Protocol::kMmptcp};
-  std::vector<std::unique_ptr<ClientFlow>> flows;
-  for (std::size_t h = 0; h < ft.host_count(); ++h) {
-    TransportConfig cfg;
-    cfg.protocol = protos[h % 3];
-    cfg.subflows = scale.subflows;
-    cfg.scheduler = pull ? SchedulerKind::kPull
-                         : SchedulerKind::kEagerRoundRobin;
-    cfg.oracle = &ft;
-    flows.push_back(std::make_unique<ClientFlow>(
-        sim, metrics, ft.host(h), ft.host(perm[h]).addr(), cfg,
-        ClientFlow::kLongFlow, /*long_flow=*/true));
-  }
-  sim.scheduler().run_until(Time::seconds(secs));
-
-  Table table({"protocol", "flows", "goodput_mean_mbps", "goodput_p5_mbps",
-               "goodput_p95_mbps"});
-  std::vector<double> all;
-  for (Protocol proto : protos) {
-    const Summary g = metrics.long_flow_goodput_mbps(proto, sim.now());
-    for (double v : g.samples()) all.push_back(v);
-    table.add_row({to_string(proto), Table::num(std::uint64_t(g.count())),
-                   ms(g.mean()), ms(g.percentile(5)), ms(g.percentile(95))});
-  }
-  std::printf("%s\n", table.to_string().c_str());
-  std::printf("Jain fairness index across all long flows: %.3f\n",
-              jain_index(all));
-  std::printf(
-      "expected shape: no protocol starves.  MPTCP-family flows yield to "
-      "TCP — LIA's do-no-harm coupling never takes more than TCP would on "
-      "a shared bottleneck — so 'harmony' here means safe coexistence, "
-      "not equal shares (--pull isolates the scheduler's contribution).\n");
-  return 0;
+  return mmptcp::exp::run_registered_main("coexistence", argc, argv);
 }

@@ -1,47 +1,12 @@
 // Figure 1(a): mean and standard deviation of short-flow completion time
 // under MPTCP as the number of subflows grows from 1 to 9.
 //
-// Paper's reading: the mean rises mildly with subflow count (inset,
-// ~80-140 ms) while the standard deviation explodes (to ~700 ms at 9
-// subflows) because more and more short flows take an RTO: with 70 KB
-// split over many subflows, each subflow's window is too small to recover
-// losses via fast retransmission.
+// Thin wrapper over the experiment engine: the scenario lives in the
+// registry as "fig1a" (src/exp/experiments.cpp).  Sweep knobs:
+//   --jobs N --seeds 1..10 --set subflows=1,4,9 --full
 
-#include <cstdio>
-
-#include "common.h"
-
-using namespace mmptcp;
-using namespace mmptcp::bench;
+#include "exp/cli.h"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  Scale scale = parse_scale(flags);
-  const auto max_subflows = static_cast<std::uint32_t>(
-      flags.get_int("max-subflows", 9, "largest subflow count"));
-  if (flags.help_requested()) {
-    std::fputs(flags.help(argv[0]).c_str(), stdout);
-    return 0;
-  }
-  flags.check_unknown();
-  print_preamble("fig1a_mptcp_subflows",
-                 "Figure 1(a): MPTCP short-flow FCT vs #subflows", scale);
-
-  Table table({"subflows", "mean_ms", "stddev_ms", "p50_ms", "p99_ms",
-               "max_ms", "flows_with_rto", "completion"});
-  for (std::uint32_t n = 1; n <= max_subflows; ++n) {
-    const ScenarioConfig cfg = paper_scenario(scale, Protocol::kMptcp, n);
-    const RunResult r = run_scenario(cfg);
-    table.add_row({Table::num(std::int64_t(n)), ms(r.fct_ms.mean()),
-                   ms(r.fct_ms.stddev()), ms(r.fct_ms.percentile(50)),
-                   ms(r.fct_ms.percentile(99)), ms(r.fct_ms.max()),
-                   Table::num(r.flows_with_rto), Table::pct(r.completion)});
-    std::printf("  [subflows=%u done]\n", n);
-  }
-  std::printf("\n%s\n", table.to_string().c_str());
-  std::printf("paper series (approx. from Figure 1a): mean ~80->140 ms and "
-              "stddev ~100->700 ms as subflows go 1->9\n");
-  std::printf("expected shape: mean and stddev both rise with subflow "
-              "count; flows_with_rto grows.\n");
-  return 0;
+  return mmptcp::exp::run_registered_main("fig1a", argc, argv);
 }

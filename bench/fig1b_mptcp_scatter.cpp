@@ -1,31 +1,12 @@
 // Figure 1(b): per-flow completion times of short flows under MPTCP with
 // 8 subflows — the scatter whose RTO bands reach multiple seconds.
 //
-// Prints the distribution summary, the second-resolution band histogram
-// (the visual signature of Figure 1b), a decimated flow-id/FCT series,
-// and writes the full series to fig1b_flows.csv.
+// Thin wrapper over the experiment engine: registered as "fig1b"; the
+// band histogram becomes metrics and the full per-flow series lands in
+// fig1b_flows_seed<seed>.csv.
 
-#include <cstdio>
-
-#include "common.h"
-
-using namespace mmptcp;
-using namespace mmptcp::bench;
+#include "exp/cli.h"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  Scale scale = parse_scale(flags);
-  if (flags.help_requested()) {
-    std::fputs(flags.help(argv[0]).c_str(), stdout);
-    return 0;
-  }
-  flags.check_unknown();
-  print_preamble("fig1b_mptcp_scatter",
-                 "Figure 1(b): MPTCP (8 subflows) per-flow FCT scatter",
-                 scale);
-  scatter_report(paper_scenario(scale, Protocol::kMptcp, scale.subflows),
-                 "fig1b_flows.csv");
-  std::printf("expected shape: dense sub-second band plus multi-second RTO "
-              "bands (paper: outliers up to ~10 s).\n");
-  return 0;
+  return mmptcp::exp::run_registered_main("fig1b", argc, argv);
 }

@@ -1,34 +1,12 @@
 // Figure 1(c): per-flow completion times of short flows under MMPTCP
 // (packet-scatter phase, then 8 subflows).
 //
-// The paper's reading: "the majority of short flows completed within
-// 100ms"; mean 116 ms with standard deviation 101 ms (vs 126/425 for
-// MPTCP) — the multi-second RTO bands of Figure 1(b) vanish because the
-// single sprayed window recovers losses with fast retransmissions.
+// Thin wrapper over the experiment engine: registered as "fig1c"; the
+// band histogram becomes metrics and the full per-flow series lands in
+// fig1c_flows_seed<seed>.csv.
 
-#include <cstdio>
-
-#include "common.h"
-
-using namespace mmptcp;
-using namespace mmptcp::bench;
+#include "exp/cli.h"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  Scale scale = parse_scale(flags);
-  if (flags.help_requested()) {
-    std::fputs(flags.help(argv[0]).c_str(), stdout);
-    return 0;
-  }
-  flags.check_unknown();
-  print_preamble(
-      "fig1c_mmptcp_scatter",
-      "Figure 1(c): MMPTCP (PS then 8 subflows) per-flow FCT scatter",
-      scale);
-  scatter_report(paper_scenario(scale, Protocol::kMmptcp, scale.subflows),
-                 "fig1c_flows.csv");
-  std::printf("expected shape: the RTO bands of Figure 1(b) collapse; "
-              "majority of flows < 100 ms at paper scale "
-              "(paper: mean 116 ms, sd 101 ms).\n");
-  return 0;
+  return mmptcp::exp::run_registered_main("fig1c", argc, argv);
 }

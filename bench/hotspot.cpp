@@ -1,44 +1,11 @@
 // Roadmap experiment (§3): "effect of hotspots" — a fraction of short
-// flows is redirected at one rack, creating a persistent hotspot; packet
-// scatter routes around the congested core/agg paths, single-path TCP
-// cannot.
+// flows is redirected at one rack; packet scatter routes around the
+// congested core/agg paths, single-path TCP cannot.
+//
+// Thin wrapper over the experiment engine: registered as "hotspot".
 
-#include <cstdio>
-
-#include "common.h"
-
-using namespace mmptcp;
-using namespace mmptcp::bench;
+#include "exp/cli.h"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  Scale scale = parse_scale(flags);
-  if (flags.help_requested()) {
-    std::fputs(flags.help(argv[0]).c_str(), stdout);
-    return 0;
-  }
-  flags.check_unknown();
-  print_preamble("hotspot", "roadmap: hotspot tolerance", scale);
-
-  Table table({"hotspot_fraction", "protocol", "mean_ms", "p99_ms",
-               "flows_with_rto", "completion", "core_loss"});
-  for (const double frac : {0.0, 0.2, 0.5}) {
-    for (Protocol proto : {Protocol::kTcp, Protocol::kMptcp,
-                           Protocol::kMmptcp}) {
-      ScenarioConfig cfg = paper_scenario(scale, proto, scale.subflows);
-      cfg.hotspot_fraction = frac;
-      const RunResult r = run_scenario(cfg);
-      table.add_row({Table::num(frac, 2), to_string(proto),
-                     ms(r.fct_ms.mean()), ms(r.fct_ms.percentile(99)),
-                     Table::num(r.flows_with_rto), Table::pct(r.completion),
-                     Table::pct(r.core_loss, 3)});
-    }
-    std::printf("  [hotspot=%.2f done]\n", frac);
-  }
-  std::printf("\n%s\n", table.to_string().c_str());
-  std::printf(
-      "expected shape: as the hotspot grows, MMPTCP's advantage over "
-      "TCP/MPTCP on the non-hotspot flows widens (spraying avoids the "
-      "hot paths).\n");
-  return 0;
+  return mmptcp::exp::run_registered_main("hotspot", argc, argv);
 }

@@ -1,57 +1,11 @@
 // Objective (3) of the paper: "tolerance to sudden and high bursts of
-// traffic".  N synchronized senders transmit 70 KB each to one receiver;
-// the shared-memory-switch pathology behind TCP incast.
+// traffic".  N synchronized senders transmit 70 KB each to one receiver.
+//
+// Thin wrapper over the experiment engine: registered as "incast".
+// The old --shared-buffer flag is now --set shared_buffer=1.
 
-#include <cstdio>
-
-#include "common.h"
-
-using namespace mmptcp;
-using namespace mmptcp::bench;
+#include "exp/cli.h"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  Scale scale = parse_scale(flags);
-  const bool shared_buffer = flags.get_bool(
-      "shared-buffer", false, "model shared-memory switch buffers");
-  if (flags.help_requested()) {
-    std::fputs(flags.help(argv[0]).c_str(), stdout);
-    return 0;
-  }
-  flags.check_unknown();
-  print_preamble("incast", "objective (3): burst (incast) tolerance", scale);
-
-  Table table({"senders", "protocol", "makespan_ms", "mean_fct_ms",
-               "p99_fct_ms", "rtos", "syn_timeouts", "completion"});
-  const std::uint32_t fan_in_max =
-      scale.k == 4 ? 48u : 128u;  // bounded by hosts outside the rack
-  for (std::uint32_t senders = 8; senders <= fan_in_max; senders *= 2) {
-    for (Protocol proto : {Protocol::kTcp, Protocol::kMptcp,
-                           Protocol::kPacketScatter, Protocol::kMmptcp}) {
-      IncastConfig cfg;
-      cfg.fat_tree.k = scale.k;
-      cfg.fat_tree.oversubscription = scale.oversubscription;
-      cfg.fat_tree.shared_buffer = shared_buffer;
-      cfg.transport.protocol = proto;
-      cfg.transport.subflows = scale.subflows;
-      cfg.senders = senders;
-      cfg.bytes = scale.short_bytes;
-      cfg.seed = scale.seed;
-      const IncastResult r = run_incast(cfg);
-      table.add_row(
-          {Table::num(std::uint64_t(senders)), to_string(proto),
-           ms(r.makespan.to_millis()),
-           ms(r.fct_ms.count() ? r.fct_ms.mean() : 0),
-           ms(r.fct_ms.count() ? r.fct_ms.percentile(99) : 0),
-           Table::num(r.rtos), Table::num(r.syn_timeouts),
-           Table::pct(r.completion_ratio)});
-    }
-    std::printf("  [senders=%u done]\n", senders);
-  }
-  std::printf("\n%s\n", table.to_string().c_str());
-  std::printf(
-      "expected shape: RTO counts grow with fan-in for MPTCP (many tiny "
-      "windows); PS/MMPTCP tolerate larger bursts before the first "
-      "timeout; everyone completes eventually.\n");
-  return 0;
+  return mmptcp::exp::run_registered_main("incast", argc, argv);
 }

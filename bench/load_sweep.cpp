@@ -1,48 +1,11 @@
-// Roadmap experiment (§3): "effect of ... network loads" — short-flow FCT
-// and long-flow goodput for all four transports as the short-flow arrival
-// rate sweeps the fabric from lightly to heavily loaded.
+// Roadmap experiment (§3): "effect of ... network loads" — short-flow
+// FCT and long-flow goodput for all four transports as the arrival rate
+// sweeps the fabric from lightly to heavily loaded.
+//
+// Thin wrapper over the experiment engine: registered as "load_sweep".
 
-#include <cstdio>
-
-#include "common.h"
-
-using namespace mmptcp;
-using namespace mmptcp::bench;
+#include "exp/cli.h"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  Scale scale = parse_scale(flags);
-  if (flags.help_requested()) {
-    std::fputs(flags.help(argv[0]).c_str(), stdout);
-    return 0;
-  }
-  flags.check_unknown();
-  // The sweep multiplies the base arrival rate; shrink the flow count per
-  // point so the whole sweep stays fast.
-  scale.shorts = scale.shorts / 2;
-  print_preamble("load_sweep", "roadmap: network-load sweep", scale);
-
-  Table table({"rate/host", "protocol", "mean_ms", "sd_ms", "p99_ms",
-               "flows_with_rto", "long_goodput_mbps"});
-  for (const double mult : {0.25, 0.5, 1.0, 2.0}) {
-    for (Protocol proto : {Protocol::kTcp, Protocol::kMptcp,
-                           Protocol::kPacketScatter, Protocol::kMmptcp}) {
-      ScenarioConfig cfg = paper_scenario(scale, proto, scale.subflows);
-      cfg.short_rate_per_host = scale.rate_per_host * mult;
-      const RunResult r = run_scenario(cfg);
-      table.add_row({Table::num(cfg.short_rate_per_host, 1),
-                     to_string(proto), ms(r.fct_ms.mean()),
-                     ms(r.fct_ms.stddev()), ms(r.fct_ms.percentile(99)),
-                     Table::num(r.flows_with_rto),
-                     ms(r.long_goodput.count() ? r.long_goodput.mean()
-                                               : 0.0)});
-    }
-    std::printf("  [rate x%.2f done]\n", mult);
-  }
-  std::printf("\n%s\n", table.to_string().c_str());
-  std::printf(
-      "expected shape: MMPTCP tracks PS on short-flow latency at every "
-      "load while matching MPTCP on long-flow goodput; MPTCP's tail "
-      "degrades fastest as load grows.\n");
-  return 0;
+  return mmptcp::exp::run_registered_main("load_sweep", argc, argv);
 }

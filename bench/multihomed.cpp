@@ -1,50 +1,11 @@
-// Roadmap experiment (§3): "multi-homed network topologies as these are
-// well-suited to MMPTCP.  The more parallel paths at the access layer,
-// the higher the burst tolerance."  Compares the standard FatTree with
-// the dual-homed variant (every host attached to both edge switches of a
-// pair).
+// Roadmap experiment (§3): multi-homed topologies — the standard FatTree
+// vs the dual-homed variant (every host attached to both edge switches
+// of a pair).
+//
+// Thin wrapper over the experiment engine: registered as "multihomed".
 
-#include <cstdio>
-
-#include "common.h"
-
-using namespace mmptcp;
-using namespace mmptcp::bench;
+#include "exp/cli.h"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  Scale scale = parse_scale(flags);
-  if (flags.help_requested()) {
-    std::fputs(flags.help(argv[0]).c_str(), stdout);
-    return 0;
-  }
-  flags.check_unknown();
-  print_preamble("multihomed", "roadmap: multi-homed (dual-homed) FatTree",
-                 scale);
-
-  Table table({"topology", "protocol", "mean_ms", "sd_ms", "p99_ms",
-               "flows_with_rto", "long_goodput_mbps", "utilization"});
-  for (const bool dual : {false, true}) {
-    for (Protocol proto : {Protocol::kMptcp, Protocol::kMmptcp}) {
-      ScenarioConfig cfg = paper_scenario(scale, proto, scale.subflows);
-      cfg.dual_homed = dual;
-      cfg.dual.k = scale.k;
-      cfg.dual.oversubscription = scale.oversubscription;
-      const RunResult r = run_scenario(cfg);
-      table.add_row({dual ? "dual-homed" : "single-homed", to_string(proto),
-                     ms(r.fct_ms.mean()), ms(r.fct_ms.stddev()),
-                     ms(r.fct_ms.percentile(99)),
-                     Table::num(r.flows_with_rto),
-                     ms(r.long_goodput.count() ? r.long_goodput.mean() : 0.0),
-                     Table::pct(r.utilization)});
-      std::printf("  [%s/%s done]\n", dual ? "dual" : "single",
-                  to_string(proto).c_str());
-    }
-  }
-  std::printf("\n%s\n", table.to_string().c_str());
-  std::printf(
-      "expected shape: dual homing helps MMPTCP's short-flow tail more "
-      "than MPTCP's (the PS phase sprays over twice the access paths), "
-      "per the paper's burst-tolerance argument.\n");
-  return 0;
+  return mmptcp::exp::run_registered_main("multihomed", argc, argv);
 }

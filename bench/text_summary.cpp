@@ -1,52 +1,10 @@
-// The in-text summary numbers of §3 ("Discussion"), reported as a table:
+// The in-text summary numbers of §3 ("Discussion"): MPTCP vs MMPTCP on
+// FCT, per-layer loss, long-flow goodput and network utilisation.
 //
-//   "The average flow completion time and the standard deviation for
-//    MMPTCP and MPTCP are 116 milliseconds (standard deviation is 101)
-//    and 126 milliseconds (standard deviation is 425), respectively. ...
-//    with MMPTCP the average loss rate at the core and aggregation layers
-//    are slightly lower compared to MPTCP and both protocols achieve the
-//    same average throughput for long flows and overall network
-//    utilisation."
+// Thin wrapper over the experiment engine: registered as "text_summary".
 
-#include <cstdio>
-
-#include "common.h"
-
-using namespace mmptcp;
-using namespace mmptcp::bench;
+#include "exp/cli.h"
 
 int main(int argc, char** argv) {
-  Flags flags(argc, argv);
-  Scale scale = parse_scale(flags);
-  if (flags.help_requested()) {
-    std::fputs(flags.help(argv[0]).c_str(), stdout);
-    return 0;
-  }
-  flags.check_unknown();
-  print_preamble("text_summary",
-                 "section 3 in-text comparison (the poster's 'table')",
-                 scale);
-
-  Table table({"protocol", "mean_fct_ms", "stddev_ms", "p99_ms",
-               "flows_with_rto", "core_loss", "agg_loss",
-               "long_goodput_mbps", "utilization", "completion"});
-  for (Protocol proto : {Protocol::kMptcp, Protocol::kMmptcp}) {
-    const RunResult r =
-        run_scenario(paper_scenario(scale, proto, scale.subflows));
-    table.add_row({to_string(proto), ms(r.fct_ms.mean()),
-                   ms(r.fct_ms.stddev()), ms(r.fct_ms.percentile(99)),
-                   Table::num(r.flows_with_rto), Table::pct(r.core_loss, 3),
-                   Table::pct(r.agg_loss, 3),
-                   ms(r.long_goodput.count() ? r.long_goodput.mean() : 0.0),
-                   Table::pct(r.utilization), Table::pct(r.completion)});
-    std::printf("  [%s done]\n", to_string(proto).c_str());
-  }
-  std::printf("\n%s\n", table.to_string().c_str());
-  std::printf(
-      "paper values: MMPTCP 116 ms (sd 101) vs MPTCP 126 ms (sd 425); "
-      "MMPTCP core+agg loss slightly lower; long-flow goodput and "
-      "utilisation at parity.\n"
-      "expected shape: MMPTCP stddev and RTO count far below MPTCP's; "
-      "means comparable; goodput/utilisation within a few percent.\n");
-  return 0;
+  return mmptcp::exp::run_registered_main("text_summary", argc, argv);
 }

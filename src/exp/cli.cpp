@@ -1,0 +1,238 @@
+#include "exp/cli.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <exception>
+
+#include "exp/registry.h"
+#include "exp/runner.h"
+#include "exp/sink.h"
+#include "util/check.h"
+
+namespace mmptcp::exp {
+
+namespace {
+
+/// Parses "--set a=1,2;b=x" into axis overrides.
+std::vector<Axis> parse_axis_overrides(const std::string& text) {
+  std::vector<Axis> out;
+  std::size_t start = 0;
+  while (start < text.size()) {
+    const std::size_t semi = text.find(';', start);
+    const std::size_t end = semi == std::string::npos ? text.size() : semi;
+    const std::string item = text.substr(start, end - start);
+    const std::size_t eq = item.find('=');
+    require(eq != std::string::npos && eq > 0,
+            "--set expects axis=v1,v2[;axis2=...], got: " + item);
+    Axis axis{item.substr(0, eq), {}};
+    std::size_t vstart = eq + 1;
+    while (vstart <= item.size()) {
+      const std::size_t comma = item.find(',', vstart);
+      const std::size_t vend =
+          comma == std::string::npos ? item.size() : comma;
+      axis.values.push_back(item.substr(vstart, vend - vstart));
+      if (comma == std::string::npos) break;
+      vstart = comma + 1;
+    }
+    require(!axis.values.empty(), "--set axis with no values: " + item);
+    out.push_back(std::move(axis));
+    if (semi == std::string::npos) break;
+    start = semi + 1;
+  }
+  return out;
+}
+
+struct CliOptions {
+  Scale scale;
+  SweepOptions sweep;
+  std::string out_dir = ".";
+  bool quiet = false;
+  bool no_json = false;
+};
+
+/// Reads the engine + scale flags shared by mmptcp_exp and the wrappers.
+CliOptions parse_cli(Flags& flags) {
+  CliOptions o;
+  o.scale = parse_scale(flags);
+  o.sweep.jobs = static_cast<std::size_t>(
+      flags.get_int("jobs", 1, "worker threads for the sweep"));
+  require(o.sweep.jobs >= 1, "--jobs must be >= 1");
+  const std::string seeds = flags.get_string(
+      "seeds", "", "seed list: '7', '1,2,5' or '1..10' (default: --seed)");
+  o.sweep.seeds = seeds.empty() ? std::vector<std::uint64_t>{o.scale.seed}
+                                : parse_seed_list(seeds);
+  const std::string overrides = flags.get_string(
+      "set", "", "replace axis values: 'axis=v1,v2[;axis2=...]'");
+  if (!overrides.empty()) {
+    o.sweep.axis_overrides = parse_axis_overrides(overrides);
+  }
+  o.out_dir = flags.get_string("out", ".", "directory for BENCH_*.json");
+  o.quiet = flags.get_bool("quiet", false, "suppress progress lines");
+  o.no_json = flags.get_bool("no-json", false, "skip the JSON result file");
+  return o;
+}
+
+void print_spec_preamble(const ExperimentSpec& spec, const Scale& scale,
+                         std::size_t runs, std::size_t jobs) {
+  std::printf("== %s ==\n", spec.name.c_str());
+  std::printf("reproduces: %s\n", spec.artefact.c_str());
+  std::printf(
+      "scale: %s (k=%u, %u:1 oversubscribed, %u shorts of %llu B, "
+      "%.1f arrivals/s/host)\n",
+      scale.full ? "FULL (paper)" : "reduced (use --full for paper scale)",
+      scale.k, scale.oversubscription, scale.shorts,
+      static_cast<unsigned long long>(scale.short_bytes),
+      scale.rate_per_host);
+  std::printf("sweep: %zu runs on %zu thread(s)\n\n", runs, jobs);
+}
+
+/// Runs one spec end to end; returns the number of failed runs.
+std::size_t run_one(const ExperimentSpec& spec, const CliOptions& cli) {
+  SweepOptions sweep = cli.sweep;
+  sweep.out_dir = cli.out_dir;
+  const Scale scale = effective_scale(spec, cli.scale);
+  const std::size_t total = sweep_size(spec, cli.scale, sweep);
+  print_spec_preamble(spec, scale, total,
+                      std::max<std::size_t>(1, std::min(sweep.jobs, total)));
+  if (!cli.quiet) {
+    sweep.on_progress = [](std::size_t done, std::size_t all,
+                           const std::string& id, bool ok) {
+      std::fprintf(stderr, "  [%zu/%zu] %s %s\n", done, all, id.c_str(),
+                   ok ? "done" : "FAILED");
+    };
+  }
+
+  const std::vector<RunRecord> records = run_sweep(spec, cli.scale, sweep);
+
+  std::printf("%s\n", to_table(records).to_string().c_str());
+  if (sweep.seeds.size() > 1) {
+    std::printf("aggregated over %zu seeds:\n%s\n", sweep.seeds.size(),
+                to_aggregate_table(records).to_string().c_str());
+  }
+  if (!spec.notes.empty()) std::printf("%s\n", spec.notes.c_str());
+
+  if (!cli.no_json) {
+    const std::string path =
+        cli.out_dir + "/BENCH_" + spec.name + ".json";
+    write_file(path, to_json(spec, scale, records));
+    std::printf("json: %s\n", path.c_str());
+  }
+  std::printf("\n");
+
+  std::size_t failures = 0;
+  for (const RunRecord& rec : records) {
+    if (!rec.outcome.ok) ++failures;
+  }
+  return failures;
+}
+
+int list_experiments(const std::string& filter) {
+  const auto specs = Registry::global().match(filter);
+  Table table({"name", "artefact", "description"});
+  for (const ExperimentSpec* spec : specs) {
+    table.add_row({spec->name, spec->artefact, spec->description});
+  }
+  std::printf("%s\n%zu experiment(s). Run one with: mmptcp_exp --run "
+              "<name> [--jobs N] [--seeds 1..10]\n",
+              table.to_string().c_str(), specs.size());
+  return 0;
+}
+
+int describe_experiment(const std::string& name, const Scale& scale) {
+  const ExperimentSpec* spec = Registry::global().find(name);
+  if (spec == nullptr) {
+    std::fprintf(stderr, "unknown experiment: %s (try --list)\n",
+                 name.c_str());
+    return 2;
+  }
+  std::printf("%s — %s\n%s\n\n", spec->name.c_str(),
+              spec->artefact.c_str(), spec->description.c_str());
+  Scale adjusted = scale;
+  if (spec->adjust_scale) spec->adjust_scale(adjusted);
+  Table axes({"axis", "values"});
+  for (const Axis& axis : spec->axes(adjusted)) {
+    std::string values;
+    for (const std::string& v : axis.values) {
+      if (!values.empty()) values += ", ";
+      values += v;
+    }
+    axes.add_row({axis.name, values});
+  }
+  std::printf("%s\n", axes.to_string().c_str());
+  std::printf("runs per seed: %zu (seed list comes from --seed/--seeds)\n",
+              cartesian(spec->axes(adjusted)).size());
+  if (!spec->notes.empty()) std::printf("\n%s\n", spec->notes.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int exp_main(int argc, char** argv) {
+  try {
+    register_builtin_experiments();
+    Flags flags(argc, argv);
+    const bool list = flags.get_bool("list", false, "list experiments");
+    const std::string describe =
+        flags.get_string("describe", "", "show one experiment's axes");
+    const std::string run = flags.get_string(
+        "run", "", "run experiments matching this name/substring");
+    const std::string filter = flags.get_string(
+        "filter", "", "with --list: only names containing this");
+    CliOptions cli = parse_cli(flags);
+    if (flags.help_requested()) {
+      std::fputs(flags.help(argv[0]).c_str(), stdout);
+      return 0;
+    }
+    flags.check_unknown();
+
+    if (list) return list_experiments(filter);
+    if (!describe.empty()) return describe_experiment(describe, cli.scale);
+    if (run.empty()) {
+      std::fputs("nothing to do: pass --list, --describe <name> or "
+                 "--run <filter> (see --help)\n",
+                 stderr);
+      return 2;
+    }
+
+    const auto specs = Registry::global().match(run);
+    if (specs.empty()) {
+      std::fprintf(stderr, "no experiment matches '%s' (try --list)\n",
+                   run.c_str());
+      return 2;
+    }
+    std::size_t failures = 0;
+    for (const ExperimentSpec* spec : specs) {
+      failures += run_one(*spec, cli);
+    }
+    if (failures > 0) {
+      std::fprintf(stderr, "%zu run(s) failed\n", failures);
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+int run_registered_main(const std::string& name, int argc, char** argv) {
+  try {
+    register_builtin_experiments();
+    Flags flags(argc, argv);
+    CliOptions cli = parse_cli(flags);
+    if (flags.help_requested()) {
+      std::fputs(flags.help(argv[0]).c_str(), stdout);
+      return 0;
+    }
+    flags.check_unknown();
+
+    const ExperimentSpec* spec = Registry::global().find(name);
+    check(spec != nullptr, "bench wrapper names unknown spec: " + name);
+    return run_one(*spec, cli) == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}
+
+}  // namespace mmptcp::exp

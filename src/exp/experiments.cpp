@@ -1,0 +1,486 @@
+// The built-in experiment catalog: every scenario the per-figure benches
+// used to hard-code, expressed as declarative specs over the engine.
+// Each run function executes ONE grid point in its own Simulation and
+// returns named metrics; sweeping, seeding, parallelism and sinks are
+// the engine's job.
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "exp/registry.h"
+#include "workload/traffic_matrix.h"
+
+namespace mmptcp::exp {
+
+namespace {
+
+/// Standard metric set of a Scenario-based run.
+RunOutcome scenario_outcome(const RunResult& r) {
+  RunOutcome o;
+  o.set("mean_ms", r.fct_ms.count() ? r.fct_ms.mean() : 0);
+  o.set("stddev_ms", r.fct_ms.count() ? r.fct_ms.stddev() : 0);
+  o.set("p50_ms", r.fct_ms.count() ? r.fct_ms.percentile(50) : 0);
+  o.set("p99_ms", r.fct_ms.count() ? r.fct_ms.percentile(99) : 0);
+  o.set("max_ms", r.fct_ms.count() ? r.fct_ms.max() : 0);
+  o.set("flows_with_rto", double(r.flows_with_rto));
+  o.set("rtos", double(r.rtos));
+  o.set("spurious_rtx", double(r.spurious));
+  o.set("completion", r.completion);
+  o.set("long_goodput_mbps",
+        r.long_goodput.count() ? r.long_goodput.mean() : 0);
+  o.set("utilization", r.utilization);
+  o.set("core_loss", r.core_loss);
+  o.set("agg_loss", r.agg_loss);
+  return o;
+}
+
+ScenarioConfig point_scenario(const RunContext& ctx, Protocol proto,
+                              std::uint32_t subflows) {
+  ScenarioConfig cfg = paper_scenario(ctx.scale, proto, subflows);
+  cfg.seed = ctx.seed;
+  return cfg;
+}
+
+/// Figure-1(b)/(c) style scatter point: band histogram metrics plus a
+/// per-flow CSV named after the experiment and seed.
+RunOutcome scatter_outcome(const std::string& exp_name,
+                           const RunContext& ctx, Protocol proto,
+                           std::uint32_t subflows) {
+  Scenario sc(point_scenario(ctx, proto, subflows));
+  sc.run();
+  const Summary fct = sc.short_fct_ms();
+
+  RunOutcome o;
+  o.set("completed", double(fct.count()));
+  o.set("completion", sc.short_completion_ratio());
+  o.set("mean_ms", fct.count() ? fct.mean() : 0);
+  o.set("stddev_ms", fct.count() ? fct.stddev() : 0);
+  o.set("p50_ms", fct.count() ? fct.percentile(50) : 0);
+  o.set("p90_ms", fct.count() ? fct.percentile(90) : 0);
+  o.set("p99_ms", fct.count() ? fct.percentile(99) : 0);
+  o.set("max_ms", fct.count() ? fct.max() : 0);
+  o.set("flows_with_rto", double(sc.short_flows_with_rto()));
+  o.set("rtos", double(sc.short_flow_rtos()));
+  // The visual signature of the figure: flows per latency band.
+  o.set("band_sub_100ms", double(fct.count() - fct.count_above(100)));
+  o.set("band_100ms_1s",
+        double(fct.count_above(100) - fct.count_above(1000)));
+  o.set("band_1s_2s", double(fct.count_above(1000) - fct.count_above(2000)));
+  o.set("band_2s_4s", double(fct.count_above(2000) - fct.count_above(4000)));
+  o.set("band_4s_8s", double(fct.count_above(4000) - fct.count_above(8000)));
+  o.set("band_over_8s", double(fct.count_above(8000)));
+
+  write_flow_csv(sc, ctx.out_dir + "/" + exp_name + "_flows_seed" +
+                         std::to_string(ctx.seed) + ".csv");
+  return o;
+}
+
+double jain_index(const std::vector<double>& xs) {
+  double sum = 0, sq = 0;
+  for (double x : xs) {
+    sum += x;
+    sq += x * x;
+  }
+  if (sq <= 0) return 1.0;
+  return sum * sum / (static_cast<double>(xs.size()) * sq);
+}
+
+void register_fig1(Registry& r) {
+  r.add({
+      .name = "fig1a",
+      .artefact = "Figure 1(a): MPTCP short-flow FCT vs #subflows",
+      .description = "mean/stddev of short-flow FCT under MPTCP as "
+                     "subflows go 1..9",
+      .notes = "expected shape: mean and stddev both rise with subflow "
+               "count; flows_with_rto grows (paper: mean ~80->140 ms, "
+               "stddev ~100->700 ms).",
+      .axes = fixed_axes({{"subflows",
+                           {"1", "2", "3", "4", "5", "6", "7", "8", "9"}}}),
+      .run =
+          [](const RunContext& ctx) {
+            const auto n =
+                static_cast<std::uint32_t>(ctx.params.get_int("subflows"));
+            return scenario_outcome(
+                run_scenario(point_scenario(ctx, Protocol::kMptcp, n)));
+          },
+  });
+
+  r.add({
+      .name = "fig1b",
+      .artefact = "Figure 1(b): MPTCP (8 subflows) per-flow FCT scatter",
+      .description = "per-flow FCT bands under MPTCP; full series in "
+                     "fig1b_flows_seed<seed>.csv",
+      .notes = "expected shape: dense sub-second band plus multi-second "
+               "RTO bands (paper: outliers up to ~10 s).",
+      .axes = fixed_axes({}),
+      .run =
+          [](const RunContext& ctx) {
+            return scatter_outcome("fig1b", ctx, Protocol::kMptcp,
+                                   ctx.scale.subflows);
+          },
+  });
+
+  r.add({
+      .name = "fig1c",
+      .artefact = "Figure 1(c): MMPTCP (PS then 8 subflows) per-flow FCT "
+                  "scatter",
+      .description = "per-flow FCT bands under MMPTCP; full series in "
+                     "fig1c_flows_seed<seed>.csv",
+      .notes = "expected shape: the RTO bands of Figure 1(b) collapse; "
+               "majority of flows < 100 ms at paper scale (paper: mean "
+               "116 ms, sd 101 ms).",
+      .axes = fixed_axes({}),
+      .run =
+          [](const RunContext& ctx) {
+            return scatter_outcome("fig1c", ctx, Protocol::kMmptcp,
+                                   ctx.scale.subflows);
+          },
+  });
+}
+
+void register_incast(Registry& r) {
+  r.add({
+      .name = "incast",
+      .artefact = "objective (3): burst (incast) tolerance",
+      .description = "N synchronized senders -> 1 receiver, all four "
+                     "transports, fan-in doubling",
+      .notes = "expected shape: RTO counts grow with fan-in for MPTCP "
+               "(many tiny windows); PS/MMPTCP tolerate larger bursts "
+               "before the first timeout; everyone completes eventually.",
+      .axes =
+          [](const Scale& scale) {
+            // Fan-in is bounded by the hosts outside the receiver's rack.
+            const std::uint32_t fan_in_max = scale.k == 4 ? 48u : 128u;
+            Axis senders{"senders", {}};
+            for (std::uint32_t n = 8; n <= fan_in_max; n *= 2) {
+              senders.values.push_back(std::to_string(n));
+            }
+            return std::vector<Axis>{
+                senders,
+                {"protocol", {"tcp", "mptcp", "ps", "mmptcp"}},
+                {"shared_buffer", {"0"}},
+            };
+          },
+      .run =
+          [](const RunContext& ctx) {
+            IncastConfig cfg;
+            cfg.fat_tree.k = ctx.scale.k;
+            cfg.fat_tree.oversubscription = ctx.scale.oversubscription;
+            cfg.fat_tree.shared_buffer = ctx.params.get_bool("shared_buffer");
+            cfg.transport.protocol = ctx.params.get_protocol("protocol");
+            cfg.transport.subflows = ctx.scale.subflows;
+            cfg.senders =
+                static_cast<std::uint32_t>(ctx.params.get_int("senders"));
+            cfg.bytes = ctx.scale.short_bytes;
+            cfg.seed = ctx.seed;
+            const IncastResult res = run_incast(cfg);
+            RunOutcome o;
+            o.set("makespan_ms", res.makespan.to_millis());
+            o.set("mean_fct_ms", res.fct_ms.count() ? res.fct_ms.mean() : 0);
+            o.set("p99_fct_ms",
+                  res.fct_ms.count() ? res.fct_ms.percentile(99) : 0);
+            o.set("rtos", double(res.rtos));
+            o.set("syn_timeouts", double(res.syn_timeouts));
+            o.set("fast_rtx", double(res.fast_retransmits));
+            o.set("completion", res.completion_ratio);
+            return o;
+          },
+  });
+}
+
+void register_scenario_sweeps(Registry& r) {
+  r.add({
+      .name = "hotspot",
+      .artefact = "roadmap: hotspot tolerance",
+      .description = "fraction of shorts redirected at one rack; TCP vs "
+                     "MPTCP vs MMPTCP",
+      .notes = "expected shape: as the hotspot grows, MMPTCP's advantage "
+               "over TCP/MPTCP on the non-hotspot flows widens (spraying "
+               "avoids the hot paths).",
+      .axes = fixed_axes({{"hotspot_fraction", {"0.00", "0.20", "0.50"}},
+                          {"protocol", {"tcp", "mptcp", "mmptcp"}}}),
+      .run =
+          [](const RunContext& ctx) {
+            ScenarioConfig cfg =
+                point_scenario(ctx, ctx.params.get_protocol("protocol"),
+                               ctx.scale.subflows);
+            cfg.hotspot_fraction =
+                ctx.params.get_double("hotspot_fraction");
+            return scenario_outcome(run_scenario(cfg));
+          },
+  });
+
+  r.add({
+      .name = "load_sweep",
+      .artefact = "roadmap: network-load sweep",
+      .description = "short-flow FCT and long-flow goodput as arrival "
+                     "rate sweeps 0.25x..2x for all four transports",
+      .notes = "expected shape: MMPTCP tracks PS on short-flow latency at "
+               "every load while matching MPTCP on long-flow goodput; "
+               "MPTCP's tail degrades fastest as load grows.",
+      .axes = fixed_axes(
+          {{"rate_mult", {"0.25", "0.50", "1.00", "2.00"}},
+           {"protocol", {"tcp", "mptcp", "ps", "mmptcp"}}}),
+      // The sweep multiplies the base rate; shrink the per-point flow
+      // count so the whole sweep stays fast.
+      .run =
+          [](const RunContext& ctx) {
+            ScenarioConfig cfg =
+                point_scenario(ctx, ctx.params.get_protocol("protocol"),
+                               ctx.scale.subflows);
+            cfg.short_rate_per_host =
+                ctx.scale.rate_per_host * ctx.params.get_double("rate_mult");
+            return scenario_outcome(run_scenario(cfg));
+          },
+      .adjust_scale = [](Scale& s) { s.shorts = s.shorts / 2; },
+  });
+
+  r.add({
+      .name = "multihomed",
+      .artefact = "roadmap: multi-homed (dual-homed) FatTree",
+      .description = "single- vs dual-homed access layer for MPTCP and "
+                     "MMPTCP",
+      .notes = "expected shape: dual homing helps MMPTCP's short-flow "
+               "tail more than MPTCP's (the PS phase sprays over twice "
+               "the access paths).",
+      .axes = fixed_axes({{"topology", {"single", "dual"}},
+                          {"protocol", {"mptcp", "mmptcp"}}}),
+      .run =
+          [](const RunContext& ctx) {
+            ScenarioConfig cfg =
+                point_scenario(ctx, ctx.params.get_protocol("protocol"),
+                               ctx.scale.subflows);
+            if (ctx.params.get("topology") == "dual") {
+              cfg.dual_homed = true;
+              cfg.dual.k = ctx.scale.k;
+              cfg.dual.oversubscription = ctx.scale.oversubscription;
+            }
+            return scenario_outcome(run_scenario(cfg));
+          },
+  });
+
+  r.add({
+      .name = "text_summary",
+      .artefact = "section 3 in-text comparison (the poster's 'table')",
+      .description = "MPTCP vs MMPTCP: FCT, loss per layer, goodput, "
+                     "utilisation",
+      .notes = "paper values: MMPTCP 116 ms (sd 101) vs MPTCP 126 ms "
+               "(sd 425); MMPTCP core+agg loss slightly lower; long-flow "
+               "goodput and utilisation at parity.",
+      .axes = fixed_axes({{"protocol", {"mptcp", "mmptcp"}}}),
+      .run =
+          [](const RunContext& ctx) {
+            return scenario_outcome(run_scenario(point_scenario(
+                ctx, ctx.params.get_protocol("protocol"),
+                ctx.scale.subflows)));
+          },
+  });
+}
+
+void register_ablations(Registry& r) {
+  r.add({
+      .name = "ablation_dupthresh",
+      .artefact = "section 2 'PS Phase' reordering-robustness study",
+      .description = "static-3 vs topology-aware vs adaptive RR-TCP "
+                     "dup-ACK thresholds under packet scatter",
+      .notes = "expected shape: static-3 fires many spurious "
+               "retransmissions from spray-induced reordering, but the "
+               "DSACK undo makes them nearly free; raising the threshold "
+               "trades spurious retransmissions for forgone recoveries "
+               "that cost full RTOs — visible as a worse tail.",
+      .axes = fixed_axes(
+          {{"dupack_policy", {"static-3", "topology-aware", "adaptive"}}}),
+      .run =
+          [](const RunContext& ctx) {
+            ScenarioConfig cfg =
+                point_scenario(ctx, Protocol::kPacketScatter, 1);
+            const std::string& policy = ctx.params.get("dupack_policy");
+            cfg.transport.ps_dupack.kind =
+                policy == "static-3" ? DupAckPolicyKind::kStatic
+                : policy == "topology-aware"
+                    ? DupAckPolicyKind::kTopologyAware
+                    : DupAckPolicyKind::kAdaptive;
+            Scenario sc(cfg);
+            sc.run();
+            const Summary fct = sc.short_fct_ms();
+            RunOutcome o;
+            o.set("spurious_rtx", double(sc.total_spurious_retransmits()));
+            o.set("fast_rtx_flows",
+                  double(sc.metrics().total(
+                      [](const FlowRecord& rec) {
+                        return rec.fast_retransmits > 0 ? 1u : 0u;
+                      },
+                      [](const FlowRecord& rec) { return !rec.long_flow; })));
+            o.set("flows_with_rto", double(sc.short_flows_with_rto()));
+            o.set("mean_ms", fct.count() ? fct.mean() : 0);
+            o.set("stddev_ms", fct.count() ? fct.stddev() : 0);
+            o.set("p99_ms", fct.count() ? fct.percentile(99) : 0);
+            o.set("completion", sc.short_completion_ratio());
+            return o;
+          },
+  });
+
+  r.add({
+      .name = "ablation_switching",
+      .artefact = "section 2 'Phase Switching' design study",
+      .description = "volume thresholds 70KB..4MB, congestion-event "
+                     "trigger, pure PS, MPTCP, MPTCP+reinjection",
+      .notes = "expected shape: long-flow goodput roughly flat across "
+               "volume thresholds (the paper's claim); short-flow tail "
+               "degrades toward the MPTCP row as the threshold shrinks "
+               "below the 70KB flow size.",
+      .axes = fixed_axes({{"variant",
+                           {"volume_70KB", "volume_128KB", "volume_256KB",
+                            "volume_512KB", "volume_1024KB",
+                            "volume_4096KB", "congestion_event", "pure_ps",
+                            "mptcp", "mptcp_reinject"}}}),
+      .run =
+          [](const RunContext& ctx) {
+            const std::string& variant = ctx.params.get("variant");
+            if (variant == "pure_ps") {
+              return scenario_outcome(run_scenario(
+                  point_scenario(ctx, Protocol::kPacketScatter, 1)));
+            }
+            if (variant == "mptcp" || variant == "mptcp_reinject") {
+              ScenarioConfig cfg = point_scenario(ctx, Protocol::kMptcp,
+                                                  ctx.scale.subflows);
+              cfg.transport.reinject_on_rto = variant == "mptcp_reinject";
+              return scenario_outcome(run_scenario(cfg));
+            }
+            ScenarioConfig cfg =
+                point_scenario(ctx, Protocol::kMmptcp, ctx.scale.subflows);
+            if (variant == "congestion_event") {
+              cfg.transport.phase.kind = SwitchPolicyKind::kCongestionEvent;
+            } else {
+              // "volume_<n>KB"
+              cfg.transport.phase.kind = SwitchPolicyKind::kDataVolume;
+              const std::string kb =
+                  variant.substr(7, variant.size() - 7 - 2);
+              cfg.transport.phase.volume_bytes =
+                  std::strtoull(kb.c_str(), nullptr, 10) * 1024;
+            }
+            return scenario_outcome(run_scenario(cfg));
+          },
+  });
+}
+
+void register_coexistence(Registry& r) {
+  r.add({
+      .name = "coexistence",
+      .artefact = "section 3: coexistence/fairness with TCP and MPTCP",
+      .description = "long flows of TCP, MPTCP and MMPTCP share one "
+                     "fabric; per-protocol goodput and Jain index",
+      .notes = "expected shape: no protocol starves.  MPTCP-family flows "
+               "yield to TCP — LIA's do-no-harm coupling never takes "
+               "more than TCP would on a shared bottleneck — so "
+               "'harmony' means safe coexistence, not equal shares.",
+      .axes = fixed_axes({{"scheduler", {"eager-rr", "pull"}},
+                          {"secs", {"5"}}}),
+      .run =
+          [](const RunContext& ctx) {
+            Simulation sim(ctx.seed);
+            FatTreeConfig ftc;
+            ftc.k = ctx.scale.k;
+            ftc.oversubscription = ctx.scale.oversubscription;
+            FatTree ft(sim, ftc);
+            Metrics metrics;
+            SinkFarm sinks(sim, metrics, ft.network(), 5001, TcpConfig{});
+
+            Rng rng = sim.rng().fork();
+            const auto perm = permutation_matrix(rng, ft.host_count());
+
+            // One long flow per host, protocols interleaved round-robin.
+            const Protocol protos[] = {Protocol::kTcp, Protocol::kMptcp,
+                                       Protocol::kMmptcp};
+            std::vector<std::unique_ptr<ClientFlow>> flows;
+            for (std::size_t h = 0; h < ft.host_count(); ++h) {
+              TransportConfig cfg;
+              cfg.protocol = protos[h % 3];
+              cfg.subflows = ctx.scale.subflows;
+              cfg.scheduler = ctx.params.get("scheduler") == "pull"
+                                  ? SchedulerKind::kPull
+                                  : SchedulerKind::kEagerRoundRobin;
+              cfg.oracle = &ft;
+              flows.push_back(std::make_unique<ClientFlow>(
+                  sim, metrics, ft.host(h), ft.host(perm[h]).addr(), cfg,
+                  ClientFlow::kLongFlow, /*long_flow=*/true));
+            }
+            sim.scheduler().run_until(
+                Time::seconds(ctx.params.get_int("secs")));
+
+            RunOutcome o;
+            std::vector<double> all;
+            for (Protocol proto : protos) {
+              const Summary g =
+                  metrics.long_flow_goodput_mbps(proto, sim.now());
+              for (double v : g.samples()) all.push_back(v);
+              const std::string prefix = protocol_axis_name(proto);
+              o.set(prefix + "_flows", double(g.count()));
+              o.set(prefix + "_goodput_mean_mbps",
+                    g.count() ? g.mean() : 0);
+              o.set(prefix + "_goodput_p5_mbps",
+                    g.count() ? g.percentile(5) : 0);
+              o.set(prefix + "_goodput_p95_mbps",
+                    g.count() ? g.percentile(95) : 0);
+            }
+            o.set("jain_index", jain_index(all));
+            return o;
+          },
+  });
+}
+
+void register_smoke(Registry& r) {
+  r.add({
+      .name = "smoke",
+      .artefact = "engine self-check (not a paper artefact)",
+      .description = "tiny MMPTCP run on a k=4 FatTree; seconds per "
+                     "point, used by CTest and CI",
+      .notes = "expected shape: all shorts complete in a lightly loaded "
+               "fabric.",
+      .axes = fixed_axes({{"protocol", {"tcp", "mmptcp"}}}),
+      .run =
+          [](const RunContext& ctx) {
+            ScenarioConfig cfg = point_scenario(
+                ctx, ctx.params.get_protocol("protocol"), 4);
+            Scenario sc(cfg);
+            sc.run();
+            const Summary fct = sc.short_fct_ms();
+            RunOutcome o;
+            o.set("completed", double(fct.count()));
+            o.set("completion", sc.short_completion_ratio());
+            o.set("mean_ms", fct.count() ? fct.mean() : 0);
+            o.set("p99_ms", fct.count() ? fct.percentile(99) : 0);
+            o.set("rtos", double(sc.short_flow_rtos()));
+            o.set("events", double(sc.sim().scheduler().executed()));
+            return o;
+          },
+      .adjust_scale =
+          [](Scale& s) {
+            // Hard-capped small so CTest smoke stays fast at any --full.
+            s.k = 4;
+            s.shorts = std::min<std::uint32_t>(s.shorts, 24);
+            s.rate_per_host = 50.0;
+            s.max_sim_time = Time::seconds(30);
+          },
+  });
+}
+
+}  // namespace
+
+std::size_t register_builtin_experiments() {
+  // Function-local static: thread-safe, idempotent registration.
+  static const std::size_t count = [] {
+    Registry& r = Registry::global();
+    register_fig1(r);
+    register_incast(r);
+    register_scenario_sweeps(r);
+    register_ablations(r);
+    register_coexistence(r);
+    register_smoke(r);
+    return r.size();
+  }();
+  return count;
+}
+
+}  // namespace mmptcp::exp

@@ -1,0 +1,123 @@
+#include "exp/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace mmptcp::exp {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan
+  // Range check first: casting an out-of-range double to int64 is UB.
+  if (std::fabs(v) < 1e15 &&
+      v == static_cast<double>(static_cast<std::int64_t>(v))) {
+    return std::to_string(static_cast<std::int64_t>(v));
+  }
+  // Shortest representation that round-trips: try increasing precision.
+  char buf[64];
+  for (int prec = 15; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof buf, "%.*g", prec, v);
+    double back = 0;
+    std::sscanf(buf, "%lf", &back);
+    if (back == v) break;
+  }
+  return buf;
+}
+
+void JsonWriter::comma() {
+  if (need_comma_) out_ += ',';
+  need_comma_ = false;
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  comma();
+  out_ += '{';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  out_ += '}';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  comma();
+  out_ += '[';
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  out_ += ']';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(const std::string& name) {
+  comma();
+  out_ += '"' + json_escape(name) + "\":";
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const std::string& s) {
+  comma();
+  out_ += '"' + json_escape(s) + '"';
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(const char* s) {
+  return value(std::string(s));
+}
+
+JsonWriter& JsonWriter::value(double v) {
+  comma();
+  out_ += json_number(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t v) {
+  comma();
+  out_ += std::to_string(v);
+  need_comma_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool b) {
+  comma();
+  out_ += b ? "true" : "false";
+  need_comma_ = true;
+  return *this;
+}
+
+}  // namespace mmptcp::exp

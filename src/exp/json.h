@@ -1,0 +1,50 @@
+#pragma once
+
+// Minimal deterministic JSON emission for the result sink.
+//
+// The writer produces the same bytes for the same values on every
+// platform and at every thread count: keys are emitted in insertion
+// order, doubles with a fixed shortest-round-trip format, and there is
+// no timestamp or host information anywhere in the output.
+
+#include <cstdint>
+#include <string>
+
+namespace mmptcp::exp {
+
+/// Escapes `s` for inclusion inside a JSON string literal (no quotes).
+std::string json_escape(const std::string& s);
+
+/// Canonical number rendering: integers without a decimal point,
+/// everything else via shortest round-trip ("%.17g" trimmed).
+std::string json_number(double v);
+
+/// Streaming writer for objects/arrays; produces compact single-line
+/// output with deterministic byte content.
+class JsonWriter {
+ public:
+  JsonWriter& begin_object();
+  JsonWriter& end_object();
+  JsonWriter& begin_array();
+  JsonWriter& end_array();
+
+  /// Starts a named member inside an object (call before a value/open).
+  JsonWriter& key(const std::string& name);
+
+  JsonWriter& value(const std::string& s);
+  JsonWriter& value(const char* s);
+  JsonWriter& value(double v);
+  JsonWriter& value(std::int64_t v);
+  JsonWriter& value(std::uint64_t v);
+  JsonWriter& value(bool b);
+
+  const std::string& str() const { return out_; }
+
+ private:
+  void comma();
+
+  std::string out_;
+  bool need_comma_ = false;
+};
+
+}  // namespace mmptcp::exp

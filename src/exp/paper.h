@@ -1,11 +1,14 @@
 #pragma once
 
-// Shared plumbing for the per-figure bench binaries.
+// The paper's workload at a configurable scale, shared by the experiment
+// registry, the bench wrappers and the examples.  (This layer absorbed
+// the old bench/common.{h,cpp} so benches no longer re-implement sweep
+// and summary plumbing.)
 //
-// Every bench runs the paper's scenario at a laptop-friendly scale by
-// default and switches to paper scale (k=8, 4:1, 512 hosts) with --full or
+// Every experiment runs at a laptop-friendly scale by default and
+// switches to paper scale (k=8, 4:1, 512 hosts) with --full or
 // MMPTCP_BENCH_SCALE=full.  Individual knobs (--k, --shorts, --rate,
-// --seed, ...) can override either preset.
+// ...) override either preset.
 
 #include <string>
 
@@ -13,9 +16,9 @@
 #include "util/table.h"
 #include "workload/scenario.h"
 
-namespace mmptcp::bench {
+namespace mmptcp::exp {
 
-/// Effective workload scale for one bench invocation.
+/// Effective workload scale for one experiment invocation.
 struct Scale {
   bool full = false;
   std::uint32_t k = 4;
@@ -35,10 +38,6 @@ Scale parse_scale(Flags& flags);
 ScenarioConfig paper_scenario(const Scale& scale, Protocol proto,
                               std::uint32_t subflows);
 
-/// Prints the bench banner (what paper artefact this regenerates).
-void print_preamble(const std::string& binary, const std::string& artefact,
-                    const Scale& scale);
-
 /// Everything the tables report about one finished run.
 struct RunResult {
   Summary fct_ms;           ///< short-flow completion times
@@ -56,12 +55,10 @@ struct RunResult {
 /// Builds, runs and summarises one scenario.
 RunResult run_scenario(const ScenarioConfig& cfg);
 
-/// Convenience: "12.34" with sane precision for milliseconds.
-std::string ms(double v);
+/// Writes the per-flow (flow_id, fct_ms, rtos, syn_timeouts) series of
+/// completed short flows to `csv_path`; throws ConfigError when the
+/// file cannot be written.  Used by the fig1b/c specs so scatter data
+/// survives engine runs.
+void write_flow_csv(const Scenario& sc, const std::string& csv_path);
 
-/// Runs `cfg` and prints the Figure-1(b)/(c) style scatter report: FCT
-/// summary, second-resolution band histogram, decimated flow-id series;
-/// dumps the full per-flow series to `csv_path`.
-void scatter_report(const ScenarioConfig& cfg, const char* csv_path);
-
-}  // namespace mmptcp::bench
+}  // namespace mmptcp::exp

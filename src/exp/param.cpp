@@ -1,0 +1,141 @@
+#include "exp/param.h"
+
+#include <cstdlib>
+
+#include "util/check.h"
+
+namespace mmptcp::exp {
+
+void ParamSet::set(std::string name, std::string value) {
+  for (auto& [n, v] : entries_) {
+    if (n == name) {
+      v = std::move(value);
+      return;
+    }
+  }
+  entries_.emplace_back(std::move(name), std::move(value));
+}
+
+bool ParamSet::has(const std::string& name) const {
+  for (const auto& [n, v] : entries_) {
+    if (n == name) return true;
+  }
+  return false;
+}
+
+const std::string& ParamSet::get(const std::string& name) const {
+  for (const auto& [n, v] : entries_) {
+    if (n == name) return v;
+  }
+  throw ConfigError("unknown parameter: " + name);
+}
+
+std::int64_t ParamSet::get_int(const std::string& name) const {
+  const std::string& v = get(name);
+  char* end = nullptr;
+  const std::int64_t out = std::strtoll(v.c_str(), &end, 10);
+  require(end != nullptr && *end == '\0' && !v.empty(),
+          "parameter " + name + " is not an integer: " + v);
+  return out;
+}
+
+double ParamSet::get_double(const std::string& name) const {
+  const std::string& v = get(name);
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  require(end != nullptr && *end == '\0' && !v.empty(),
+          "parameter " + name + " is not a number: " + v);
+  return out;
+}
+
+bool ParamSet::get_bool(const std::string& name) const {
+  const std::string& v = get(name);
+  if (v == "1" || v == "true" || v == "yes") return true;
+  if (v == "0" || v == "false" || v == "no") return false;
+  throw ConfigError("parameter " + name + " is not a boolean: " + v);
+}
+
+Protocol ParamSet::get_protocol(const std::string& name) const {
+  return protocol_from_string(get(name));
+}
+
+std::string ParamSet::id() const {
+  std::string out;
+  for (const auto& [n, v] : entries_) {
+    if (!out.empty()) out += '/';
+    out += n + "=" + v;
+  }
+  return out;
+}
+
+Protocol protocol_from_string(const std::string& s) {
+  if (s == "tcp") return Protocol::kTcp;
+  if (s == "mptcp") return Protocol::kMptcp;
+  if (s == "ps" || s == "packet-scatter") return Protocol::kPacketScatter;
+  if (s == "mmptcp") return Protocol::kMmptcp;
+  throw ConfigError("unknown protocol: " + s);
+}
+
+std::string protocol_axis_name(Protocol p) {
+  switch (p) {
+    case Protocol::kTcp: return "tcp";
+    case Protocol::kMptcp: return "mptcp";
+    case Protocol::kPacketScatter: return "ps";
+    case Protocol::kMmptcp: return "mmptcp";
+  }
+  throw InvariantError("unhandled protocol");
+}
+
+std::vector<ParamSet> cartesian(const std::vector<Axis>& axes) {
+  std::vector<ParamSet> out{ParamSet{}};
+  for (const Axis& axis : axes) {
+    require(!axis.values.empty(), "axis " + axis.name + " has no values");
+    std::vector<ParamSet> next;
+    next.reserve(out.size() * axis.values.size());
+    for (const ParamSet& base : out) {
+      for (const std::string& value : axis.values) {
+        ParamSet p = base;
+        p.set(axis.name, value);
+        next.push_back(std::move(p));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& text) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  require(end != nullptr && *end == '\0' && !text.empty(),
+          "bad seed value: " + text);
+  return static_cast<std::uint64_t>(v);
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> parse_seed_list(const std::string& text) {
+  require(!text.empty(), "empty seed list");
+  std::vector<std::uint64_t> seeds;
+  if (const auto dots = text.find(".."); dots != std::string::npos) {
+    const std::uint64_t lo = parse_u64(text.substr(0, dots));
+    const std::uint64_t hi = parse_u64(text.substr(dots + 2));
+    require(lo <= hi, "seed range is inverted: " + text);
+    require(hi - lo < 100000, "seed range too large: " + text);
+    for (std::uint64_t s = lo; s <= hi; ++s) seeds.push_back(s);
+    return seeds;
+  }
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    seeds.push_back(parse_u64(text.substr(start, end - start)));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return seeds;
+}
+
+}  // namespace mmptcp::exp

@@ -1,0 +1,62 @@
+#pragma once
+
+// Declarative sweep parameters for the experiment engine.
+//
+// An Axis names one swept dimension and its values; a grid point of a
+// sweep is a ParamSet — an ordered name->value map with typed accessors.
+// Values are stored as strings so axes of different types (protocol
+// names, fractions, byte counts) compose in one cartesian product; the
+// per-experiment run function parses what it needs.
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "stats/flow_record.h"
+
+namespace mmptcp::exp {
+
+/// One swept dimension: `name` takes each of `values` in turn.
+struct Axis {
+  std::string name;
+  std::vector<std::string> values;
+};
+
+/// One grid point: ordered (axis name, value) pairs.
+class ParamSet {
+ public:
+  void set(std::string name, std::string value);
+
+  bool has(const std::string& name) const;
+  /// Raw value; throws ConfigError when absent.
+  const std::string& get(const std::string& name) const;
+  std::int64_t get_int(const std::string& name) const;
+  double get_double(const std::string& name) const;
+  bool get_bool(const std::string& name) const;
+  /// Parses "tcp", "mptcp", "ps" / "packet-scatter", "mmptcp".
+  Protocol get_protocol(const std::string& name) const;
+
+  /// Canonical "a=1/b=x" rendering (stable run-point ids).
+  std::string id() const;
+
+  const std::vector<std::pair<std::string, std::string>>& entries() const {
+    return entries_;
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
+
+/// Protocol <-> string for axis values ("tcp", "mptcp", "ps", "mmptcp").
+Protocol protocol_from_string(const std::string& s);
+std::string protocol_axis_name(Protocol p);
+
+/// Every combination of the axes' values, axis-major (first axis varies
+/// slowest).  No axes -> one empty ParamSet.
+std::vector<ParamSet> cartesian(const std::vector<Axis>& axes);
+
+/// Parses a seed list: "7", "1,2,5" or an inclusive range "1..10".
+std::vector<std::uint64_t> parse_seed_list(const std::string& text);
+
+}  // namespace mmptcp::exp

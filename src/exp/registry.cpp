@@ -1,0 +1,43 @@
+#include "exp/registry.h"
+
+#include "util/check.h"
+
+namespace mmptcp::exp {
+
+void Registry::add(ExperimentSpec spec) {
+  require(!spec.name.empty(), "experiment spec needs a name");
+  require(static_cast<bool>(spec.run),
+          "experiment " + spec.name + " has no run function");
+  require(static_cast<bool>(spec.axes),
+          "experiment " + spec.name + " has no axes function");
+  require(!spec.seeds.empty(),
+          "experiment " + spec.name + " has an empty seed list");
+  const auto [it, inserted] = specs_.emplace(spec.name, std::move(spec));
+  require(inserted, "duplicate experiment: " + it->first);
+}
+
+const ExperimentSpec* Registry::find(const std::string& name) const {
+  const auto it = specs_.find(name);
+  return it == specs_.end() ? nullptr : &it->second;
+}
+
+std::vector<const ExperimentSpec*> Registry::match(
+    const std::string& filter) const {
+  if (const ExperimentSpec* exact = find(filter); exact != nullptr) {
+    return {exact};
+  }
+  std::vector<const ExperimentSpec*> out;
+  for (const auto& [name, spec] : specs_) {  // std::map: sorted by name
+    if (filter.empty() || name.find(filter) != std::string::npos) {
+      out.push_back(&spec);
+    }
+  }
+  return out;
+}
+
+Registry& Registry::global() {
+  static Registry registry;
+  return registry;
+}
+
+}  // namespace mmptcp::exp

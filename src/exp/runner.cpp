@@ -1,0 +1,131 @@
+#include "exp/runner.h"
+
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "util/check.h"
+
+namespace mmptcp::exp {
+
+namespace {
+
+std::vector<Axis> effective_axes(const ExperimentSpec& spec,
+                                 const Scale& scale,
+                                 const SweepOptions& options) {
+  std::vector<Axis> axes = spec.axes(scale);
+  for (const Axis& override_axis : options.axis_overrides) {
+    bool found = false;
+    for (Axis& axis : axes) {
+      if (axis.name == override_axis.name) {
+        axis.values = override_axis.values;
+        found = true;
+        break;
+      }
+    }
+    require(found, "experiment " + spec.name + " has no axis named " +
+                       override_axis.name);
+  }
+  return axes;
+}
+
+// Expansion with `scale` already adjusted by the spec.
+std::vector<RunRecord> expand_adjusted(const ExperimentSpec& spec,
+                                       const Scale& scale,
+                                       const SweepOptions& options) {
+  const std::vector<std::uint64_t>& seeds =
+      options.seeds.empty() ? spec.seeds : options.seeds;
+  require(!seeds.empty(), "empty seed list");
+
+  std::vector<RunRecord> records;
+  for (const ParamSet& point : cartesian(effective_axes(spec, scale, options))) {
+    for (const std::uint64_t seed : seeds) {
+      RunRecord rec;
+      rec.params = point;
+      rec.seed = seed;
+      rec.id = point.entries().empty()
+                   ? "seed=" + std::to_string(seed)
+                   : point.id() + "/seed=" + std::to_string(seed);
+      records.push_back(std::move(rec));
+    }
+  }
+  return records;
+}
+
+}  // namespace
+
+Scale effective_scale(const ExperimentSpec& spec, Scale scale) {
+  if (spec.adjust_scale) spec.adjust_scale(scale);
+  return scale;
+}
+
+std::size_t sweep_size(const ExperimentSpec& spec, Scale scale,
+                       const SweepOptions& options) {
+  if (spec.adjust_scale) spec.adjust_scale(scale);
+  std::size_t points = 1;
+  for (const Axis& axis : effective_axes(spec, scale, options)) {
+    points *= axis.values.size();
+  }
+  const std::size_t seed_count =
+      options.seeds.empty() ? spec.seeds.size() : options.seeds.size();
+  return points * seed_count;
+}
+
+std::vector<RunRecord> expand(const ExperimentSpec& spec, Scale scale,
+                              const SweepOptions& options) {
+  if (spec.adjust_scale) spec.adjust_scale(scale);
+  return expand_adjusted(spec, scale, options);
+}
+
+std::vector<RunRecord> run_sweep(const ExperimentSpec& spec, Scale scale,
+                                 const SweepOptions& options) {
+  if (spec.adjust_scale) spec.adjust_scale(scale);
+  std::vector<RunRecord> records = expand_adjusted(spec, scale, options);
+
+  const std::size_t total = records.size();
+  const std::size_t jobs =
+      std::max<std::size_t>(1, std::min(options.jobs, total));
+
+  std::atomic<std::size_t> cursor{0};
+  std::atomic<std::size_t> completed{0};
+  std::mutex progress_mutex;
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t index = cursor.fetch_add(1);
+      if (index >= total) return;
+      RunRecord& rec = records[index];
+      RunContext ctx;
+      ctx.scale = scale;
+      ctx.scale.seed = rec.seed;
+      ctx.params = rec.params;
+      ctx.seed = rec.seed;
+      ctx.out_dir = options.out_dir;
+      try {
+        rec.outcome = spec.run(ctx);
+      } catch (const std::exception& e) {
+        rec.outcome = RunOutcome::failure(e.what());
+      } catch (...) {
+        rec.outcome = RunOutcome::failure("unknown error");
+      }
+      const std::size_t done = completed.fetch_add(1) + 1;
+      if (options.on_progress) {
+        const std::lock_guard<std::mutex> lock(progress_mutex);
+        options.on_progress(done, total, rec.id, rec.outcome.ok);
+      }
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t i = 0; i < jobs; ++i) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  return records;
+}
+
+}  // namespace mmptcp::exp

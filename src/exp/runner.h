@@ -1,0 +1,61 @@
+#pragma once
+
+// Parallel multi-seed sweep runner.
+//
+// expand() turns one spec into a deterministic, ordered job list (axes
+// cartesian product x seed list); run_sweep() executes it on a fixed-size
+// std::thread pool.  Workers claim jobs with an atomic cursor and write
+// results into pre-allocated slots, so output order — and therefore the
+// JSON the sink emits — is independent of thread count and scheduling.
+// A throwing run is isolated: its record carries ok=false and the error
+// text, and the sweep continues.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "exp/spec.h"
+
+namespace mmptcp::exp {
+
+/// Knobs of one sweep invocation.
+struct SweepOptions {
+  std::size_t jobs = 1;                 ///< worker threads (>= 1)
+  std::vector<std::uint64_t> seeds;     ///< override; empty = spec default
+  std::string out_dir = ".";            ///< directory for run artifacts
+  /// Replaces the values of the named axes (from --set name=v1,v2).
+  std::vector<Axis> axis_overrides;
+  /// Progress callback (completed, total, run id, ok); called under a
+  /// lock, possibly from worker threads.  Null disables reporting.
+  std::function<void(std::size_t, std::size_t, const std::string&, bool)>
+      on_progress;
+};
+
+/// One grid point of one experiment, with its outcome once executed.
+struct RunRecord {
+  std::string id;         ///< "subflows=3/seed=1" (stable, unique)
+  ParamSet params;
+  std::uint64_t seed = 0;
+  RunOutcome outcome;
+};
+
+/// `scale` after the spec's adjust_scale hook (identity when absent).
+Scale effective_scale(const ExperimentSpec& spec, Scale scale);
+
+/// Number of runs the sweep would execute, without building the job
+/// list (|cartesian(axes)| x |seeds|).
+std::size_t sweep_size(const ExperimentSpec& spec, Scale scale,
+                       const SweepOptions& options);
+
+/// The sweep's job list in deterministic order (axis-major, seeds
+/// innermost), outcomes not yet populated.  Applies the spec's
+/// adjust_scale and the options' seed/axis overrides.
+std::vector<RunRecord> expand(const ExperimentSpec& spec, Scale scale,
+                              const SweepOptions& options);
+
+/// Expands and executes the sweep; returns records in expansion order.
+std::vector<RunRecord> run_sweep(const ExperimentSpec& spec, Scale scale,
+                                 const SweepOptions& options);
+
+}  // namespace mmptcp::exp

@@ -1,0 +1,186 @@
+#include "exp/sink.h"
+
+#include <cstdio>
+#include <map>
+
+#include "exp/json.h"
+#include "util/check.h"
+#include "util/summary.h"
+
+namespace mmptcp::exp {
+
+namespace {
+
+/// Metric names in first-seen order across all successful runs (failed
+/// runs have none; metric sets are normally identical across runs).
+std::vector<std::string> metric_names(const std::vector<RunRecord>& records) {
+  std::vector<std::string> names;
+  for (const RunRecord& rec : records) {
+    if (!rec.outcome.ok) continue;
+    for (const auto& [name, value] : rec.outcome.metrics) {
+      bool known = false;
+      for (const std::string& n : names) {
+        if (n == name) {
+          known = true;
+          break;
+        }
+      }
+      if (!known) names.push_back(name);
+    }
+  }
+  return names;
+}
+
+std::vector<std::string> axis_names(const std::vector<RunRecord>& records) {
+  std::vector<std::string> names;
+  if (!records.empty()) {
+    for (const auto& [n, v] : records.front().params.entries()) {
+      names.push_back(n);
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+std::string to_json(const ExperimentSpec& spec, const Scale& scale,
+                    const std::vector<RunRecord>& records) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("experiment").value(spec.name);
+  w.key("artefact").value(spec.artefact);
+  w.key("description").value(spec.description);
+
+  w.key("scale").begin_object();
+  w.key("k").value(std::uint64_t(scale.k));
+  w.key("oversubscription").value(std::uint64_t(scale.oversubscription));
+  w.key("shorts").value(std::uint64_t(scale.shorts));
+  w.key("rate_per_host").value(scale.rate_per_host);
+  w.key("short_bytes").value(scale.short_bytes);
+  w.key("subflows").value(std::uint64_t(scale.subflows));
+  w.key("max_sim_secs").value(
+      std::uint64_t(scale.max_sim_time.ns() / 1'000'000'000));
+  w.end_object();
+
+  w.key("runs").begin_array();
+  for (const RunRecord& rec : records) {
+    w.begin_object();
+    w.key("id").value(rec.id);
+    w.key("params").begin_object();
+    for (const auto& [name, value] : rec.params.entries()) {
+      w.key(name).value(value);
+    }
+    w.end_object();
+    w.key("seed").value(rec.seed);
+    w.key("ok").value(rec.outcome.ok);
+    if (rec.outcome.ok) {
+      w.key("metrics").begin_object();
+      for (const auto& [name, value] : rec.outcome.metrics) {
+        w.key(name).value(value);
+      }
+      w.end_object();
+    } else {
+      w.key("error").value(rec.outcome.error);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+Table to_table(const std::vector<RunRecord>& records) {
+  const std::vector<std::string> axes = axis_names(records);
+  const std::vector<std::string> metrics = metric_names(records);
+
+  std::vector<std::string> headers = axes;
+  headers.push_back("seed");
+  for (const std::string& m : metrics) headers.push_back(m);
+  headers.push_back("status");
+
+  Table table(headers);
+  for (const RunRecord& rec : records) {
+    std::vector<std::string> row;
+    for (const std::string& axis : axes) {
+      row.push_back(rec.params.has(axis) ? rec.params.get(axis) : "");
+    }
+    row.push_back(Table::num(rec.seed));
+    for (const std::string& m : metrics) {
+      bool found = false;
+      for (const auto& [name, value] : rec.outcome.metrics) {
+        if (name == m) {
+          row.push_back(Table::num(value, 2));
+          found = true;
+          break;
+        }
+      }
+      if (!found) row.push_back("-");
+    }
+    row.push_back(rec.outcome.ok ? "ok" : "FAIL: " + rec.outcome.error);
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+Table to_aggregate_table(const std::vector<RunRecord>& records) {
+  const std::vector<std::string> axes = axis_names(records);
+  const std::vector<std::string> metrics = metric_names(records);
+
+  // Group by grid point (params id), preserving first-seen order.
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<const RunRecord*>> groups;
+  for (const RunRecord& rec : records) {
+    const std::string key = rec.params.id();
+    if (groups.find(key) == groups.end()) order.push_back(key);
+    groups[key].push_back(&rec);
+  }
+
+  std::vector<std::string> headers = axes;
+  headers.push_back("seeds");
+  for (const std::string& m : metrics) {
+    headers.push_back(m + "_mean");
+    headers.push_back(m + "_sd");
+  }
+
+  Table table(headers);
+  for (const std::string& key : order) {
+    const auto& group = groups[key];
+    std::vector<std::string> row;
+    for (const std::string& axis : axes) {
+      row.push_back(group.front()->params.has(axis)
+                        ? group.front()->params.get(axis)
+                        : "");
+    }
+    std::size_t ok_count = 0;
+    for (const RunRecord* rec : group) {
+      if (rec->outcome.ok) ++ok_count;
+    }
+    row.push_back(Table::num(std::uint64_t(ok_count)));
+    for (const std::string& m : metrics) {
+      Summary s;
+      for (const RunRecord* rec : group) {
+        if (!rec->outcome.ok) continue;
+        for (const auto& [name, value] : rec->outcome.metrics) {
+          if (name == m) {
+            s.add(value);
+            break;
+          }
+        }
+      }
+      row.push_back(s.count() ? Table::num(s.mean(), 2) : "-");
+      row.push_back(s.count() ? Table::num(s.stddev(), 2) : "-");
+    }
+    table.add_row(std::move(row));
+  }
+  return table;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  require(f != nullptr, "cannot open " + path + " for writing");
+  const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  require(written == content.size(), "short write to " + path);
+}
+
+}  // namespace mmptcp::exp

@@ -1,0 +1,31 @@
+#pragma once
+
+// Result sinks: turn a finished sweep into machine-readable JSON and the
+// human-readable text tables the benches always printed (via util/table
+// and util/summary).  JSON content depends only on the spec, the scale
+// and the outcomes — never on wall-clock time, the host, or the thread
+// count — so a sweep is byte-identical at --jobs 1 and --jobs 8.
+
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "util/table.h"
+
+namespace mmptcp::exp {
+
+/// Full sweep result as a compact JSON document (trailing newline).
+std::string to_json(const ExperimentSpec& spec, const Scale& scale,
+                    const std::vector<RunRecord>& records);
+
+/// One row per run: axis columns + seed + every metric column.
+Table to_table(const std::vector<RunRecord>& records);
+
+/// Mean over seeds per grid point; meaningful when |seeds| > 1.
+/// Columns: axis values + per-metric mean.
+Table to_aggregate_table(const std::vector<RunRecord>& records);
+
+/// Writes `content` to `path`; throws ConfigError on I/O failure.
+void write_file(const std::string& path, const std::string& content);
+
+}  // namespace mmptcp::exp

@@ -1,0 +1,79 @@
+#pragma once
+
+// Declarative experiment specs.
+//
+// An ExperimentSpec names one of the paper's evaluations (a figure, an
+// ablation, a roadmap scenario) as data: swept parameter axes, a default
+// seed list, and a run function that executes ONE grid point inside its
+// own Simulation.  The sweep runner expands axes x seeds into a job list
+// and shards it across a thread pool; because every run builds its own
+// Simulation from its own seed, results are identical at any job count.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/param.h"
+#include "exp/paper.h"
+
+namespace mmptcp::exp {
+
+/// Inputs of one grid point.
+struct RunContext {
+  Scale scale;               ///< effective workload scale
+  ParamSet params;           ///< this point's axis values
+  std::uint64_t seed = 1;    ///< this point's RNG seed
+  std::string out_dir = "."; ///< where run artifacts (CSVs) belong
+};
+
+/// Outputs of one grid point: ordered metric name -> value.
+struct RunOutcome {
+  bool ok = true;
+  std::string error;                                       ///< when !ok
+  std::vector<std::pair<std::string, double>> metrics;
+
+  void set(std::string name, double value) {
+    metrics.emplace_back(std::move(name), value);
+  }
+  double get(const std::string& name) const;
+
+  static RunOutcome failure(std::string message) {
+    RunOutcome o;
+    o.ok = false;
+    o.error = std::move(message);
+    return o;
+  }
+};
+
+/// One registered experiment.
+struct ExperimentSpec {
+  std::string name;         ///< registry key, e.g. "fig1a"
+  std::string artefact;     ///< which paper artefact this regenerates
+  std::string description;  ///< one-line summary for --list
+  std::string notes;        ///< "expected shape" text printed after a run
+
+  /// Swept axes; may depend on the scale (e.g. incast fan-in is bounded
+  /// by host count).  Use fixed_axes() when there is no dependence.
+  std::function<std::vector<Axis>(const Scale&)> axes;
+
+  /// Library-level default seed list, used only when SweepOptions.seeds
+  /// is empty.  The CLI always passes an explicit list derived from
+  /// --seed/--seeds, so these are for programmatic run_sweep() callers.
+  std::vector<std::uint64_t> seeds{1};
+
+  /// Executes one grid point.  Must be thread-safe with respect to other
+  /// grid points: build a fresh Simulation, never touch shared state.
+  std::function<RunOutcome(const RunContext&)> run;
+
+  /// Optional scale adjustment applied before expansion (e.g. load_sweep
+  /// halves the per-point flow count so the whole sweep stays fast).
+  std::function<void(Scale&)> adjust_scale;
+};
+
+/// Convenience for specs whose axes do not depend on the scale.
+std::function<std::vector<Axis>(const Scale&)> fixed_axes(
+    std::vector<Axis> axes);
+
+}  // namespace mmptcp::exp

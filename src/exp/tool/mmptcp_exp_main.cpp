@@ -1,0 +1,13 @@
+// The experiment-engine CLI: lists, filters and runs registered
+// experiment specs with a parallel multi-seed sweep.
+//
+//   mmptcp_exp --list
+//   mmptcp_exp --describe incast
+//   mmptcp_exp --run fig1 --jobs 8 --seeds 1..10
+//   mmptcp_exp --run incast --set "protocol=mmptcp;shared_buffer=1"
+
+#include "exp/cli.h"
+
+int main(int argc, char** argv) {
+  return mmptcp::exp::exp_main(argc, argv);
+}

@@ -1,0 +1,141 @@
+#include "exp/registry.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/json.h"
+#include "util/check.h"
+
+namespace mmptcp::exp {
+namespace {
+
+ExperimentSpec trivial_spec(const std::string& name) {
+  ExperimentSpec spec;
+  spec.name = name;
+  spec.axes = fixed_axes({});
+  spec.run = [](const RunContext&) { return RunOutcome{}; };
+  return spec;
+}
+
+TEST(Registry, AddFindMatch) {
+  Registry r;
+  r.add(trivial_spec("alpha"));
+  r.add(trivial_spec("beta"));
+  r.add(trivial_spec("alphabet"));
+
+  EXPECT_NE(r.find("alpha"), nullptr);
+  EXPECT_EQ(r.find("gamma"), nullptr);
+  EXPECT_EQ(r.size(), 3u);
+
+  // Exact name wins even when it is a substring of another.
+  const auto exact = r.match("alpha");
+  ASSERT_EQ(exact.size(), 1u);
+  EXPECT_EQ(exact[0]->name, "alpha");
+
+  const auto sub = r.match("alph");
+  ASSERT_EQ(sub.size(), 2u);
+  EXPECT_EQ(sub[0]->name, "alpha");     // sorted by name
+  EXPECT_EQ(sub[1]->name, "alphabet");
+
+  EXPECT_EQ(r.match("").size(), 3u);
+  EXPECT_TRUE(r.match("zzz").empty());
+}
+
+TEST(Registry, RejectsDuplicatesAndInvalidSpecs) {
+  Registry r;
+  r.add(trivial_spec("a"));
+  EXPECT_THROW(r.add(trivial_spec("a")), ConfigError);
+  EXPECT_THROW(r.add(trivial_spec("")), ConfigError);
+
+  ExperimentSpec no_run = trivial_spec("b");
+  no_run.run = nullptr;
+  EXPECT_THROW(r.add(no_run), ConfigError);
+
+  ExperimentSpec no_seeds = trivial_spec("c");
+  no_seeds.seeds.clear();
+  EXPECT_THROW(r.add(no_seeds), ConfigError);
+}
+
+TEST(Registry, BuiltinCatalogHasThePaperExperiments) {
+  const std::size_t count = register_builtin_experiments();
+  EXPECT_GE(count, 8u);
+  EXPECT_EQ(count, register_builtin_experiments());  // idempotent
+
+  for (const char* name :
+       {"fig1a", "fig1b", "fig1c", "incast", "hotspot", "load_sweep",
+        "coexistence", "multihomed", "ablation_dupthresh",
+        "ablation_switching", "text_summary", "smoke"}) {
+    EXPECT_NE(Registry::global().find(name), nullptr) << name;
+  }
+
+  // "fig1" matches the whole figure family.
+  EXPECT_EQ(Registry::global().match("fig1").size(), 3u);
+}
+
+TEST(Registry, BuiltinAxesExpand) {
+  register_builtin_experiments();
+  const Scale scale;
+  for (const ExperimentSpec* spec : Registry::global().all()) {
+    const auto points = cartesian(spec->axes(scale));
+    EXPECT_GE(points.size(), 1u) << spec->name;
+  }
+  // Incast fan-in grows with the topology.
+  const ExperimentSpec* incast = Registry::global().find("incast");
+  Scale full;
+  full.k = 8;
+  EXPECT_GT(cartesian(incast->axes(full)).size(),
+            cartesian(incast->axes(scale)).size());
+}
+
+TEST(Param, TypedAccessorsAndId) {
+  ParamSet p;
+  p.set("subflows", "8");
+  p.set("rate", "2.5");
+  p.set("on", "true");
+  p.set("protocol", "mmptcp");
+  EXPECT_EQ(p.get_int("subflows"), 8);
+  EXPECT_DOUBLE_EQ(p.get_double("rate"), 2.5);
+  EXPECT_TRUE(p.get_bool("on"));
+  EXPECT_EQ(p.get_protocol("protocol"), Protocol::kMmptcp);
+  EXPECT_EQ(p.id(), "subflows=8/rate=2.5/on=true/protocol=mmptcp");
+  EXPECT_THROW(p.get("absent"), ConfigError);
+  EXPECT_THROW(p.get_int("protocol"), ConfigError);
+}
+
+TEST(Param, Cartesian) {
+  const auto points =
+      cartesian({{"a", {"1", "2"}}, {"b", {"x", "y", "z"}}});
+  ASSERT_EQ(points.size(), 6u);
+  EXPECT_EQ(points[0].id(), "a=1/b=x");   // first axis varies slowest
+  EXPECT_EQ(points[1].id(), "a=1/b=y");
+  EXPECT_EQ(points[5].id(), "a=2/b=z");
+  EXPECT_EQ(cartesian({}).size(), 1u);
+  EXPECT_THROW(cartesian({{"empty", {}}}), ConfigError);
+}
+
+TEST(Param, SeedListParsing) {
+  EXPECT_EQ(parse_seed_list("7"), (std::vector<std::uint64_t>{7}));
+  EXPECT_EQ(parse_seed_list("1,2,5"), (std::vector<std::uint64_t>{1, 2, 5}));
+  EXPECT_EQ(parse_seed_list("3..6"),
+            (std::vector<std::uint64_t>{3, 4, 5, 6}));
+  EXPECT_THROW(parse_seed_list(""), ConfigError);
+  EXPECT_THROW(parse_seed_list("5..2"), ConfigError);
+  EXPECT_THROW(parse_seed_list("abc"), ConfigError);
+}
+
+TEST(Json, EscapingAndNumbers) {
+  EXPECT_EQ(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+  EXPECT_EQ(json_number(42.0), "42");
+  EXPECT_EQ(json_number(-3.0), "-3");
+  EXPECT_EQ(json_number(2.5), "2.5");
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("x");
+  w.key("vals").begin_array().value(std::uint64_t{1}).value(2.5).end_array();
+  w.key("ok").value(true);
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"name":"x","vals":[1,2.5],"ok":true})");
+}
+
+}  // namespace
+}  // namespace mmptcp::exp
