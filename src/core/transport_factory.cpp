@@ -1,5 +1,7 @@
 #include "core/transport_factory.h"
 
+#include "tcp/dctcp.h"
+
 namespace mmptcp {
 
 MptcpConfig TransportConfig::mptcp_config() const {
@@ -32,12 +34,20 @@ ClientFlow::ClientFlow(Simulation& sim, Metrics& metrics, Host& src, Addr dst,
       sim.now());
   flow_id_ = rec.flow_id;
   switch (config.protocol) {
-    case Protocol::kTcp: {
+    case Protocol::kTcp:
+    case Protocol::kDctcp: {
+      std::unique_ptr<CongestionControl> cc;
+      if (config.protocol == Protocol::kDctcp) {
+        cc = std::make_unique<DctcpCc>(config.tcp.mss,
+                                       config.tcp.initial_cwnd_segments);
+      } else {
+        cc = std::make_unique<NewRenoCc>(config.tcp.mss,
+                                         config.tcp.initial_cwnd_segments);
+      }
       tcp_ = std::make_unique<TcpSocket>(
           sim, metrics, src, SocketRole::kClient, dst, src.ephemeral_port(),
           config.server_port, src.next_token(), flow_id_, config.tcp,
-          std::make_unique<NewRenoCc>(config.tcp.mss,
-                                      config.tcp.initial_cwnd_segments));
+          std::move(cc));
       tcp_->connect_and_send(request);
       break;
     }

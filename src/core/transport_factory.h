@@ -1,7 +1,9 @@
 #pragma once
 
-// Uniform entry point for all four transports the benches compare:
-// TCP, MPTCP, pure packet scatter (MMPTCP that never switches) and MMPTCP.
+// Uniform entry point for all five transports the benches compare:
+// TCP, MPTCP, pure packet scatter (MMPTCP that never switches), MMPTCP
+// and DCTCP (single-path, proportional ECN response; pair it with an
+// ECN-marking qdisc on the switches or it degenerates to NewReno).
 //
 // ClientFlow owns the client-side protocol machinery for one flow; Sink
 // listens on a host and builds the matching server side for every SYN it

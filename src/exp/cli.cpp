@@ -116,6 +116,15 @@ std::size_t run_one(const ExperimentSpec& spec, const CliOptions& cli) {
         cli.out_dir + "/BENCH_" + spec.name + ".json";
     write_file(path, to_json(spec, scale, records));
     std::printf("json: %s\n", path.c_str());
+    // Wall-clock metrics (events/s) go in a sidecar so the main JSON
+    // stays byte-identical across hosts and --jobs values.
+    const std::string timing = to_timing_json(spec, records);
+    if (!timing.empty()) {
+      const std::string tpath =
+          cli.out_dir + "/BENCH_" + spec.name + ".timing.json";
+      write_file(tpath, timing);
+      std::printf("timing json: %s\n", tpath.c_str());
+    }
   }
   std::printf("\n");
 

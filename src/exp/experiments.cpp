@@ -5,6 +5,7 @@
 // the engine's job.
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <memory>
 
@@ -32,6 +33,8 @@ RunOutcome scenario_outcome(const RunResult& r) {
   o.set("utilization", r.utilization);
   o.set("core_loss", r.core_loss);
   o.set("agg_loss", r.agg_loss);
+  o.set("ecn_marked", double(r.ecn_marked));
+  o.set("peak_queue_pkts", double(r.peak_queue_pkts));
   return o;
 }
 
@@ -443,8 +446,13 @@ void register_smoke(Registry& r) {
           [](const RunContext& ctx) {
             ScenarioConfig cfg = point_scenario(
                 ctx, ctx.params.get_protocol("protocol"), 4);
+            const auto wall_start = std::chrono::steady_clock::now();
             Scenario sc(cfg);
             sc.run();
+            const double wall_secs =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
             const Summary fct = sc.short_fct_ms();
             RunOutcome o;
             o.set("completed", double(fct.count()));
@@ -452,7 +460,13 @@ void register_smoke(Registry& r) {
             o.set("mean_ms", fct.count() ? fct.mean() : 0);
             o.set("p99_ms", fct.count() ? fct.percentile(99) : 0);
             o.set("rtos", double(sc.short_flow_rtos()));
-            o.set("events", double(sc.sim().scheduler().executed()));
+            const double events = double(sc.sim().scheduler().executed());
+            o.set("events", events);
+            // Simulator throughput for per-PR trend tracking; sidecar
+            // JSON only, so the main result stays deterministic.
+            o.set_timing("events_per_second",
+                         wall_secs > 0 ? events / wall_secs : 0);
+            o.set_timing("wall_seconds", wall_secs);
             return o;
           },
       .adjust_scale =
@@ -463,6 +477,118 @@ void register_smoke(Registry& r) {
             s.rate_per_host = 50.0;
             s.max_sim_time = Time::seconds(30);
           },
+  });
+}
+
+/// Qdisc for one grid point of the qdisc-comparing specs.
+QdiscConfig point_qdisc(const RunContext& ctx, const std::string& kind) {
+  QdiscConfig q;
+  q.kind = qdisc_kind_from_string(kind);
+  if (ctx.params.has("ecn_k")) {
+    q.ecn_threshold_packets =
+        static_cast<std::uint32_t>(ctx.params.get_int("ecn_k"));
+  }
+  if (ctx.params.has("bands")) {
+    q.bands = static_cast<std::uint32_t>(ctx.params.get_int("bands"));
+  }
+  return q;
+}
+
+void register_qdisc(Registry& r) {
+  r.add({
+      .name = "incast_ecn",
+      .artefact = "roadmap: ECN/DCTCP and priority bands vs the incast "
+                  "battle",
+      .description = "burst of shorts + background elephants into one "
+                     "receiver under drop-tail, ECN/DCTCP and "
+                     "mice-priority qdiscs",
+      .notes = "expected shape: dctcp holds peak_queue_pkts near ecn_k "
+               "while tcp fills the drop-tail limit; mmptcp-prio beats "
+               "plain mmptcp on short-flow FCT because PS packets jump "
+               "the elephants' standing queue.",
+      // 8 mice vs 4 elephants: enough standing queue that the discipline
+      // matters, few enough mice that their own collisions do not drown
+      // the elephant effect in RTO noise.
+      .axes = fixed_axes({{"variant",
+                           {"tcp", "dctcp", "mmptcp", "mmptcp-prio"}},
+                          {"senders", {"8"}},
+                          {"long_senders", {"4"}},
+                          {"warmup_ms", {"300"}},
+                          {"ecn_k", {"20"}},
+                          {"bands", {"2"}}}),
+      .run =
+          [](const RunContext& ctx) {
+            IncastConfig cfg;
+            cfg.fat_tree.k = ctx.scale.k;
+            cfg.fat_tree.oversubscription = ctx.scale.oversubscription;
+            cfg.senders =
+                static_cast<std::uint32_t>(ctx.params.get_int("senders"));
+            cfg.long_senders = static_cast<std::uint32_t>(
+                ctx.params.get_int("long_senders"));
+            cfg.short_start =
+                Time::millis(ctx.params.get_int("warmup_ms"));
+            cfg.bytes = ctx.scale.short_bytes;
+            cfg.seed = ctx.seed;
+            // Elephants never finish; bound the run for stragglers that
+            // exhaust their SYN retries (drop-tail TCP does).
+            cfg.max_sim_time = Time::seconds(15);
+            const std::string& variant = ctx.params.get("variant");
+            if (variant == "tcp") {
+              cfg.transport.protocol = Protocol::kTcp;
+            } else if (variant == "dctcp") {
+              cfg.transport.protocol = Protocol::kDctcp;
+              cfg.fat_tree.qdisc = point_qdisc(ctx, "ecn");
+            } else if (variant == "mmptcp" || variant == "mmptcp-prio") {
+              cfg.transport.protocol = Protocol::kMmptcp;
+              cfg.transport.subflows = ctx.scale.subflows;
+              if (variant == "mmptcp-prio") {
+                cfg.fat_tree.qdisc = point_qdisc(ctx, "prio");
+                cfg.fat_tree.qdisc.classifier = PrioClassifierKind::kPsFlag;
+              }
+            } else {
+              throw ConfigError("incast_ecn: unknown variant " + variant);
+            }
+            const IncastResult res = run_incast(cfg);
+            RunOutcome o;
+            o.set("mean_fct_ms", res.fct_ms.count() ? res.fct_ms.mean() : 0);
+            o.set("p99_fct_ms",
+                  res.fct_ms.count() ? res.fct_ms.percentile(99) : 0);
+            o.set("makespan_ms", res.makespan.to_millis());
+            o.set("rtos", double(res.rtos));
+            o.set("syn_timeouts", double(res.syn_timeouts));
+            o.set("completion", res.completion_ratio);
+            o.set("peak_queue_pkts", double(res.peak_queue_packets));
+            o.set("ecn_marked", double(res.ecn_marked));
+            return o;
+          },
+  });
+
+  r.add({
+      .name = "load_sweep_qdisc",
+      .artefact = "roadmap: queueing discipline x transport under the "
+                  "paper workload",
+      .description = "drop-tail vs ECN-marking vs strict-priority "
+                     "(bytes-sent classifier) for TCP, DCTCP and MMPTCP",
+      .notes = "expected shape: ecn+dctcp cuts peak_queue_pkts and RTOs "
+               "versus tcp+droptail; prio lifts every transport's "
+               "short-flow tail by shielding young flows from elephant "
+               "queues; mmptcp stays competitive without switch help.",
+      .axes = fixed_axes({{"protocol", {"tcp", "dctcp", "mmptcp"}},
+                          {"qdisc", {"droptail", "ecn", "prio"}},
+                          {"ecn_k", {"20"}},
+                          {"bands", {"2"}}}),
+      .run =
+          [](const RunContext& ctx) {
+            ScenarioConfig cfg =
+                point_scenario(ctx, ctx.params.get_protocol("protocol"),
+                               ctx.scale.subflows);
+            cfg.fat_tree.qdisc = point_qdisc(ctx, ctx.params.get("qdisc"));
+            // Young-flow protection that works for every transport, not
+            // just the PS phase: band by stream offset.
+            cfg.fat_tree.qdisc.classifier = PrioClassifierKind::kBytesSent;
+            return scenario_outcome(run_scenario(cfg));
+          },
+      .adjust_scale = [](Scale& s) { s.shorts = s.shorts / 4; },
   });
 }
 
@@ -477,6 +603,7 @@ std::size_t register_builtin_experiments() {
     register_scenario_sweeps(r);
     register_ablations(r);
     register_coexistence(r);
+    register_qdisc(r);
     register_smoke(r);
     return r.size();
   }();

@@ -73,6 +73,8 @@ RunResult run_scenario(const ScenarioConfig& cfg) {
   if (const auto it = layers.find(LinkLayer::kEdgeAgg); it != layers.end()) {
     r.agg_loss = it->second.loss_rate();
   }
+  r.ecn_marked = sc.ecn_marked_packets();
+  r.peak_queue_pkts = sc.peak_switch_queue_packets();
   r.end_time = sc.end_time();
   return r;
 }

@@ -49,6 +49,8 @@ struct RunResult {
   std::uint64_t spurious = 0;
   double core_loss = 0;     ///< drop rate at the core layer
   double agg_loss = 0;      ///< drop rate at the aggregation layer
+  std::uint64_t ecn_marked = 0;       ///< CE marks across all qdiscs
+  std::uint64_t peak_queue_pkts = 0;  ///< peak occupancy, switch ports
   Time end_time;
 };
 

@@ -73,6 +73,7 @@ Protocol protocol_from_string(const std::string& s) {
   if (s == "mptcp") return Protocol::kMptcp;
   if (s == "ps" || s == "packet-scatter") return Protocol::kPacketScatter;
   if (s == "mmptcp") return Protocol::kMmptcp;
+  if (s == "dctcp") return Protocol::kDctcp;
   throw ConfigError("unknown protocol: " + s);
 }
 
@@ -82,6 +83,7 @@ std::string protocol_axis_name(Protocol p) {
     case Protocol::kMptcp: return "mptcp";
     case Protocol::kPacketScatter: return "ps";
     case Protocol::kMmptcp: return "mmptcp";
+    case Protocol::kDctcp: return "dctcp";
   }
   throw InvariantError("unhandled protocol");
 }

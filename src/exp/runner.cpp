@@ -24,8 +24,20 @@ std::vector<Axis> effective_axes(const ExperimentSpec& spec,
         break;
       }
     }
-    require(found, "experiment " + spec.name + " has no axis named " +
-                       override_axis.name);
+    if (!found) {
+      // A typo in --set must not silently run the wrong sweep: name the
+      // valid parameters so the caller can fix the invocation.
+      std::string valid;
+      for (const Axis& axis : axes) {
+        if (!valid.empty()) valid += ", ";
+        valid += axis.name;
+      }
+      throw ConfigError("experiment " + spec.name + " has no axis named '" +
+                        override_axis.name + "' (valid --set parameters: " +
+                        (valid.empty() ? "none — this experiment sweeps nothing"
+                                       : valid) +
+                        ")");
+    }
   }
   return axes;
 }

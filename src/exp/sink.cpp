@@ -1,5 +1,6 @@
 #include "exp/sink.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
@@ -85,6 +86,56 @@ std::string to_json(const ExperimentSpec& spec, const Scale& scale,
     w.end_object();
   }
   w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string to_timing_json(const ExperimentSpec& spec,
+                           const std::vector<RunRecord>& records) {
+  bool any = false;
+  for (const RunRecord& rec : records) {
+    if (!rec.outcome.timings.empty()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return "";
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("experiment").value(spec.name);
+  w.key("runs").begin_array();
+  for (const RunRecord& rec : records) {
+    if (rec.outcome.timings.empty()) continue;
+    w.begin_object();
+    w.key("id").value(rec.id);
+    for (const auto& [name, value] : rec.outcome.timings) {
+      w.key(name).value(value);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  // Per-metric mean across runs, first-seen name order.
+  std::vector<std::string> names;
+  for (const RunRecord& rec : records) {
+    for (const auto& [name, value] : rec.outcome.timings) {
+      (void)value;
+      if (std::find(names.begin(), names.end(), name) == names.end()) {
+        names.push_back(name);
+      }
+    }
+  }
+  w.key("aggregate").begin_object();
+  for (const std::string& name : names) {
+    Summary s;
+    for (const RunRecord& rec : records) {
+      for (const auto& [n, value] : rec.outcome.timings) {
+        if (n == name) s.add(value);
+      }
+    }
+    if (s.count()) w.key(name + "_mean").value(s.mean());
+  }
+  w.end_object();
   w.end_object();
   return w.str() + "\n";
 }

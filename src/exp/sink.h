@@ -18,6 +18,12 @@ namespace mmptcp::exp {
 std::string to_json(const ExperimentSpec& spec, const Scale& scale,
                     const std::vector<RunRecord>& records);
 
+/// Wall-clock metrics (RunOutcome::timings) as a sidecar JSON document:
+/// per-run values plus a per-metric aggregate mean.  Returns an empty
+/// string when no run reported timings (nothing to write).
+std::string to_timing_json(const ExperimentSpec& spec,
+                           const std::vector<RunRecord>& records);
+
 /// One row per run: axis columns + seed + every metric column.
 Table to_table(const std::vector<RunRecord>& records);
 

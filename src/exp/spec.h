@@ -33,9 +33,16 @@ struct RunOutcome {
   bool ok = true;
   std::string error;                                       ///< when !ok
   std::vector<std::pair<std::string, double>> metrics;
+  /// Wall-clock-derived metrics (events/s, run duration).  Kept out of
+  /// the main JSON — whose bytes must not depend on the host or thread
+  /// count — and written to a BENCH_<name>.timing.json sidecar instead.
+  std::vector<std::pair<std::string, double>> timings;
 
   void set(std::string name, double value) {
     metrics.emplace_back(std::move(name), value);
+  }
+  void set_timing(std::string name, double value) {
+    timings.emplace_back(std::move(name), value);
   }
   double get(const std::string& name) const;
 

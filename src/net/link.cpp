@@ -41,9 +41,9 @@ void Channel::on_arrival() {
 
 Port::Port(Scheduler& sched, std::string name, std::uint64_t rate_bps,
            QueueLimits limits, Channel* out, LinkLayer layer,
-           SharedBufferPool* pool)
+           SharedBufferPool* pool, QdiscConfig qdisc)
     : sched_(sched), name_(std::move(name)), rate_bps_(rate_bps),
-      queue_(limits, pool), out_(out), layer_(layer) {
+      queue_(make_qdisc(qdisc, limits, pool)), out_(out), layer_(layer) {
   check(rate_bps_ > 0, "port rate must be positive");
   check(out_ != nullptr, "port needs an output channel");
 }
@@ -56,7 +56,7 @@ void Port::enqueue(const Packet& pkt) {
     counters_.dropped_bytes += pkt.size_bytes();
     return;
   }
-  if (!queue_.try_push(pkt)) {
+  if (!queue_->try_push(pkt)) {
     ++counters_.dropped_packets;
     counters_.dropped_bytes += pkt.size_bytes();
     return;
@@ -67,8 +67,8 @@ void Port::enqueue(const Packet& pkt) {
 }
 
 void Port::maybe_start_tx() {
-  if (transmitting_ || queue_.empty()) return;
-  auto pkt = queue_.pop();
+  if (transmitting_ || queue_->empty()) return;
+  auto pkt = queue_->pop();
   check(pkt.has_value(), "queue reported non-empty but pop failed");
   in_tx_ = *pkt;
   transmitting_ = true;

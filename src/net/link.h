@@ -2,9 +2,11 @@
 
 // Egress ports and unidirectional channels.
 //
-// A Port owns the drop-tail queue and the transmitter state machine of one
-// network interface: store-and-forward, one packet serialising at a time at
-// the channel rate.  A Channel carries fully-serialised packets to the peer
+// A Port owns the queueing discipline and the transmitter state machine of
+// one network interface: store-and-forward, one packet serialising at a
+// time at the channel rate.  The discipline is pluggable (net/qdisc/):
+// drop-tail by default, ECN-marking or strict-priority when the topology
+// asks for them.  A Channel carries fully-serialised packets to the peer
 // node after a fixed propagation delay; since the delay is constant the
 // channel is FIFO and keeps its in-flight packets in a deque, so the
 // scheduler events capture only `this`.
@@ -75,7 +77,7 @@ class Port {
 
   Port(Scheduler& sched, std::string name, std::uint64_t rate_bps,
        QueueLimits limits, Channel* out, LinkLayer layer,
-       SharedBufferPool* pool = nullptr);
+       SharedBufferPool* pool = nullptr, QdiscConfig qdisc = QdiscConfig{});
 
   /// Enqueues for transmission; drops (and counts) when the queue is full
   /// or the injected drop filter matches.
@@ -85,8 +87,10 @@ class Port {
   LinkLayer layer() const { return layer_; }
   std::uint64_t rate_bps() const { return rate_bps_; }
   const std::string& name() const { return name_; }
-  std::size_t queue_packets() const { return queue_.size_packets(); }
-  std::uint64_t queue_bytes() const { return queue_.size_bytes(); }
+  std::size_t queue_packets() const { return queue_->size_packets(); }
+  std::uint64_t queue_bytes() const { return queue_->size_bytes(); }
+  /// The installed queueing discipline (marks, peak occupancy, bands).
+  const Qdisc& qdisc() const { return *queue_; }
 
   /// Test hook: every would-be-enqueued packet is offered to `filter`;
   /// returning true forces a drop.  Pass nullptr to clear.
@@ -99,7 +103,7 @@ class Port {
   Scheduler& sched_;
   std::string name_;
   std::uint64_t rate_bps_;
-  DropTailQueue queue_;
+  std::unique_ptr<Qdisc> queue_;
   Channel* out_;
   LinkLayer layer_;
   PortCounters counters_;

@@ -7,10 +7,10 @@ Node::Node(Simulation& sim, NodeId id, std::string name)
 
 std::size_t Node::add_port(std::uint64_t rate_bps, QueueLimits limits,
                            Channel* out, LinkLayer layer,
-                           SharedBufferPool* pool) {
+                           SharedBufferPool* pool, QdiscConfig qdisc) {
   ports_.push_back(std::make_unique<Port>(
       sim_.scheduler(), name_ + "/p" + std::to_string(ports_.size()),
-      rate_bps, limits, out, layer, pool));
+      rate_bps, limits, out, layer, pool, qdisc));
   return ports_.size() - 1;
 }
 

@@ -31,10 +31,12 @@ class Node {
   /// Handles a packet arriving on ingress `in_port`.
   virtual void receive(Packet pkt, std::size_t in_port) = 0;
 
-  /// Appends an egress port; returns its index.
+  /// Appends an egress port; returns its index.  `qdisc` selects the
+  /// queueing discipline (drop-tail by default).
   std::size_t add_port(std::uint64_t rate_bps, QueueLimits limits,
                        Channel* out, LinkLayer layer,
-                       SharedBufferPool* pool = nullptr);
+                       SharedBufferPool* pool = nullptr,
+                       QdiscConfig qdisc = QdiscConfig{});
 
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }

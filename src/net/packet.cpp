@@ -13,6 +13,9 @@ std::string Packet::to_string() const {
   if (has(pkt_flags::kFin)) os << " FIN";
   if (has(pkt_flags::kDataFin)) os << " DFIN";
   if (has(pkt_flags::kPs)) os << " PS";
+  if (ect()) os << " ECT";
+  if (ce()) os << " CE";
+  if (ece()) os << " ECE";
   os << " sf=" << int(subflow) << " seq=" << seq << " ack=" << ack
      << " len=" << payload;
   if (has(pkt_flags::kDss)) {

@@ -26,6 +26,14 @@ inline constexpr std::uint8_t kDataFin = 1u << 5;  ///< connection-level FIN
 inline constexpr std::uint8_t kDsack = 1u << 6;    ///< ACK of duplicate data
 }  // namespace pkt_flags
 
+/// ECN codepoint bits (a separate field: `flags` is nearly full and these
+/// model the IP header's ECN field plus the TCP ECE echo).
+namespace ecn_bits {
+inline constexpr std::uint8_t kEct = 1u << 0;  ///< ECN-capable transport
+inline constexpr std::uint8_t kCe = 1u << 1;   ///< congestion experienced
+inline constexpr std::uint8_t kEce = 1u << 2;  ///< receiver echoes CE (ACKs)
+}  // namespace ecn_bits
+
 /// A simulated TCP/MPTCP segment.
 struct Packet {
   Addr src;
@@ -42,6 +50,7 @@ struct Packet {
   std::uint64_t data_ack = 0; ///< connection-level cumulative ACK
   std::uint64_t dsack_seq = 0; ///< duplicate segment's seq (with kDsack)
   std::uint32_t flow_id = 0;  ///< simulation-wide flow id (tracing/stats)
+  std::uint8_t ecn = 0;       ///< ECN codepoints (see ecn_bits)
 
   /// IP + TCP header bytes for every segment.
   static constexpr std::uint32_t kBaseHeaderBytes = 40;
@@ -51,6 +60,9 @@ struct Packet {
   bool has(std::uint8_t flag) const { return (flags & flag) != 0; }
   bool is_syn() const { return has(pkt_flags::kSyn); }
   bool is_data() const { return payload > 0; }
+  bool ect() const { return (ecn & ecn_bits::kEct) != 0; }
+  bool ce() const { return (ecn & ecn_bits::kCe) != 0; }
+  bool ece() const { return (ecn & ecn_bits::kEce) != 0; }
 
   /// Size on the wire, used for serialisation delay and queue occupancy.
   std::uint32_t size_bytes() const {

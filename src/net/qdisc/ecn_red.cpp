@@ -1,0 +1,28 @@
+#include "net/qdisc/ecn_red.h"
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+EcnRedQueue::EcnRedQueue(QueueLimits limits,
+                         std::uint32_t mark_threshold_packets,
+                         SharedBufferPool* pool)
+    : Qdisc(limits, pool), threshold_(mark_threshold_packets) {
+  require(threshold_ > 0, "ECN marking threshold must be positive");
+}
+
+void EcnRedQueue::do_push(Packet&& pkt) {
+  if (pkt.ect() && packets_.size() >= threshold_) {
+    pkt.ecn |= ecn_bits::kCe;
+    note_marked();
+  }
+  packets_.push_back(std::move(pkt));
+}
+
+std::optional<Packet> EcnRedQueue::do_pop() {
+  Packet pkt = packets_.front();
+  packets_.pop_front();
+  return pkt;
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,34 @@
+#pragma once
+
+// Threshold ECN marking (the RED configuration DCTCP prescribes).
+//
+// DCTCP sets RED's min and max thresholds to the same value K and marks
+// on *instantaneous* queue length, so the switch degenerates to a simple
+// rule: an ECN-capable (ECT) arrival is CE-marked when the queue already
+// holds at least K packets.  Non-ECT traffic is unaffected — it only
+// drops when the drop-tail limits are exceeded, exactly as before.
+
+#include <deque>
+
+#include "net/qdisc/qdisc.h"
+
+namespace mmptcp {
+
+/// FIFO with DCTCP-style threshold CE marking of ECT arrivals.
+class EcnRedQueue final : public Qdisc {
+ public:
+  EcnRedQueue(QueueLimits limits, std::uint32_t mark_threshold_packets,
+              SharedBufferPool* pool = nullptr);
+
+  std::uint32_t mark_threshold_packets() const { return threshold_; }
+
+ protected:
+  void do_push(Packet&& pkt) override;
+  std::optional<Packet> do_pop() override;
+
+ private:
+  std::uint32_t threshold_;
+  std::deque<Packet> packets_;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,93 @@
+#include "net/qdisc/priority.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+StrictPriorityQdisc::StrictPriorityQdisc(QueueLimits limits,
+                                         std::uint32_t bands,
+                                         Classifier classify,
+                                         SharedBufferPool* pool)
+    : Qdisc(limits, pool), classify_(std::move(classify)), bands_(bands),
+      bytes_per_band_(bands, 0) {
+  require(bands >= 2, "priority qdisc needs at least two bands");
+  require(static_cast<bool>(classify_), "priority qdisc needs a classifier");
+  // Equal static partition of the port buffer (0 stays unlimited).
+  band_limits_.max_packets =
+      limits.max_packets == 0
+          ? 0
+          : std::max<std::uint32_t>(limits.max_packets / bands, 1);
+  band_limits_.max_bytes =
+      limits.max_bytes == 0
+          ? 0
+          : std::max<std::uint64_t>(limits.max_bytes / bands, 1);
+}
+
+std::size_t StrictPriorityQdisc::band_of(const Packet& pkt) const {
+  return std::min(classify_(pkt), bands_.size() - 1);
+}
+
+std::size_t StrictPriorityQdisc::band_packets(std::size_t band) const {
+  return bands_.at(band).size();
+}
+
+std::uint64_t StrictPriorityQdisc::band_bytes(std::size_t band) const {
+  return bytes_per_band_.at(band);
+}
+
+bool StrictPriorityQdisc::admits(const Packet& pkt) const {
+  // Whole-port bound first: total capacity parity with drop-tail.
+  if (!Qdisc::admits(pkt)) return false;
+  // Bands below the top one are capped at their share, so a standing
+  // elephant queue cannot occupy the buffer the mice burst needs.
+  const std::size_t band = band_of(pkt);
+  if (band == 0) return true;
+  if (band_limits_.max_packets != 0 &&
+      bands_[band].size() >= band_limits_.max_packets) {
+    return false;
+  }
+  if (band_limits_.max_bytes != 0 &&
+      bytes_per_band_[band] + pkt.size_bytes() > band_limits_.max_bytes) {
+    return false;
+  }
+  return true;
+}
+
+void StrictPriorityQdisc::do_push(Packet&& pkt) {
+  const std::size_t band = band_of(pkt);
+  bytes_per_band_[band] += pkt.size_bytes();
+  bands_[band].push_back(std::move(pkt));
+}
+
+std::optional<Packet> StrictPriorityQdisc::do_pop() {
+  for (std::size_t band = 0; band < bands_.size(); ++band) {
+    if (bands_[band].empty()) continue;
+    Packet pkt = bands_[band].front();
+    bands_[band].pop_front();
+    bytes_per_band_[band] -= pkt.size_bytes();
+    return pkt;
+  }
+  return std::nullopt;
+}
+
+StrictPriorityQdisc::Classifier StrictPriorityQdisc::ps_flag_classifier(
+    std::uint32_t bands) {
+  return [bands](const Packet& pkt) -> std::size_t {
+    if (!pkt.is_data() || pkt.has(pkt_flags::kPs)) return 0;
+    return bands - 1;
+  };
+}
+
+StrictPriorityQdisc::Classifier StrictPriorityQdisc::bytes_sent_classifier(
+    std::uint32_t bands, std::uint64_t band_bytes) {
+  require(band_bytes > 0, "bytes-sent classifier needs a positive band size");
+  return [bands, band_bytes](const Packet& pkt) -> std::size_t {
+    if (!pkt.is_data()) return 0;
+    return static_cast<std::size_t>(std::min<std::uint64_t>(
+        pkt.data_seq / band_bytes, bands - 1));
+  };
+}
+
+}  // namespace mmptcp

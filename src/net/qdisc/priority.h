@@ -1,0 +1,73 @@
+#pragma once
+
+// Strict-priority bands for mice/elephant separation.
+//
+// The in-network alternative the paper positions MMPTCP against (DiffFlow,
+// pFabric, QJUMP): short-flow packets are classified into a high-priority
+// band so they never wait behind an elephant's standing queue.  Bands are
+// served strictly in index order.  Buffering is priority-aware but
+// capacity-neutral: the whole port is bounded by the configured limits —
+// the *total* buffer matches a drop-tail port, so qdisc comparisons
+// isolate scheduling from capacity — while every band below the top one
+// is additionally capped at an even share of those limits.  Elephants
+// therefore cannot squeeze the mice out of the buffer (priority
+// *dropping* as well as priority scheduling), yet mice may use the whole
+// port when the low bands are idle.
+//
+// The classifier is pluggable: the default keys on the PS-phase flag that
+// MMPTCP's packet-scatter subflow stamps on every sprayed segment (plus
+// control packets); the bytes-sent classifier approximates
+// least-attained-service by bucketing on the connection-level stream
+// offset, so any transport's young (short) flows ride the top band.
+
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "net/qdisc/qdisc.h"
+
+namespace mmptcp {
+
+/// Multi-band strict-priority discipline.
+class StrictPriorityQdisc final : public Qdisc {
+ public:
+  /// Maps a packet to a band; results are clamped to [0, bands).
+  using Classifier = std::function<std::size_t(const Packet&)>;
+
+  /// `limits` bounds the whole port; bands below the top one are each
+  /// additionally capped at an even share of it (at least one packet).
+  StrictPriorityQdisc(QueueLimits limits, std::uint32_t bands,
+                      Classifier classify, SharedBufferPool* pool = nullptr);
+
+  /// The per-band cap applied to every band except band 0.
+  const QueueLimits& band_limits() const { return band_limits_; }
+
+  std::size_t band_count() const { return bands_.size(); }
+  std::size_t band_packets(std::size_t band) const;
+  std::uint64_t band_bytes(std::size_t band) const;
+
+  /// PS-phase and control (non-data) packets -> band 0; data without the
+  /// PS flag -> the lowest band.
+  static Classifier ps_flag_classifier(std::uint32_t bands);
+
+  /// Band = stream offset / band_bytes (clamped): packets early in a
+  /// stream — every packet of a short flow — keep the top band, while a
+  /// long flow descends one band per `band_bytes` sent.
+  static Classifier bytes_sent_classifier(std::uint32_t bands,
+                                          std::uint64_t band_bytes);
+
+ protected:
+  bool admits(const Packet& pkt) const override;
+  void do_push(Packet&& pkt) override;
+  std::optional<Packet> do_pop() override;
+
+ private:
+  std::size_t band_of(const Packet& pkt) const;
+
+  Classifier classify_;
+  QueueLimits band_limits_;  ///< the port limits divided across bands
+  std::vector<std::deque<Packet>> bands_;
+  std::vector<std::uint64_t> bytes_per_band_;
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,87 @@
+#include "net/qdisc/qdisc.h"
+
+#include <algorithm>
+
+#include "net/qdisc/ecn_red.h"
+#include "net/qdisc/priority.h"
+#include "net/queue.h"
+#include "util/check.h"
+
+namespace mmptcp {
+
+Qdisc::Qdisc(QueueLimits limits, SharedBufferPool* pool)
+    : limits_(limits), pool_(pool) {}
+
+bool Qdisc::admits(const Packet& pkt) const {
+  if (limits_.max_packets != 0 && packets_ >= limits_.max_packets) {
+    return false;
+  }
+  if (limits_.max_bytes != 0 && bytes_ + pkt.size_bytes() > limits_.max_bytes) {
+    return false;
+  }
+  return true;
+}
+
+bool Qdisc::try_push(Packet pkt) {
+  const std::uint32_t size = pkt.size_bytes();
+  if (!admits(pkt)) return false;
+  if (pool_ != nullptr && !pool_->admits(bytes_, size)) return false;
+  do_push(std::move(pkt));
+  ++packets_;
+  bytes_ += size;
+  peak_packets_ = std::max<std::uint64_t>(peak_packets_, packets_);
+  if (pool_ != nullptr) pool_->on_enqueue(size);
+  return true;
+}
+
+std::optional<Packet> Qdisc::pop() {
+  if (packets_ == 0) return std::nullopt;
+  std::optional<Packet> pkt = do_pop();
+  check(pkt.has_value(), "qdisc reported non-empty but do_pop failed");
+  --packets_;
+  bytes_ -= pkt->size_bytes();
+  if (pool_ != nullptr) pool_->on_dequeue(pkt->size_bytes());
+  return pkt;
+}
+
+std::string to_string(QdiscKind kind) {
+  switch (kind) {
+    case QdiscKind::kDropTail: return "droptail";
+    case QdiscKind::kEcnRed: return "ecn";
+    case QdiscKind::kPriority: return "prio";
+  }
+  return "?";
+}
+
+QdiscKind qdisc_kind_from_string(const std::string& s) {
+  if (s == "droptail" || s == "drop-tail" || s == "fifo") {
+    return QdiscKind::kDropTail;
+  }
+  if (s == "ecn" || s == "red") return QdiscKind::kEcnRed;
+  if (s == "prio" || s == "priority") return QdiscKind::kPriority;
+  throw ConfigError("unknown qdisc kind: " + s +
+                    " (valid: droptail, ecn, prio)");
+}
+
+std::unique_ptr<Qdisc> make_qdisc(const QdiscConfig& config,
+                                  QueueLimits limits, SharedBufferPool* pool) {
+  switch (config.kind) {
+    case QdiscKind::kDropTail:
+      return std::make_unique<DropTailQueue>(limits, pool);
+    case QdiscKind::kEcnRed:
+      return std::make_unique<EcnRedQueue>(limits,
+                                           config.ecn_threshold_packets, pool);
+    case QdiscKind::kPriority: {
+      StrictPriorityQdisc::Classifier classify =
+          config.classifier == PrioClassifierKind::kPsFlag
+              ? StrictPriorityQdisc::ps_flag_classifier(config.bands)
+              : StrictPriorityQdisc::bytes_sent_classifier(config.bands,
+                                                           config.band_bytes);
+      return std::make_unique<StrictPriorityQdisc>(
+          limits, config.bands, std::move(classify), pool);
+    }
+  }
+  throw ConfigError("unhandled qdisc kind");
+}
+
+}  // namespace mmptcp

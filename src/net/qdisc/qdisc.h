@@ -1,0 +1,120 @@
+#pragma once
+
+// Pluggable egress queueing disciplines.
+//
+// A Qdisc is what a Port consumes instead of a hardcoded drop-tail queue:
+// the base class owns admission (packet/byte limits plus the shared-memory
+// Dynamic-Threshold pool), byte/packet accounting and the counters the
+// stats layer reads (ECN marks, peak occupancy); implementations only
+// store and retrieve packets.  Three disciplines ship today:
+//
+//   * DropTailQueue (net/queue.h) — the paper's baseline FIFO;
+//   * EcnRedQueue — threshold ECN marking (DCTCP-style CE at K);
+//   * StrictPriorityQdisc — multi-band mice/elephant separation
+//     (pFabric/QJUMP-flavoured, pluggable classifier).
+//
+// make_qdisc() builds one from a declarative QdiscConfig, which topology
+// builders carry per link so experiments can sweep the discipline.
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "net/packet.h"
+
+namespace mmptcp {
+
+class SharedBufferPool;
+
+/// Limits for an egress queue; either bound may be disabled with 0.
+struct QueueLimits {
+  std::uint32_t max_packets = 100;  ///< 0 = unlimited
+  std::uint64_t max_bytes = 0;      ///< 0 = unlimited
+};
+
+/// Abstract queueing discipline for one egress port.
+class Qdisc {
+ public:
+  Qdisc(QueueLimits limits, SharedBufferPool* pool);
+  virtual ~Qdisc() = default;
+
+  Qdisc(const Qdisc&) = delete;
+  Qdisc& operator=(const Qdisc&) = delete;
+
+  /// Attempts to enqueue; returns false (drop) when admission fails.
+  /// The discipline may modify the stored packet (ECN marking).
+  bool try_push(Packet pkt);
+
+  /// Removes and returns the next packet to serialise; nullopt when empty.
+  std::optional<Packet> pop();
+
+  bool empty() const { return packets_ == 0; }
+  std::size_t size_packets() const { return packets_; }
+  std::uint64_t size_bytes() const { return bytes_; }
+  const QueueLimits& limits() const { return limits_; }
+
+  /// Packets CE-marked by this discipline (EcnRedQueue only today).
+  std::uint64_t marked_packets() const { return marked_; }
+  /// Highest instantaneous occupancy ever reached, in packets.
+  std::uint64_t peak_packets() const { return peak_packets_; }
+
+ protected:
+  /// Admission test beyond the pool check (default: shared limits over
+  /// the whole queue; StrictPriorityQdisc overrides with per-band limits).
+  virtual bool admits(const Packet& pkt) const;
+
+  /// Stores an admitted packet (may mark it first).
+  virtual void do_push(Packet&& pkt) = 0;
+
+  /// Retrieves the next packet; called only when non-empty.
+  virtual std::optional<Packet> do_pop() = 0;
+
+  /// Implementations call this when they set CE on a packet.
+  void note_marked() { ++marked_; }
+
+ private:
+  QueueLimits limits_;
+  SharedBufferPool* pool_;  // not owned; may be null
+  std::size_t packets_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t marked_ = 0;
+  std::uint64_t peak_packets_ = 0;
+};
+
+/// Which discipline a port runs.
+enum class QdiscKind : std::uint8_t {
+  kDropTail,  ///< FIFO, drop arrivals when full (the paper's baseline)
+  kEcnRed,    ///< FIFO + threshold CE marking of ECT arrivals (DCTCP's K)
+  kPriority,  ///< strict-priority bands, mice classified into the top band
+};
+
+std::string to_string(QdiscKind kind);
+/// Parses "droptail", "ecn" / "red", "prio" / "priority".
+QdiscKind qdisc_kind_from_string(const std::string& s);
+
+/// How StrictPriorityQdisc maps a packet to a band.
+enum class PrioClassifierKind : std::uint8_t {
+  kPsFlag,     ///< PS-phase (sprayed) and control packets -> top band
+  kBytesSent,  ///< band grows with stream offset (LAS/pFabric proxy)
+};
+
+/// Declarative description of one port's discipline (see make_qdisc).
+struct QdiscConfig {
+  QdiscKind kind = QdiscKind::kDropTail;
+  // --- kEcnRed ---
+  /// Mark an ECT arrival when the queue already holds >= this many
+  /// packets (DCTCP's instantaneous threshold K).
+  std::uint32_t ecn_threshold_packets = 20;
+  // --- kPriority ---
+  std::uint32_t bands = 2;  ///< >= 2; band 0 is served first
+  PrioClassifierKind classifier = PrioClassifierKind::kPsFlag;
+  /// kBytesSent: stream bytes per band (data_seq / this, clamped).
+  std::uint64_t band_bytes = 100 * 1024;
+};
+
+/// Builds the configured discipline over `limits` (+ optional DT pool).
+std::unique_ptr<Qdisc> make_qdisc(const QdiscConfig& config,
+                                  QueueLimits limits, SharedBufferPool* pool);
+
+}  // namespace mmptcp

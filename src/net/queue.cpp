@@ -23,31 +23,13 @@ void SharedBufferPool::on_dequeue(std::uint32_t size) {
 }
 
 DropTailQueue::DropTailQueue(QueueLimits limits, SharedBufferPool* pool)
-    : limits_(limits), pool_(pool) {}
+    : Qdisc(limits, pool) {}
 
-bool DropTailQueue::try_push(const Packet& pkt) {
-  const std::uint32_t size = pkt.size_bytes();
-  if (limits_.max_packets != 0 && packets_.size() >= limits_.max_packets) {
-    return false;
-  }
-  if (limits_.max_bytes != 0 && bytes_ + size > limits_.max_bytes) {
-    return false;
-  }
-  if (pool_ != nullptr && !pool_->admits(bytes_, size)) {
-    return false;
-  }
-  packets_.push_back(pkt);
-  bytes_ += size;
-  if (pool_ != nullptr) pool_->on_enqueue(size);
-  return true;
-}
+void DropTailQueue::do_push(Packet&& pkt) { packets_.push_back(std::move(pkt)); }
 
-std::optional<Packet> DropTailQueue::pop() {
-  if (packets_.empty()) return std::nullopt;
+std::optional<Packet> DropTailQueue::do_pop() {
   Packet pkt = packets_.front();
   packets_.pop_front();
-  bytes_ -= pkt.size_bytes();
-  if (pool_ != nullptr) pool_->on_dequeue(pkt.size_bytes());
   return pkt;
 }
 

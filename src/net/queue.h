@@ -1,11 +1,12 @@
 #pragma once
 
-// Egress queueing disciplines.
+// Drop-tail discipline and the shared-memory buffer pool.
 //
 // DropTailQueue is the workhorse (the paper's ns-3 setup uses drop-tail
-// ports).  SharedBufferPool models the shared-memory switch fabric the
-// paper calls out as a cause of buffer pressure during incast: ports on the
-// same switch compete for one byte pool under a Dynamic-Threshold (DT)
+// ports), now one Qdisc implementation among several — see net/qdisc/.
+// SharedBufferPool models the shared-memory switch fabric the paper calls
+// out as a cause of buffer pressure during incast: ports on the same
+// switch compete for one byte pool under a Dynamic-Threshold (DT)
 // admission rule (Choudhury & Hahne), so a hot port can starve its
 // siblings — exactly the effect MMPTCP's packet scatter is meant to dodge.
 
@@ -14,15 +15,10 @@
 #include <optional>
 
 #include "net/packet.h"
+#include "net/qdisc/qdisc.h"
 #include "util/check.h"
 
 namespace mmptcp {
-
-/// Limits for a drop-tail queue; either bound may be disabled with 0.
-struct QueueLimits {
-  std::uint32_t max_packets = 100;  ///< 0 = unlimited
-  std::uint64_t max_bytes = 0;      ///< 0 = unlimited
-};
 
 /// Per-switch shared buffer pool with Dynamic-Threshold admission.
 class SharedBufferPool {
@@ -47,27 +43,17 @@ class SharedBufferPool {
 };
 
 /// FIFO drop-tail queue with optional shared-buffer admission.
-class DropTailQueue {
+class DropTailQueue final : public Qdisc {
  public:
   explicit DropTailQueue(QueueLimits limits = QueueLimits{},
                          SharedBufferPool* pool = nullptr);
 
-  /// Attempts to enqueue; returns false (drop) when any bound is exceeded.
-  bool try_push(const Packet& pkt);
-
-  /// Removes and returns the head; nullopt when empty.
-  std::optional<Packet> pop();
-
-  bool empty() const { return packets_.empty(); }
-  std::size_t size_packets() const { return packets_.size(); }
-  std::uint64_t size_bytes() const { return bytes_; }
-  const QueueLimits& limits() const { return limits_; }
+ protected:
+  void do_push(Packet&& pkt) override;
+  std::optional<Packet> do_pop() override;
 
  private:
-  QueueLimits limits_;
-  SharedBufferPool* pool_;  // not owned; may be null
   std::deque<Packet> packets_;
-  std::uint64_t bytes_ = 0;
 };
 
 }  // namespace mmptcp

@@ -8,6 +8,7 @@ std::string to_string(Protocol p) {
     case Protocol::kMptcp: return "MPTCP";
     case Protocol::kPacketScatter: return "PS";
     case Protocol::kMmptcp: return "MMPTCP";
+    case Protocol::kDctcp: return "DCTCP";
   }
   return "?";
 }

@@ -21,6 +21,7 @@ enum class Protocol : std::uint8_t {
   kMptcp,          ///< MPTCP with N subflows from the start
   kPacketScatter,  ///< MMPTCP that never leaves the PS phase (baseline)
   kMmptcp,         ///< the paper's hybrid: PS phase then MPTCP phase
+  kDctcp,          ///< single-path DCTCP (needs an ECN-marking qdisc)
 };
 
 std::string to_string(Protocol p);

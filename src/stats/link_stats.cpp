@@ -1,5 +1,7 @@
 #include "stats/link_stats.h"
 
+#include <algorithm>
+
 namespace mmptcp {
 
 double LayerStats::utilization(Time duration) const {
@@ -7,6 +9,23 @@ double LayerStats::utilization(Time duration) const {
   if (secs <= 0.0 || capacity_bps_sum == 0) return 0.0;
   return static_cast<double>(tx_bytes) * 8.0 /
          (static_cast<double>(capacity_bps_sum) * secs);
+}
+
+std::uint64_t total_marked_packets(const Network& net) {
+  std::uint64_t marked = 0;
+  net.for_each_port([&marked](const Node&, const Port& port) {
+    marked += port.qdisc().marked_packets();
+  });
+  return marked;
+}
+
+std::uint64_t peak_switch_queue_packets(const Network& net) {
+  std::uint64_t peak = 0;
+  net.for_each_port([&peak](const Node& node, const Port& port) {
+    if (dynamic_cast<const Switch*>(&node) == nullptr) return;
+    peak = std::max(peak, port.qdisc().peak_packets());
+  });
+  return peak;
 }
 
 std::map<LinkLayer, LayerStats> collect_layer_stats(const Network& net) {
@@ -19,6 +38,9 @@ std::map<LinkLayer, LayerStats> collect_layer_stats(const Network& net) {
     s.tx_packets += c.tx_packets;
     s.tx_bytes += c.tx_bytes;
     s.dropped_packets += c.dropped_packets;
+    s.marked_packets += port.qdisc().marked_packets();
+    s.peak_queue_packets =
+        std::max(s.peak_queue_packets, port.qdisc().peak_packets());
     s.port_count += 1;
     s.capacity_bps_sum += port.rate_bps();
   });

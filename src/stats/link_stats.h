@@ -19,6 +19,8 @@ struct LayerStats {
   std::uint64_t tx_packets = 0;
   std::uint64_t tx_bytes = 0;
   std::uint64_t dropped_packets = 0;
+  std::uint64_t marked_packets = 0;      ///< CE-marked by this layer's qdiscs
+  std::uint64_t peak_queue_packets = 0;  ///< max peak occupancy over ports
   std::uint64_t port_count = 0;
   std::uint64_t capacity_bps_sum = 0;
 
@@ -36,5 +38,12 @@ struct LayerStats {
 
 /// Walks every port of `net` and aggregates by LinkLayer.
 std::map<LinkLayer, LayerStats> collect_layer_stats(const Network& net);
+
+/// CE marks set by every qdisc in the network.
+std::uint64_t total_marked_packets(const Network& net);
+
+/// Peak queue occupancy (packets) over *switch* egress ports — host NICs
+/// are unbounded (OS-backpressured) and would swamp the signal.
+std::uint64_t peak_switch_queue_packets(const Network& net);
 
 }  // namespace mmptcp

@@ -50,12 +50,25 @@ class CongestionControl {
   void undo_after_spurious(std::uint64_t prior_cwnd,
                            std::uint64_t prior_ssthresh);
 
+  /// True when the socket should set ECT on outgoing data segments and
+  /// feed ECE echoes back through on_ecn_feedback (DCTCP overrides).
+  virtual bool ecn_capable() const { return false; }
+
+  /// ECN feedback from a cumulative ACK of `acked` new bytes; `ece` is
+  /// the receiver's CE echo.  `snd_una`/`snd_nxt` delimit the sender's
+  /// stream position so implementations can tell observation windows
+  /// (RTTs) apart.  Default: ignore.
+  virtual void on_ecn_feedback(std::uint64_t /*acked*/, bool /*ece*/,
+                               std::uint64_t /*snd_una*/,
+                               std::uint64_t /*snd_nxt*/) {}
+
  protected:
   /// Congestion-avoidance increase for `acked` bytes (NewReno default:
   /// one MSS per window, i.e. cwnd += MSS*acked/cwnd per ACK).
   virtual void congestion_avoidance_increase(std::uint64_t acked);
 
   void set_cwnd(std::uint64_t cwnd) { cwnd_ = cwnd; }
+  void set_ssthresh(std::uint64_t ssthresh) { ssthresh_ = ssthresh; }
 
  private:
   std::uint32_t mss_;

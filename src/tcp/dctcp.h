@@ -1,0 +1,47 @@
+#pragma once
+
+// DCTCP congestion control (Alizadeh et al., SIGCOMM 2010 / RFC 8257).
+//
+// The switch marks CE on ECT packets above an instantaneous threshold K
+// (EcnRedQueue); the receiver echoes each segment's CE as ECE on its ACK
+// (this simulator ACKs every segment, which is exactly the per-packet
+// echo DCTCP wants); the sender maintains an EWMA `alpha` of the marked
+// fraction per observation window (~1 RTT of data) and cuts cwnd
+// *proportionally* to it — a window with few marks costs a small
+// reduction instead of NewReno's half.  Loss handling is inherited from
+// the NewReno mechanics unchanged, as RFC 8257 prescribes.
+
+#include "tcp/congestion.h"
+
+namespace mmptcp {
+
+/// DCTCP knobs (defaults from the paper / RFC 8257).
+struct DctcpConfig {
+  double gain = 1.0 / 16.0;    ///< alpha EWMA gain g
+  double initial_alpha = 1.0;  ///< conservative start (RFC 8257 §4.2)
+};
+
+/// DCTCP window arithmetic: NewReno plus proportional ECN response.
+class DctcpCc final : public CongestionControl {
+ public:
+  DctcpCc(std::uint32_t mss, std::uint32_t initial_cwnd_segments,
+          DctcpConfig config = DctcpConfig{});
+
+  bool ecn_capable() const override { return true; }
+  void on_ecn_feedback(std::uint64_t acked, bool ece, std::uint64_t snd_una,
+                       std::uint64_t snd_nxt) override;
+
+  double alpha() const { return alpha_; }
+  /// Proportional window reductions performed (one max per window).
+  std::uint64_t ecn_reductions() const { return reductions_; }
+
+ private:
+  DctcpConfig config_;
+  double alpha_;
+  std::uint64_t window_end_ = 0;   ///< snd_nxt at the last alpha update
+  std::uint64_t acked_bytes_ = 0;  ///< bytes acked this window
+  std::uint64_t marked_bytes_ = 0; ///< of which ECE-marked
+  std::uint64_t reductions_ = 0;
+};
+
+}  // namespace mmptcp

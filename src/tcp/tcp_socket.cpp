@@ -185,6 +185,7 @@ void TcpSocket::send_segment(const Mapping& mapping, std::uint64_t seq,
   p.payload = mapping.len;
   p.data_seq = mapping.data_seq;
   if (mapping.last) p.flags |= pkt_flags::kDataFin;
+  if (cc_->ecn_capable()) p.ecn |= ecn_bits::kEct;
   decorate_data(p);
   if (!rtx && !timing_valid_) {
     timing_valid_ = true;
@@ -311,6 +312,9 @@ void TcpSocket::process_ack(const Packet& pkt) {
       }
     } else {
       dup_acks_ = 0;
+      // DCTCP-style ECN response (no-op for non-ECN controllers); kept
+      // out of loss recovery, which already owns the window there.
+      cc_->on_ecn_feedback(acked, pkt.ece(), snd_una_, snd_nxt_);
       cc_->on_ack(acked);
     }
     if (bytes_in_flight() > 0) {
@@ -423,6 +427,9 @@ void TcpSocket::send_ack_reply(const Packet& cause, bool dsack) {
     a.flags |= pkt_flags::kDsack;
     a.dsack_seq = cause.seq;
   }
+  // Per-segment CE echo: with an ACK for every data segment this is
+  // precisely the feedback loop DCTCP wants (RFC 8257 §3.2).
+  if (cause.ce()) a.ecn |= ecn_bits::kEce;
   decorate_ack(a);
   local_.send(a);
 }

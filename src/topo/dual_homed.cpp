@@ -79,11 +79,13 @@ DualHomedFatTree::DualHomedFatTree(Simulation& sim, DualHomedConfig config)
   const std::uint32_t hosts = hosts_per_pair();
   const LinkSpec host_link{config_.link_rate_bps, config_.link_delay,
                            config_.host_queue, LinkLayer::kHostEdge,
-                           config_.queue};
+                           config_.queue, QdiscConfig{}, config_.qdisc};
   const LinkSpec agg_link{config_.link_rate_bps, config_.link_delay,
-                          config_.queue, LinkLayer::kEdgeAgg, std::nullopt};
+                          config_.queue, LinkLayer::kEdgeAgg, std::nullopt,
+                          config_.qdisc, std::nullopt};
   const LinkSpec core_link{config_.link_rate_bps, config_.link_delay,
-                           config_.queue, LinkLayer::kAggCore, std::nullopt};
+                           config_.queue, LinkLayer::kAggCore, std::nullopt,
+                           config_.qdisc, std::nullopt};
 
   for (std::uint32_t p = 0; p < config_.k; ++p) {
     for (std::uint32_t g = 0; g < pairs; ++g) {

@@ -28,6 +28,8 @@ struct DualHomedConfig {
   QueueLimits queue{100, 0};
   /// Host egress queue (see FatTreeConfig::host_queue).
   QueueLimits host_queue{0, 0};
+  /// Queueing discipline on switch egress ports (see FatTreeConfig::qdisc).
+  QdiscConfig qdisc{};
 };
 
 /// Builder/owner of a dual-homed FatTree network.

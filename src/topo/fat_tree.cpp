@@ -80,11 +80,13 @@ FatTree::FatTree(Simulation& sim, FatTreeConfig config)
   // shallow switch queue, so last-hop incast drops are preserved.
   const LinkSpec host_link{config_.link_rate_bps, config_.link_delay,
                            config_.host_queue, LinkLayer::kHostEdge,
-                           config_.queue};
+                           config_.queue, QdiscConfig{}, config_.qdisc};
   const LinkSpec agg_link{config_.link_rate_bps, config_.link_delay,
-                          config_.queue, LinkLayer::kEdgeAgg, std::nullopt};
+                          config_.queue, LinkLayer::kEdgeAgg, std::nullopt,
+                          config_.qdisc, std::nullopt};
   const LinkSpec core_link{config_.link_rate_bps, config_.link_delay,
-                           config_.queue, LinkLayer::kAggCore, std::nullopt};
+                           config_.queue, LinkLayer::kAggCore, std::nullopt,
+                           config_.qdisc, std::nullopt};
 
   auto maybe_shared = [&](Switch& sw, std::size_t ports) {
     if (!config_.shared_buffer) return;

@@ -39,6 +39,9 @@ struct FatTreeConfig {
   bool shared_buffer = false;           ///< model shared-memory switches
   std::uint64_t shared_buffer_bytes = 0;  ///< 0 = ports * 100 * 1540
   double shared_buffer_alpha = 1.0;     ///< dynamic-threshold alpha
+  /// Queueing discipline on every *switch* egress port (host NICs keep
+  /// drop-tail: marking/priority model in-network mechanisms).
+  QdiscConfig qdisc{};
 };
 
 /// Host address <-> (pod, edge, host) packing helpers.

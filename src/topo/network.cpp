@@ -26,11 +26,11 @@ void Network::connect(Node& a, Node& b, const LinkSpec& spec) {
       std::make_unique<Channel>(sim_.scheduler(), spec.delay));
   Channel& ba = *channels_.back();
 
-  const std::size_t ap =
-      a.add_port(spec.rate_bps, spec.queue, &ab, spec.layer, pool_of(a));
+  const std::size_t ap = a.add_port(spec.rate_bps, spec.queue, &ab,
+                                    spec.layer, pool_of(a), spec.qdisc);
   const std::size_t bp =
       b.add_port(spec.rate_bps, spec.queue_b.value_or(spec.queue), &ba,
-                 spec.layer, pool_of(b));
+                 spec.layer, pool_of(b), spec.qdisc_b.value_or(spec.qdisc));
   ab.attach_sink(&b, bp);
   ba.attach_sink(&a, ap);
 }

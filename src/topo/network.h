@@ -36,6 +36,10 @@ struct LinkSpec {
   QueueLimits queue{};
   LinkLayer layer = LinkLayer::kOther;
   std::optional<QueueLimits> queue_b{};
+  /// Queueing discipline at endpoint `a` (drop-tail by default) and an
+  /// optional override at endpoint `b` — mirrors queue / queue_b.
+  QdiscConfig qdisc{};
+  std::optional<QdiscConfig> qdisc_b{};
 };
 
 /// Owns nodes and channels; provides wiring and iteration.

@@ -197,11 +197,41 @@ std::uint64_t Scenario::total_spurious_retransmits() const {
       [](const FlowRecord& r) { return r.spurious_retransmits; });
 }
 
+std::uint64_t Scenario::ecn_marked_packets() const {
+  return total_marked_packets(*net_);
+}
+
+std::uint64_t Scenario::peak_switch_queue_packets() const {
+  return mmptcp::peak_switch_queue_packets(*net_);
+}
+
+namespace {
+
+/// Stops `sim` once all `expected_shorts` completed (elephants never do).
+void poll_incast_done(Simulation& sim, const Metrics& metrics,
+                      std::uint32_t expected_shorts, Time interval) {
+  std::uint32_t done = 0;
+  for (const auto* rec : metrics.flows()) {
+    if (!rec->long_flow && rec->is_complete()) ++done;
+  }
+  if (done >= expected_shorts) {
+    sim.scheduler().stop();
+    return;
+  }
+  sim.scheduler().schedule(interval, [&sim, &metrics, expected_shorts,
+                                      interval] {
+    poll_incast_done(sim, metrics, expected_shorts, interval);
+  });
+}
+
+}  // namespace
+
 IncastResult run_incast(const IncastConfig& config) {
   Simulation sim(config.seed);
   FatTree ft(sim, config.fat_tree);
   Metrics metrics;
-  require(config.senders + ft.hosts_per_edge() <= ft.host_count(),
+  require(config.senders + config.long_senders + ft.hosts_per_edge() <=
+              ft.host_count(),
           "incast needs enough hosts outside the receiver's rack");
 
   TransportConfig transport = config.transport;
@@ -214,11 +244,30 @@ IncastResult run_incast(const IncastConfig& config) {
   // Senders start after the hosts under the receiver's rack, so every
   // flow crosses the fabric and converges on one access link.
   const std::size_t first = ft.hosts_per_edge();
-  for (std::uint32_t i = 0; i < config.senders; ++i) {
-    Host& src = ft.host(first + i);
+  const auto start_shorts = [&] {
+    for (std::uint32_t i = 0; i < config.senders; ++i) {
+      Host& src = ft.host(first + i);
+      flows.push_back(std::make_unique<ClientFlow>(
+          sim, metrics, src, receiver, transport, config.bytes,
+          /*long_flow=*/false));
+    }
+  };
+  if (config.short_start.ns() > 0) {
+    sim.scheduler().schedule_at(config.short_start, start_shorts);
+  } else {
+    start_shorts();
+  }
+  // Background elephants occupy the hosts after the burst senders.
+  for (std::uint32_t i = 0; i < config.long_senders; ++i) {
+    Host& src = ft.host(first + config.senders + i);
     flows.push_back(std::make_unique<ClientFlow>(
-        sim, metrics, src, receiver, transport, config.bytes,
-        /*long_flow=*/false));
+        sim, metrics, src, receiver, transport, ClientFlow::kLongFlow,
+        /*long_flow=*/true));
+  }
+  if (config.long_senders > 0) {
+    sim.scheduler().schedule(config.check_interval, [&] {
+      poll_incast_done(sim, metrics, config.senders, config.check_interval);
+    });
   }
   sim.scheduler().run_until(config.max_sim_time);
 
@@ -226,6 +275,7 @@ IncastResult run_incast(const IncastConfig& config) {
   result.fct_ms = metrics.short_flow_fct_ms(transport.protocol);
   Time last = Time::zero();
   for (const auto* rec : metrics.flows()) {
+    if (rec->long_flow) continue;
     result.rtos += rec->rto_count;
     result.syn_timeouts += rec->syn_timeouts;
     result.fast_retransmits += rec->fast_retransmits;
@@ -234,6 +284,8 @@ IncastResult run_incast(const IncastConfig& config) {
   result.completion_ratio =
       metrics.short_flow_completion_ratio(transport.protocol);
   result.makespan = last;
+  result.ecn_marked = total_marked_packets(ft.network());
+  result.peak_queue_packets = peak_switch_queue_packets(ft.network());
   return result;
 }
 

@@ -99,6 +99,10 @@ class Scenario {
   std::uint64_t short_flow_rtos() const;
   std::uint64_t short_flows_with_rto() const;
   std::uint64_t total_spurious_retransmits() const;
+  /// CE marks set by all qdiscs in the network.
+  std::uint64_t ecn_marked_packets() const;
+  /// Peak queue occupancy (packets) over switch egress ports.
+  std::uint64_t peak_switch_queue_packets() const;
 
  private:
   void build();
@@ -137,11 +141,22 @@ struct IncastConfig {
   TransportConfig transport{};
   std::uint32_t senders = 32;
   std::uint64_t bytes = 70 * 1024;
+  /// Background elephants into the same receiver (same transport as the
+  /// shorts); they make the qdisc comparison bite: drop-tail lets them
+  /// keep a standing queue the burst must fight through.  With elephants
+  /// running the simulation stops once every short completed.
+  std::uint32_t long_senders = 0;
+  /// Delay before the burst starts (elephants start at t=0).  A warmup
+  /// lets the elephants build their standing queue — and, under MMPTCP,
+  /// finish the PS->MPTCP phase switch — so the burst meets the queue a
+  /// real incast meets.  Zero starts everything together.
+  Time short_start = Time::zero();
+  Time check_interval = Time::millis(10);  ///< completion poll (elephants)
   std::uint64_t seed = 1;
   Time max_sim_time = Time::seconds(60);
 };
 
-/// Outcome of one incast run.
+/// Outcome of one incast run (all flow counters cover short flows only).
 struct IncastResult {
   Summary fct_ms;
   std::uint64_t rtos = 0;
@@ -149,6 +164,8 @@ struct IncastResult {
   std::uint64_t fast_retransmits = 0;
   double completion_ratio = 0.0;
   Time makespan;  ///< last completion time
+  std::uint64_t ecn_marked = 0;          ///< CE marks across all qdiscs
+  std::uint64_t peak_queue_packets = 0;  ///< max occupancy over switch ports
 };
 
 /// Runs the incast microbenchmark (receiver = host 0; senders spread over

@@ -51,6 +51,22 @@ TEST(Runner, SeedAndAxisOverrides) {
   EXPECT_THROW(expand(synthetic_spec(), Scale{}, bad), ConfigError);
 }
 
+TEST(Runner, UnknownSetParameterNamesTheValidOnes) {
+  // A typo in --set must fail loudly and tell the caller what is
+  // sweepable, not silently run the default grid.
+  SweepOptions bad;
+  bad.axis_overrides = {{"protocl", {"tcp"}}};
+  try {
+    expand(synthetic_spec(), Scale{}, bad);
+    FAIL() << "unknown --set parameter was accepted";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("protocl"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("valid --set parameters"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("x, y"), std::string::npos) << msg;
+  }
+}
+
 TEST(Runner, ParallelSweepMatchesSerialByteForByte) {
   const ExperimentSpec spec = synthetic_spec();
   SweepOptions serial;
@@ -156,6 +172,32 @@ TEST(Runner, RegisteredSmokeSpecIsDeterministicAcrossJobCounts) {
     EXPECT_DOUBLE_EQ(rec.outcome.get("completion"), 1.0) << rec.id;
     EXPECT_GT(rec.outcome.get("events"), 0.0) << rec.id;
   }
+}
+
+TEST(Sink, TimingsGoToTheSidecarNotTheMainJson) {
+  ExperimentSpec spec;
+  spec.name = "timed";
+  spec.axes = fixed_axes({{"i", {"1", "2"}}});
+  spec.run = [](const RunContext& ctx) {
+    RunOutcome o;
+    o.set("v", double(ctx.params.get_int("i")));
+    o.set_timing("events_per_second", 1e6);
+    return o;
+  };
+  const auto records = run_sweep(spec, Scale{}, SweepOptions{});
+  // Wall-clock metrics must not leak into the deterministic document.
+  const std::string main_json = to_json(spec, Scale{}, records);
+  EXPECT_EQ(main_json.find("events_per_second"), std::string::npos);
+  const std::string timing = to_timing_json(spec, records);
+  EXPECT_NE(timing.find("events_per_second"), std::string::npos);
+  EXPECT_NE(timing.find("aggregate"), std::string::npos);
+  EXPECT_NE(timing.find("events_per_second_mean"), std::string::npos);
+
+  // Specs without timings produce no sidecar at all.
+  const ExperimentSpec plain = synthetic_spec();
+  EXPECT_TRUE(
+      to_timing_json(plain, run_sweep(plain, Scale{}, SweepOptions{}))
+          .empty());
 }
 
 TEST(Sink, AggregateTableAveragesOverSeeds) {

@@ -1,0 +1,75 @@
+// End-to-end checks of the qdisc subsystem in the incast battle the
+// experiment engine's `incast_ecn` spec runs at larger scale: DCTCP over
+// an ECN-marking fabric keeps switch queues shallower than drop-tail
+// TCP, and strict-priority bands let MMPTCP's PS-phase mice jump the
+// elephants' standing queue.
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace mmptcp {
+namespace {
+
+IncastConfig battle_config() {
+  IncastConfig cfg;
+  cfg.senders = 8;
+  cfg.long_senders = 2;
+  cfg.short_start = Time::millis(300);  // elephants build their queue first
+  cfg.max_sim_time = Time::seconds(15);
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(QdiscBattle, DctcpKeepsQueuesShallowerThanDropTailTcp) {
+  IncastConfig droptail = battle_config();
+  droptail.transport.protocol = Protocol::kTcp;
+  const IncastResult dt = run_incast(droptail);
+  EXPECT_EQ(dt.ecn_marked, 0u);  // no marking qdisc, no ECN anywhere
+
+  IncastConfig ecn = battle_config();
+  ecn.transport.protocol = Protocol::kDctcp;
+  ecn.fat_tree.qdisc.kind = QdiscKind::kEcnRed;
+  ecn.fat_tree.qdisc.ecn_threshold_packets = 20;
+  const IncastResult dc = run_incast(ecn);
+
+  EXPECT_GT(dc.ecn_marked, 0u);  // ECT round-tripped through the fabric
+  EXPECT_EQ(dc.completion_ratio, 1.0);
+  EXPECT_LT(dc.peak_queue_packets, dt.peak_queue_packets);
+  if (dt.completion_ratio == 1.0 && dt.fct_ms.count() > 0 &&
+      dc.fct_ms.count() > 0) {
+    EXPECT_LT(dc.fct_ms.mean(), dt.fct_ms.mean());
+  }
+}
+
+TEST(QdiscBattle, PriorityBandsImproveShortFlowFctUnderMmptcp) {
+  IncastConfig droptail = battle_config();
+  droptail.transport.protocol = Protocol::kMmptcp;
+  const IncastResult dt = run_incast(droptail);
+
+  IncastConfig prio = battle_config();
+  prio.transport.protocol = Protocol::kMmptcp;
+  prio.fat_tree.qdisc.kind = QdiscKind::kPriority;
+  prio.fat_tree.qdisc.bands = 2;
+  prio.fat_tree.qdisc.classifier = PrioClassifierKind::kPsFlag;
+  const IncastResult pr = run_incast(prio);
+
+  ASSERT_GT(dt.fct_ms.count(), 0u);
+  ASSERT_GT(pr.fct_ms.count(), 0u);
+  EXPECT_EQ(pr.completion_ratio, 1.0);
+  EXPECT_LT(pr.fct_ms.mean(), dt.fct_ms.mean());
+}
+
+TEST(QdiscBattle, DelayedBurstStillCompletesWithoutElephants) {
+  // short_start + the completion poll must compose with long_senders = 0.
+  IncastConfig cfg;
+  cfg.senders = 4;
+  cfg.short_start = Time::millis(50);
+  cfg.transport.protocol = Protocol::kTcp;
+  const IncastResult res = run_incast(cfg);
+  EXPECT_EQ(res.completion_ratio, 1.0);
+  EXPECT_GT(res.makespan.to_millis(), 50.0);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -62,6 +62,55 @@ TEST(Packet, ToStringMentionsKeyFields) {
   EXPECT_NE(s.find("seq=42"), std::string::npos);
 }
 
+TEST(Packet, EcnBitsDefaultClear) {
+  Packet p;
+  EXPECT_FALSE(p.ect());
+  EXPECT_FALSE(p.ce());
+  EXPECT_FALSE(p.ece());
+}
+
+TEST(Packet, EcnBitsRoundTrip) {
+  Packet p;
+  p.ecn |= ecn_bits::kEct;
+  EXPECT_TRUE(p.ect());
+  EXPECT_FALSE(p.ce());
+  p.ecn |= ecn_bits::kCe;
+  EXPECT_TRUE(p.ect());
+  EXPECT_TRUE(p.ce());
+  // A copy (the queue stores packets by value) preserves the codepoints.
+  const Packet copy = p;
+  EXPECT_TRUE(copy.ect());
+  EXPECT_TRUE(copy.ce());
+  Packet ack;
+  ack.ecn |= ecn_bits::kEce;
+  EXPECT_TRUE(ack.ece());
+  EXPECT_FALSE(ack.ect());
+}
+
+TEST(Packet, EcnBitsAreDistinctAndFreeOfFlags) {
+  const std::uint8_t all = ecn_bits::kEct | ecn_bits::kCe | ecn_bits::kEce;
+  int bits = 0;
+  for (int i = 0; i < 8; ++i) bits += (all >> i) & 1;
+  EXPECT_EQ(bits, 3);
+  // ECN lives in its own field: setting codepoints must not perturb
+  // flags, the wire size, or flag helpers.
+  Packet p;
+  p.payload = 100;
+  const auto size_before = p.size_bytes();
+  p.ecn = all;
+  EXPECT_EQ(p.flags, 0);
+  EXPECT_EQ(p.size_bytes(), size_before);
+  EXPECT_FALSE(p.is_syn());
+}
+
+TEST(Packet, ToStringMentionsEcn) {
+  Packet p;
+  p.ecn = ecn_bits::kEct | ecn_bits::kCe;
+  const auto s = p.to_string();
+  EXPECT_NE(s.find("ECT"), std::string::npos);
+  EXPECT_NE(s.find("CE"), std::string::npos);
+}
+
 TEST(Addr, DottedRendering) {
   EXPECT_EQ((Addr{0x0a000102}.to_string()), "10.0.1.2");
 }

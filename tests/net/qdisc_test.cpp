@@ -1,0 +1,224 @@
+#include "net/qdisc/qdisc.h"
+
+#include <gtest/gtest.h>
+
+#include "net/qdisc/ecn_red.h"
+#include "net/qdisc/priority.h"
+#include "net/queue.h"
+
+namespace mmptcp {
+namespace {
+
+Packet data_packet(std::uint32_t payload, std::uint64_t data_seq = 0,
+                   bool ect = false, bool ps = false) {
+  Packet p;
+  p.payload = payload;
+  p.data_seq = data_seq;
+  if (ect) p.ecn |= ecn_bits::kEct;
+  if (ps) p.flags |= pkt_flags::kPs;
+  return p;
+}
+
+// ---------------------------------------------------------------- EcnRed
+
+TEST(EcnRedQueue, MarksEctArrivalsAtThreshold) {
+  EcnRedQueue q({0, 0}, /*mark_threshold_packets=*/2);
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, true)));
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, true)));
+  // Queue now holds K=2: the next ECT arrival is marked.
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, true)));
+  EXPECT_EQ(q.marked_packets(), 1u);
+  EXPECT_FALSE(q.pop()->ce());
+  EXPECT_FALSE(q.pop()->ce());
+  EXPECT_TRUE(q.pop()->ce());
+}
+
+TEST(EcnRedQueue, BelowThresholdNeverMarks) {
+  EcnRedQueue q({0, 0}, 10);
+  for (int i = 0; i < 9; ++i) {
+    ASSERT_TRUE(q.try_push(data_packet(100, 0, true)));
+  }
+  EXPECT_EQ(q.marked_packets(), 0u);
+  while (auto p = q.pop()) EXPECT_FALSE(p->ce());
+}
+
+TEST(EcnRedQueue, NonEctNeverMarkedOnlyDropped) {
+  EcnRedQueue q({3, 0}, 1);
+  ASSERT_TRUE(q.try_push(data_packet(100)));
+  ASSERT_TRUE(q.try_push(data_packet(100)));
+  ASSERT_TRUE(q.try_push(data_packet(100)));
+  EXPECT_FALSE(q.try_push(data_packet(100)));  // drop-tail at the limit
+  EXPECT_EQ(q.marked_packets(), 0u);
+  while (auto p = q.pop()) EXPECT_FALSE(p->ce());
+}
+
+TEST(EcnRedQueue, MarkingIsInstantaneous) {
+  // Occupancy dropping back below K stops marking: the threshold is on
+  // the instantaneous queue, not an average (DCTCP's design point).
+  EcnRedQueue q({0, 0}, 2);
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, true)));
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, true)));
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, true)));  // marked
+  q.pop();
+  q.pop();
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, true)));  // occupancy 1: clean
+  EXPECT_EQ(q.marked_packets(), 1u);
+}
+
+TEST(EcnRedQueue, RejectsZeroThreshold) {
+  EXPECT_THROW(EcnRedQueue({0, 0}, 0), ConfigError);
+}
+
+// -------------------------------------------------------------- Priority
+
+TEST(StrictPriorityQdisc, HighBandDequeuedFirst) {
+  StrictPriorityQdisc q({0, 0}, 2,
+                        StrictPriorityQdisc::ps_flag_classifier(2));
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, false, false)));  // elephant
+  ASSERT_TRUE(q.try_push(data_packet(200, 0, false, true)));   // PS mouse
+  ASSERT_TRUE(q.try_push(data_packet(300, 0, false, false)));  // elephant
+  EXPECT_EQ(q.size_packets(), 3u);
+  EXPECT_EQ(q.pop()->payload, 200u);  // the mouse jumps the queue
+  EXPECT_EQ(q.pop()->payload, 100u);  // elephants stay FIFO
+  EXPECT_EQ(q.pop()->payload, 300u);
+  EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST(StrictPriorityQdisc, PsFlagClassifierSendsControlHigh) {
+  const auto classify = StrictPriorityQdisc::ps_flag_classifier(2);
+  Packet ack;  // no payload: control
+  EXPECT_EQ(classify(ack), 0u);
+  EXPECT_EQ(classify(data_packet(100, 0, false, true)), 0u);
+  EXPECT_EQ(classify(data_packet(100, 0, false, false)), 1u);
+}
+
+TEST(StrictPriorityQdisc, BytesSentClassifierBucketsByOffset) {
+  const auto classify =
+      StrictPriorityQdisc::bytes_sent_classifier(3, 1000);
+  EXPECT_EQ(classify(data_packet(100, 0)), 0u);
+  EXPECT_EQ(classify(data_packet(100, 999)), 0u);
+  EXPECT_EQ(classify(data_packet(100, 1000)), 1u);
+  EXPECT_EQ(classify(data_packet(100, 50'000)), 2u);  // clamped to last
+  Packet ack;
+  EXPECT_EQ(classify(ack), 0u);  // control stays high
+}
+
+TEST(StrictPriorityQdisc, LowBandCapLeavesRoomForMice) {
+  // Elephants are capped at their share while mice may use the whole
+  // port (priority dropping as well as priority scheduling); the total
+  // never exceeds what the same limits give a drop-tail port.
+  StrictPriorityQdisc q({4, 0}, 2,
+                        StrictPriorityQdisc::ps_flag_classifier(2));
+  EXPECT_EQ(q.band_limits().max_packets, 2u);
+  ASSERT_TRUE(q.try_push(data_packet(100)));
+  ASSERT_TRUE(q.try_push(data_packet(100)));
+  EXPECT_FALSE(q.try_push(data_packet(100)));  // low band share full
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, false, true)));
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, false, true)));
+  EXPECT_FALSE(q.try_push(data_packet(100, 0, false, true)));  // port full
+  EXPECT_EQ(q.size_packets(), 4u);  // == the drop-tail port's limit
+}
+
+TEST(StrictPriorityQdisc, MiceMayFillTheWholePortWhenElephantsIdle) {
+  StrictPriorityQdisc q({4, 0}, 2,
+                        StrictPriorityQdisc::ps_flag_classifier(2));
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_push(data_packet(100, 0, false, true)));
+  }
+  EXPECT_FALSE(q.try_push(data_packet(100, 0, false, true)));
+  EXPECT_EQ(q.band_packets(0), 4u);  // not confined to a 2-packet share
+}
+
+TEST(StrictPriorityQdisc, BandShareNeverRoundsToZero) {
+  StrictPriorityQdisc q({1, 10}, 4,
+                        StrictPriorityQdisc::ps_flag_classifier(4));
+  EXPECT_EQ(q.band_limits().max_packets, 1u);
+  EXPECT_EQ(q.band_limits().max_bytes, 2u);
+  // Unlimited stays unlimited per band.
+  StrictPriorityQdisc open({0, 0}, 4,
+                           StrictPriorityQdisc::ps_flag_classifier(4));
+  EXPECT_EQ(open.band_limits().max_packets, 0u);
+  EXPECT_EQ(open.band_limits().max_bytes, 0u);
+}
+
+TEST(StrictPriorityQdisc, ByteAccountingAcrossBands) {
+  StrictPriorityQdisc q({0, 0}, 2,
+                        StrictPriorityQdisc::ps_flag_classifier(2));
+  q.try_push(data_packet(100));                  // 140 wire bytes, band 1
+  q.try_push(data_packet(200, 0, false, true));  // 240 wire bytes, band 0
+  EXPECT_EQ(q.size_bytes(), 380u);
+  EXPECT_EQ(q.band_packets(0), 1u);
+  EXPECT_EQ(q.band_packets(1), 1u);
+  q.pop();
+  EXPECT_EQ(q.size_bytes(), 140u);
+  q.pop();
+  EXPECT_EQ(q.size_bytes(), 0u);
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(StrictPriorityQdisc, SharedPoolCoversAllBands) {
+  SharedBufferPool pool(300, 1000.0);
+  StrictPriorityQdisc q({0, 0}, 2,
+                        StrictPriorityQdisc::ps_flag_classifier(2), &pool);
+  ASSERT_TRUE(q.try_push(data_packet(60)));                  // 100 bytes
+  ASSERT_TRUE(q.try_push(data_packet(60, 0, false, true)));  // 100 bytes
+  EXPECT_EQ(pool.used(), 200u);
+  EXPECT_FALSE(q.try_push(data_packet(100)));  // 140 > 100 free
+  q.pop();
+  EXPECT_EQ(pool.used(), 100u);
+  q.pop();
+  EXPECT_EQ(pool.used(), 0u);
+}
+
+TEST(StrictPriorityQdisc, RejectsBadConfig) {
+  EXPECT_THROW(StrictPriorityQdisc({0, 0}, 1,
+                                   StrictPriorityQdisc::ps_flag_classifier(1)),
+               ConfigError);
+  EXPECT_THROW(StrictPriorityQdisc({0, 0}, 2, nullptr), ConfigError);
+  EXPECT_THROW(StrictPriorityQdisc::bytes_sent_classifier(2, 0), ConfigError);
+}
+
+// --------------------------------------------------------------- factory
+
+TEST(QdiscFactory, BuildsEachKind) {
+  QdiscConfig cfg;
+  auto dt = make_qdisc(cfg, {10, 0}, nullptr);
+  EXPECT_NE(dynamic_cast<DropTailQueue*>(dt.get()), nullptr);
+
+  cfg.kind = QdiscKind::kEcnRed;
+  cfg.ecn_threshold_packets = 7;
+  auto red = make_qdisc(cfg, {10, 0}, nullptr);
+  auto* red_q = dynamic_cast<EcnRedQueue*>(red.get());
+  ASSERT_NE(red_q, nullptr);
+  EXPECT_EQ(red_q->mark_threshold_packets(), 7u);
+
+  cfg.kind = QdiscKind::kPriority;
+  cfg.bands = 3;
+  auto prio = make_qdisc(cfg, {10, 0}, nullptr);
+  auto* prio_q = dynamic_cast<StrictPriorityQdisc*>(prio.get());
+  ASSERT_NE(prio_q, nullptr);
+  EXPECT_EQ(prio_q->band_count(), 3u);
+}
+
+TEST(QdiscFactory, KindStringsRoundTrip) {
+  for (QdiscKind kind : {QdiscKind::kDropTail, QdiscKind::kEcnRed,
+                         QdiscKind::kPriority}) {
+    EXPECT_EQ(qdisc_kind_from_string(to_string(kind)), kind);
+  }
+  EXPECT_EQ(qdisc_kind_from_string("red"), QdiscKind::kEcnRed);
+  EXPECT_EQ(qdisc_kind_from_string("priority"), QdiscKind::kPriority);
+  EXPECT_THROW(qdisc_kind_from_string("pfabric"), ConfigError);
+}
+
+TEST(Qdisc, PeakOccupancyTracksHighWater) {
+  DropTailQueue q({0, 0});
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.try_push(data_packet(100)));
+  q.pop();
+  q.pop();
+  q.try_push(data_packet(100));
+  EXPECT_EQ(q.peak_packets(), 5u);
+  EXPECT_EQ(q.size_packets(), 4u);
+}
+
+}  // namespace
+}  // namespace mmptcp

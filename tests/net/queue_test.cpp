@@ -85,6 +85,77 @@ TEST(SharedBufferPool, InvalidConfigRejected) {
   EXPECT_THROW(SharedBufferPool(100, 0.0), ConfigError);
 }
 
+TEST(SharedBufferPool, ExhaustedPoolRejectsEveryone) {
+  SharedBufferPool pool(100, 1000.0);
+  pool.on_enqueue(100);
+  EXPECT_EQ(pool.used(), pool.capacity());
+  // Even a port holding nothing is refused the smallest packet.
+  EXPECT_FALSE(pool.admits(0, 1));
+  pool.on_dequeue(1);
+  EXPECT_TRUE(pool.admits(0, 1));
+  EXPECT_FALSE(pool.admits(0, 2));
+}
+
+TEST(SharedBufferPool, TinyAlphaStarvesEvenAnEmptyPort) {
+  // threshold = alpha * free: with alpha = 0.001 and 1000 free the
+  // per-port budget is one byte, so a 40-byte ACK is refused although
+  // the pool is empty — DT admission binds before capacity does.
+  SharedBufferPool pool(1000, 0.001);
+  EXPECT_FALSE(pool.admits(0, 40));
+  EXPECT_TRUE(pool.admits(0, 1));
+}
+
+TEST(SharedBufferPool, HugeAlphaOnlyCapacityBinds) {
+  SharedBufferPool pool(1000, 1e9);
+  EXPECT_TRUE(pool.admits(999, 1));     // threshold astronomically high
+  EXPECT_FALSE(pool.admits(0, 1001));   // capacity still absolute
+  pool.on_enqueue(1000);
+  EXPECT_FALSE(pool.admits(0, 1));
+}
+
+TEST(SharedBufferPool, ThresholdShrinksAsPoolFills) {
+  // alpha = 0.5: a port may hold at most half the free space.
+  SharedBufferPool pool(1000, 0.5);
+  EXPECT_TRUE(pool.admits(0, 500));
+  EXPECT_FALSE(pool.admits(0, 501));
+  pool.on_enqueue(600);  // free = 400, threshold = 200
+  EXPECT_TRUE(pool.admits(0, 200));
+  EXPECT_FALSE(pool.admits(0, 201));
+  EXPECT_FALSE(pool.admits(200, 1));  // port at its shrunken budget
+}
+
+TEST(SharedBufferPool, EnqueueDequeueAccountingIsSymmetric) {
+  SharedBufferPool pool(10'000, 1.0);
+  DropTailQueue q1({0, 0}, &pool);
+  DropTailQueue q2({0, 0}, &pool);
+  // Interleaved pushes and pops across two ports must return the pool to
+  // exactly zero once both queues drain.
+  for (int round = 0; round < 3; ++round) {
+    ASSERT_TRUE(q1.try_push(make_packet(100)));
+    ASSERT_TRUE(q2.try_push(make_packet(300)));
+    ASSERT_TRUE(q1.try_push(make_packet(0)));
+    EXPECT_EQ(pool.used(), q1.size_bytes() + q2.size_bytes());
+    q1.pop();
+    EXPECT_EQ(pool.used(), q1.size_bytes() + q2.size_bytes());
+  }
+  while (q1.pop().has_value()) {
+  }
+  while (q2.pop().has_value()) {
+  }
+  EXPECT_EQ(pool.used(), 0u);
+}
+
+TEST(DropTailQueue, PoolRejectionLeavesAccountingUntouched) {
+  SharedBufferPool pool(150, 1000.0);
+  DropTailQueue q({0, 0}, &pool);
+  ASSERT_TRUE(q.try_push(make_packet(60)));  // 100 bytes
+  const std::uint64_t used = pool.used();
+  EXPECT_FALSE(q.try_push(make_packet(60)));  // rejected: 100 > 50 free
+  EXPECT_EQ(pool.used(), used);
+  EXPECT_EQ(q.size_packets(), 1u);
+  EXPECT_EQ(q.size_bytes(), 100u);
+}
+
 TEST(DropTailQueue, SharedPoolGatesAdmission) {
   SharedBufferPool pool(200, 1000.0);
   DropTailQueue q1({0, 0}, &pool);

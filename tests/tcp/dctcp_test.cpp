@@ -1,0 +1,101 @@
+#include "tcp/dctcp.h"
+
+#include <gtest/gtest.h>
+
+#include "util/check.h"
+
+namespace mmptcp {
+namespace {
+
+// Feeds one fully-acknowledged observation window: `acked` bytes of which
+// `marked` echoed ECE, then advances the stream so the update fires.
+void feed_window(DctcpCc& cc, std::uint64_t& una, std::uint64_t acked,
+                 std::uint64_t marked) {
+  // Zero-byte call pins the window end to una + acked (no alpha effect).
+  cc.on_ecn_feedback(0, false, una, una + acked);
+  if (marked > 0) {
+    cc.on_ecn_feedback(marked, true, una + marked, una + acked);
+  }
+  cc.on_ecn_feedback(acked - marked, false, una + acked, una + acked);
+  una += acked;
+}
+
+TEST(DctcpCc, IsEcnCapable) {
+  DctcpCc cc(1000, 10);
+  EXPECT_TRUE(cc.ecn_capable());
+  NewRenoCc reno(1000, 10);
+  EXPECT_FALSE(reno.ecn_capable());
+}
+
+TEST(DctcpCc, AlphaStartsConservativeAndDecaysWhenUnmarked) {
+  DctcpCc cc(1000, 10);
+  EXPECT_DOUBLE_EQ(cc.alpha(), 1.0);
+  std::uint64_t una = 0;
+  for (int i = 0; i < 60; ++i) feed_window(cc, una, 1000, 0);
+  EXPECT_LT(cc.alpha(), 0.05);
+  EXPECT_EQ(cc.ecn_reductions(), 0u);
+}
+
+TEST(DctcpCc, AlphaTracksMarkedFraction) {
+  // gain = 1: alpha equals the previous window's marked fraction exactly.
+  DctcpCc cc(1000, 10, DctcpConfig{1.0, 0.0});
+  std::uint64_t una = 0;
+  feed_window(cc, una, 1000, 250);
+  EXPECT_DOUBLE_EQ(cc.alpha(), 0.25);
+  feed_window(cc, una, 1000, 1000);
+  EXPECT_DOUBLE_EQ(cc.alpha(), 1.0);
+}
+
+TEST(DctcpCc, ProportionalReductionOncePerWindow) {
+  DctcpCc cc(1000, 10, DctcpConfig{1.0, 0.0});
+  const std::uint64_t initial = cc.cwnd();  // 10 segments
+  // Fully marked window: alpha -> 1, cwnd halves (NewReno-equivalent).
+  cc.on_ecn_feedback(1000, true, 1000, 10'000);
+  EXPECT_EQ(cc.ecn_reductions(), 1u);
+  EXPECT_EQ(cc.cwnd(), initial / 2);
+  EXPECT_EQ(cc.ssthresh(), initial / 2);
+  // Further marks inside the same window do not reduce again.
+  cc.on_ecn_feedback(1000, true, 2000, 10'000);
+  cc.on_ecn_feedback(1000, true, 3000, 10'000);
+  EXPECT_EQ(cc.ecn_reductions(), 1u);
+  // The next window boundary reacts once more.
+  cc.on_ecn_feedback(1000, true, 10'000, 15'000);
+  EXPECT_EQ(cc.ecn_reductions(), 2u);
+}
+
+TEST(DctcpCc, MildMarkingCostsLessThanHalving) {
+  DctcpCc cc(1000, 100, DctcpConfig{1.0, 0.0});
+  const std::uint64_t initial = cc.cwnd();
+  std::uint64_t una = 0;
+  feed_window(cc, una, 10'000, 1000);  // 10% marked -> alpha 0.1
+  EXPECT_DOUBLE_EQ(cc.alpha(), 0.1);
+  EXPECT_EQ(cc.ecn_reductions(), 1u);
+  // Reduction factor 1 - alpha/2 with alpha = 0.1: ~5%, far from half.
+  EXPECT_GT(cc.cwnd(), initial * 9 / 10);
+  EXPECT_LT(cc.cwnd(), initial);
+}
+
+TEST(DctcpCc, ReductionFloorsAtTwoSegments) {
+  DctcpCc cc(1000, 2);  // cwnd = 2 MSS already
+  cc.on_ecn_feedback(1000, true, 1000, 2000);
+  EXPECT_EQ(cc.cwnd(), 2000u);
+}
+
+TEST(DctcpCc, UnmarkedWindowsLeaveWindowGrowthAlone) {
+  DctcpCc cc(1000, 10);
+  const std::uint64_t before = cc.cwnd();
+  std::uint64_t una = 0;
+  for (int i = 0; i < 5; ++i) feed_window(cc, una, 1000, 0);
+  EXPECT_EQ(cc.cwnd(), before);  // feedback alone never grows the window
+  cc.on_ack(1000);               // growth stays NewReno's job
+  EXPECT_GT(cc.cwnd(), before);
+}
+
+TEST(DctcpCc, RejectsBadConfig) {
+  EXPECT_THROW(DctcpCc(1000, 10, DctcpConfig{0.0, 1.0}), ConfigError);
+  EXPECT_THROW(DctcpCc(1000, 10, DctcpConfig{1.5, 1.0}), ConfigError);
+  EXPECT_THROW(DctcpCc(1000, 10, DctcpConfig{0.5, 2.0}), ConfigError);
+}
+
+}  // namespace
+}  // namespace mmptcp
