@@ -4,6 +4,8 @@
 #include <cstdio>
 #include <exception>
 
+#include "exp/compare/compare.h"
+#include "exp/compare/report.h"
 #include "exp/registry.h"
 #include "exp/runner.h"
 #include "exp/sink.h"
@@ -46,6 +48,7 @@ struct CliOptions {
   Scale scale;
   SweepOptions sweep;
   std::string out_dir = ".";
+  std::string baselines_dir;  ///< --update-baselines: also write here
   bool quiet = false;
   bool no_json = false;
 };
@@ -67,6 +70,9 @@ CliOptions parse_cli(Flags& flags) {
     o.sweep.axis_overrides = parse_axis_overrides(overrides);
   }
   o.out_dir = flags.get_string("out", ".", "directory for BENCH_*.json");
+  o.baselines_dir = flags.get_string(
+      "update-baselines", "",
+      "with --run: also write BENCH_*.json into this baseline directory");
   o.quiet = flags.get_bool("quiet", false, "suppress progress lines");
   o.no_json = flags.get_bool("no-json", false, "skip the JSON result file");
   return o;
@@ -111,19 +117,36 @@ std::size_t run_one(const ExperimentSpec& spec, const CliOptions& cli) {
   }
   if (!spec.notes.empty()) std::printf("%s\n", spec.notes.c_str());
 
-  if (!cli.no_json) {
-    const std::string path =
-        cli.out_dir + "/BENCH_" + spec.name + ".json";
-    write_file(path, to_json(spec, scale, records));
-    std::printf("json: %s\n", path.c_str());
+  // --update-baselines works even under --no-json (the baseline copy is
+  // the point of that invocation).
+  if (!cli.no_json || !cli.baselines_dir.empty()) {
+    const std::string json = to_json(spec, scale, records);
     // Wall-clock metrics (events/s) go in a sidecar so the main JSON
     // stays byte-identical across hosts and --jobs values.
     const std::string timing = to_timing_json(spec, records);
-    if (!timing.empty()) {
-      const std::string tpath =
-          cli.out_dir + "/BENCH_" + spec.name + ".timing.json";
-      write_file(tpath, timing);
-      std::printf("timing json: %s\n", tpath.c_str());
+    if (!cli.no_json) {
+      const std::string path =
+          cli.out_dir + "/BENCH_" + spec.name + ".json";
+      write_file(path, json);
+      std::printf("json: %s\n", path.c_str());
+      if (!timing.empty()) {
+        const std::string tpath =
+            cli.out_dir + "/BENCH_" + spec.name + ".timing.json";
+        write_file(tpath, timing);
+        std::printf("timing json: %s\n", tpath.c_str());
+      }
+    }
+    if (!cli.baselines_dir.empty()) {
+      const std::string bpath =
+          cli.baselines_dir + "/BENCH_" + spec.name + ".json";
+      write_file(bpath, json);
+      std::printf("baseline updated: %s\n", bpath.c_str());
+      if (!timing.empty()) {
+        const std::string btpath =
+            cli.baselines_dir + "/BENCH_" + spec.name + ".timing.json";
+        write_file(btpath, timing);
+        std::printf("baseline updated: %s\n", btpath.c_str());
+      }
     }
   }
   std::printf("\n");
@@ -144,6 +167,66 @@ int list_experiments(const std::string& filter) {
   std::printf("%s\n%zu experiment(s). Run one with: mmptcp_exp --run "
               "<name> [--jobs N] [--seeds 1..10]\n",
               table.to_string().c_str(), specs.size());
+  return 0;
+}
+
+/// --compare-mode flags, read up front so --help lists them too.
+struct CompareCliOptions {
+  std::string metrics_glob;
+  double tolerance = -1;
+  std::string report_path;
+  bool warn_only = false;
+};
+
+CompareCliOptions parse_compare_cli(Flags& flags) {
+  CompareCliOptions o;
+  o.metrics_glob = flags.get_string(
+      "metrics", "*", "with --compare: only diff metrics matching this glob");
+  o.tolerance = flags.get_double(
+      "tolerance", -1,
+      "with --compare: override fail tolerance (%); warn at half of it");
+  o.report_path = flags.get_string(
+      "report", "", "with --compare: write the verdict JSON here");
+  o.warn_only = flags.get_bool(
+      "warn-only", false,
+      "with --compare: report FAILs but exit 0 (trend-only gates)");
+  return o;
+}
+
+/// `--compare baseline.json candidate.json`: diff two result documents
+/// and gate on the verdict.  Returns 0 on PASS/WARN, 1 on FAIL (0 with
+/// --warn-only), 2 on unusable inputs.
+int compare_documents(const std::string& baseline_path,
+                      const CompareCliOptions& copts, Flags& flags) {
+  const std::vector<std::string>& positionals = flags.positionals();
+  require(positionals.size() == 1,
+          "--compare expects exactly two documents: --compare "
+          "baseline.json candidate.json");
+  const std::string candidate_path = positionals.front();
+  flags.check_unknown();
+
+  CompareOptions options;
+  options.metrics_glob = copts.metrics_glob;
+  options.tolerance_override_pct = copts.tolerance;
+  options.registry = &Registry::global();
+
+  CompareReport report = compare_sweeps(load_sweep_doc(baseline_path),
+                                        load_sweep_doc(candidate_path),
+                                        options);
+  report.baseline_origin = baseline_path;
+  report.candidate_origin = candidate_path;
+
+  std::fputs(to_text_report(report).c_str(), stdout);
+  if (!copts.report_path.empty()) {
+    write_file(copts.report_path, to_verdict_json(report));
+    std::printf("verdict json: %s\n", copts.report_path.c_str());
+  }
+  if (report.verdict() == Verdict::kFail) {
+    std::fprintf(stderr, "%s: regression detected%s\n",
+                 report.experiment.c_str(),
+                 copts.warn_only ? " (ignored: --warn-only)" : "");
+    return copts.warn_only ? 0 : 1;
+  }
   return 0;
 }
 
@@ -185,12 +268,22 @@ int exp_main(int argc, char** argv) {
         flags.get_string("describe", "", "show one experiment's axes");
     const std::string run = flags.get_string(
         "run", "", "run experiments matching this name/substring");
+    const std::string compare = flags.get_string(
+        "compare", "",
+        "diff this baseline result JSON against a candidate "
+        "(--compare base.json cand.json)");
     const std::string filter = flags.get_string(
         "filter", "", "with --list: only names containing this");
+    const CompareCliOptions copts = parse_compare_cli(flags);
     CliOptions cli = parse_cli(flags);
     if (flags.help_requested()) {
       std::fputs(flags.help(argv[0]).c_str(), stdout);
       return 0;
+    }
+    if (!compare.empty()) {
+      // compare_documents reads the positional candidate path before
+      // check_unknown.
+      return compare_documents(compare, copts, flags);
     }
     flags.check_unknown();
 

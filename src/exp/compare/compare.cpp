@@ -1,0 +1,349 @@
+#include "exp/compare/compare.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+
+#include "exp/json.h"
+#include "exp/sink.h"
+#include "util/check.h"
+
+namespace mmptcp::exp {
+
+namespace {
+
+std::string fmt_pct(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.4g", v);
+  return std::string(buf) + "%";
+}
+
+std::vector<std::pair<std::string, double>> metric_pairs(
+    const JsonValue& obj, const std::string& origin) {
+  std::vector<std::pair<std::string, double>> out;
+  for (const auto& [name, value] : obj.members()) {
+    require(value.is_number(),
+            origin + ": metric '" + name + "' is not a number");
+    out.emplace_back(name, value.as_number());
+  }
+  return out;
+}
+
+SweepRun parse_run(const JsonValue& run, const std::string& origin) {
+  SweepRun r;
+  r.id = run.at("id").as_string();
+  const JsonValue* ok = run.find("ok");
+  r.ok = ok == nullptr || ok->as_bool();
+  if (!r.ok) {
+    const JsonValue* error = run.find("error");
+    r.error = error != nullptr ? error->as_string() : "unknown error";
+    return r;
+  }
+  if (const JsonValue* metrics = run.find("metrics")) {
+    r.metrics = metric_pairs(*metrics, origin + " run " + r.id);
+  } else {
+    // Timing sidecar rows inline their metrics next to "id".
+    for (const auto& [name, value] : run.members()) {
+      if (value.is_number()) r.metrics.emplace_back(name, value.as_number());
+    }
+  }
+  return r;
+}
+
+/// First tolerance whose pattern matches `metric`, with the CLI
+/// override applied; MetricTolerance{} defaults otherwise.
+MetricTolerance tolerance_for(const std::vector<MetricTolerance>& tolerances,
+                              const std::string& metric,
+                              const CompareOptions& options) {
+  MetricTolerance tol;
+  for (const MetricTolerance& t : tolerances) {
+    if (glob_match(t.pattern, metric)) {
+      tol = t;
+      break;
+    }
+  }
+  if (options.tolerance_override_pct >= 0) {
+    tol.fail_pct = options.tolerance_override_pct;
+    tol.warn_pct = options.tolerance_override_pct / 2;
+  }
+  return tol;
+}
+
+MetricDiff diff_one(const std::string& run_id, const std::string& metric,
+                    double base, double cand, const MetricTolerance& tol) {
+  MetricDiff d;
+  d.run_id = run_id;
+  d.metric = metric;
+  d.base = base;
+  d.cand = cand;
+  d.abs_delta = cand - base;
+  d.rel_delta_pct =
+      base != 0 ? d.abs_delta / std::fabs(base) * 100.0 : 0.0;
+
+  if (std::fabs(d.abs_delta) <= tol.abs_slack) {
+    return d;  // PASS: within absolute slack (covers the == case)
+  }
+  using Direction = MetricTolerance::Direction;
+  if ((tol.direction == Direction::kHigherIsWorse && d.abs_delta < 0) ||
+      (tol.direction == Direction::kLowerIsWorse && d.abs_delta > 0)) {
+    d.note = "improved";
+    return d;
+  }
+  if (base == 0) {
+    d.verdict = Verdict::kFail;
+    d.note = "baseline is 0 and |delta| exceeds abs_slack";
+    return d;
+  }
+  const double magnitude_pct = std::fabs(d.rel_delta_pct);
+  if (magnitude_pct > tol.fail_pct) {
+    d.verdict = Verdict::kFail;
+    d.note = fmt_pct(magnitude_pct) + " > fail tolerance " +
+             fmt_pct(tol.fail_pct);
+  } else if (magnitude_pct > tol.warn_pct) {
+    d.verdict = Verdict::kWarn;
+    d.note = fmt_pct(magnitude_pct) + " > warn tolerance " +
+             fmt_pct(tol.warn_pct);
+  }
+  return d;
+}
+
+/// Diffs one aligned metric list (one run, or the timing aggregate).
+void diff_metrics(const std::string& run_id,
+                  const std::vector<std::pair<std::string, double>>& base,
+                  const std::vector<std::pair<std::string, double>>& cand,
+                  const std::vector<MetricTolerance>& tolerances,
+                  const CompareOptions& options, CompareReport& report) {
+  std::map<std::string, double> cand_by_name(cand.begin(), cand.end());
+  for (const auto& [name, base_value] : base) {
+    if (!glob_match(options.metrics_glob, name)) continue;
+    const auto it = cand_by_name.find(name);
+    if (it == cand_by_name.end()) {
+      report.findings.push_back({Verdict::kFail, run_id, name,
+                                 "metric missing from candidate"});
+      continue;
+    }
+    report.diffs.push_back(
+        diff_one(run_id, name, base_value, it->second,
+                 tolerance_for(tolerances, name, options)));
+  }
+  std::map<std::string, bool> base_names;
+  for (const auto& [name, value] : base) {
+    (void)value;
+    base_names[name] = true;
+  }
+  for (const auto& [name, value] : cand) {
+    (void)value;
+    if (!glob_match(options.metrics_glob, name)) continue;
+    if (base_names.find(name) == base_names.end()) {
+      report.findings.push_back(
+          {Verdict::kWarn, run_id, name,
+           "metric missing from baseline (new metric? refresh baselines)"});
+    }
+  }
+}
+
+}  // namespace
+
+const char* verdict_name(Verdict v) {
+  switch (v) {
+    case Verdict::kPass: return "PASS";
+    case Verdict::kWarn: return "WARN";
+    case Verdict::kFail: return "FAIL";
+  }
+  return "?";
+}
+
+bool glob_match(const std::string& pattern, const std::string& text) {
+  std::size_t pi = 0, ti = 0;
+  std::size_t star = std::string::npos, mark = 0;
+  while (ti < text.size()) {
+    if (pi < pattern.size() &&
+        (pattern[pi] == '?' || pattern[pi] == text[ti])) {
+      ++pi;
+      ++ti;
+    } else if (pi < pattern.size() && pattern[pi] == '*') {
+      star = pi++;
+      mark = ti;
+    } else if (star != std::string::npos) {
+      pi = star + 1;
+      ti = ++mark;
+    } else {
+      return false;
+    }
+  }
+  while (pi < pattern.size() && pattern[pi] == '*') ++pi;
+  return pi == pattern.size();
+}
+
+SweepDoc parse_sweep_doc(const std::string& json_text,
+                         const std::string& origin) {
+  const JsonValue root = json_parse(json_text, origin);
+  require(root.is_object(), origin + ": result document is not an object");
+
+  SweepDoc doc;
+  if (const JsonValue* v = root.find("schema_version")) {
+    doc.schema_version = static_cast<std::uint64_t>(v->as_number());
+  }
+  if (const JsonValue* v = root.find("kind")) {
+    doc.kind = v->as_string();
+  }
+  // No "kind" member means a pre-versioning document; it keeps kind ""
+  // and compare_sweeps rejects it on schema_version before kind ever
+  // matters.
+  doc.experiment = root.at("experiment").as_string();
+  if (const JsonValue* runs = root.find("runs")) {
+    for (const JsonValue& run : runs->items()) {
+      doc.runs.push_back(parse_run(run, origin));
+    }
+  }
+  if (const JsonValue* aggregate = root.find("aggregate")) {
+    doc.aggregate = metric_pairs(*aggregate, origin + " aggregate");
+  }
+  return doc;
+}
+
+SweepDoc load_sweep_doc(const std::string& path) {
+  return parse_sweep_doc(read_file(path), path);
+}
+
+Verdict CompareReport::verdict() const {
+  Verdict worst = Verdict::kPass;
+  for (const MetricDiff& d : diffs) {
+    if (d.verdict > worst) worst = d.verdict;
+  }
+  for (const Finding& f : findings) {
+    if (f.verdict > worst) worst = f.verdict;
+  }
+  return worst;
+}
+
+std::size_t CompareReport::count(Verdict v) const {
+  std::size_t n = 0;
+  for (const MetricDiff& d : diffs) {
+    if (d.verdict == v) ++n;
+  }
+  for (const Finding& f : findings) {
+    if (f.verdict == v) ++n;
+  }
+  return n;
+}
+
+CompareReport compare_sweeps(const SweepDoc& baseline, const SweepDoc& cand,
+                             const CompareOptions& options) {
+  CompareReport report;
+  report.experiment = baseline.experiment;
+  report.kind = baseline.kind;
+
+  // Structural rejections: diffing across experiments, document kinds
+  // or schema versions would grade apples against oranges.
+  if (baseline.experiment != cand.experiment) {
+    report.findings.push_back(
+        {Verdict::kFail, "", "",
+         "experiment mismatch: baseline '" + baseline.experiment +
+             "' vs candidate '" + cand.experiment + "'"});
+    return report;
+  }
+  // Schema before kind: a pre-versioning document parses with kind ""
+  // and must be reported as stale, not as a kind clash.
+  if (baseline.schema_version != cand.schema_version) {
+    report.findings.push_back(
+        {Verdict::kFail, "", "",
+         "schema_version mismatch: baseline " +
+             std::to_string(baseline.schema_version) + " vs candidate " +
+             std::to_string(cand.schema_version) +
+             " — refresh baselines (--update-baselines)"});
+    return report;
+  }
+  if (baseline.schema_version != kResultSchemaVersion) {
+    report.findings.push_back(
+        {Verdict::kFail, "", "",
+         "unsupported schema_version " +
+             std::to_string(baseline.schema_version) +
+             " (this binary reads version " +
+             std::to_string(kResultSchemaVersion) + ")"});
+    return report;
+  }
+  if (baseline.kind != cand.kind) {
+    report.findings.push_back(
+        {Verdict::kFail, "", "",
+         "document kind mismatch: baseline '" + baseline.kind +
+             "' vs candidate '" + cand.kind + "'"});
+    return report;
+  }
+  if (baseline.kind != "sweep" && baseline.kind != "timing") {
+    report.findings.push_back(
+        {Verdict::kFail, "", "",
+         "cannot compare documents of kind '" + baseline.kind +
+             "' (expected a sweep JSON or a .timing.json sidecar)"});
+    return report;
+  }
+
+  std::vector<MetricTolerance> tolerances;
+  if (options.registry != nullptr) {
+    if (const ExperimentSpec* spec =
+            options.registry->find(baseline.experiment)) {
+      tolerances = spec->tolerances;
+    }
+  }
+
+  if (baseline.kind == "timing") {
+    // Per-run wall-clock values are host noise; the trend signal is the
+    // aggregate mean block.
+    diff_metrics("aggregate", baseline.aggregate, cand.aggregate, tolerances,
+                 options, report);
+  } else {
+    std::map<std::string, const SweepRun*> cand_by_id;
+    for (const SweepRun& run : cand.runs) {
+      cand_by_id[run.id] = &run;
+    }
+    std::map<std::string, bool> matched;
+    for (const SweepRun& base_run : baseline.runs) {
+      const auto it = cand_by_id.find(base_run.id);
+      if (it == cand_by_id.end()) {
+        report.findings.push_back(
+            {Verdict::kFail, base_run.id, "", "run missing from candidate"});
+        continue;
+      }
+      matched[base_run.id] = true;
+      const SweepRun& cand_run = *it->second;
+      if (base_run.ok && !cand_run.ok) {
+        report.findings.push_back({Verdict::kFail, base_run.id, "",
+                                   "run failed in candidate: " +
+                                       cand_run.error});
+        continue;
+      }
+      if (!base_run.ok && cand_run.ok) {
+        report.findings.push_back(
+            {Verdict::kWarn, base_run.id, "",
+             "run failed in baseline but succeeds now — refresh baselines"});
+        continue;
+      }
+      if (!base_run.ok && !cand_run.ok) {
+        report.findings.push_back(
+            {Verdict::kWarn, base_run.id, "", "run fails in both documents"});
+        continue;
+      }
+      diff_metrics(base_run.id, base_run.metrics, cand_run.metrics,
+                   tolerances, options, report);
+    }
+    for (const SweepRun& cand_run : cand.runs) {
+      if (matched.find(cand_run.id) == matched.end()) {
+        report.findings.push_back(
+            {Verdict::kFail, cand_run.id, "", "run missing from baseline"});
+      }
+    }
+  }
+
+  // A gate that compared nothing must not green-light the build: empty
+  // documents or a --metrics glob that matches no metric is a
+  // misconfiguration, not a PASS.
+  if (report.diffs.empty() && report.findings.empty()) {
+    report.findings.push_back(
+        {Verdict::kFail, "", "",
+         "nothing was compared (empty documents, or --metrics matched no "
+         "metric)"});
+  }
+  return report;
+}
+
+}  // namespace mmptcp::exp

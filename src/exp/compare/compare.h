@@ -1,0 +1,113 @@
+#pragma once
+
+// Result-diffing engine: aligns two sweep documents (BENCH_<name>.json
+// or BENCH_<name>.timing.json) run by run and metric by metric, grades
+// every delta against the experiment's declared MetricTolerances, and
+// produces a CompareReport the report layer renders as a text table and
+// a machine-readable verdict JSON.
+//
+// Alignment key is the run id ("axis=v/.../seed=N"), i.e. exactly the
+// (experiment, swept-axis values, seed) tuple — two sweeps of the same
+// spec at the same scale align perfectly, and anything unmatched
+// (missing run, extra run, renamed metric) is a structural finding, not
+// a silent skip.  Everything here is deterministic: inputs in document
+// order produce byte-identical reports.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exp/registry.h"
+
+namespace mmptcp::exp {
+
+/// Severity of one compared metric or structural finding.
+enum class Verdict { kPass, kWarn, kFail };
+
+const char* verdict_name(Verdict v);
+
+/// One run parsed back from a sweep document.
+struct SweepRun {
+  std::string id;
+  bool ok = true;
+  std::string error;
+  std::vector<std::pair<std::string, double>> metrics;
+};
+
+/// A parsed result document (sweep JSON or timing sidecar).
+struct SweepDoc {
+  std::uint64_t schema_version = 1;  ///< documents predating the field
+  std::string kind;                  ///< "sweep" or "timing"
+  std::string experiment;
+  std::vector<SweepRun> runs;
+  /// Timing sidecars only: the per-metric means across runs.  Per-run
+  /// wall-clock values are noise; the aggregate is the trend signal.
+  std::vector<std::pair<std::string, double>> aggregate;
+};
+
+/// Parses a result document; `origin` labels error messages.
+SweepDoc parse_sweep_doc(const std::string& json_text,
+                         const std::string& origin);
+
+/// read_file + parse_sweep_doc.
+SweepDoc load_sweep_doc(const std::string& path);
+
+/// Knobs of one comparison.
+struct CompareOptions {
+  /// Only metrics whose name matches this glob are diffed.
+  std::string metrics_glob = "*";
+  /// When >= 0, overrides every tolerance's fail_pct (and sets warn_pct
+  /// to half of it); spec directions and abs_slack still apply.
+  double tolerance_override_pct = -1;
+  /// Spec catalog consulted for per-metric tolerances; nullptr (or an
+  /// unknown experiment) falls back to MetricTolerance{} defaults.
+  const Registry* registry = nullptr;
+};
+
+/// One aligned metric comparison.
+struct MetricDiff {
+  std::string run_id;  ///< "aggregate" for timing documents
+  std::string metric;
+  double base = 0;
+  double cand = 0;
+  double abs_delta = 0;      ///< cand - base
+  double rel_delta_pct = 0;  ///< signed; 0 when base == 0 (see note)
+  Verdict verdict = Verdict::kPass;
+  std::string note;          ///< why it warned/failed, or "improved"
+};
+
+/// A structural problem: missing/extra run, renamed metric, failed run,
+/// schema or experiment mismatch.
+struct Finding {
+  Verdict verdict = Verdict::kFail;
+  std::string run_id;  ///< empty for document-level findings
+  std::string metric;  ///< empty for run-level findings
+  std::string what;
+};
+
+/// Full outcome of one comparison.
+struct CompareReport {
+  std::string experiment;
+  std::string kind;  ///< "sweep" or "timing"
+  /// Labels for the text report only; never emitted into the verdict
+  /// JSON (whose bytes must not depend on where the inputs lived).
+  std::string baseline_origin;
+  std::string candidate_origin;
+
+  std::vector<MetricDiff> diffs;    ///< document order
+  std::vector<Finding> findings;    ///< document order
+
+  Verdict verdict() const;                 ///< max severity overall
+  std::size_t count(Verdict v) const;      ///< diffs + findings at `v`
+};
+
+/// Diffs candidate against baseline.  Structural mismatches that make a
+/// metric-level diff meaningless (schema_version, kind or experiment
+/// mismatch) short-circuit into a single FAIL finding.
+CompareReport compare_sweeps(const SweepDoc& baseline, const SweepDoc& cand,
+                             const CompareOptions& options = {});
+
+/// Shell-style glob over `text`: '*' = any run, '?' = any one char.
+bool glob_match(const std::string& pattern, const std::string& text);
+
+}  // namespace mmptcp::exp

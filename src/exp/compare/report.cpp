@@ -1,0 +1,89 @@
+#include "exp/compare/report.h"
+
+#include "exp/json.h"
+#include "exp/sink.h"
+#include "util/table.h"
+
+namespace mmptcp::exp {
+
+std::string to_text_report(const CompareReport& report) {
+  std::string out;
+  out += "== compare: " + report.experiment + " (" + report.kind + ") ==\n";
+  out += "baseline:  " + report.baseline_origin + "\n";
+  out += "candidate: " + report.candidate_origin + "\n\n";
+
+  if (!report.diffs.empty()) {
+    Table table({"run", "metric", "base", "cand", "delta", "rel%",
+                 "verdict", "note"});
+    for (const MetricDiff& d : report.diffs) {
+      table.add_row({d.run_id, d.metric, Table::num(d.base, 4),
+                     Table::num(d.cand, 4), Table::num(d.abs_delta, 4),
+                     d.base != 0 ? Table::num(d.rel_delta_pct, 2) : "-",
+                     verdict_name(d.verdict), d.note});
+    }
+    out += table.to_string() + "\n";
+  }
+
+  if (!report.findings.empty()) {
+    out += "findings:\n";
+    for (const Finding& f : report.findings) {
+      out += "  [" + std::string(verdict_name(f.verdict)) + "] ";
+      if (!f.run_id.empty()) out += f.run_id + " ";
+      if (!f.metric.empty()) out += f.metric + " ";
+      out += "- " + f.what + "\n";
+    }
+    out += "\n";
+  }
+
+  out += std::to_string(report.count(Verdict::kPass)) + " PASS, " +
+         std::to_string(report.count(Verdict::kWarn)) + " WARN, " +
+         std::to_string(report.count(Verdict::kFail)) + " FAIL -> " +
+         verdict_name(report.verdict()) + "\n";
+  return out;
+}
+
+std::string to_verdict_json(const CompareReport& report) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(kResultSchemaVersion);
+  w.key("kind").value("verdict");
+  w.key("experiment").value(report.experiment);
+  w.key("compared_kind").value(report.kind);
+  w.key("verdict").value(verdict_name(report.verdict()));
+  w.key("counts").begin_object();
+  w.key("pass").value(std::uint64_t(report.count(Verdict::kPass)));
+  w.key("warn").value(std::uint64_t(report.count(Verdict::kWarn)));
+  w.key("fail").value(std::uint64_t(report.count(Verdict::kFail)));
+  w.end_object();
+
+  w.key("regressions").begin_array();
+  for (const MetricDiff& d : report.diffs) {
+    if (d.verdict == Verdict::kPass) continue;
+    w.begin_object();
+    w.key("run").value(d.run_id);
+    w.key("metric").value(d.metric);
+    w.key("severity").value(verdict_name(d.verdict));
+    w.key("base").value(d.base);
+    w.key("cand").value(d.cand);
+    w.key("delta").value(d.abs_delta);
+    if (d.base != 0) w.key("rel_pct").value(d.rel_delta_pct);
+    w.key("note").value(d.note);
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("findings").begin_array();
+  for (const Finding& f : report.findings) {
+    w.begin_object();
+    w.key("severity").value(verdict_name(f.verdict));
+    w.key("run").value(f.run_id);
+    w.key("metric").value(f.metric);
+    w.key("what").value(f.what);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+}  // namespace mmptcp::exp

@@ -1,0 +1,27 @@
+#pragma once
+
+// Renderers for CompareReport: the human-readable text report the CLI
+// prints, and the machine-readable verdict JSON the CI gate archives.
+// The verdict JSON is deterministic — same report, same bytes — and
+// deliberately carries no file paths, timestamps or host information.
+
+#include <string>
+
+#include "exp/compare/compare.h"
+
+namespace mmptcp::exp {
+
+/// Multi-section text report: header, per-metric diff table, structural
+/// findings, and a one-line summary ("12 PASS, 1 WARN, 0 FAIL -> WARN").
+std::string to_text_report(const CompareReport& report);
+
+/// Compact verdict document (trailing newline):
+///   {"schema_version":..,"kind":"verdict","experiment":..,
+///    "compared_kind":"sweep","verdict":"FAIL",
+///    "counts":{"pass":N,"warn":N,"fail":N},
+///    "regressions":[{run,metric,severity,base,cand,delta,rel_pct,note}],
+///    "findings":[{severity,run,metric,what}]}
+/// `regressions` lists only WARN/FAIL metric diffs, in document order.
+std::string to_verdict_json(const CompareReport& report);
+
+}  // namespace mmptcp::exp

@@ -16,6 +16,8 @@ namespace mmptcp::exp {
 
 namespace {
 
+using Dir = MetricTolerance::Direction;
+
 /// Standard metric set of a Scenario-based run.
 RunOutcome scenario_outcome(const RunResult& r) {
   RunOutcome o;
@@ -477,6 +479,40 @@ void register_smoke(Registry& r) {
             s.rate_per_host = 50.0;
             s.max_sim_time = Time::seconds(30);
           },
+      // Gate thresholds for --compare.  Identical code gives identical
+      // bytes, so the slack only absorbs cross-compiler FP drift; any
+      // intentional behaviour change must refresh bench/baselines/.
+      .tolerances =
+          {
+              {.pattern = "completed",
+               .abs_slack = 0.5,
+               .direction = Dir::kLowerIsWorse},
+              {.pattern = "completion",
+               .warn_pct = 0.5,
+               .fail_pct = 2,
+               .direction = Dir::kLowerIsWorse},
+              {.pattern = "rtos",
+               .abs_slack = 2,
+               .direction = Dir::kHigherIsWorse},
+              // Executed-event count: the determinism canary.  Any real
+              // simulator change moves it and must refresh baselines.
+              {.pattern = "events", .warn_pct = 0.5, .fail_pct = 5},
+              {.pattern = "*_ms",
+               .warn_pct = 5,
+               .fail_pct = 20,
+               .abs_slack = 1,
+               .direction = Dir::kHigherIsWorse},
+              // Timing sidecar aggregates: host-dependent, so CI gates
+              // them warn-only until several baselines accumulate.
+              {.pattern = "events_per_second*",
+               .warn_pct = 15,
+               .fail_pct = 40,
+               .direction = Dir::kLowerIsWorse},
+              {.pattern = "wall_seconds*",
+               .warn_pct = 20,
+               .fail_pct = 60,
+               .direction = Dir::kHigherIsWorse},
+          },
   });
 }
 
@@ -560,6 +596,36 @@ void register_qdisc(Registry& r) {
             o.set("peak_queue_pkts", double(res.peak_queue_packets));
             o.set("ecn_marked", double(res.ecn_marked));
             return o;
+          },
+      // Gate thresholds for --compare: FCT/makespan may only degrade so
+      // far; count metrics get absolute slack (they sit near zero where
+      // relative deltas explode); improvements always pass.
+      .tolerances =
+          {
+              {.pattern = "completion",
+               .warn_pct = 1,
+               .fail_pct = 5,
+               .direction = Dir::kLowerIsWorse},
+              {.pattern = "rtos",
+               .warn_pct = 25,
+               .fail_pct = 100,
+               .abs_slack = 3,
+               .direction = Dir::kHigherIsWorse},
+              {.pattern = "syn_timeouts",
+               .abs_slack = 2,
+               .direction = Dir::kHigherIsWorse},
+              {.pattern = "peak_queue_pkts",
+               .warn_pct = 10,
+               .fail_pct = 30,
+               .abs_slack = 4,
+               .direction = Dir::kHigherIsWorse},
+              {.pattern = "ecn_marked", .warn_pct = 15, .fail_pct = 50,
+               .abs_slack = 10},
+              {.pattern = "*_ms",
+               .warn_pct = 8,
+               .fail_pct = 25,
+               .abs_slack = 2,
+               .direction = Dir::kHigherIsWorse},
           },
   });
 

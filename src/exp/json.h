@@ -1,14 +1,20 @@
 #pragma once
 
-// Minimal deterministic JSON emission for the result sink.
+// Minimal deterministic JSON emission and parsing for the result sink
+// and the compare subsystem.
 //
 // The writer produces the same bytes for the same values on every
 // platform and at every thread count: keys are emitted in insertion
 // order, doubles with a fixed shortest-round-trip format, and there is
-// no timestamp or host information anywhere in the output.
+// no timestamp or host information anywhere in the output.  The parser
+// reads those documents back (plus anything else in the JSON grammar,
+// minus \uXXXX escapes beyond Latin-1) with object members kept in
+// document order, so parse -> re-emit round-trips byte-identically.
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace mmptcp::exp {
 
@@ -46,5 +52,56 @@ class JsonWriter {
   std::string out_;
   bool need_comma_ = false;
 };
+
+/// Parsed JSON value.  Object members preserve document order (the
+/// writer emits insertion order, and the compare subsystem's verdicts
+/// must not depend on a hash seed or locale).
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+
+  /// Typed accessors; throw ConfigError on kind mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+  const std::vector<JsonValue>& items() const;
+  const std::vector<std::pair<std::string, JsonValue>>& members() const;
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+  /// Object member lookup; throws ConfigError when absent.
+  const JsonValue& at(const std::string& key) const;
+
+  static JsonValue null();
+  static JsonValue boolean(bool b);
+  static JsonValue number(double v);
+  static JsonValue string(std::string s);
+  static JsonValue object();
+  static JsonValue array();
+
+  /// Builders (valid on kObject / kArray respectively).
+  void add_member(std::string key, JsonValue v);
+  void add_item(JsonValue v);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0;
+  std::string string_;
+  std::vector<std::pair<std::string, JsonValue>> members_;
+  std::vector<JsonValue> items_;
+};
+
+/// Parses one JSON document; throws ConfigError (with `origin` in the
+/// message) on syntax errors or trailing garbage.
+JsonValue json_parse(const std::string& text,
+                     const std::string& origin = "<json>");
 
 }  // namespace mmptcp::exp

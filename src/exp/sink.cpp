@@ -48,6 +48,8 @@ std::string to_json(const ExperimentSpec& spec, const Scale& scale,
                     const std::vector<RunRecord>& records) {
   JsonWriter w;
   w.begin_object();
+  w.key("schema_version").value(kResultSchemaVersion);
+  w.key("kind").value("sweep");
   w.key("experiment").value(spec.name);
   w.key("artefact").value(spec.artefact);
   w.key("description").value(spec.description);
@@ -103,6 +105,8 @@ std::string to_timing_json(const ExperimentSpec& spec,
 
   JsonWriter w;
   w.begin_object();
+  w.key("schema_version").value(kResultSchemaVersion);
+  w.key("kind").value("timing");
   w.key("experiment").value(spec.name);
   w.key("runs").begin_array();
   for (const RunRecord& rec : records) {
@@ -232,6 +236,21 @@ void write_file(const std::string& path, const std::string& content) {
   const std::size_t written = std::fwrite(content.data(), 1, content.size(), f);
   std::fclose(f);
   require(written == content.size(), "short write to " + path);
+}
+
+std::string read_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  require(f != nullptr, "cannot open " + path + " for reading");
+  std::string content;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) {
+    content.append(buf, n);
+  }
+  const bool failed = std::ferror(f) != 0;
+  std::fclose(f);
+  require(!failed, "read error on " + path);
+  return content;
 }
 
 }  // namespace mmptcp::exp

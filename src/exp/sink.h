@@ -14,7 +14,16 @@
 
 namespace mmptcp::exp {
 
+/// Version of the result-document layout (both the sweep JSON and the
+/// timing sidecar).  Bump when a field is renamed, removed, or changes
+/// meaning; the compare subsystem refuses to diff documents whose
+/// versions differ so stale baselines fail loudly instead of silently
+/// comparing the wrong thing.  Metric names themselves are part of the
+/// stable surface: runs carry them verbatim in first-emitted order.
+inline constexpr std::uint64_t kResultSchemaVersion = 2;
+
 /// Full sweep result as a compact JSON document (trailing newline).
+/// Top-level fields: schema_version, kind="sweep", experiment, ...
 std::string to_json(const ExperimentSpec& spec, const Scale& scale,
                     const std::vector<RunRecord>& records);
 
@@ -33,5 +42,8 @@ Table to_aggregate_table(const std::vector<RunRecord>& records);
 
 /// Writes `content` to `path`; throws ConfigError on I/O failure.
 void write_file(const std::string& path, const std::string& content);
+
+/// Reads all of `path`; throws ConfigError when it cannot be opened.
+std::string read_file(const std::string& path);
 
 }  // namespace mmptcp::exp

@@ -54,6 +54,23 @@ struct RunOutcome {
   }
 };
 
+/// Gate thresholds for one metric (or a glob family of metrics) used
+/// when two sweeps of an experiment are diffed (`mmptcp_exp --compare`).
+/// Relative deltas strictly above warn_pct/fail_pct yield WARN/FAIL;
+/// deltas whose magnitude is within abs_slack always PASS (shields
+/// integer counters like `rtos` that sit at or near zero, where any
+/// movement is a huge relative change).
+struct MetricTolerance {
+  /// Which movement direction is a regression; the other one PASSes.
+  enum class Direction { kBoth, kHigherIsWorse, kLowerIsWorse };
+
+  std::string pattern = "*";  ///< glob over metric names (* and ?)
+  double warn_pct = 2.0;      ///< |relative delta| % above which -> WARN
+  double fail_pct = 10.0;     ///< |relative delta| % above which -> FAIL
+  double abs_slack = 1e-9;    ///< |absolute delta| at or below -> PASS
+  Direction direction = Direction::kBoth;
+};
+
 /// One registered experiment.
 struct ExperimentSpec {
   std::string name;         ///< registry key, e.g. "fig1a"
@@ -77,6 +94,13 @@ struct ExperimentSpec {
   /// Optional scale adjustment applied before expansion (e.g. load_sweep
   /// halves the per-point flow count so the whole sweep stays fast).
   std::function<void(Scale&)> adjust_scale;
+
+  /// Per-metric regression tolerances consulted by the compare
+  /// subsystem; first pattern that matches a metric name wins, and
+  /// metrics matching no entry use MetricTolerance{} defaults.  Timing
+  /// sidecar aggregates (e.g. "events_per_second_mean") are looked up
+  /// through the same list.
+  std::vector<MetricTolerance> tolerances;
 };
 
 /// Convenience for specs whose axes do not depend on the scale.

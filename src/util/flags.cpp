@@ -21,7 +21,8 @@ Flags::Flags(std::vector<std::string> args) {
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
     if (arg.rfind("--", 0) != 0) {
-      throw ConfigError("positional arguments are not supported: " + arg);
+      positionals_.push_back(arg);
+      continue;
     }
     std::string body = arg.substr(2);
     const auto eq = body.find('=');
@@ -87,6 +88,11 @@ bool Flags::get_bool(const std::string& name, bool def,
   throw ConfigError("flag --" + name + " expects a boolean, got '" + *v + "'");
 }
 
+const std::vector<std::string>& Flags::positionals() {
+  positionals_read_ = true;
+  return positionals_;
+}
+
 bool Flags::help_requested() const { return values_.count("help") > 0; }
 
 std::string Flags::help(const std::string& program) const {
@@ -113,6 +119,11 @@ void Flags::check_unknown() const {
   if (!u.empty()) {
     std::string msg = "unknown flag(s):";
     for (const auto& n : u) msg += " --" + n;
+    throw ConfigError(msg);
+  }
+  if (!positionals_.empty() && !positionals_read_) {
+    std::string msg = "unexpected positional argument(s):";
+    for (const auto& p : positionals_) msg += " " + p;
     throw ConfigError(msg);
   }
 }

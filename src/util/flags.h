@@ -2,10 +2,12 @@
 
 // Minimal command-line flag parser for examples and benchmarks.
 //
-// Accepts `--name=value`, `--name value` and boolean `--name` forms.  Every
+// Accepts `--name=value`, `--name value` and boolean `--name` forms,
+// plus trailing positional tokens (read via positionals()).  Every
 // flag read through get_*() is recorded with its default so `help()` can
-// print an accurate usage table.  Unknown flags are detected by
-// `check_unknown()` once all gets have been performed.
+// print an accurate usage table.  Unknown flags — and positionals the
+// program never asked for — are detected by `check_unknown()` once all
+// gets have been performed.
 
 #include <cstdint>
 #include <map>
@@ -33,6 +35,12 @@ class Flags {
   bool get_bool(const std::string& name, bool def,
                 const std::string& help = "");
 
+  /// Non-flag tokens in command-line order (tokens that neither start
+  /// with "--" nor bind as the value of a preceding flag).  Reading
+  /// them marks them consumed; unread positionals make check_unknown()
+  /// throw, so `--run smoke stray.json` still fails loudly.
+  const std::vector<std::string>& positionals();
+
   /// True when `--help` was passed.
   bool help_requested() const;
 
@@ -50,6 +58,8 @@ class Flags {
 
   std::map<std::string, std::string> values_;
   std::map<std::string, bool> consumed_;
+  std::vector<std::string> positionals_;
+  bool positionals_read_ = false;
   struct Described {
     std::string name, def, help;
   };

@@ -1,0 +1,430 @@
+#include "exp/compare/compare.h"
+
+#include <gtest/gtest.h>
+
+#include "exp/compare/report.h"
+#include "exp/json.h"
+#include "exp/sink.h"
+#include "util/check.h"
+
+namespace mmptcp::exp {
+namespace {
+
+using Dir = MetricTolerance::Direction;
+
+/// A spec with gate tolerances exercising every knob.
+ExperimentSpec gate_spec() {
+  ExperimentSpec spec;
+  spec.name = "gate";
+  spec.axes = fixed_axes({{"protocol", {"tcp", "mmptcp"}}});
+  spec.run = [](const RunContext&) { return RunOutcome{}; };
+  spec.tolerances = {
+      {.pattern = "completion",
+       .warn_pct = 1,
+       .fail_pct = 5,
+       .direction = Dir::kLowerIsWorse},
+      {.pattern = "rtos", .abs_slack = 2, .direction = Dir::kHigherIsWorse},
+      {.pattern = "*_ms",
+       .warn_pct = 5,
+       .fail_pct = 20,
+       .direction = Dir::kHigherIsWorse},
+      {.pattern = "events_per_second*",
+       .warn_pct = 15,
+       .fail_pct = 40,
+       .direction = Dir::kLowerIsWorse},
+  };
+  return spec;
+}
+
+struct Row {
+  std::string protocol;
+  std::uint64_t seed = 1;
+  double mean_ms = 100;
+  double completion = 1.0;
+  double rtos = 0;
+};
+
+std::vector<RunRecord> make_records(const std::vector<Row>& rows) {
+  std::vector<RunRecord> out;
+  for (const Row& row : rows) {
+    RunRecord rec;
+    rec.params.set("protocol", row.protocol);
+    rec.seed = row.seed;
+    rec.id = rec.params.id() + "/seed=" + std::to_string(row.seed);
+    rec.outcome.set("mean_ms", row.mean_ms);
+    rec.outcome.set("completion", row.completion);
+    rec.outcome.set("rtos", row.rtos);
+    out.push_back(std::move(rec));
+  }
+  return out;
+}
+
+SweepDoc doc_for(const std::vector<Row>& rows) {
+  const std::string json = to_json(gate_spec(), Scale{}, make_records(rows));
+  return parse_sweep_doc(json, "<test>");
+}
+
+/// Baseline grid: two protocols, one seed each.
+std::vector<Row> base_rows() {
+  return {{.protocol = "tcp"}, {.protocol = "mmptcp"}};
+}
+
+CompareOptions options_with(const Registry& reg) {
+  CompareOptions o;
+  o.registry = &reg;
+  return o;
+}
+
+class CompareTest : public ::testing::Test {
+ protected:
+  CompareTest() { reg_.add(gate_spec()); }
+  Registry reg_;
+};
+
+const MetricDiff* find_diff(const CompareReport& report,
+                            const std::string& run_id,
+                            const std::string& metric) {
+  for (const MetricDiff& d : report.diffs) {
+    if (d.run_id == run_id && d.metric == metric) return &d;
+  }
+  return nullptr;
+}
+
+TEST_F(CompareTest, IdenticalDocumentsAllPass) {
+  const CompareReport report =
+      compare_sweeps(doc_for(base_rows()), doc_for(base_rows()),
+                     options_with(reg_));
+  EXPECT_EQ(report.verdict(), Verdict::kPass);
+  EXPECT_EQ(report.count(Verdict::kWarn), 0u);
+  EXPECT_EQ(report.count(Verdict::kFail), 0u);
+  EXPECT_EQ(report.diffs.size(), 6u);  // 2 runs x 3 metrics
+  EXPECT_TRUE(report.findings.empty());
+  EXPECT_NE(to_verdict_json(report).find("\"verdict\":\"PASS\""),
+            std::string::npos);
+}
+
+TEST_F(CompareTest, ToleranceEdges) {
+  auto cand = base_rows();
+  // mean_ms tolerance: warn > 5%, fail > 20%, higher is worse.
+  struct Case {
+    double cand_ms;
+    Verdict expected;
+  } cases[] = {
+      {104, Verdict::kPass},  // 4% < warn
+      {105, Verdict::kPass},  // exactly warn threshold: not strictly above
+      {106, Verdict::kWarn},  // 6% > warn
+      {120, Verdict::kWarn},  // exactly fail threshold: still WARN
+      {125, Verdict::kFail},  // 25% > fail
+  };
+  for (const Case& c : cases) {
+    cand[0].mean_ms = c.cand_ms;
+    const CompareReport report = compare_sweeps(
+        doc_for(base_rows()), doc_for(cand), options_with(reg_));
+    const MetricDiff* d = find_diff(report, "protocol=tcp/seed=1", "mean_ms");
+    ASSERT_NE(d, nullptr);
+    EXPECT_EQ(d->verdict, c.expected) << "cand mean_ms " << c.cand_ms;
+  }
+}
+
+TEST_F(CompareTest, RegressionNamesRunAndMetric) {
+  auto cand = base_rows();
+  cand[1].mean_ms = 200;  // mmptcp run regresses 100%
+  const CompareReport report = compare_sweeps(
+      doc_for(base_rows()), doc_for(cand), options_with(reg_));
+  EXPECT_EQ(report.verdict(), Verdict::kFail);
+  const MetricDiff* d =
+      find_diff(report, "protocol=mmptcp/seed=1", "mean_ms");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->verdict, Verdict::kFail);
+  EXPECT_DOUBLE_EQ(d->abs_delta, 100);
+  EXPECT_DOUBLE_EQ(d->rel_delta_pct, 100);
+  // The verdict JSON names the (run, metric) that regressed.
+  const std::string json = to_verdict_json(report);
+  EXPECT_NE(json.find("protocol=mmptcp/seed=1"), std::string::npos);
+  EXPECT_NE(json.find("\"metric\":\"mean_ms\""), std::string::npos);
+  // The tcp run is untouched and passes.
+  EXPECT_EQ(find_diff(report, "protocol=tcp/seed=1", "mean_ms")->verdict,
+            Verdict::kPass);
+}
+
+TEST_F(CompareTest, ImprovementsPassRegardlessOfMagnitude) {
+  auto cand = base_rows();
+  cand[0].mean_ms = 10;       // -90%, but lower is better
+  cand[0].completion = 2.0;   // +100%, but higher is better
+  const CompareReport report = compare_sweeps(
+      doc_for(base_rows()), doc_for(cand), options_with(reg_));
+  EXPECT_EQ(report.verdict(), Verdict::kPass);
+  EXPECT_EQ(find_diff(report, "protocol=tcp/seed=1", "mean_ms")->note,
+            "improved");
+}
+
+TEST_F(CompareTest, AbsoluteSlackShieldsNearZeroCounters) {
+  auto cand = base_rows();
+  cand[0].rtos = 2;  // baseline 0, within abs_slack 2
+  CompareReport report = compare_sweeps(doc_for(base_rows()), doc_for(cand),
+                                        options_with(reg_));
+  EXPECT_EQ(report.verdict(), Verdict::kPass);
+
+  cand[0].rtos = 3;  // beyond the slack: zero baseline cannot scale
+  report = compare_sweeps(doc_for(base_rows()), doc_for(cand),
+                          options_with(reg_));
+  const MetricDiff* d = find_diff(report, "protocol=tcp/seed=1", "rtos");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->verdict, Verdict::kFail);
+  EXPECT_NE(d->note.find("baseline is 0"), std::string::npos);
+}
+
+TEST_F(CompareTest, MissingAndExtraRunsFail) {
+  auto shrunk = base_rows();
+  shrunk.pop_back();
+  // Candidate lost a run.
+  CompareReport report = compare_sweeps(doc_for(base_rows()),
+                                        doc_for(shrunk), options_with(reg_));
+  EXPECT_EQ(report.verdict(), Verdict::kFail);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].run_id, "protocol=mmptcp/seed=1");
+  EXPECT_EQ(report.findings[0].what, "run missing from candidate");
+
+  // Candidate grew a run the baseline has never seen.
+  report = compare_sweeps(doc_for(shrunk), doc_for(base_rows()),
+                          options_with(reg_));
+  EXPECT_EQ(report.verdict(), Verdict::kFail);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].run_id, "protocol=mmptcp/seed=1");
+  EXPECT_EQ(report.findings[0].what, "run missing from baseline");
+}
+
+TEST_F(CompareTest, MetricNameMismatchFails) {
+  const std::string base_json =
+      to_json(gate_spec(), Scale{}, make_records(base_rows()));
+  // Rename one metric in the candidate document.
+  std::string cand_json = base_json;
+  const std::string from = "\"rtos\":";
+  const std::size_t at = cand_json.find(from);
+  ASSERT_NE(at, std::string::npos);
+  cand_json.replace(at, from.size(), "\"rtox\":");
+
+  const CompareReport report = compare_sweeps(
+      parse_sweep_doc(base_json, "<base>"),
+      parse_sweep_doc(cand_json, "<cand>"), options_with(reg_));
+  EXPECT_EQ(report.verdict(), Verdict::kFail);
+  bool missing_from_cand = false, missing_from_base = false;
+  for (const Finding& f : report.findings) {
+    if (f.metric == "rtos" && f.what == "metric missing from candidate") {
+      missing_from_cand = true;
+      EXPECT_EQ(f.verdict, Verdict::kFail);
+    }
+    if (f.metric == "rtox" &&
+        f.what.find("metric missing from baseline") != std::string::npos) {
+      missing_from_base = true;
+      EXPECT_EQ(f.verdict, Verdict::kWarn);
+    }
+  }
+  EXPECT_TRUE(missing_from_cand);
+  EXPECT_TRUE(missing_from_base);
+}
+
+TEST_F(CompareTest, SchemaVersionMismatchRejected) {
+  const std::string base_json =
+      to_json(gate_spec(), Scale{}, make_records(base_rows()));
+  std::string stale = base_json;
+  const std::string from =
+      "\"schema_version\":" + std::to_string(kResultSchemaVersion);
+  const std::size_t at = stale.find(from);
+  ASSERT_NE(at, std::string::npos);
+  stale.replace(at, from.size(), "\"schema_version\":1");
+
+  const CompareReport report = compare_sweeps(
+      parse_sweep_doc(stale, "<stale>"),
+      parse_sweep_doc(base_json, "<cand>"), options_with(reg_));
+  EXPECT_EQ(report.verdict(), Verdict::kFail);
+  EXPECT_TRUE(report.diffs.empty());  // rejection: no metric diffing
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].what.find("schema_version mismatch"),
+            std::string::npos);
+}
+
+TEST_F(CompareTest, KindAndExperimentMismatchRejected) {
+  SweepDoc sweep = doc_for(base_rows());
+  SweepDoc timing = sweep;
+  timing.kind = "timing";
+  CompareReport report = compare_sweeps(sweep, timing, options_with(reg_));
+  EXPECT_EQ(report.verdict(), Verdict::kFail);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].what.find("kind mismatch"),
+            std::string::npos);
+
+  SweepDoc other = sweep;
+  other.experiment = "something_else";
+  report = compare_sweeps(sweep, other, options_with(reg_));
+  EXPECT_EQ(report.verdict(), Verdict::kFail);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].what.find("experiment mismatch"),
+            std::string::npos);
+}
+
+TEST_F(CompareTest, ComparingNothingFailsInsteadOfPassing) {
+  // A --metrics glob that matches no metric must not green-light the
+  // gate with an empty all-PASS report.
+  CompareOptions options = options_with(reg_);
+  options.metrics_glob = "no_such_metric";
+  const CompareReport report = compare_sweeps(
+      doc_for(base_rows()), doc_for(base_rows()), options);
+  EXPECT_EQ(report.verdict(), Verdict::kFail);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].what.find("nothing was compared"),
+            std::string::npos);
+}
+
+TEST_F(CompareTest, NonResultDocumentsRejected) {
+  // Feeding a verdict JSON (or anything else) back in must not yield a
+  // silent empty PASS.
+  SweepDoc verdict = doc_for(base_rows());
+  verdict.kind = "verdict";
+  verdict.runs.clear();
+  const CompareReport report =
+      compare_sweeps(verdict, verdict, options_with(reg_));
+  EXPECT_EQ(report.verdict(), Verdict::kFail);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_NE(report.findings[0].what.find("cannot compare documents of kind"),
+            std::string::npos);
+}
+
+TEST_F(CompareTest, CandidateRunFailureIsAFinding) {
+  std::vector<RunRecord> cand = make_records(base_rows());
+  cand[0].outcome = RunOutcome::failure("boom");
+  const SweepDoc cand_doc = parse_sweep_doc(
+      to_json(gate_spec(), Scale{}, cand), "<cand>");
+  const CompareReport report =
+      compare_sweeps(doc_for(base_rows()), cand_doc, options_with(reg_));
+  EXPECT_EQ(report.verdict(), Verdict::kFail);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].run_id, "protocol=tcp/seed=1");
+  EXPECT_NE(report.findings[0].what.find("failed in candidate: boom"),
+            std::string::npos);
+}
+
+TEST_F(CompareTest, MetricsGlobRestrictsTheDiff) {
+  auto cand = base_rows();
+  cand[0].completion = 0.5;  // would FAIL (lower is worse, -50%)
+  CompareOptions options = options_with(reg_);
+  options.metrics_glob = "*_ms";
+  const CompareReport report = compare_sweeps(
+      doc_for(base_rows()), doc_for(cand), options);
+  EXPECT_EQ(report.verdict(), Verdict::kPass);
+  EXPECT_EQ(report.diffs.size(), 2u);  // only mean_ms per run
+}
+
+TEST_F(CompareTest, ToleranceOverrideTightensTheGate) {
+  auto cand = base_rows();
+  cand[0].mean_ms = 104;  // 4%: passes spec tolerances
+  CompareOptions options = options_with(reg_);
+  options.tolerance_override_pct = 1;
+  const CompareReport report = compare_sweeps(
+      doc_for(base_rows()), doc_for(cand), options);
+  const MetricDiff* d = find_diff(report, "protocol=tcp/seed=1", "mean_ms");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->verdict, Verdict::kFail);
+}
+
+TEST_F(CompareTest, VerdictJsonIsDeterministic) {
+  auto cand = base_rows();
+  cand[0].mean_ms = 150;
+  cand[1].completion = 0.5;
+  const auto run = [&] {
+    CompareReport report = compare_sweeps(doc_for(base_rows()),
+                                          doc_for(cand), options_with(reg_));
+    // Origins must not leak into the verdict bytes.
+    report.baseline_origin = "/somewhere/a.json";
+    report.candidate_origin = "/elsewhere/b.json";
+    return to_verdict_json(report);
+  };
+  const std::string first = run();
+  EXPECT_EQ(first, run());
+  EXPECT_EQ(first.find("/somewhere"), std::string::npos);
+  EXPECT_NE(first.find("\"verdict\":\"FAIL\""), std::string::npos);
+  // Parseable by our own reader.
+  EXPECT_NO_THROW(json_parse(first, "<verdict>"));
+}
+
+TEST_F(CompareTest, TimingSidecarComparesAggregateOnly) {
+  const auto timing_doc = [&](double eps) {
+    std::vector<RunRecord> records = make_records(base_rows());
+    for (RunRecord& rec : records) {
+      rec.outcome.set_timing("events_per_second", eps);
+    }
+    return parse_sweep_doc(to_timing_json(gate_spec(), records), "<timing>");
+  };
+  const SweepDoc base = timing_doc(1e6);
+  EXPECT_EQ(base.kind, "timing");
+
+  // -50% events/s: beyond fail 40%, lower is worse.
+  CompareReport report =
+      compare_sweeps(base, timing_doc(5e5), options_with(reg_));
+  EXPECT_EQ(report.verdict(), Verdict::kFail);
+  const MetricDiff* d =
+      find_diff(report, "aggregate", "events_per_second_mean");
+  ASSERT_NE(d, nullptr);
+  EXPECT_EQ(d->verdict, Verdict::kFail);
+
+  // +50% events/s is an improvement.
+  report = compare_sweeps(base, timing_doc(1.5e6), options_with(reg_));
+  EXPECT_EQ(report.verdict(), Verdict::kPass);
+}
+
+TEST(CompareGlob, Matching) {
+  EXPECT_TRUE(glob_match("*", ""));
+  EXPECT_TRUE(glob_match("*", "anything"));
+  EXPECT_TRUE(glob_match("*_ms", "mean_ms"));
+  EXPECT_FALSE(glob_match("*_ms", "mean_msx"));
+  EXPECT_TRUE(glob_match("band_*", "band_sub_100ms"));
+  EXPECT_TRUE(glob_match("p?9_ms", "p99_ms"));
+  EXPECT_FALSE(glob_match("p?9_ms", "p50_ms"));
+  EXPECT_TRUE(glob_match("a*b*c", "axxbyyc"));
+  EXPECT_FALSE(glob_match("a*b*c", "axxbyy"));
+  EXPECT_FALSE(glob_match("", "x"));
+  EXPECT_TRUE(glob_match("", ""));
+}
+
+TEST(JsonParse, RoundTripsWriterOutput) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("name").value("x\"y\\z\n");
+  w.key("vals").begin_array().value(std::uint64_t{1}).value(2.5).end_array();
+  w.key("ok").value(true);
+  w.key("none").begin_object().end_object();
+  w.end_object();
+
+  const JsonValue v = json_parse(w.str(), "<roundtrip>");
+  EXPECT_EQ(v.at("name").as_string(), "x\"y\\z\n");
+  ASSERT_EQ(v.at("vals").items().size(), 2u);
+  EXPECT_DOUBLE_EQ(v.at("vals").items()[0].as_number(), 1);
+  EXPECT_DOUBLE_EQ(v.at("vals").items()[1].as_number(), 2.5);
+  EXPECT_TRUE(v.at("ok").as_bool());
+  EXPECT_TRUE(v.at("none").members().empty());
+  EXPECT_EQ(v.find("absent"), nullptr);
+  EXPECT_THROW(v.at("absent"), ConfigError);
+}
+
+TEST(JsonParse, Errors) {
+  EXPECT_THROW(json_parse("", "<t>"), ConfigError);
+  EXPECT_THROW(json_parse("{", "<t>"), ConfigError);
+  EXPECT_THROW(json_parse("{} trailing", "<t>"), ConfigError);
+  EXPECT_THROW(json_parse("{\"a\":}", "<t>"), ConfigError);
+  EXPECT_THROW(json_parse("[1,]", "<t>"), ConfigError);
+  EXPECT_THROW(json_parse("\"unterminated", "<t>"), ConfigError);
+  EXPECT_THROW(json_parse("{\"a\" 1}", "<t>"), ConfigError);
+  EXPECT_THROW(json_parse("nul", "<t>"), ConfigError);
+  EXPECT_THROW(json_parse("1.2.3", "<t>"), ConfigError);
+  EXPECT_NO_THROW(json_parse("  [1, -2.5e3, null, \"\\u00e9\"] ", "<t>"));
+}
+
+TEST(JsonParse, NegativeAndScientificNumbers) {
+  const JsonValue v = json_parse("[-5, 1e-3, 2.25E2]", "<t>");
+  EXPECT_DOUBLE_EQ(v.items()[0].as_number(), -5);
+  EXPECT_DOUBLE_EQ(v.items()[1].as_number(), 0.001);
+  EXPECT_DOUBLE_EQ(v.items()[2].as_number(), 225);
+}
+
+}  // namespace
+}  // namespace mmptcp::exp

@@ -47,8 +47,27 @@ TEST(Flags, BadValuesThrow) {
   EXPECT_THROW(f.get_bool("full", false), ConfigError);
 }
 
-TEST(Flags, PositionalArgumentsRejected) {
-  EXPECT_THROW(Flags({"positional"}), ConfigError);
+TEST(Flags, PositionalsReadable) {
+  Flags f({"--tolerance=5", "base.json", "cand.json"});
+  f.get_double("tolerance", 0);
+  const auto& pos = f.positionals();
+  ASSERT_EQ(pos.size(), 2u);
+  EXPECT_EQ(pos[0], "base.json");
+  EXPECT_EQ(pos[1], "cand.json");
+  EXPECT_NO_THROW(f.check_unknown());
+}
+
+TEST(Flags, UnreadPositionalsRejectedByCheckUnknown) {
+  Flags f({"stray"});
+  EXPECT_THROW(f.check_unknown(), ConfigError);
+}
+
+TEST(Flags, PositionalDoesNotBindAfterEqualsForm) {
+  // "--a=1 pos": pos is positional, not the value of --a.
+  Flags f({"--a=1", "pos"});
+  EXPECT_EQ(f.get_int("a", 0), 1);
+  ASSERT_EQ(f.positionals().size(), 1u);
+  EXPECT_EQ(f.positionals()[0], "pos");
 }
 
 TEST(Flags, UnknownFlagsDetected) {
