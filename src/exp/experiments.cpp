@@ -9,6 +9,7 @@
 #include <cstdlib>
 #include <memory>
 
+#include "exp/perf_micro.h"
 #include "exp/registry.h"
 #include "workload/traffic_matrix.h"
 
@@ -584,7 +585,12 @@ void register_qdisc(Registry& r) {
             } else {
               throw ConfigError("incast_ecn: unknown variant " + variant);
             }
+            const auto wall_start = std::chrono::steady_clock::now();
             const IncastResult res = run_incast(cfg);
+            const double wall_secs =
+                std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
             RunOutcome o;
             o.set("mean_fct_ms", res.fct_ms.count() ? res.fct_ms.mean() : 0);
             o.set("p99_fct_ms",
@@ -595,6 +601,12 @@ void register_qdisc(Registry& r) {
             o.set("completion", res.completion_ratio);
             o.set("peak_queue_pkts", double(res.peak_queue_packets));
             o.set("ecn_marked", double(res.ecn_marked));
+            // Sidecar only: the main JSON must stay host-independent.
+            o.set_timing("events_per_second",
+                         wall_secs > 0
+                             ? double(res.events_executed) / wall_secs
+                             : 0);
+            o.set_timing("wall_seconds", wall_secs);
             return o;
           },
       // Gate thresholds for --compare: FCT/makespan may only degrade so
@@ -625,6 +637,16 @@ void register_qdisc(Registry& r) {
                .warn_pct = 8,
                .fail_pct = 25,
                .abs_slack = 2,
+               .direction = Dir::kHigherIsWorse},
+              // Timing sidecar aggregates (host-dependent; CI gates them
+              // warn-only).
+              {.pattern = "events_per_second*",
+               .warn_pct = 15,
+               .fail_pct = 40,
+               .direction = Dir::kLowerIsWorse},
+              {.pattern = "wall_seconds*",
+               .warn_pct = 20,
+               .fail_pct = 60,
                .direction = Dir::kHigherIsWorse},
           },
   });
@@ -671,6 +693,7 @@ std::size_t register_builtin_experiments() {
     register_coexistence(r);
     register_qdisc(r);
     register_smoke(r);
+    register_perf_micro(r);
     return r.size();
   }();
   return count;

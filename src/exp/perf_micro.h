@@ -1,0 +1,16 @@
+#pragma once
+
+// perf_micro: the event-core hot-path microbenchmark spec.
+//
+// Pure scheduler + link churn with no transport or stats machinery, so
+// the events_per_second timing sidecar tracks the simulator core alone
+// — the number the CI regression gate watches for hot-path regressions.
+// Registered from register_builtin_experiments().
+
+#include "exp/registry.h"
+
+namespace mmptcp::exp {
+
+void register_perf_micro(Registry& r);
+
+}  // namespace mmptcp::exp

@@ -28,15 +28,14 @@ void Channel::attach_sink(Node* dst, std::size_t dst_port) {
 
 void Channel::deliver(Packet pkt) {
   check(dst_ != nullptr, "channel has no sink attached");
-  in_flight_.push_back(pkt);
-  sched_.schedule(delay_, [this] { on_arrival(); });
-}
-
-void Channel::on_arrival() {
-  check(!in_flight_.empty(), "channel arrival with no packet in flight");
-  Packet pkt = in_flight_.front();
-  in_flight_.pop_front();
-  dst_->receive(pkt, dst_port_);
+  auto arrival = [this, pkt] { dst_->receive(pkt, dst_port_); };
+  // Delivery is the hottest event in the simulator: if Packet grows past
+  // the EventFn inline budget this becomes a per-packet heap allocation,
+  // so fail the build instead of silently losing the zero-alloc path.
+  static_assert(sizeof(arrival) <= EventFn::kInlineBytes,
+                "packet delivery capture must stay inline; grow "
+                "EventFn::kInlineBytes alongside Packet");
+  sched_.schedule(delay_, std::move(arrival));
 }
 
 Port::Port(Scheduler& sched, std::string name, std::uint64_t rate_bps,
@@ -68,9 +67,7 @@ void Port::enqueue(const Packet& pkt) {
 
 void Port::maybe_start_tx() {
   if (transmitting_ || queue_->empty()) return;
-  auto pkt = queue_->pop();
-  check(pkt.has_value(), "queue reported non-empty but pop failed");
-  in_tx_ = *pkt;
+  check(queue_->pop_into(in_tx_), "queue reported non-empty but pop failed");
   transmitting_ = true;
   sched_.schedule(transmission_time(in_tx_.size_bytes(), rate_bps_),
                   [this] { on_tx_done(); });

@@ -7,12 +7,11 @@
 // time at the channel rate.  The discipline is pluggable (net/qdisc/):
 // drop-tail by default, ECN-marking or strict-priority when the topology
 // asks for them.  A Channel carries fully-serialised packets to the peer
-// node after a fixed propagation delay; since the delay is constant the
-// channel is FIFO and keeps its in-flight packets in a deque, so the
-// scheduler events capture only `this`.
+// node after a fixed propagation delay; the packet travels inside the
+// scheduler event itself (EventFn stores a Packet-sized capture inline),
+// so delivery allocates nothing and needs no side queue.
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -60,13 +59,10 @@ class Channel {
   Node* sink() const { return dst_; }
 
  private:
-  void on_arrival();
-
   Scheduler& sched_;
   Time delay_;
   Node* dst_ = nullptr;
   std::size_t dst_port_ = 0;
-  std::deque<Packet> in_flight_;
 };
 
 /// Egress interface: queue + serialising transmitter feeding a Channel.

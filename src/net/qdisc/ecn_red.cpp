@@ -7,7 +7,8 @@ namespace mmptcp {
 EcnRedQueue::EcnRedQueue(QueueLimits limits,
                          std::uint32_t mark_threshold_packets,
                          SharedBufferPool* pool)
-    : Qdisc(limits, pool), threshold_(mark_threshold_packets) {
+    : Qdisc(limits, pool, /*uses_default_admission=*/true),
+      threshold_(mark_threshold_packets) {
   require(threshold_ > 0, "ECN marking threshold must be positive");
 }
 
@@ -16,13 +17,9 @@ void EcnRedQueue::do_push(Packet&& pkt) {
     pkt.ecn |= ecn_bits::kCe;
     note_marked();
   }
-  packets_.push_back(std::move(pkt));
+  packets_.push_back(pkt);
 }
 
-std::optional<Packet> EcnRedQueue::do_pop() {
-  Packet pkt = packets_.front();
-  packets_.pop_front();
-  return pkt;
-}
+Packet EcnRedQueue::do_pop() { return packets_.pop_front(); }
 
 }  // namespace mmptcp

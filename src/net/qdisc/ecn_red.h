@@ -8,8 +8,7 @@
 // holds at least K packets.  Non-ECT traffic is unaffected — it only
 // drops when the drop-tail limits are exceeded, exactly as before.
 
-#include <deque>
-
+#include "net/qdisc/packet_ring.h"
 #include "net/qdisc/qdisc.h"
 
 namespace mmptcp {
@@ -24,11 +23,11 @@ class EcnRedQueue final : public Qdisc {
 
  protected:
   void do_push(Packet&& pkt) override;
-  std::optional<Packet> do_pop() override;
+  Packet do_pop() override;
 
  private:
   std::uint32_t threshold_;
-  std::deque<Packet> packets_;
+  PacketRing packets_;
 };
 
 }  // namespace mmptcp

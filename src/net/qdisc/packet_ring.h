@@ -1,0 +1,60 @@
+#pragma once
+
+// Ring buffer of packets for qdisc storage.
+//
+// Queues on the packet hot path previously used std::deque, which
+// allocates and frees a chunk every few packets as the queue level
+// oscillates around a chunk boundary.  PacketRing keeps a power-of-two
+// circular array that only ever grows, so a warmed-up port enqueues and
+// dequeues with zero allocation.
+
+#include <cstddef>
+#include <vector>
+
+#include "net/packet.h"
+#include "util/check.h"
+
+namespace mmptcp {
+
+/// FIFO ring of packets; grows by doubling, never shrinks.
+class PacketRing {
+ public:
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  const Packet& front() const {
+    check(size_ > 0, "front() on an empty packet ring");
+    return slots_[head_];
+  }
+
+  void push_back(const Packet& pkt) {
+    if (size_ == slots_.size()) grow();
+    slots_[(head_ + size_) & (slots_.size() - 1)] = pkt;
+    ++size_;
+  }
+
+  Packet pop_front() {
+    check(size_ > 0, "pop_front() on an empty packet ring");
+    const Packet pkt = slots_[head_];
+    head_ = (head_ + 1) & (slots_.size() - 1);
+    --size_;
+    return pkt;
+  }
+
+ private:
+  void grow() {
+    const std::size_t cap = slots_.empty() ? 16 : slots_.size() * 2;
+    std::vector<Packet> next(cap);
+    for (std::size_t i = 0; i < size_; ++i) {
+      next[i] = slots_[(head_ + i) & (slots_.size() - 1)];
+    }
+    slots_.swap(next);
+    head_ = 0;
+  }
+
+  std::vector<Packet> slots_;  ///< capacity is always a power of two
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+};
+
+}  // namespace mmptcp

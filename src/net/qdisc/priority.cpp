@@ -58,18 +58,18 @@ bool StrictPriorityQdisc::admits(const Packet& pkt) const {
 void StrictPriorityQdisc::do_push(Packet&& pkt) {
   const std::size_t band = band_of(pkt);
   bytes_per_band_[band] += pkt.size_bytes();
-  bands_[band].push_back(std::move(pkt));
+  bands_[band].push_back(pkt);
 }
 
-std::optional<Packet> StrictPriorityQdisc::do_pop() {
+Packet StrictPriorityQdisc::do_pop() {
   for (std::size_t band = 0; band < bands_.size(); ++band) {
     if (bands_[band].empty()) continue;
-    Packet pkt = bands_[band].front();
-    bands_[band].pop_front();
+    const Packet pkt = bands_[band].pop_front();
     bytes_per_band_[band] -= pkt.size_bytes();
     return pkt;
   }
-  return std::nullopt;
+  check(false, "do_pop on an empty priority qdisc");
+  return Packet{};
 }
 
 StrictPriorityQdisc::Classifier StrictPriorityQdisc::ps_flag_classifier(

@@ -20,10 +20,10 @@
 // least-attained-service by bucketing on the connection-level stream
 // offset, so any transport's young (short) flows ride the top band.
 
-#include <deque>
 #include <functional>
 #include <vector>
 
+#include "net/qdisc/packet_ring.h"
 #include "net/qdisc/qdisc.h"
 
 namespace mmptcp {
@@ -59,14 +59,14 @@ class StrictPriorityQdisc final : public Qdisc {
  protected:
   bool admits(const Packet& pkt) const override;
   void do_push(Packet&& pkt) override;
-  std::optional<Packet> do_pop() override;
+  Packet do_pop() override;
 
  private:
   std::size_t band_of(const Packet& pkt) const;
 
   Classifier classify_;
   QueueLimits band_limits_;  ///< the port limits divided across bands
-  std::vector<std::deque<Packet>> bands_;
+  std::vector<PacketRing> bands_;
   std::vector<std::uint64_t> bytes_per_band_;
 };
 

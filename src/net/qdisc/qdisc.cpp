@@ -9,8 +9,10 @@
 
 namespace mmptcp {
 
-Qdisc::Qdisc(QueueLimits limits, SharedBufferPool* pool)
-    : limits_(limits), pool_(pool) {}
+Qdisc::Qdisc(QueueLimits limits, SharedBufferPool* pool,
+             bool uses_default_admission)
+    : limits_(limits), pool_(pool),
+      uses_default_admission_(uses_default_admission) {}
 
 bool Qdisc::admits(const Packet& pkt) const {
   if (limits_.max_packets != 0 && packets_ >= limits_.max_packets) {
@@ -24,7 +26,9 @@ bool Qdisc::admits(const Packet& pkt) const {
 
 bool Qdisc::try_push(Packet pkt) {
   const std::uint32_t size = pkt.size_bytes();
-  if (!admits(pkt)) return false;
+  if (uses_default_admission_ ? !Qdisc::admits(pkt) : !admits(pkt)) {
+    return false;
+  }
   if (pool_ != nullptr && !pool_->admits(bytes_, size)) return false;
   do_push(std::move(pkt));
   ++packets_;
@@ -34,13 +38,18 @@ bool Qdisc::try_push(Packet pkt) {
   return true;
 }
 
-std::optional<Packet> Qdisc::pop() {
-  if (packets_ == 0) return std::nullopt;
-  std::optional<Packet> pkt = do_pop();
-  check(pkt.has_value(), "qdisc reported non-empty but do_pop failed");
+bool Qdisc::pop_into(Packet& out) {
+  if (packets_ == 0) return false;
+  out = do_pop();
   --packets_;
-  bytes_ -= pkt->size_bytes();
-  if (pool_ != nullptr) pool_->on_dequeue(pkt->size_bytes());
+  bytes_ -= out.size_bytes();
+  if (pool_ != nullptr) pool_->on_dequeue(out.size_bytes());
+  return true;
+}
+
+std::optional<Packet> Qdisc::pop() {
+  std::optional<Packet> pkt(std::in_place);
+  if (!pop_into(*pkt)) pkt.reset();
   return pkt;
 }
 

@@ -36,7 +36,13 @@ struct QueueLimits {
 /// Abstract queueing discipline for one egress port.
 class Qdisc {
  public:
-  Qdisc(QueueLimits limits, SharedBufferPool* pool);
+  /// A discipline that does NOT override admits() may pass
+  /// `uses_default_admission = true` to skip the per-packet virtual
+  /// dispatch on the admission test.  The flag is opt-in so forgetting
+  /// it merely costs the indirect call — it can never silently bypass a
+  /// subclass's admission policy.
+  Qdisc(QueueLimits limits, SharedBufferPool* pool,
+        bool uses_default_admission = false);
   virtual ~Qdisc() = default;
 
   Qdisc(const Qdisc&) = delete;
@@ -45,6 +51,10 @@ class Qdisc {
   /// Attempts to enqueue; returns false (drop) when admission fails.
   /// The discipline may modify the stored packet (ECN marking).
   bool try_push(Packet pkt);
+
+  /// Writes the next packet to serialise into `out`; false when empty.
+  /// This is the transmitter's hot path: no optional is materialised.
+  bool pop_into(Packet& out);
 
   /// Removes and returns the next packet to serialise; nullopt when empty.
   std::optional<Packet> pop();
@@ -68,7 +78,7 @@ class Qdisc {
   virtual void do_push(Packet&& pkt) = 0;
 
   /// Retrieves the next packet; called only when non-empty.
-  virtual std::optional<Packet> do_pop() = 0;
+  virtual Packet do_pop() = 0;
 
   /// Implementations call this when they set CE on a packet.
   void note_marked() { ++marked_; }
@@ -80,6 +90,7 @@ class Qdisc {
   std::uint64_t bytes_ = 0;
   std::uint64_t marked_ = 0;
   std::uint64_t peak_packets_ = 0;
+  bool uses_default_admission_;
 };
 
 /// Which discipline a port runs.

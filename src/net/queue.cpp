@@ -23,14 +23,10 @@ void SharedBufferPool::on_dequeue(std::uint32_t size) {
 }
 
 DropTailQueue::DropTailQueue(QueueLimits limits, SharedBufferPool* pool)
-    : Qdisc(limits, pool) {}
+    : Qdisc(limits, pool, /*uses_default_admission=*/true) {}
 
-void DropTailQueue::do_push(Packet&& pkt) { packets_.push_back(std::move(pkt)); }
+void DropTailQueue::do_push(Packet&& pkt) { packets_.push_back(pkt); }
 
-std::optional<Packet> DropTailQueue::do_pop() {
-  Packet pkt = packets_.front();
-  packets_.pop_front();
-  return pkt;
-}
+Packet DropTailQueue::do_pop() { return packets_.pop_front(); }
 
 }  // namespace mmptcp

@@ -11,10 +11,10 @@
 // siblings — exactly the effect MMPTCP's packet scatter is meant to dodge.
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 
 #include "net/packet.h"
+#include "net/qdisc/packet_ring.h"
 #include "net/qdisc/qdisc.h"
 #include "util/check.h"
 
@@ -50,10 +50,10 @@ class DropTailQueue final : public Qdisc {
 
  protected:
   void do_push(Packet&& pkt) override;
-  std::optional<Packet> do_pop() override;
+  Packet do_pop() override;
 
  private:
-  std::deque<Packet> packets_;
+  PacketRing packets_;
 };
 
 }  // namespace mmptcp

@@ -1,0 +1,140 @@
+#pragma once
+
+// Small-buffer-optimised event callback.
+//
+// The discrete-event hot path schedules millions of tiny closures — a
+// port finishing serialisation, a channel delivering a packet, a socket
+// timer — whose captures are a couple of pointers or one Packet by
+// value.  std::function heap-allocates captures beyond its ~16-byte
+// internal buffer and drags a copy-constructibility requirement along;
+// EventFn instead stores any nothrow-move-constructible functor of up
+// to kInlineBytes inline (sized so a Packet plus a receiver pointer
+// fits) and only heap-allocates beyond that.  It is move-only: the
+// scheduler never copies events, and move-only captures are useful.
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace mmptcp {
+
+/// Move-only `void()` callable with inline storage for small captures.
+class EventFn {
+ public:
+  /// Inline capture budget: a Packet (80 bytes) plus a receiver pointer.
+  static constexpr std::size_t kInlineBytes = 88;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): drop-in for
+                    // std::function at every schedule() call site.
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &heap_ops<D>;
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept { move_from(other); }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+
+  /// In-place assignment from a functor: constructs directly into the
+  /// internal storage, so the hot path never relocates the capture.
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<!std::is_same_v<D, EventFn> &&
+                                        std::is_invocable_r_v<void, D&>>>
+  EventFn& operator=(F&& f) {
+    reset();
+    if constexpr (fits_inline<D>()) {
+      ::new (static_cast<void*>(buf_)) D(std::forward<F>(f));
+      ops_ = &inline_ops<D>;
+    } else {
+      ::new (static_cast<void*>(buf_)) D*(new D(std::forward<F>(f)));
+      ops_ = &heap_ops<D>;
+    }
+    return *this;
+  }
+
+  ~EventFn() { reset(); }
+
+  explicit operator bool() const { return ops_ != nullptr; }
+
+  void operator()() { ops_->invoke(buf_); }
+
+  /// Destroys the held functor, returning to the empty state.
+  void reset() {
+    if (ops_ != nullptr) {
+      ops_->destroy(buf_);
+      ops_ = nullptr;
+    }
+  }
+
+ private:
+  struct Ops {
+    void (*invoke)(void* storage);
+    /// Move-constructs `dst` from `src`, then destroys `src`.
+    void (*relocate)(void* src, void* dst) noexcept;
+    void (*destroy)(void* storage) noexcept;
+  };
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= kInlineBytes &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr Ops inline_ops = {
+      [](void* s) { (*std::launder(reinterpret_cast<D*>(s)))(); },
+      [](void* src, void* dst) noexcept {
+        D* from = std::launder(reinterpret_cast<D*>(src));
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* s) noexcept { std::launder(reinterpret_cast<D*>(s))->~D(); },
+  };
+
+  template <typename D>
+  static constexpr Ops heap_ops = {
+      [](void* s) { (**std::launder(reinterpret_cast<D**>(s)))(); },
+      [](void* src, void* dst) noexcept {
+        ::new (dst) D*(*std::launder(reinterpret_cast<D**>(src)));
+      },
+      [](void* s) noexcept {
+        delete *std::launder(reinterpret_cast<D**>(s));
+      },
+  };
+
+  void move_from(EventFn& other) noexcept {
+    ops_ = other.ops_;
+    if (ops_ != nullptr) {
+      ops_->relocate(other.buf_, buf_);
+      other.ops_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+  const Ops* ops_ = nullptr;
+};
+
+}  // namespace mmptcp

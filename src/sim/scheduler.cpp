@@ -1,61 +1,228 @@
 #include "sim/scheduler.h"
 
 #include <algorithm>
+#include <bit>
 
 namespace mmptcp {
 
-EventId Scheduler::schedule(Time delay, Callback cb) {
-  check(!delay.is_negative(), "cannot schedule into the past");
-  return schedule_at(now_ + delay, std::move(cb));
+namespace {
+
+/// EventId layout: generation in the high 32 bits, slot+1 in the low 32
+/// (so slot 0 still yields a non-zero id).
+constexpr std::uint64_t make_id(std::uint32_t slot, std::uint32_t gen) {
+  return (std::uint64_t{gen} << 32) | (std::uint64_t{slot} + 1);
 }
 
-EventId Scheduler::schedule_at(Time at, Callback cb) {
-  check(at >= now_, "cannot schedule before the current time");
-  check(static_cast<bool>(cb), "cannot schedule an empty callback");
-  const std::uint64_t id = next_id_++;
-  heap_.push_back(Entry{at, next_seq_++, id, std::move(cb)});
-  std::push_heap(heap_.begin(), heap_.end(), later);
-  return EventId{id};
+}  // namespace
+
+Scheduler::Scheduler()
+    : wheel_(kWheelBuckets), occupancy_(kWheelBuckets / 64, 0) {}
+
+std::uint32_t Scheduler::alloc_slot() {
+  if (free_list_.empty()) {
+    nodes_.emplace_back();
+    free_list_.push_back(static_cast<std::uint32_t>(nodes_.size() - 1));
+  }
+  const std::uint32_t slot = free_list_.back();
+  free_list_.pop_back();
+  return slot;
+}
+
+EventId Scheduler::commit(Time at, std::uint32_t slot) {
+  const Ref ref{at, next_seq_++, slot};
+  const std::uint64_t tick = tick_of(at);
+  if (tick - tick_of(now_) < kWheelBuckets) {
+    wheel_push(tick, ref);
+  } else {
+    heap_push(ref);
+  }
+  return EventId{make_id(slot, nodes_[slot].gen)};
 }
 
 void Scheduler::cancel(EventId id) {
   if (!id.valid()) return;
-  // Only mark ids that could still be pending; stale ids are ignored.
-  if (id.value < next_id_) cancelled_.insert(id.value);
+  const std::uint32_t slot = static_cast<std::uint32_t>(id.value) - 1;
+  if (slot >= nodes_.size()) return;
+  Node& node = nodes_[slot];
+  if (node.where == kFree ||
+      node.gen != static_cast<std::uint32_t>(id.value >> 32)) {
+    return;  // already executed, cancelled, or never issued
+  }
+  if (node.where == kInHeap) {
+    heap_remove(node.pos);
+  } else {
+    wheel_remove(node.where, node.pos);
+  }
+  free_node(slot);
 }
 
-bool Scheduler::pop_next(Entry& out) {
-  while (!heap_.empty()) {
-    std::pop_heap(heap_.begin(), heap_.end(), later);
-    Entry e = std::move(heap_.back());
+void Scheduler::free_node(std::uint32_t idx) {
+  Node& node = nodes_[idx];
+  node.cb.reset();
+  node.where = kFree;
+  ++node.gen;  // invalidate every outstanding id for this slot
+  free_list_.push_back(idx);
+}
+
+// ---------------------------------------------------------------------------
+// Indexed 4-ary min-heap
+// ---------------------------------------------------------------------------
+
+void Scheduler::heap_push(const Ref& ref) {
+  nodes_[ref.node].where = kInHeap;
+  nodes_[ref.node].pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(ref);
+  heap_sift_up(heap_.size() - 1);
+}
+
+void Scheduler::heap_remove(std::uint32_t pos) {
+  const std::size_t last = heap_.size() - 1;
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    nodes_[heap_[pos].node].pos = pos;
     heap_.pop_back();
-    const auto it = cancelled_.find(e.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
-      continue;
+    // The replacement came from the bottom: it may need to move either way.
+    heap_sift_down(pos);
+    heap_sift_up(pos);
+  } else {
+    heap_.pop_back();
+  }
+}
+
+void Scheduler::heap_sift_up(std::size_t i) {
+  const Ref moving = heap_[i];
+  while (i > 0) {
+    const std::size_t parent = (i - 1) / 4;
+    if (!before(moving, heap_[parent])) break;
+    heap_[i] = heap_[parent];
+    nodes_[heap_[i].node].pos = static_cast<std::uint32_t>(i);
+    i = parent;
+  }
+  heap_[i] = moving;
+  nodes_[moving.node].pos = static_cast<std::uint32_t>(i);
+}
+
+void Scheduler::heap_sift_down(std::size_t i) {
+  const Ref moving = heap_[i];
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = 4 * i + 1;
+    if (first_child >= n) break;
+    std::size_t best = first_child;
+    const std::size_t last_child = std::min(first_child + 4, n);
+    for (std::size_t c = first_child + 1; c < last_child; ++c) {
+      if (before(heap_[c], heap_[best])) best = c;
     }
-    out = std::move(e);
+    if (!before(heap_[best], moving)) break;
+    heap_[i] = heap_[best];
+    nodes_[heap_[i].node].pos = static_cast<std::uint32_t>(i);
+    i = best;
+  }
+  heap_[i] = moving;
+  nodes_[moving.node].pos = static_cast<std::uint32_t>(i);
+}
+
+// ---------------------------------------------------------------------------
+// Timer wheel
+// ---------------------------------------------------------------------------
+
+void Scheduler::wheel_push(std::uint64_t tick, const Ref& ref) {
+  const auto bucket = static_cast<std::uint32_t>(tick & (kWheelBuckets - 1));
+  std::vector<Ref>& entries = wheel_[bucket];
+  nodes_[ref.node].where = bucket;
+  nodes_[ref.node].pos = static_cast<std::uint32_t>(entries.size());
+  entries.push_back(ref);
+  occupancy_[bucket >> 6] |= std::uint64_t{1} << (bucket & 63);
+  ++wheel_count_;
+}
+
+void Scheduler::wheel_remove(std::uint32_t bucket, std::uint32_t pos) {
+  std::vector<Ref>& entries = wheel_[bucket];
+  const std::size_t last = entries.size() - 1;
+  if (pos != last) {
+    entries[pos] = entries[last];
+    nodes_[entries[pos].node].pos = pos;
+  }
+  entries.pop_back();
+  if (entries.empty()) {
+    occupancy_[bucket >> 6] &= ~(std::uint64_t{1} << (bucket & 63));
+  }
+  --wheel_count_;
+}
+
+std::uint32_t Scheduler::wheel_first_bucket() const {
+  // All occupied buckets hold ticks in [tick(now), tick(now) + buckets),
+  // so ring order starting at now's bucket is tick order and the first
+  // occupied bucket is the earliest.
+  const auto start =
+      static_cast<std::uint32_t>(tick_of(now_) & (kWheelBuckets - 1));
+  std::size_t word = start >> 6;
+  std::uint64_t bits = occupancy_[word] & (~std::uint64_t{0} << (start & 63));
+  const std::size_t words = occupancy_.size();
+  for (std::size_t i = 0; i <= words; ++i) {
+    if (bits != 0) {
+      return static_cast<std::uint32_t>((word << 6) +
+                                        std::countr_zero(bits));
+    }
+    word = (word + 1) & (words - 1);
+    bits = occupancy_[word];
+  }
+  check(false, "wheel_first_bucket called on an empty wheel");
+  return 0;
+}
+
+std::uint32_t Scheduler::bucket_min(std::uint32_t bucket) const {
+  const std::vector<Ref>& entries = wheel_[bucket];
+  std::uint32_t best = 0;
+  for (std::uint32_t i = 1; i < entries.size(); ++i) {
+    if (before(entries[i], entries[best])) best = i;
+  }
+  return best;
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+bool Scheduler::peek(Ref& out) const {
+  if (wheel_count_ > 0) {
+    const std::uint32_t bucket = wheel_first_bucket();
+    out = wheel_[bucket][bucket_min(bucket)];
+    // A heap event can still be earlier: far-future events stay in the
+    // heap as their time approaches instead of migrating to the wheel.
+    if (!heap_.empty() && before(heap_.front(), out)) out = heap_.front();
+    return true;
+  }
+  if (!heap_.empty()) {
+    out = heap_.front();
     return true;
   }
   return false;
 }
 
+Scheduler::Callback Scheduler::extract(const Ref& ref) {
+  Node& node = nodes_[ref.node];
+  if (node.where == kInHeap) {
+    heap_remove(node.pos);
+  } else {
+    wheel_remove(node.where, node.pos);
+  }
+  // Free before running: the callback may schedule (reusing this slot)
+  // and pending() must not count the event being executed.
+  Callback cb = std::move(node.cb);
+  free_node(ref.node);
+  return cb;
+}
+
 std::uint64_t Scheduler::run_until(Time until) {
   std::uint64_t ran = 0;
   stop_requested_ = false;
-  Entry e;
-  while (!heap_.empty()) {
-    // Peek: the top may be cancelled, so pop through pop_next and push back
-    // if it is beyond the horizon.
-    if (!pop_next(e)) break;
-    if (e.at > until) {
-      // Past the horizon: reinsert and stop.
-      heap_.push_back(std::move(e));
-      std::push_heap(heap_.begin(), heap_.end(), later);
-      break;
-    }
-    now_ = e.at;
-    e.cb();
+  Ref ref;
+  while (peek(ref)) {
+    if (ref.at > until) break;
+    now_ = ref.at;
+    Callback cb = extract(ref);
+    cb();
     ++executed_;
     ++ran;
     if (stop_requested_) break;
@@ -67,10 +234,11 @@ std::uint64_t Scheduler::run_until(Time until) {
 std::uint64_t Scheduler::run() {
   std::uint64_t ran = 0;
   stop_requested_ = false;
-  Entry e;
-  while (pop_next(e)) {
-    now_ = e.at;
-    e.cb();
+  Ref ref;
+  while (peek(ref)) {
+    now_ = ref.at;
+    Callback cb = extract(ref);
+    cb();
     ++executed_;
     ++ran;
     if (stop_requested_) break;
@@ -79,10 +247,11 @@ std::uint64_t Scheduler::run() {
 }
 
 bool Scheduler::step() {
-  Entry e;
-  if (!pop_next(e)) return false;
-  now_ = e.at;
-  e.cb();
+  Ref ref;
+  if (!peek(ref)) return false;
+  now_ = ref.at;
+  Callback cb = extract(ref);
+  cb();
   ++executed_;
   return true;
 }

@@ -2,17 +2,32 @@
 
 // Discrete-event scheduler.
 //
-// Events are closures ordered by (time, insertion sequence); the sequence
-// tie-break makes same-timestamp execution FIFO and therefore runs fully
-// deterministic.  The heap is a std::vector managed with push_heap /
-// pop_heap so callbacks can be moved out on pop.  Cancellation is lazy:
-// cancelled ids go into a hash set and are skipped at pop time.
+// Events are closures ordered by (time, insertion sequence); the
+// sequence tie-break makes same-timestamp execution FIFO and therefore
+// runs fully deterministic.  Two structures back the queue:
+//
+//  * a hashed timer wheel for the near future — link serialisation,
+//    propagation and pacing delays, which dominate the workload.  Each
+//    of the kWheelBuckets buckets covers one kTickNanos-wide tick, so
+//    insertion and cancellation are O(1) and an occupancy bitmap makes
+//    find-next a couple of word scans;
+//  * an indexed 4-ary min-heap for everything beyond the wheel horizon
+//    (RTO timers, staggered flow starts).
+//
+// Every event owns a slot in a free-listed node pool; EventIds encode
+// (slot, generation), so cancellation is *eager* — the entry is removed
+// from its structure immediately (O(1) wheel, O(log n) heap), stale ids
+// are rejected by the generation check, and pending() is exact.  The
+// callback type is EventFn: captures up to ~88 bytes (a Packet plus a
+// receiver pointer) live inline in the node, so the steady-state hot
+// path performs no heap allocation at all.
 
 #include <cstdint>
-#include <functional>
-#include <unordered_set>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
+#include "sim/event_fn.h"
 #include "sim/time.h"
 #include "util/check.h"
 
@@ -24,22 +39,48 @@ struct EventId {
   bool valid() const { return value != 0; }
 };
 
-/// Binary-heap discrete-event queue with deterministic ordering.
+/// Timer-wheel + indexed-heap discrete-event queue with deterministic
+/// ordering and eager cancellation.
 class Scheduler {
  public:
-  using Callback = std::function<void()>;
+  using Callback = EventFn;
+
+  /// Wheel geometry: 4096 buckets of 1.024 us cover a ~4.2 ms horizon,
+  /// which holds every serialisation/propagation/queueing delay the
+  /// simulated fabrics produce; RTOs, periodic checks and flow starts
+  /// overflow the horizon and take the heap path.
+  static constexpr unsigned kTickShift = 10;  ///< 2^10 ns per tick
+  static constexpr unsigned kWheelBits = 12;  ///< 2^12 buckets
+  static constexpr std::size_t kWheelBuckets = std::size_t{1} << kWheelBits;
+
+  Scheduler();
 
   /// Current simulated time.
   Time now() const { return now_; }
 
   /// Schedules `cb` to run `delay` from now. Negative delays are rejected.
-  EventId schedule(Time delay, Callback cb);
+  /// Templated so the functor is constructed straight into its pool node
+  /// — the capture is never relocated between schedule and execution.
+  template <typename F>
+  EventId schedule(Time delay, F&& cb) {
+    check(!delay.is_negative(), "cannot schedule into the past");
+    return schedule_at(now_ + delay, std::forward<F>(cb));
+  }
 
   /// Schedules `cb` at absolute time `at` (must be >= now()).
-  EventId schedule_at(Time at, Callback cb);
+  template <typename F>
+  EventId schedule_at(Time at, F&& cb) {
+    check(at >= now_, "cannot schedule before the current time");
+    if constexpr (std::is_same_v<std::decay_t<F>, EventFn>) {
+      check(static_cast<bool>(cb), "cannot schedule an empty callback");
+    }
+    const std::uint32_t slot = alloc_slot();
+    nodes_[slot].cb = std::forward<F>(cb);
+    return commit(at, slot);
+  }
 
-  /// Cancels a pending event; cancelling an already-run or already-cancelled
-  /// event is a harmless no-op.
+  /// Eagerly removes a pending event; cancelling an already-run or
+  /// already-cancelled event is a harmless no-op.
   void cancel(EventId id);
 
   /// Runs events with timestamp <= `until`; returns the number executed.
@@ -55,36 +96,75 @@ class Scheduler {
   /// Requests that run()/run_until() return after the current event.
   void stop() { stop_requested_ = true; }
 
-  /// Number of live (non-cancelled) pending events.  Cancelling an id
-  /// that already executed leaves a stale tombstone until the queue
-  /// drains, so this is clamped rather than allowed to underflow.
-  std::size_t pending() const {
-    return heap_.size() > cancelled_.size() ? heap_.size() - cancelled_.size()
-                                            : 0;
-  }
+  /// Number of live pending events.  Exact: cancellation removes the
+  /// entry immediately, so no tombstones ever inflate or deflate this.
+  std::size_t pending() const { return heap_.size() + wheel_count_; }
   std::uint64_t executed() const { return executed_; }
 
  private:
-  struct Entry {
+  /// Where a node's queue entry currently lives.
+  static constexpr std::uint32_t kInHeap = 0xFFFFFFFFu;
+  static constexpr std::uint32_t kFree = 0xFFFFFFFEu;
+
+  /// Pool slot owning one event's callback and bookkeeping.
+  struct Node {
+    EventFn cb;
+    std::uint32_t gen = 0;     ///< bumped on free; stale ids mismatch
+    std::uint32_t pos = 0;     ///< index within heap_ or its bucket
+    std::uint32_t where = kFree;  ///< kInHeap, kFree, or bucket index
+  };
+
+  /// Queue entry: everything the comparator needs, no callback, so heap
+  /// sifts and bucket scans move 24 bytes and never touch the pool.
+  struct Ref {
     Time at;
     std::uint64_t seq = 0;
-    std::uint64_t id = 0;
-    Callback cb;
+    std::uint32_t node = 0;
   };
-  // Min-heap ordering: earliest time first, then insertion order.
-  static bool later(const Entry& a, const Entry& b) {
-    if (a.at != b.at) return a.at > b.at;
-    return a.seq > b.seq;
+
+  static bool before(const Ref& a, const Ref& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
   }
 
-  /// Pops the next live entry into `out`; false if the queue is empty.
-  bool pop_next(Entry& out);
+  static std::uint64_t tick_of(Time t) {
+    return static_cast<std::uint64_t>(t.ns()) >> kTickShift;
+  }
 
-  std::vector<Entry> heap_;
-  std::unordered_set<std::uint64_t> cancelled_;
+  /// Pops a free pool slot (growing the pool when exhausted).
+  std::uint32_t alloc_slot();
+  /// Inserts slot's event at `at` into the wheel or heap; returns its id.
+  EventId commit(Time at, std::uint32_t slot);
+  void free_node(std::uint32_t idx);
+
+  // -- indexed 4-ary heap (far-future events) --
+  void heap_push(const Ref& ref);
+  void heap_remove(std::uint32_t pos);
+  void heap_sift_up(std::size_t i);
+  void heap_sift_down(std::size_t i);
+
+  // -- timer wheel (near-future events) --
+  void wheel_push(std::uint64_t tick, const Ref& ref);
+  void wheel_remove(std::uint32_t bucket, std::uint32_t pos);
+  /// Earliest occupied bucket at or after now(); wheel must be non-empty.
+  std::uint32_t wheel_first_bucket() const;
+  /// Index of the earliest (at, seq) entry in `bucket`.
+  std::uint32_t bucket_min(std::uint32_t bucket) const;
+
+  /// True if a live event exists; fills `out` with the earliest one.
+  bool peek(Ref& out) const;
+  /// Removes `ref` (as returned by peek) from its structure and moves
+  /// its callback out, freeing the node before execution.
+  Callback extract(const Ref& ref);
+
+  std::vector<Node> nodes_;
+  std::vector<std::uint32_t> free_list_;
+  std::vector<Ref> heap_;
+  std::vector<std::vector<Ref>> wheel_;
+  std::vector<std::uint64_t> occupancy_;  ///< one bit per wheel bucket
+  std::size_t wheel_count_ = 0;
   Time now_;
   std::uint64_t next_seq_ = 0;
-  std::uint64_t next_id_ = 1;
   std::uint64_t executed_ = 0;
   bool stop_requested_ = false;
 };

@@ -286,6 +286,7 @@ IncastResult run_incast(const IncastConfig& config) {
   result.makespan = last;
   result.ecn_marked = total_marked_packets(ft.network());
   result.peak_queue_packets = peak_switch_queue_packets(ft.network());
+  result.events_executed = sim.scheduler().executed();
   return result;
 }
 

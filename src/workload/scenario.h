@@ -166,6 +166,9 @@ struct IncastResult {
   Time makespan;  ///< last completion time
   std::uint64_t ecn_marked = 0;          ///< CE marks across all qdiscs
   std::uint64_t peak_queue_packets = 0;  ///< max occupancy over switch ports
+  /// Scheduler events the run executed.  Deterministic; specs divide it
+  /// by wall time for the events_per_second timing sidecar.
+  std::uint64_t events_executed = 0;
 };
 
 /// Runs the incast microbenchmark (receiver = host 0; senders spread over

@@ -174,6 +174,39 @@ TEST(Runner, RegisteredSmokeSpecIsDeterministicAcrossJobCounts) {
   }
 }
 
+// The event-core microbenchmark: pure scheduler/link churn must be
+// byte-identical at any job count, like every other spec.
+TEST(Runner, PerfMicroSpecIsDeterministicAcrossJobCounts) {
+  register_builtin_experiments();
+  const ExperimentSpec* spec = Registry::global().find("perf_micro");
+  ASSERT_NE(spec, nullptr);
+
+  SweepOptions serial;
+  serial.jobs = 1;
+  serial.seeds = {1, 2};
+  SweepOptions parallel;
+  parallel.jobs = 8;
+  parallel.seeds = {1, 2};
+
+  const auto a = run_sweep(*spec, Scale{}, serial);
+  const auto b = run_sweep(*spec, Scale{}, parallel);
+  EXPECT_EQ(to_json(*spec, Scale{}, a), to_json(*spec, Scale{}, b));
+
+  for (const RunRecord& rec : a) {
+    ASSERT_TRUE(rec.outcome.ok) << rec.id << ": " << rec.outcome.error;
+    EXPECT_GT(rec.outcome.get("events"), 0.0) << rec.id;
+    // Wall-clock throughput goes to the sidecar, never the main doc.
+    bool has_eps = false;
+    for (const auto& [name, value] : rec.outcome.metrics) {
+      (void)value;
+      if (name == "events_per_second") has_eps = true;
+    }
+    EXPECT_FALSE(has_eps) << rec.id;
+  }
+  const std::string timing = to_timing_json(*spec, a);
+  EXPECT_NE(timing.find("events_per_second_mean"), std::string::npos);
+}
+
 TEST(Sink, TimingsGoToTheSidecarNotTheMainJson) {
   ExperimentSpec spec;
   spec.name = "timed";

@@ -1,0 +1,97 @@
+#include "sim/event_fn.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+
+namespace mmptcp {
+namespace {
+
+TEST(EventFn, DefaultIsEmpty) {
+  EventFn fn;
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+TEST(EventFn, InvokesSmallCapture) {
+  int count = 0;
+  EventFn fn([&count] { ++count; });
+  ASSERT_TRUE(static_cast<bool>(fn));
+  fn();
+  fn();
+  EXPECT_EQ(count, 2);
+}
+
+TEST(EventFn, MoveTransfersOwnershipAndEmptiesSource) {
+  int count = 0;
+  EventFn a([&count] { ++count; });
+  EventFn b(std::move(a));
+  EXPECT_FALSE(static_cast<bool>(a));
+  ASSERT_TRUE(static_cast<bool>(b));
+  b();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(EventFn, MoveOnlyCaptureWorks) {
+  auto value = std::make_unique<int>(41);
+  int seen = 0;
+  EventFn fn([v = std::move(value), &seen] { seen = *v + 1; });
+  fn();
+  EXPECT_EQ(seen, 42);
+}
+
+TEST(EventFn, PacketSizedCaptureStaysInline) {
+  // The whole point of the inline buffer: a Packet-plus-pointer capture.
+  int out = 0;
+  std::array<unsigned char, 80> payload{};  // sizeof(Packet)
+  payload[0] = 7;
+  auto closure = [payload, p = &out] { *p = payload[0]; };
+  static_assert(sizeof(closure) <= EventFn::kInlineBytes,
+                "a Packet plus a pointer must fit the inline buffer");
+  EventFn fn(closure);
+  EventFn moved(std::move(fn));
+  moved();
+  EXPECT_EQ(out, 7);
+}
+
+TEST(EventFn, OversizedCaptureFallsBackToHeap) {
+  std::array<std::uint64_t, 32> big{};  // 256 bytes > kInlineBytes
+  big[31] = 9;
+  std::uint64_t seen = 0;
+  EventFn fn([big, &seen] { seen = big[31]; });
+  EventFn moved(std::move(fn));
+  EXPECT_FALSE(static_cast<bool>(fn));
+  moved();
+  EXPECT_EQ(seen, 9u);
+}
+
+TEST(EventFn, DestructionReleasesCapture) {
+  auto tracker = std::make_shared<int>(1);
+  {
+    EventFn fn([tracker] { (void)tracker; });
+    EXPECT_EQ(tracker.use_count(), 2);
+  }
+  EXPECT_EQ(tracker.use_count(), 1);
+}
+
+TEST(EventFn, AssignReplacesAndReleasesPrevious) {
+  auto first = std::make_shared<int>(1);
+  int second_runs = 0;
+  EventFn fn([first] { (void)first; });
+  EXPECT_EQ(first.use_count(), 2);
+  fn = [&second_runs] { ++second_runs; };
+  EXPECT_EQ(first.use_count(), 1);
+  fn();
+  EXPECT_EQ(second_runs, 1);
+}
+
+TEST(EventFn, MoveAssignReleasesPrevious) {
+  auto held = std::make_shared<int>(1);
+  EventFn fn([held] { (void)held; });
+  fn = EventFn{};
+  EXPECT_EQ(held.use_count(), 1);
+  EXPECT_FALSE(static_cast<bool>(fn));
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -146,6 +146,123 @@ TEST(Scheduler, ExecutedCounter) {
   EXPECT_EQ(s.executed(), 5u);
 }
 
+// Regression for the lazy-cancellation leak: cancelling an id that
+// already executed used to insert a tombstone that survived until the
+// queue drained, making pending() under-report live events.  Eager
+// cancellation keeps pending() exact in every such sequence.
+TEST(Scheduler, CancelAfterExecuteKeepsPendingExact) {
+  Scheduler s;
+  const EventId first = s.schedule(Time::millis(1), [] {});
+  s.schedule(Time::millis(10), [] {});
+  s.step();  // runs `first`
+  EXPECT_EQ(s.pending(), 1u);
+  s.cancel(first);  // stale: must be a no-op, not a tombstone
+  EXPECT_EQ(s.pending(), 1u);
+  s.cancel(first);  // idempotent
+  EXPECT_EQ(s.pending(), 1u);
+  EXPECT_EQ(s.run(), 1u);
+  EXPECT_EQ(s.pending(), 0u);
+}
+
+// A stale id must never hit an unrelated event that reused its slot.
+TEST(Scheduler, StaleIdDoesNotCancelRecycledSlot) {
+  Scheduler s;
+  const EventId old_id = s.schedule(Time::millis(1), [] {});
+  s.run();
+  bool ran = false;
+  s.schedule(Time::millis(1), [&] { ran = true; });  // may reuse the slot
+  s.cancel(old_id);
+  EXPECT_EQ(s.pending(), 1u);
+  s.run();
+  EXPECT_TRUE(ran);
+}
+
+// Events on both sides of the wheel horizon must interleave in strict
+// time order, including an event that sits in the overflow heap while
+// its timestamp drifts inside the wheel's window as the clock advances.
+TEST(Scheduler, WheelHeapBoundaryCrossing) {
+  const Time horizon =
+      Time::nanos(std::int64_t{1}
+                  << (Scheduler::kTickShift + Scheduler::kWheelBits));
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule(horizon * 4, [&] { order.push_back(4); });        // heap
+  s.schedule(horizon / 2, [&] { order.push_back(1); });        // wheel
+  s.schedule(horizon * 2, [&] { order.push_back(3); });        // heap
+  s.schedule(horizon - Time::nanos(1), [&] { order.push_back(2); });
+  // Scheduled from inside an event: by then the heap events are within
+  // the wheel window of the new now(), so both structures hold
+  // overlapping times and the pop must merge them correctly.
+  s.schedule(horizon / 4, [&] {
+    order.push_back(0);
+    s.schedule_at(horizon * 2 + Time::nanos(1), [&] { order.push_back(-3); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, -3, 4}));
+  EXPECT_EQ(s.executed(), 6u);
+}
+
+// Same timestamp, different structures: an event scheduled far in
+// advance (overflow heap) and one scheduled later for the same instant
+// (wheel) must still run in insertion order.
+TEST(Scheduler, SameTimestampFifoAcrossStructures) {
+  const Time horizon =
+      Time::nanos(std::int64_t{1}
+                  << (Scheduler::kTickShift + Scheduler::kWheelBits));
+  const Time target = horizon * 2;
+  Scheduler s;
+  std::vector<int> order;
+  s.schedule_at(target, [&] { order.push_back(0); });  // heap at insert
+  s.schedule_at(target - horizon / 2, [&] {
+    // now() is close enough that `target` lands in the wheel.
+    s.schedule_at(target, [&] { order.push_back(1); });
+    s.schedule_at(target, [&] { order.push_back(2); });
+  });
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Scheduler, EagerCancelStress) {
+  Scheduler s;
+  std::vector<int> ran;
+  std::vector<EventId> ids;
+  // Mix of wheel-near and heap-far events, all cancelled while pending.
+  for (int i = 0; i < 2000; ++i) {
+    const Time at = (i % 3 == 0) ? Time::millis(100 + i)   // heap
+                                 : Time::nanos(500 + i);   // wheel
+    ids.push_back(s.schedule_at(at, [&ran, i] { ran.push_back(i); }));
+  }
+  EXPECT_EQ(s.pending(), 2000u);
+  for (int i = 0; i < 2000; i += 2) s.cancel(ids[i]);
+  EXPECT_EQ(s.pending(), 1000u);
+  // Double-cancel is a no-op and pending() stays exact.
+  for (int i = 0; i < 2000; i += 2) s.cancel(ids[i]);
+  EXPECT_EQ(s.pending(), 1000u);
+  s.run();
+  EXPECT_EQ(s.pending(), 0u);
+  ASSERT_EQ(ran.size(), 1000u);
+  for (int i : ran) EXPECT_EQ(i % 2, 1);
+  EXPECT_EQ(s.executed(), 1000u);
+}
+
+// Cancelling every pending event from inside a running event.
+TEST(Scheduler, CancelFromWithinEvent) {
+  Scheduler s;
+  bool later_ran = false;
+  const EventId near_id =
+      s.schedule(Time::micros(10), [&] { later_ran = true; });
+  const EventId far_id =
+      s.schedule(Time::seconds(1), [&] { later_ran = true; });
+  s.schedule(Time::micros(1), [&] {
+    s.cancel(near_id);
+    s.cancel(far_id);
+    EXPECT_EQ(s.pending(), 0u);
+  });
+  s.run();
+  EXPECT_FALSE(later_ran);
+  EXPECT_EQ(s.executed(), 1u);
+}
+
 TEST(Scheduler, ManyEventsStressOrdering) {
   Scheduler s;
   Time last = Time::zero();
