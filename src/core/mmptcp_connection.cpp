@@ -29,8 +29,9 @@ std::unique_ptr<Subflow> MmptcpConnection::make_subflow(
           ? mm_config_.oracle->path_count(local_host().addr(), peer_addr())
           : 0;
   return std::make_unique<PsSubflow>(
-      *this, role, local_port, peer_port, cfg, make_cc(/*coupled=*/false),
-      paths, sim_ref().rng().fork());
+      *this, role, local_port, peer_port, cfg,
+      make_cc(/*coupled=*/false, mm_config_.ps_dctcp), paths,
+      sim_ref().rng().fork());
 }
 
 void MmptcpConnection::before_allocate(Subflow& sf) {

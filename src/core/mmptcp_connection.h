@@ -35,6 +35,16 @@ struct MmptcpConfig {
   /// Source of equal-cost path counts for the topology-aware threshold
   /// (may be null: the policy falls back to its minimum threshold).
   const PathOracle* oracle = nullptr;
+  /// DCTCP knobs for the packet-scatter flow when mptcp.ecn is on — the
+  /// hook for treating shorts differently from longs (DiffFlow-style):
+  /// e.g. initial_alpha = 0 plus min_cut_segments = 1 lets a fresh
+  /// short flow slow-start through a marked-but-shallow elephant queue
+  /// while the EWMA learns the real marked fraction.  The default stays
+  /// RFC-conservative: in high-fan-in incast the optimistic start
+  /// overshoots the buffer before alpha can learn, and the conservative
+  /// scatter flow is what wins the battle_ecn gate (no RTOs, tight
+  /// p99).  Phase-two subflows use the mptcp.dctcp knobs instead.
+  DctcpConfig ps_dctcp{};
 };
 
 /// Client side of one MMPTCP connection (servers use MptcpConnection —

@@ -9,6 +9,9 @@ MptcpConfig TransportConfig::mptcp_config() const {
   cfg.tcp = tcp;
   cfg.subflow_count = subflows;
   cfg.coupled = coupled;
+  cfg.ecn = protocol == Protocol::kMptcpDctcp ||
+            protocol == Protocol::kMmptcpDctcp;
+  cfg.dctcp = dctcp;
   cfg.scheduler = scheduler;
   cfg.reinject_on_rto = reinject_on_rto;
   cfg.server_port = server_port;
@@ -21,6 +24,7 @@ MmptcpConfig TransportConfig::mmptcp_config() const {
   cfg.phase = phase;
   cfg.ps_dupack = ps_dupack;
   cfg.oracle = oracle;
+  cfg.ps_dctcp = ps_dctcp;
   return cfg;
 }
 
@@ -39,7 +43,8 @@ ClientFlow::ClientFlow(Simulation& sim, Metrics& metrics, Host& src, Addr dst,
       std::unique_ptr<CongestionControl> cc;
       if (config.protocol == Protocol::kDctcp) {
         cc = std::make_unique<DctcpCc>(config.tcp.mss,
-                                       config.tcp.initial_cwnd_segments);
+                                       config.tcp.initial_cwnd_segments,
+                                       config.dctcp);
       } else {
         cc = std::make_unique<NewRenoCc>(config.tcp.mss,
                                          config.tcp.initial_cwnd_segments);
@@ -51,7 +56,10 @@ ClientFlow::ClientFlow(Simulation& sim, Metrics& metrics, Host& src, Addr dst,
       tcp_->connect_and_send(request);
       break;
     }
-    case Protocol::kMptcp: {
+    case Protocol::kMptcp:
+    case Protocol::kMptcpDctcp: {
+      // mptcp_config() flips the per-subflow ECN reaction on for the
+      // -dctcp variant; the connection machinery is identical.
       conn_ = std::make_unique<MptcpConnection>(sim, metrics, src, dst,
                                                 flow_id_,
                                                 config.mptcp_config());
@@ -66,7 +74,8 @@ ClientFlow::ClientFlow(Simulation& sim, Metrics& metrics, Host& src, Addr dst,
       conn_->connect_and_send(request);
       break;
     }
-    case Protocol::kMmptcp: {
+    case Protocol::kMmptcp:
+    case Protocol::kMmptcpDctcp: {
       conn_ = std::make_unique<MmptcpConnection>(sim, metrics, src, dst,
                                                  flow_id_,
                                                  config.mmptcp_config());

@@ -1,9 +1,12 @@
 #pragma once
 
-// Uniform entry point for all five transports the benches compare:
-// TCP, MPTCP, pure packet scatter (MMPTCP that never switches), MMPTCP
-// and DCTCP (single-path, proportional ECN response; pair it with an
-// ECN-marking qdisc on the switches or it degenerates to NewReno).
+// Uniform entry point for all the transports the benches compare:
+// TCP, MPTCP, pure packet scatter (MMPTCP that never switches), MMPTCP,
+// DCTCP (single-path, proportional ECN response) and the ECN-aware
+// MPTCP family variants mptcp-dctcp / mmptcp-dctcp (coupled or scatter
+// increase + per-subflow DCTCP alpha).  Every ECN-capable transport
+// needs an ECN-marking qdisc on the switches or it degenerates to its
+// loss-driven sibling.
 //
 // ClientFlow owns the client-side protocol machinery for one flow; Sink
 // listens on a host and builds the matching server side for every SYN it
@@ -27,6 +30,12 @@ struct TransportConfig {
   /// PS-flow reordering policy (see MmptcpConfig::ps_dupack).
   DupAckConfig ps_dupack{DupAckPolicyKind::kStatic, 3, 1.0, 2, 3, 90};
   bool coupled = true;             ///< LIA coupling for MPTCP-family
+  /// DCTCP alpha knobs, used by kDctcp and the *-dctcp MPTCP variants
+  /// (per phase-two subflow for the MPTCP family).
+  DctcpConfig dctcp{};
+  /// DCTCP knobs for kMmptcpDctcp's packet-scatter flow — the
+  /// shorts-vs-longs differentiation hook (see MmptcpConfig::ps_dctcp).
+  DctcpConfig ps_dctcp{};
   SchedulerKind scheduler = SchedulerKind::kEagerRoundRobin;
   bool reinject_on_rto = false;    ///< MPTCP reinjection ablation
   const PathOracle* oracle = nullptr;

@@ -525,10 +525,95 @@ QdiscConfig point_qdisc(const RunContext& ctx, const std::string& kind) {
     q.ecn_threshold_packets =
         static_cast<std::uint32_t>(ctx.params.get_int("ecn_k"));
   }
+  if (ctx.params.has("ecn_k_bytes")) {
+    q.ecn_threshold_bytes =
+        static_cast<std::uint64_t>(ctx.params.get_int("ecn_k_bytes"));
+  }
   if (ctx.params.has("bands")) {
     q.bands = static_cast<std::uint32_t>(ctx.params.get_int("bands"));
   }
   return q;
+}
+
+/// Shared incast-with-elephants grid point for the qdisc/ECN specs.
+IncastConfig incast_battle_point(const RunContext& ctx) {
+  IncastConfig cfg;
+  cfg.fat_tree.k = ctx.scale.k;
+  cfg.fat_tree.oversubscription = ctx.scale.oversubscription;
+  cfg.senders = static_cast<std::uint32_t>(ctx.params.get_int("senders"));
+  cfg.long_senders =
+      static_cast<std::uint32_t>(ctx.params.get_int("long_senders"));
+  cfg.short_start = Time::millis(ctx.params.get_int("warmup_ms"));
+  cfg.bytes = ctx.scale.short_bytes;
+  cfg.seed = ctx.seed;
+  // Elephants never finish; bound the run for stragglers that exhaust
+  // their SYN retries (drop-tail TCP does).
+  cfg.max_sim_time = Time::seconds(15);
+  return cfg;
+}
+
+/// Subflow pool for the ECN-aware MPTCP variants.  Loss-driven MPTCP
+/// needs many subflows because discovering a path's state costs a loss;
+/// on a marking fabric congestion is explicit, and every extra subflow
+/// adds a floor window that sits in the shared queue (DCTCP cannot cut
+/// below one segment per subflow).  A small pool keeps the multipath
+/// gain while letting the marking threshold actually govern the queue.
+std::uint32_t ecn_subflows(const RunContext& ctx) {
+  return std::min<std::uint32_t>(ctx.scale.subflows, 2);
+}
+
+/// Runs one incast grid point under wall-clock timing: `fill` writes the
+/// spec's metrics, then the shared events_per_second / wall_seconds
+/// timing sidecar is attached (sidecar only — the main JSON must stay
+/// host-independent).
+template <typename Fill>
+RunOutcome timed_incast(const IncastConfig& cfg, Fill&& fill) {
+  const auto wall_start = std::chrono::steady_clock::now();
+  const IncastResult res = run_incast(cfg);
+  const double wall_secs = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - wall_start)
+                               .count();
+  RunOutcome o;
+  fill(o, res);
+  o.set_timing("events_per_second",
+               wall_secs > 0 ? double(res.events_executed) / wall_secs : 0);
+  o.set_timing("wall_seconds", wall_secs);
+  return o;
+}
+
+/// Applies a qdisc-spec transport variant name to an incast config.
+/// Loss-driven protocols keep the fabric they name (drop-tail unless the
+/// variant says otherwise); ECN-aware ones get the marking fabric.
+void apply_incast_variant(IncastConfig& cfg, const RunContext& ctx,
+                          const std::string& variant) {
+  if (variant == "tcp") {
+    cfg.transport.protocol = Protocol::kTcp;
+  } else if (variant == "dctcp") {
+    cfg.transport.protocol = Protocol::kDctcp;
+    cfg.fat_tree.qdisc = point_qdisc(ctx, "ecn");
+  } else if (variant == "mptcp-dctcp") {
+    cfg.transport.protocol = Protocol::kMptcpDctcp;
+    cfg.transport.subflows = ecn_subflows(ctx);
+    cfg.fat_tree.qdisc = point_qdisc(ctx, "ecn");
+  } else if (variant == "mmptcp-dctcp") {
+    cfg.transport.protocol = Protocol::kMmptcpDctcp;
+    cfg.transport.subflows = ecn_subflows(ctx);
+    cfg.fat_tree.qdisc = point_qdisc(ctx, "ecn");
+  } else if (variant == "mmptcp" || variant == "mmptcp-prio" ||
+             variant == "mmptcp-ecn") {
+    cfg.transport.protocol = Protocol::kMmptcp;
+    cfg.transport.subflows = ctx.scale.subflows;
+    if (variant == "mmptcp-prio") {
+      cfg.fat_tree.qdisc = point_qdisc(ctx, "prio");
+      cfg.fat_tree.qdisc.classifier = PrioClassifierKind::kPsFlag;
+    } else if (variant == "mmptcp-ecn") {
+      // ECN-blind transport on the marking fabric: the control showing
+      // what the composable CC layer buys mmptcp-dctcp.
+      cfg.fat_tree.qdisc = point_qdisc(ctx, "ecn");
+    }
+  } else {
+    throw ConfigError("unknown incast variant: " + variant);
+  }
 }
 
 void register_qdisc(Registry& r) {
@@ -542,72 +627,44 @@ void register_qdisc(Registry& r) {
       .notes = "expected shape: dctcp holds peak_queue_pkts near ecn_k "
                "while tcp fills the drop-tail limit; mmptcp-prio beats "
                "plain mmptcp on short-flow FCT because PS packets jump "
-               "the elephants' standing queue.",
+               "the elephants' standing queue; mmptcp-dctcp beats plain "
+               "mmptcp on both mean FCT and peak queue (per-subflow "
+               "alpha keeps the elephants' standing queue at the mark "
+               "point).  At senders=8 the blind burst is already "
+               "drain-optimal (the shock RTO-silences the elephants), so "
+               "mmptcp keeps the mean-FCT crown there and mmptcp-dctcp "
+               "only wins the queue; at senders=24 the blind burst "
+               "overflows the buffer and mmptcp-dctcp wins everything "
+               "(~2x mean, ~6x p99, no RTOs).",
       // 8 mice vs 4 elephants: enough standing queue that the discipline
       // matters, few enough mice that their own collisions do not drown
-      // the elephant effect in RTO noise.
+      // the elephant effect in RTO noise.  24 mice: past the drop-tail
+      // cap, where ECN-blind scatter starts paying in RTOs.
       .axes = fixed_axes({{"variant",
-                           {"tcp", "dctcp", "mmptcp", "mmptcp-prio"}},
-                          {"senders", {"8"}},
+                           {"tcp", "dctcp", "mmptcp", "mmptcp-prio",
+                            "mptcp-dctcp", "mmptcp-dctcp"}},
+                          {"senders", {"8", "24"}},
                           {"long_senders", {"4"}},
                           {"warmup_ms", {"300"}},
                           {"ecn_k", {"20"}},
                           {"bands", {"2"}}}),
       .run =
           [](const RunContext& ctx) {
-            IncastConfig cfg;
-            cfg.fat_tree.k = ctx.scale.k;
-            cfg.fat_tree.oversubscription = ctx.scale.oversubscription;
-            cfg.senders =
-                static_cast<std::uint32_t>(ctx.params.get_int("senders"));
-            cfg.long_senders = static_cast<std::uint32_t>(
-                ctx.params.get_int("long_senders"));
-            cfg.short_start =
-                Time::millis(ctx.params.get_int("warmup_ms"));
-            cfg.bytes = ctx.scale.short_bytes;
-            cfg.seed = ctx.seed;
-            // Elephants never finish; bound the run for stragglers that
-            // exhaust their SYN retries (drop-tail TCP does).
-            cfg.max_sim_time = Time::seconds(15);
-            const std::string& variant = ctx.params.get("variant");
-            if (variant == "tcp") {
-              cfg.transport.protocol = Protocol::kTcp;
-            } else if (variant == "dctcp") {
-              cfg.transport.protocol = Protocol::kDctcp;
-              cfg.fat_tree.qdisc = point_qdisc(ctx, "ecn");
-            } else if (variant == "mmptcp" || variant == "mmptcp-prio") {
-              cfg.transport.protocol = Protocol::kMmptcp;
-              cfg.transport.subflows = ctx.scale.subflows;
-              if (variant == "mmptcp-prio") {
-                cfg.fat_tree.qdisc = point_qdisc(ctx, "prio");
-                cfg.fat_tree.qdisc.classifier = PrioClassifierKind::kPsFlag;
-              }
-            } else {
-              throw ConfigError("incast_ecn: unknown variant " + variant);
-            }
-            const auto wall_start = std::chrono::steady_clock::now();
-            const IncastResult res = run_incast(cfg);
-            const double wall_secs =
-                std::chrono::duration<double>(
-                    std::chrono::steady_clock::now() - wall_start)
-                    .count();
-            RunOutcome o;
-            o.set("mean_fct_ms", res.fct_ms.count() ? res.fct_ms.mean() : 0);
-            o.set("p99_fct_ms",
-                  res.fct_ms.count() ? res.fct_ms.percentile(99) : 0);
-            o.set("makespan_ms", res.makespan.to_millis());
-            o.set("rtos", double(res.rtos));
-            o.set("syn_timeouts", double(res.syn_timeouts));
-            o.set("completion", res.completion_ratio);
-            o.set("peak_queue_pkts", double(res.peak_queue_packets));
-            o.set("ecn_marked", double(res.ecn_marked));
-            // Sidecar only: the main JSON must stay host-independent.
-            o.set_timing("events_per_second",
-                         wall_secs > 0
-                             ? double(res.events_executed) / wall_secs
-                             : 0);
-            o.set_timing("wall_seconds", wall_secs);
-            return o;
+            IncastConfig cfg = incast_battle_point(ctx);
+            apply_incast_variant(cfg, ctx, ctx.params.get("variant"));
+            return timed_incast(cfg, [](RunOutcome& o,
+                                        const IncastResult& res) {
+              o.set("mean_fct_ms",
+                    res.fct_ms.count() ? res.fct_ms.mean() : 0);
+              o.set("p99_fct_ms",
+                    res.fct_ms.count() ? res.fct_ms.percentile(99) : 0);
+              o.set("makespan_ms", res.makespan.to_millis());
+              o.set("rtos", double(res.rtos));
+              o.set("syn_timeouts", double(res.syn_timeouts));
+              o.set("completion", res.completion_ratio);
+              o.set("peak_queue_pkts", double(res.peak_queue_packets));
+              o.set("ecn_marked", double(res.ecn_marked));
+            });
           },
       // Gate thresholds for --compare: FCT/makespan may only degrade so
       // far; count metrics get absolute slack (they sit near zero where
@@ -652,18 +709,113 @@ void register_qdisc(Registry& r) {
   });
 
   r.add({
+      .name = "battle_ecn",
+      .artefact = "the paper's short-vs-long battle, refought on an "
+                  "ECN-marking fabric",
+      .description = "burst of shorts vs background elephants into one "
+                     "receiver, every switch port marking at ecn_k: "
+                     "ECN-blind mmptcp vs per-subflow-alpha mmptcp-dctcp "
+                     "(plus dctcp / mptcp-dctcp references)",
+      .notes = "expected shape: both can still win — mmptcp-dctcp keeps "
+               "the elephants' standing queue at the mark point, so "
+               "short-flow FCT (mean and tail) and peak_queue_pkts drop "
+               "versus ECN-blind mmptcp while elephant goodput holds; "
+               "mmptcp-ecn shows the marking fabric alone buys the "
+               "ECN-blind family nothing.",
+      .axes = fixed_axes({{"variant",
+                           {"mmptcp-ecn", "mmptcp-dctcp", "mptcp-dctcp",
+                            "dctcp"}},
+                          {"senders", {"24"}},
+                          {"long_senders", {"4"}},
+                          {"warmup_ms", {"300"}},
+                          {"ecn_k", {"20"}},
+                          // Byte-mode marking threshold (0 = packet mode
+                          // only); sweep with --set ecn_k_bytes=28000 for
+                          // the K-in-bytes comparison.
+                          {"ecn_k_bytes", {"0"}},
+                          {"bands", {"2"}}}),
+      .run =
+          [](const RunContext& ctx) {
+            IncastConfig cfg = incast_battle_point(ctx);
+            apply_incast_variant(cfg, ctx, ctx.params.get("variant"));
+            return timed_incast(cfg, [](RunOutcome& o,
+                                        const IncastResult& res) {
+              o.set("mean_fct_ms",
+                    res.fct_ms.count() ? res.fct_ms.mean() : 0);
+              o.set("p99_fct_ms",
+                    res.fct_ms.count() ? res.fct_ms.percentile(99) : 0);
+              o.set("makespan_ms", res.makespan.to_millis());
+              o.set("rtos", double(res.rtos));
+              o.set("completion", res.completion_ratio);
+              o.set("long_goodput_mbps", res.long_goodput_mbps.count()
+                                             ? res.long_goodput_mbps.mean()
+                                             : 0);
+              o.set("peak_queue_pkts", double(res.peak_queue_packets));
+              o.set("ecn_marked", double(res.ecn_marked));
+            });
+          },
+      // The battle's gated verdict: the short-flow tail, the elephants'
+      // goodput and the standing queue may only degrade so far;
+      // improvements always pass.
+      .tolerances =
+          {
+              {.pattern = "completion",
+               .warn_pct = 1,
+               .fail_pct = 5,
+               .direction = Dir::kLowerIsWorse},
+              {.pattern = "rtos",
+               .warn_pct = 25,
+               .fail_pct = 100,
+               .abs_slack = 3,
+               .direction = Dir::kHigherIsWorse},
+              {.pattern = "long_goodput_mbps",
+               .warn_pct = 8,
+               .fail_pct = 20,
+               .direction = Dir::kLowerIsWorse},
+              {.pattern = "peak_queue_pkts",
+               .warn_pct = 10,
+               .fail_pct = 30,
+               .abs_slack = 4,
+               .direction = Dir::kHigherIsWorse},
+              {.pattern = "ecn_marked", .warn_pct = 15, .fail_pct = 50,
+               .abs_slack = 10},
+              {.pattern = "*_ms",
+               .warn_pct = 8,
+               .fail_pct = 25,
+               .abs_slack = 2,
+               .direction = Dir::kHigherIsWorse},
+              // Timing sidecar aggregates (host-dependent; CI gates them
+              // warn-only).
+              {.pattern = "events_per_second*",
+               .warn_pct = 15,
+               .fail_pct = 40,
+               .direction = Dir::kLowerIsWorse},
+              {.pattern = "wall_seconds*",
+               .warn_pct = 20,
+               .fail_pct = 60,
+               .direction = Dir::kHigherIsWorse},
+          },
+  });
+
+  r.add({
       .name = "load_sweep_qdisc",
       .artefact = "roadmap: queueing discipline x transport under the "
                   "paper workload",
       .description = "drop-tail vs ECN-marking vs strict-priority "
-                     "(bytes-sent classifier) for TCP, DCTCP and MMPTCP",
+                     "(bytes-sent classifier) for TCP, DCTCP, MMPTCP and "
+                     "the ECN-aware MPTCP family",
       .notes = "expected shape: ecn+dctcp cuts peak_queue_pkts and RTOs "
                "versus tcp+droptail; prio lifts every transport's "
                "short-flow tail by shielding young flows from elephant "
-               "queues; mmptcp stays competitive without switch help.",
-      .axes = fixed_axes({{"protocol", {"tcp", "dctcp", "mmptcp"}},
+               "queues; mmptcp stays competitive without switch help; "
+               "the *-dctcp MPTCP variants only separate from their "
+               "loss-driven siblings under the ecn qdisc.",
+      .axes = fixed_axes({{"protocol",
+                           {"tcp", "dctcp", "mmptcp", "mptcp-dctcp",
+                            "mmptcp-dctcp"}},
                           {"qdisc", {"droptail", "ecn", "prio"}},
                           {"ecn_k", {"20"}},
+                          {"ecn_k_bytes", {"0"}},
                           {"bands", {"2"}}}),
       .run =
           [](const RunContext& ctx) {

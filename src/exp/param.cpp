@@ -74,6 +74,8 @@ Protocol protocol_from_string(const std::string& s) {
   if (s == "ps" || s == "packet-scatter") return Protocol::kPacketScatter;
   if (s == "mmptcp") return Protocol::kMmptcp;
   if (s == "dctcp") return Protocol::kDctcp;
+  if (s == "mptcp-dctcp") return Protocol::kMptcpDctcp;
+  if (s == "mmptcp-dctcp") return Protocol::kMmptcpDctcp;
   throw ConfigError("unknown protocol: " + s);
 }
 
@@ -84,6 +86,8 @@ std::string protocol_axis_name(Protocol p) {
     case Protocol::kPacketScatter: return "ps";
     case Protocol::kMmptcp: return "mmptcp";
     case Protocol::kDctcp: return "dctcp";
+    case Protocol::kMptcpDctcp: return "mptcp-dctcp";
+    case Protocol::kMmptcpDctcp: return "mmptcp-dctcp";
   }
   throw InvariantError("unhandled protocol");
 }

@@ -51,21 +51,26 @@ double LiaCoupler::alpha() const {
   return lia_alpha(views);
 }
 
-LiaCc::LiaCc(std::uint32_t mss, std::uint32_t initial_cwnd_segments,
-             const LiaCoupler* coupler)
-    : CongestionControl(mss, initial_cwnd_segments), coupler_(coupler) {
-  check(coupler != nullptr, "LiaCc needs a coupler");
+LiaIncrease::LiaIncrease(const LiaCoupler* coupler) : coupler_(coupler) {
+  check(coupler != nullptr, "LIA increase needs a coupler");
 }
 
-void LiaCc::congestion_avoidance_increase(std::uint64_t acked) {
+std::uint64_t LiaIncrease::ca_increment(std::uint64_t acked,
+                                        std::uint64_t cwnd,
+                                        std::uint32_t mss) const {
   const double total = static_cast<double>(coupler_->total_cwnd());
   const double alpha = coupler_->alpha();
-  const double own = static_cast<double>(cwnd());
-  const double m = static_cast<double>(mss());
+  const double own = static_cast<double>(cwnd);
+  const double m = static_cast<double>(mss);
   const double coupled = alpha * static_cast<double>(acked) * m / total;
   const double uncoupled = static_cast<double>(acked) * m / own;
-  const auto inc = static_cast<std::uint64_t>(std::min(coupled, uncoupled));
-  set_cwnd(cwnd() + std::max<std::uint64_t>(inc, 1));
+  return static_cast<std::uint64_t>(std::min(coupled, uncoupled));
 }
+
+LiaCc::LiaCc(std::uint32_t mss, std::uint32_t initial_cwnd_segments,
+             const LiaCoupler* coupler)
+    : CongestionControl(mss, initial_cwnd_segments,
+                        std::make_unique<LiaIncrease>(coupler),
+                        std::make_unique<NoEcnReaction>()) {}
 
 }  // namespace mmptcp

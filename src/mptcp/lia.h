@@ -47,17 +47,26 @@ class LiaCoupler {
   std::vector<const TcpSocket*> subflows_;
 };
 
-/// Congestion controller for one LIA-coupled subflow.
+/// RFC 6356 coupled increase for one subflow — a WindowIncreasePolicy,
+/// so it composes with any ECN reaction (NoEcnReaction for classic LIA,
+/// a per-subflow DctcpReaction for ECN-aware coupled MPTCP).
+class LiaIncrease final : public WindowIncreasePolicy {
+ public:
+  explicit LiaIncrease(const LiaCoupler* coupler);
+
+  std::uint64_t ca_increment(std::uint64_t acked, std::uint64_t cwnd,
+                             std::uint32_t mss) const override;
+
+ private:
+  const LiaCoupler* coupler_;
+};
+
+/// Congestion controller for one LIA-coupled subflow (coupled increase,
+/// loss halving, ECN-blind — the classic RFC 6356 configuration).
 class LiaCc final : public CongestionControl {
  public:
   LiaCc(std::uint32_t mss, std::uint32_t initial_cwnd_segments,
         const LiaCoupler* coupler);
-
- protected:
-  void congestion_avoidance_increase(std::uint64_t acked) override;
-
- private:
-  const LiaCoupler* coupler_;
 };
 
 }  // namespace mmptcp

@@ -132,13 +132,34 @@ std::unique_ptr<Subflow> MptcpConnection::make_subflow(
 
 std::unique_ptr<CongestionControl> MptcpConnection::make_cc(
     bool coupled_subflow) {
+  return make_cc(coupled_subflow, config_.dctcp);
+}
+
+std::unique_ptr<CongestionControl> MptcpConnection::make_cc(
+    bool coupled_subflow, const DctcpConfig& dctcp) {
+  std::unique_ptr<WindowIncreasePolicy> increase;
   if (coupled_subflow) {
-    return std::make_unique<LiaCc>(config_.tcp.mss,
-                                   config_.tcp.initial_cwnd_segments,
-                                   &coupler_);
+    increase = std::make_unique<LiaIncrease>(&coupler_);
+  } else {
+    increase = std::make_unique<RenoIncrease>();
   }
-  return std::make_unique<NewRenoCc>(config_.tcp.mss,
-                                     config_.tcp.initial_cwnd_segments);
+  std::unique_ptr<EcnReactionPolicy> reaction;
+  if (config_.ecn) {
+    // One DctcpReaction per subflow: each path estimates its own marked
+    // fraction, so a congested path cuts deep while a clean sibling
+    // keeps its window — the per-subflow alpha RFC 8257 + RFC 6356
+    // composition wants.  Subflows floor at one segment, not RFC 8257's
+    // single-path two: N subflows each flooring at 2 MSS would pin 2N
+    // MSS onto a shared bottleneck (see DctcpConfig::min_cwnd_segments).
+    DctcpConfig subflow_dctcp = dctcp;
+    subflow_dctcp.min_cwnd_segments = 1;
+    reaction = std::make_unique<DctcpReaction>(subflow_dctcp);
+  } else {
+    reaction = std::make_unique<NoEcnReaction>();
+  }
+  return std::make_unique<CongestionControl>(
+      config_.tcp.mss, config_.tcp.initial_cwnd_segments,
+      std::move(increase), std::move(reaction));
 }
 
 void MptcpConnection::accept(const Packet& syn) {

@@ -20,6 +20,7 @@
 
 #include "mptcp/lia.h"
 #include "mptcp/subflow.h"
+#include "tcp/dctcp.h"
 
 namespace mmptcp {
 
@@ -42,6 +43,12 @@ struct MptcpConfig {
   TcpConfig tcp{};                ///< per-subflow socket knobs
   std::uint32_t subflow_count = 8;
   bool coupled = true;            ///< LIA on (off = uncoupled NewReno)
+  /// ECN-aware congestion control: every subflow (the packet-scatter
+  /// flow included) sets ECT on data and runs a DCTCP proportional cut
+  /// with its own per-subflow alpha; the increase policy (LIA coupling
+  /// or Reno) is unchanged.  Pair with an ECN-marking fabric.
+  bool ecn = false;
+  DctcpConfig dctcp{};            ///< per-subflow alpha knobs (ecn only)
   SchedulerKind scheduler = SchedulerKind::kEagerRoundRobin;
   bool reinject_on_rto = false;   ///< remap a timed-out subflow's data
   std::uint16_t server_port = 5001;
@@ -147,8 +154,15 @@ class MptcpConnection : public Endpoint {
   /// Creates + connects client subflows with ids [first, first+n).
   void open_client_subflows(std::uint8_t first, std::uint32_t n);
 
-  /// Builds the default congestion controller for a subflow.
+  /// Builds the congestion controller for a subflow by composing the
+  /// window-increase policy (LIA coupling when `coupled_subflow`, Reno
+  /// otherwise) with the connection's ECN reaction (a fresh per-subflow
+  /// DctcpReaction when config().ecn, loss halving otherwise).
   std::unique_ptr<CongestionControl> make_cc(bool coupled_subflow);
+  /// Same, with explicit DCTCP knobs (MMPTCP's packet-scatter flow runs
+  /// a differently tuned reaction than the phase-two subflows).
+  std::unique_ptr<CongestionControl> make_cc(bool coupled_subflow,
+                                             const DctcpConfig& dctcp);
 
   LiaCoupler& coupler() { return coupler_; }
   void poke_all_subflows();

@@ -6,14 +6,22 @@ namespace mmptcp {
 
 EcnRedQueue::EcnRedQueue(QueueLimits limits,
                          std::uint32_t mark_threshold_packets,
-                         SharedBufferPool* pool)
+                         SharedBufferPool* pool,
+                         std::uint64_t mark_threshold_bytes)
     : Qdisc(limits, pool, /*uses_default_admission=*/true),
-      threshold_(mark_threshold_packets) {
+      threshold_(mark_threshold_packets),
+      threshold_bytes_(mark_threshold_bytes) {
   require(threshold_ > 0, "ECN marking threshold must be positive");
 }
 
 void EcnRedQueue::do_push(Packet&& pkt) {
-  if (pkt.ect() && packets_.size() >= threshold_) {
+  // size_bytes() still excludes `pkt` here: the base accounts after the
+  // push, so both thresholds compare the queue the arrival *found* —
+  // byte mode marks exactly when packet mode would for equal-size
+  // segments with K_bytes = K * size.
+  const bool over_bytes =
+      threshold_bytes_ != 0 && size_bytes() >= threshold_bytes_;
+  if (pkt.ect() && (packets_.size() >= threshold_ || over_bytes)) {
     pkt.ecn |= ecn_bits::kCe;
     note_marked();
   }

@@ -5,8 +5,10 @@
 // DCTCP sets RED's min and max thresholds to the same value K and marks
 // on *instantaneous* queue length, so the switch degenerates to a simple
 // rule: an ECN-capable (ECT) arrival is CE-marked when the queue already
-// holds at least K packets.  Non-ECT traffic is unaffected — it only
-// drops when the drop-tail limits are exceeded, exactly as before.
+// holds at least K packets — or, when the byte-mode threshold is
+// enabled, at least K_bytes bytes (real switches provision K in bytes;
+// either bound marks).  Non-ECT traffic is unaffected — it only drops
+// when the drop-tail limits are exceeded, exactly as before.
 
 #include "net/qdisc/packet_ring.h"
 #include "net/qdisc/qdisc.h"
@@ -16,10 +18,14 @@ namespace mmptcp {
 /// FIFO with DCTCP-style threshold CE marking of ECT arrivals.
 class EcnRedQueue final : public Qdisc {
  public:
+  /// `mark_threshold_bytes` == 0 disables byte-mode marking (packet
+  /// threshold only, the historical behaviour).
   EcnRedQueue(QueueLimits limits, std::uint32_t mark_threshold_packets,
-              SharedBufferPool* pool = nullptr);
+              SharedBufferPool* pool = nullptr,
+              std::uint64_t mark_threshold_bytes = 0);
 
   std::uint32_t mark_threshold_packets() const { return threshold_; }
+  std::uint64_t mark_threshold_bytes() const { return threshold_bytes_; }
 
  protected:
   void do_push(Packet&& pkt) override;
@@ -27,6 +33,7 @@ class EcnRedQueue final : public Qdisc {
 
  private:
   std::uint32_t threshold_;
+  std::uint64_t threshold_bytes_;  ///< 0 = byte mode off
   PacketRing packets_;
 };
 

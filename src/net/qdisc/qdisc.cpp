@@ -79,7 +79,8 @@ std::unique_ptr<Qdisc> make_qdisc(const QdiscConfig& config,
       return std::make_unique<DropTailQueue>(limits, pool);
     case QdiscKind::kEcnRed:
       return std::make_unique<EcnRedQueue>(limits,
-                                           config.ecn_threshold_packets, pool);
+                                           config.ecn_threshold_packets, pool,
+                                           config.ecn_threshold_bytes);
     case QdiscKind::kPriority: {
       StrictPriorityQdisc::Classifier classify =
           config.classifier == PrioClassifierKind::kPsFlag

@@ -117,6 +117,12 @@ struct QdiscConfig {
   /// Mark an ECT arrival when the queue already holds >= this many
   /// packets (DCTCP's instantaneous threshold K).
   std::uint32_t ecn_threshold_packets = 20;
+  /// Byte-mode threshold alongside the packet one: also mark when the
+  /// queue already holds >= this many bytes.  Real switches provision K
+  /// in bytes, and a packet count misjudges the drain time of a queue
+  /// of small segments (ACKs, runts).  0 disables (default: packet mode
+  /// only, the historical behaviour).
+  std::uint64_t ecn_threshold_bytes = 0;
   // --- kPriority ---
   std::uint32_t bands = 2;  ///< >= 2; band 0 is served first
   PrioClassifierKind classifier = PrioClassifierKind::kPsFlag;

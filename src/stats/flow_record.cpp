@@ -9,6 +9,8 @@ std::string to_string(Protocol p) {
     case Protocol::kPacketScatter: return "PS";
     case Protocol::kMmptcp: return "MMPTCP";
     case Protocol::kDctcp: return "DCTCP";
+    case Protocol::kMptcpDctcp: return "MPTCP-DCTCP";
+    case Protocol::kMmptcpDctcp: return "MMPTCP-DCTCP";
   }
   return "?";
 }

@@ -22,6 +22,8 @@ enum class Protocol : std::uint8_t {
   kPacketScatter,  ///< MMPTCP that never leaves the PS phase (baseline)
   kMmptcp,         ///< the paper's hybrid: PS phase then MPTCP phase
   kDctcp,          ///< single-path DCTCP (needs an ECN-marking qdisc)
+  kMptcpDctcp,     ///< MPTCP with per-subflow DCTCP ECN reaction
+  kMmptcpDctcp,    ///< MMPTCP, all subflows (PS included) ECN-aware
 };
 
 std::string to_string(Protocol p);

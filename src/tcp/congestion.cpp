@@ -6,12 +6,36 @@
 
 namespace mmptcp {
 
-CongestionControl::CongestionControl(std::uint32_t mss,
-                                     std::uint32_t initial_cwnd_segments)
+std::uint64_t RenoIncrease::ca_increment(std::uint64_t acked,
+                                         std::uint64_t cwnd,
+                                         std::uint32_t mss) const {
+  // Approximately one MSS per RTT: MSS * MSS / cwnd per MSS acked.
+  return std::uint64_t(mss) * mss * acked /
+         (cwnd * std::max<std::uint64_t>(mss, 1));
+}
+
+std::uint64_t EcnReactionPolicy::loss_ssthresh(std::uint64_t flight,
+                                               std::uint32_t mss) const {
+  return std::max<std::uint64_t>(flight / 2, 2 * std::uint64_t(mss));
+}
+
+std::optional<WindowCut> EcnReactionPolicy::on_ecn_feedback(
+    std::uint64_t /*acked*/, bool /*ece*/, std::uint64_t /*snd_una*/,
+    std::uint64_t /*snd_nxt*/, std::uint64_t /*cwnd*/, std::uint32_t /*mss*/) {
+  return std::nullopt;
+}
+
+CongestionControl::CongestionControl(
+    std::uint32_t mss, std::uint32_t initial_cwnd_segments,
+    std::unique_ptr<WindowIncreasePolicy> increase,
+    std::unique_ptr<EcnReactionPolicy> reaction)
     : mss_(mss), cwnd_(std::uint64_t(mss) * initial_cwnd_segments),
-      ssthresh_(std::uint64_t(1) << 62) {
+      ssthresh_(std::uint64_t(1) << 62), increase_(std::move(increase)),
+      reaction_(std::move(reaction)) {
   check(mss > 0, "MSS must be positive");
   check(initial_cwnd_segments > 0, "initial cwnd must be at least 1 segment");
+  check(increase_ != nullptr, "congestion control needs an increase policy");
+  check(reaction_ != nullptr, "congestion control needs a reaction policy");
 }
 
 void CongestionControl::on_ack(std::uint64_t acked) {
@@ -19,19 +43,13 @@ void CongestionControl::on_ack(std::uint64_t acked) {
     // RFC 5681 ABC: grow by min(acked, MSS) per ACK.
     cwnd_ += std::min<std::uint64_t>(acked, mss_);
   } else {
-    congestion_avoidance_increase(acked);
+    const std::uint64_t inc = increase_->ca_increment(acked, cwnd_, mss_);
+    cwnd_ += std::max<std::uint64_t>(inc, 1);
   }
 }
 
-void CongestionControl::congestion_avoidance_increase(std::uint64_t acked) {
-  // Approximately one MSS per RTT: MSS * MSS / cwnd per MSS acked.
-  const std::uint64_t inc = std::uint64_t(mss_) * mss_ * acked /
-                            (cwnd_ * std::max<std::uint64_t>(mss_, 1));
-  cwnd_ += std::max<std::uint64_t>(inc, 1);
-}
-
 void CongestionControl::enter_recovery(std::uint64_t flight) {
-  ssthresh_ = std::max<std::uint64_t>(flight / 2, 2 * std::uint64_t(mss_));
+  ssthresh_ = reaction_->loss_ssthresh(flight, mss_);
   cwnd_ = ssthresh_ + 3 * std::uint64_t(mss_);
 }
 
@@ -50,8 +68,24 @@ void CongestionControl::undo_after_spurious(std::uint64_t prior_cwnd,
 }
 
 void CongestionControl::on_rto(std::uint64_t flight) {
-  ssthresh_ = std::max<std::uint64_t>(flight / 2, 2 * std::uint64_t(mss_));
+  ssthresh_ = reaction_->loss_ssthresh(flight, mss_);
   cwnd_ = mss_;
 }
+
+void CongestionControl::on_ecn_feedback(std::uint64_t acked, bool ece,
+                                        std::uint64_t snd_una,
+                                        std::uint64_t snd_nxt) {
+  if (const auto cut =
+          reaction_->on_ecn_feedback(acked, ece, snd_una, snd_nxt, cwnd_,
+                                     mss_)) {
+    cwnd_ = cut->cwnd;
+    ssthresh_ = cut->ssthresh;
+  }
+}
+
+NewRenoCc::NewRenoCc(std::uint32_t mss, std::uint32_t initial_cwnd_segments)
+    : CongestionControl(mss, initial_cwnd_segments,
+                        std::make_unique<RenoIncrease>(),
+                        std::make_unique<NoEcnReaction>()) {}
 
 }  // namespace mmptcp

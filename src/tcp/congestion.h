@@ -1,23 +1,96 @@
 #pragma once
 
-// Congestion control.
+// Congestion control, split into orthogonal composable policies.
 //
 // The socket owns the NewReno recovery *mechanics* (dup-ACK counting,
 // recover point, partial ACKs); the CongestionControl object owns the
-// *window arithmetic*.  MPTCP's LIA plugs in by overriding the congestion
-// avoidance increase only — slow start and loss responses are per-subflow,
-// exactly as RFC 6356 specifies.
+// *window arithmetic* and delegates the two axes that actually vary
+// between transports to pluggable policies:
+//
+//   * WindowIncreasePolicy — how the window grows in congestion
+//     avoidance.  RenoIncrease (one MSS per RTT) and LiaIncrease
+//     (RFC 6356 coupling, mptcp/lia.h) ship today.  Slow start is
+//     identical everywhere (RFC 5681 ABC) and stays in the base.
+//   * EcnReactionPolicy — whether the flow is ECN-capable and how it
+//     reacts to CE echoes, plus the multiplicative-decrease target on
+//     loss.  NoEcnReaction (loss halving, ECN ignored) and
+//     DctcpReaction (alpha EWMA, proportional cut, tcp/dctcp.h) ship
+//     today.
+//
+// Any increase policy pairs with any reaction policy, so MPTCP's
+// coupled increase can run DCTCP's proportional ECN response per
+// subflow — the combination the ECN-blind inheritance lattice that
+// preceded this layer could not express.
 
 #include <cstdint>
+#include <memory>
+#include <optional>
 
 #include "sim/time.h"
 
 namespace mmptcp {
 
+/// How the window grows on a new-data ACK in congestion avoidance.
+class WindowIncreasePolicy {
+ public:
+  virtual ~WindowIncreasePolicy() = default;
+
+  /// cwnd increment in bytes for `acked` newly acknowledged bytes at the
+  /// current window.  The caller grows the window by at least one byte
+  /// regardless, so policies may round down to zero freely.
+  virtual std::uint64_t ca_increment(std::uint64_t acked, std::uint64_t cwnd,
+                                     std::uint32_t mss) const = 0;
+};
+
+/// NewReno congestion avoidance: approximately one MSS per RTT.
+class RenoIncrease final : public WindowIncreasePolicy {
+ public:
+  std::uint64_t ca_increment(std::uint64_t acked, std::uint64_t cwnd,
+                             std::uint32_t mss) const override;
+};
+
+/// A window cut requested by an ECN reaction (applied to cwnd AND
+/// ssthresh, mirroring RFC 8257's reduction).
+struct WindowCut {
+  std::uint64_t cwnd = 0;
+  std::uint64_t ssthresh = 0;
+};
+
+/// ECN capability + CE-echo reaction + loss-decrease target.
+class EcnReactionPolicy {
+ public:
+  virtual ~EcnReactionPolicy() = default;
+
+  /// True when the socket should set ECT on outgoing data segments and
+  /// feed ECE echoes back through on_ecn_feedback.
+  virtual bool ecn_capable() const { return false; }
+
+  /// Multiplicative-decrease target on a loss event (fast retransmit or
+  /// RTO): classic halving, never below two segments.  RFC 8257 keeps
+  /// this for DCTCP too, so both shipping policies share the default.
+  virtual std::uint64_t loss_ssthresh(std::uint64_t flight,
+                                      std::uint32_t mss) const;
+
+  /// ECN feedback from a cumulative ACK of `acked` new bytes; `ece` is
+  /// the receiver's CE echo.  `snd_una`/`snd_nxt` delimit the sender's
+  /// stream position so implementations can tell observation windows
+  /// (RTTs) apart.  Returns the window cut to apply, if any.
+  virtual std::optional<WindowCut> on_ecn_feedback(
+      std::uint64_t acked, bool ece, std::uint64_t snd_una,
+      std::uint64_t snd_nxt, std::uint64_t cwnd, std::uint32_t mss);
+};
+
+/// Loss halving only; CE echoes are ignored and ECT is never set.
+class NoEcnReaction final : public EcnReactionPolicy {};
+
 /// Window arithmetic for one (sub)flow.  All quantities in bytes.
+/// Concrete: behaviour is selected by the two injected policies, not by
+/// subclassing (the convenience leaf types below only pick policies).
 class CongestionControl {
  public:
-  CongestionControl(std::uint32_t mss, std::uint32_t initial_cwnd_segments);
+  CongestionControl(std::uint32_t mss, std::uint32_t initial_cwnd_segments,
+                    std::unique_ptr<WindowIncreasePolicy> increase,
+                    std::unique_ptr<EcnReactionPolicy> reaction);
   virtual ~CongestionControl() = default;
 
   std::uint64_t cwnd() const { return cwnd_; }
@@ -28,7 +101,7 @@ class CongestionControl {
   /// New cumulative ACK of `acked` bytes in normal (non-recovery) state.
   void on_ack(std::uint64_t acked);
 
-  /// Entering fast recovery: ssthresh = max(flight/2, 2*MSS),
+  /// Entering fast recovery: ssthresh = reaction's loss target,
   /// cwnd = ssthresh + 3*MSS (RFC 6582).
   void enter_recovery(std::uint64_t flight);
 
@@ -42,7 +115,7 @@ class CongestionControl {
   /// Full ACK ends recovery: cwnd collapses to ssthresh.
   void exit_recovery() { cwnd_ = ssthresh_; }
 
-  /// Retransmission timeout: ssthresh = max(flight/2, 2*MSS), cwnd = 1 MSS.
+  /// Retransmission timeout: ssthresh = loss target, cwnd = 1 MSS.
   void on_rto(std::uint64_t flight);
 
   /// RR-TCP style undo: a DSACK proved the loss inference wrong, so the
@@ -51,35 +124,31 @@ class CongestionControl {
                            std::uint64_t prior_ssthresh);
 
   /// True when the socket should set ECT on outgoing data segments and
-  /// feed ECE echoes back through on_ecn_feedback (DCTCP overrides).
-  virtual bool ecn_capable() const { return false; }
+  /// feed ECE echoes back through on_ecn_feedback.
+  bool ecn_capable() const { return reaction_->ecn_capable(); }
 
-  /// ECN feedback from a cumulative ACK of `acked` new bytes; `ece` is
-  /// the receiver's CE echo.  `snd_una`/`snd_nxt` delimit the sender's
-  /// stream position so implementations can tell observation windows
-  /// (RTTs) apart.  Default: ignore.
-  virtual void on_ecn_feedback(std::uint64_t /*acked*/, bool /*ece*/,
-                               std::uint64_t /*snd_una*/,
-                               std::uint64_t /*snd_nxt*/) {}
+  /// ECN feedback from a cumulative ACK (delegated to the reaction
+  /// policy; outside loss recovery only — the socket guarantees that).
+  void on_ecn_feedback(std::uint64_t acked, bool ece, std::uint64_t snd_una,
+                       std::uint64_t snd_nxt);
 
- protected:
-  /// Congestion-avoidance increase for `acked` bytes (NewReno default:
-  /// one MSS per window, i.e. cwnd += MSS*acked/cwnd per ACK).
-  virtual void congestion_avoidance_increase(std::uint64_t acked);
-
-  void set_cwnd(std::uint64_t cwnd) { cwnd_ = cwnd; }
-  void set_ssthresh(std::uint64_t ssthresh) { ssthresh_ = ssthresh; }
+  /// The installed policies (introspection: stats, tests).
+  const WindowIncreasePolicy& increase_policy() const { return *increase_; }
+  const EcnReactionPolicy& reaction_policy() const { return *reaction_; }
 
  private:
   std::uint32_t mss_;
   std::uint64_t cwnd_;
   std::uint64_t ssthresh_;
+  std::unique_ptr<WindowIncreasePolicy> increase_;
+  std::unique_ptr<EcnReactionPolicy> reaction_;
 };
 
-/// Plain NewReno (used by single-path TCP and the packet-scatter phase).
+/// Plain NewReno (used by single-path TCP and the packet-scatter phase):
+/// Reno increase, loss halving, ECN-blind.
 class NewRenoCc final : public CongestionControl {
  public:
-  using CongestionControl::CongestionControl;
+  NewRenoCc(std::uint32_t mss, std::uint32_t initial_cwnd_segments);
 };
 
 }  // namespace mmptcp

@@ -6,39 +6,51 @@
 
 namespace mmptcp {
 
-DctcpCc::DctcpCc(std::uint32_t mss, std::uint32_t initial_cwnd_segments,
-                 DctcpConfig config)
-    : CongestionControl(mss, initial_cwnd_segments), config_(config),
-      alpha_(config.initial_alpha) {
+DctcpReaction::DctcpReaction(DctcpConfig config)
+    : config_(config), alpha_(config.initial_alpha) {
   require(config.gain > 0.0 && config.gain <= 1.0,
           "DCTCP gain must be in (0, 1]");
   require(config.initial_alpha >= 0.0 && config.initial_alpha <= 1.0,
           "DCTCP initial alpha must be in [0, 1]");
+  require(config.min_cwnd_segments >= 1,
+          "DCTCP window floor must be at least one segment");
 }
 
-void DctcpCc::on_ecn_feedback(std::uint64_t acked, bool ece,
-                              std::uint64_t snd_una, std::uint64_t snd_nxt) {
+std::optional<WindowCut> DctcpReaction::on_ecn_feedback(
+    std::uint64_t acked, bool ece, std::uint64_t snd_una,
+    std::uint64_t snd_nxt, std::uint64_t cwnd, std::uint32_t mss) {
   acked_bytes_ += acked;
   if (ece) marked_bytes_ += acked;
-  if (snd_una < window_end_) return;
+  if (snd_una < window_end_) return std::nullopt;
   // One observation window (~1 RTT of data) fully acknowledged: fold the
   // marked fraction into alpha, react once, start the next window.
+  std::optional<WindowCut> cut;
   if (acked_bytes_ > 0) {
     const double fraction = static_cast<double>(marked_bytes_) /
                             static_cast<double>(acked_bytes_);
     alpha_ = (1.0 - config_.gain) * alpha_ + config_.gain * fraction;
     if (marked_bytes_ > 0) {
       const auto reduced = static_cast<std::uint64_t>(
-          static_cast<double>(cwnd()) * (1.0 - alpha_ / 2.0));
-      const std::uint64_t floor = 2 * std::uint64_t(mss());
-      set_cwnd(std::max(reduced, floor));
-      set_ssthresh(std::max(reduced, floor));
-      ++reductions_;
+          static_cast<double>(cwnd) * (1.0 - alpha_ / 2.0));
+      const std::uint64_t depth = cwnd > reduced ? cwnd - reduced : 0;
+      if (depth >= std::uint64_t(config_.min_cut_segments) * mss) {
+        const std::uint64_t floor =
+            std::uint64_t(config_.min_cwnd_segments) * mss;
+        cut = WindowCut{std::max(reduced, floor), std::max(reduced, floor)};
+        ++reductions_;
+      }
     }
   }
   acked_bytes_ = 0;
   marked_bytes_ = 0;
   window_end_ = snd_nxt;
+  return cut;
 }
+
+DctcpCc::DctcpCc(std::uint32_t mss, std::uint32_t initial_cwnd_segments,
+                 DctcpConfig config)
+    : CongestionControl(mss, initial_cwnd_segments,
+                        std::make_unique<RenoIncrease>(),
+                        std::make_unique<DctcpReaction>(config)) {}
 
 }  // namespace mmptcp

@@ -2,14 +2,20 @@
 
 // DCTCP congestion control (Alizadeh et al., SIGCOMM 2010 / RFC 8257).
 //
-// The switch marks CE on ECT packets above an instantaneous threshold K
-// (EcnRedQueue); the receiver echoes each segment's CE as ECE on its ACK
-// (this simulator ACKs every segment, which is exactly the per-packet
-// echo DCTCP wants); the sender maintains an EWMA `alpha` of the marked
+// The switch marks CE on ECT packets above a threshold K (EcnRedQueue);
+// the receiver echoes each segment's CE as ECE on its ACK (this
+// simulator ACKs every segment, which is exactly the per-packet echo
+// DCTCP wants); the sender maintains an EWMA `alpha` of the marked
 // fraction per observation window (~1 RTT of data) and cuts cwnd
 // *proportionally* to it — a window with few marks costs a small
-// reduction instead of NewReno's half.  Loss handling is inherited from
-// the NewReno mechanics unchanged, as RFC 8257 prescribes.
+// reduction instead of NewReno's half.  Loss handling keeps the NewReno
+// mechanics unchanged, as RFC 8257 prescribes.
+//
+// The ECN reaction is a standalone EcnReactionPolicy, so it composes
+// with any window-increase policy: DctcpCc below pairs it with Reno
+// (single-path DCTCP); MptcpConnection::make_cc pairs a fresh
+// DctcpReaction per subflow with LIA coupling (coupled ECN-aware MPTCP,
+// one independent alpha per subflow).
 
 #include "tcp/congestion.h"
 
@@ -19,17 +25,38 @@ namespace mmptcp {
 struct DctcpConfig {
   double gain = 1.0 / 16.0;    ///< alpha EWMA gain g
   double initial_alpha = 1.0;  ///< conservative start (RFC 8257 §4.2)
+  /// Lower bound on the window after a proportional cut, in segments.
+  /// RFC 8257's two-segment floor is a *single-path* safety margin: an
+  /// N-subflow connection flooring every subflow at 2 MSS holds 2N MSS
+  /// at a shared bottleneck — far more than the single DCTCP flow it
+  /// competes with.  MptcpConnection::make_cc therefore floors subflows
+  /// at one segment (aggregate floor ~N MSS, do-no-harm-ish) while
+  /// single-path DctcpCc keeps the RFC default.
+  std::uint32_t min_cwnd_segments = 2;
+  /// Cuts shallower than this many segments are skipped outright: the
+  /// window is left alone (and slow start, if active, continues) while
+  /// alpha keeps learning.  Windows move in segment quanta, so a
+  /// sub-segment reduction cannot change what the flow may send — but
+  /// applying it would still collapse ssthresh and end slow start, a
+  /// large response to a cosmetic cut.  0 = RFC 8257 behaviour (any
+  /// marked window reduces), the default for single-path DCTCP;
+  /// MMPTCP's scatter flow sets 1 so a fresh short flow is not knocked
+  /// out of slow start by a near-zero alpha.
+  std::uint32_t min_cut_segments = 0;
 };
 
-/// DCTCP window arithmetic: NewReno plus proportional ECN response.
-class DctcpCc final : public CongestionControl {
+/// Per-flow DCTCP state machine: alpha EWMA over per-window marked
+/// fractions, one proportional cut per observation window.
+class DctcpReaction final : public EcnReactionPolicy {
  public:
-  DctcpCc(std::uint32_t mss, std::uint32_t initial_cwnd_segments,
-          DctcpConfig config = DctcpConfig{});
+  explicit DctcpReaction(DctcpConfig config = DctcpConfig{});
 
   bool ecn_capable() const override { return true; }
-  void on_ecn_feedback(std::uint64_t acked, bool ece, std::uint64_t snd_una,
-                       std::uint64_t snd_nxt) override;
+  std::optional<WindowCut> on_ecn_feedback(std::uint64_t acked, bool ece,
+                                           std::uint64_t snd_una,
+                                           std::uint64_t snd_nxt,
+                                           std::uint64_t cwnd,
+                                           std::uint32_t mss) override;
 
   double alpha() const { return alpha_; }
   /// Proportional window reductions performed (one max per window).
@@ -42,6 +69,21 @@ class DctcpCc final : public CongestionControl {
   std::uint64_t acked_bytes_ = 0;  ///< bytes acked this window
   std::uint64_t marked_bytes_ = 0; ///< of which ECE-marked
   std::uint64_t reductions_ = 0;
+};
+
+/// Single-path DCTCP: Reno increase + proportional ECN response.
+class DctcpCc final : public CongestionControl {
+ public:
+  DctcpCc(std::uint32_t mss, std::uint32_t initial_cwnd_segments,
+          DctcpConfig config = DctcpConfig{});
+
+  double alpha() const { return dctcp().alpha(); }
+  std::uint64_t ecn_reductions() const { return dctcp().ecn_reductions(); }
+
+ private:
+  const DctcpReaction& dctcp() const {
+    return static_cast<const DctcpReaction&>(reaction_policy());
+  }
 };
 
 }  // namespace mmptcp

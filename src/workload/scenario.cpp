@@ -284,6 +284,8 @@ IncastResult run_incast(const IncastConfig& config) {
   result.completion_ratio =
       metrics.short_flow_completion_ratio(transport.protocol);
   result.makespan = last;
+  result.long_goodput_mbps =
+      metrics.long_flow_goodput_mbps(transport.protocol, sim.now());
   result.ecn_marked = total_marked_packets(ft.network());
   result.peak_queue_packets = peak_switch_queue_packets(ft.network());
   result.events_executed = sim.scheduler().executed();

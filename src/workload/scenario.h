@@ -164,6 +164,9 @@ struct IncastResult {
   std::uint64_t fast_retransmits = 0;
   double completion_ratio = 0.0;
   Time makespan;  ///< last completion time
+  /// Per-elephant goodput (Mb/s over each long flow's lifetime); empty
+  /// when the run has no long senders.
+  Summary long_goodput_mbps;
   std::uint64_t ecn_marked = 0;          ///< CE marks across all qdiscs
   std::uint64_t peak_queue_packets = 0;  ///< max occupancy over switch ports
   /// Scheduler events the run executed.  Deterministic; specs divide it

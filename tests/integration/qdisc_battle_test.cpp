@@ -60,6 +60,45 @@ TEST(QdiscBattle, PriorityBandsImproveShortFlowFctUnderMmptcp) {
   EXPECT_LT(pr.fct_ms.mean(), dt.fct_ms.mean());
 }
 
+/// The PR 5 acceptance point: at a fan-in past the drop-tail cap, the
+/// ECN-aware MMPTCP (per-subflow DCTCP alpha on every subflow, scatter
+/// flow included) must beat ECN-blind MMPTCP on mean short-flow FCT AND
+/// peak queue on every gated seed, while the elephants keep goodput.
+TEST(QdiscBattle, MmptcpDctcpWinsTheHighFanInBattleOnEverySeed) {
+  for (std::uint64_t seed : {1u, 2u}) {
+    IncastConfig blind = battle_config();
+    blind.seed = seed;
+    blind.senders = 24;
+    blind.long_senders = 4;
+    blind.transport.protocol = Protocol::kMmptcp;
+    blind.transport.subflows = 8;
+    // Marking fabric for both: non-ECT traffic just sees drop-tail.
+    blind.fat_tree.qdisc.kind = QdiscKind::kEcnRed;
+    blind.fat_tree.qdisc.ecn_threshold_packets = 20;
+    const IncastResult bl = run_incast(blind);
+    EXPECT_EQ(bl.ecn_marked, 0u) << "ECN-blind family must not set ECT";
+
+    IncastConfig aware = blind;
+    aware.transport.protocol = Protocol::kMmptcpDctcp;
+    aware.transport.subflows = 2;  // the lean ECN pool the specs use
+    const IncastResult aw = run_incast(aware);
+
+    ASSERT_GT(bl.fct_ms.count(), 0u);
+    ASSERT_GT(aw.fct_ms.count(), 0u);
+    EXPECT_GT(aw.ecn_marked, 0u);
+    EXPECT_EQ(aw.completion_ratio, 1.0);
+    EXPECT_LT(aw.fct_ms.mean(), bl.fct_ms.mean()) << "seed " << seed;
+    EXPECT_LT(aw.peak_queue_packets, bl.peak_queue_packets)
+        << "seed " << seed;
+    // The elephants win too: no RTO-silenced subflows, so their goodput
+    // must not fall below the blind family's.
+    ASSERT_GT(aw.long_goodput_mbps.count(), 0u);
+    ASSERT_GT(bl.long_goodput_mbps.count(), 0u);
+    EXPECT_GE(aw.long_goodput_mbps.mean(), bl.long_goodput_mbps.mean())
+        << "seed " << seed;
+  }
+}
+
 TEST(QdiscBattle, DelayedBurstStillCompletesWithoutElephants) {
   // short_start + the completion poll must compose with long_senders = 0.
   IncastConfig cfg;

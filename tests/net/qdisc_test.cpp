@@ -69,6 +69,53 @@ TEST(EcnRedQueue, RejectsZeroThreshold) {
   EXPECT_THROW(EcnRedQueue({0, 0}, 0), ConfigError);
 }
 
+TEST(EcnRedQueue, ByteModeMarksBeforePacketThreshold) {
+  // K = 100 packets (never reached) but 400 bytes: three 140-byte
+  // packets put 420 bytes in the queue, so the fourth arrival marks.
+  EcnRedQueue q({0, 0}, 100, nullptr, /*mark_threshold_bytes=*/400);
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, true)));
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, true)));
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, true)));
+  EXPECT_EQ(q.marked_packets(), 0u);  // found at most 280 bytes so far
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, true)));
+  EXPECT_EQ(q.marked_packets(), 1u);  // found 420 >= 400
+  EXPECT_EQ(q.mark_threshold_bytes(), 400u);
+}
+
+TEST(EcnRedQueue, ByteModeIsInstantaneousToo) {
+  EcnRedQueue q({0, 0}, 100, nullptr, 400);
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(q.try_push(data_packet(100, 0, true)));
+  }
+  EXPECT_EQ(q.marked_packets(), 1u);
+  q.pop();
+  q.pop();  // occupancy back to 280 bytes
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, true)));
+  EXPECT_EQ(q.marked_packets(), 1u);  // clean again below the threshold
+}
+
+TEST(EcnRedQueue, ByteModeIgnoresNonEct) {
+  EcnRedQueue q({0, 0}, 100, nullptr, 100);
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, /*ect=*/true)));
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, /*ect=*/false)));
+  EXPECT_EQ(q.marked_packets(), 0u);  // non-ECT passes unmarked
+  ASSERT_TRUE(q.try_push(data_packet(100, 0, /*ect=*/true)));
+  EXPECT_EQ(q.marked_packets(), 1u);
+  EXPECT_FALSE(q.pop()->ce());
+  EXPECT_FALSE(q.pop()->ce());
+  EXPECT_TRUE(q.pop()->ce());
+}
+
+TEST(EcnRedQueue, ZeroByteThresholdDisablesByteMode) {
+  // Default configuration: only the packet threshold marks, no matter
+  // how many bytes sit in the queue.
+  EcnRedQueue q({0, 0}, 100, nullptr, 0);
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(q.try_push(data_packet(1400, 0, true)));
+  }
+  EXPECT_EQ(q.marked_packets(), 0u);
+}
+
 // -------------------------------------------------------------- Priority
 
 TEST(StrictPriorityQdisc, HighBandDequeuedFirst) {
@@ -187,10 +234,12 @@ TEST(QdiscFactory, BuildsEachKind) {
 
   cfg.kind = QdiscKind::kEcnRed;
   cfg.ecn_threshold_packets = 7;
+  cfg.ecn_threshold_bytes = 9000;
   auto red = make_qdisc(cfg, {10, 0}, nullptr);
   auto* red_q = dynamic_cast<EcnRedQueue*>(red.get());
   ASSERT_NE(red_q, nullptr);
   EXPECT_EQ(red_q->mark_threshold_packets(), 7u);
+  EXPECT_EQ(red_q->mark_threshold_bytes(), 9000u);
 
   cfg.kind = QdiscKind::kPriority;
   cfg.bands = 3;

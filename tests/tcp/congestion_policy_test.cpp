@@ -1,0 +1,384 @@
+// The composable congestion layer must be arithmetic-for-arithmetic
+// identical to the monolithic classes it replaced: sweep JSONs are
+// byte-compared in CI, so even one-ULP drift in a cwnd trace would show
+// up as a baseline diff.  The Legacy* classes below replicate the
+// pre-refactor inheritance-lattice arithmetic verbatim and serve as the
+// oracle for deterministic event scripts.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "mptcp/lia.h"
+#include "tcp/congestion.h"
+#include "tcp/dctcp.h"
+#include "util/check.h"
+
+namespace mmptcp {
+namespace {
+
+// ---------------------------------------------------------------------
+// Pre-refactor oracle: CongestionControl as it looked when NewReno, LIA
+// and DCTCP were sibling leaf classes overriding virtuals.
+// ---------------------------------------------------------------------
+
+class LegacyCc {
+ public:
+  LegacyCc(std::uint32_t mss, std::uint32_t iw)
+      : mss_(mss), cwnd_(std::uint64_t(mss) * iw),
+        ssthresh_(std::uint64_t(1) << 62) {}
+  virtual ~LegacyCc() = default;
+
+  std::uint64_t cwnd() const { return cwnd_; }
+  std::uint64_t ssthresh() const { return ssthresh_; }
+  bool in_slow_start() const { return cwnd_ < ssthresh_; }
+
+  void on_ack(std::uint64_t acked) {
+    if (in_slow_start()) {
+      cwnd_ += std::min<std::uint64_t>(acked, mss_);
+    } else {
+      congestion_avoidance_increase(acked);
+    }
+  }
+  void enter_recovery(std::uint64_t flight) {
+    ssthresh_ = std::max<std::uint64_t>(flight / 2, 2 * std::uint64_t(mss_));
+    cwnd_ = ssthresh_ + 3 * std::uint64_t(mss_);
+  }
+  void dupack_inflate() { cwnd_ += mss_; }
+  void partial_ack(std::uint64_t acked) {
+    const std::uint64_t room = cwnd_ > mss_ ? cwnd_ - mss_ : 0;
+    cwnd_ -= std::min(acked, room);
+    cwnd_ += mss_;
+  }
+  void exit_recovery() { cwnd_ = ssthresh_; }
+  void on_rto(std::uint64_t flight) {
+    ssthresh_ = std::max<std::uint64_t>(flight / 2, 2 * std::uint64_t(mss_));
+    cwnd_ = mss_;
+  }
+  void undo_after_spurious(std::uint64_t pc, std::uint64_t ps) {
+    cwnd_ = std::max<std::uint64_t>(pc, mss_);
+    ssthresh_ = std::max<std::uint64_t>(ps, 2 * std::uint64_t(mss_));
+  }
+  virtual void on_ecn_feedback(std::uint64_t, bool, std::uint64_t,
+                               std::uint64_t) {}
+
+ protected:
+  virtual void congestion_avoidance_increase(std::uint64_t acked) {
+    const std::uint64_t inc = std::uint64_t(mss_) * mss_ * acked /
+                              (cwnd_ * std::max<std::uint64_t>(mss_, 1));
+    cwnd_ += std::max<std::uint64_t>(inc, 1);
+  }
+  std::uint32_t mss_;
+  std::uint64_t cwnd_;
+  std::uint64_t ssthresh_;
+};
+
+class LegacyDctcp final : public LegacyCc {
+ public:
+  LegacyDctcp(std::uint32_t mss, std::uint32_t iw, double gain,
+              double initial_alpha)
+      : LegacyCc(mss, iw), gain_(gain), alpha_(initial_alpha) {}
+
+  void on_ecn_feedback(std::uint64_t acked, bool ece, std::uint64_t snd_una,
+                       std::uint64_t snd_nxt) override {
+    acked_ += acked;
+    if (ece) marked_ += acked;
+    if (snd_una < window_end_) return;
+    if (acked_ > 0) {
+      const double fraction =
+          static_cast<double>(marked_) / static_cast<double>(acked_);
+      alpha_ = (1.0 - gain_) * alpha_ + gain_ * fraction;
+      if (marked_ > 0) {
+        const auto reduced = static_cast<std::uint64_t>(
+            static_cast<double>(cwnd_) * (1.0 - alpha_ / 2.0));
+        const std::uint64_t floor = 2 * std::uint64_t(mss_);
+        cwnd_ = std::max(reduced, floor);
+        ssthresh_ = std::max(reduced, floor);
+      }
+    }
+    acked_ = 0;
+    marked_ = 0;
+    window_end_ = snd_nxt;
+  }
+  double alpha() const { return alpha_; }
+
+ private:
+  double gain_;
+  double alpha_;
+  std::uint64_t window_end_ = 0;
+  std::uint64_t acked_ = 0;
+  std::uint64_t marked_ = 0;
+};
+
+/// LIA with the degenerate empty coupler (total=1, alpha=1), matching
+/// how LiaCc behaves before any subflow registers.
+class LegacyLiaUncoupled final : public LegacyCc {
+ public:
+  using LegacyCc::LegacyCc;
+
+ protected:
+  void congestion_avoidance_increase(std::uint64_t acked) override {
+    const double total = 1.0;
+    const double alpha = 1.0;
+    const double own = static_cast<double>(cwnd_);
+    const double m = static_cast<double>(mss_);
+    const double coupled = alpha * static_cast<double>(acked) * m / total;
+    const double uncoupled = static_cast<double>(acked) * m / own;
+    const auto inc = static_cast<std::uint64_t>(std::min(coupled, uncoupled));
+    cwnd_ += std::max<std::uint64_t>(inc, 1);
+  }
+};
+
+// ---------------------------------------------------------------------
+// Deterministic event scripts.
+// ---------------------------------------------------------------------
+
+constexpr std::uint32_t kMss = 1400;
+
+/// Tiny deterministic LCG so the scripts mix sizes without <random>.
+struct Lcg {
+  std::uint64_t s = 42;
+  std::uint64_t next(std::uint64_t bound) {
+    s = s * 6364136223846793005ULL + 1442695040888963407ULL;
+    return (s >> 33) % bound;
+  }
+};
+
+#define EXPECT_SAME_WINDOW(nc, lc, step)                                  \
+  do {                                                                    \
+    EXPECT_EQ((nc).cwnd(), (lc).cwnd()) << "step " << (step);             \
+    EXPECT_EQ((nc).ssthresh(), (lc).ssthresh()) << "step " << (step);     \
+  } while (0)
+
+/// Mixed lifetime: slow start, CA, recovery cycle, RTO, undo.
+template <typename NewCc, typename OldCc>
+void run_loss_script(NewCc& nc, OldCc& lc) {
+  Lcg rng;
+  int step = 0;
+  for (int round = 0; round < 4; ++round) {
+    for (int i = 0; i < 40; ++i) {
+      const std::uint64_t acked = 1 + rng.next(3 * kMss);
+      nc.on_ack(acked);
+      lc.on_ack(acked);
+      EXPECT_SAME_WINDOW(nc, lc, ++step);
+    }
+    const std::uint64_t flight = nc.cwnd() / 2 + rng.next(nc.cwnd() + 1);
+    nc.enter_recovery(flight);
+    lc.enter_recovery(flight);
+    EXPECT_SAME_WINDOW(nc, lc, ++step);
+    for (int i = 0; i < 5; ++i) {
+      nc.dupack_inflate();
+      lc.dupack_inflate();
+      const std::uint64_t part = 1 + rng.next(2 * kMss);
+      nc.partial_ack(part);
+      lc.partial_ack(part);
+      EXPECT_SAME_WINDOW(nc, lc, ++step);
+    }
+    nc.exit_recovery();
+    lc.exit_recovery();
+    EXPECT_SAME_WINDOW(nc, lc, ++step);
+    if (round == 1) {
+      nc.on_rto(nc.cwnd());
+      lc.on_rto(lc.cwnd());
+      EXPECT_SAME_WINDOW(nc, lc, ++step);
+    }
+    if (round == 2) {
+      nc.undo_after_spurious(37 * kMss, 19 * kMss);
+      lc.undo_after_spurious(37 * kMss, 19 * kMss);
+      EXPECT_SAME_WINDOW(nc, lc, ++step);
+    }
+  }
+}
+
+TEST(PolicySplitBitIdentity, NewRenoTraceMatchesLegacy) {
+  NewRenoCc nc(kMss, 2);
+  LegacyCc lc(kMss, 2);
+  run_loss_script(nc, lc);
+}
+
+TEST(PolicySplitBitIdentity, LiaTraceMatchesLegacy) {
+  LiaCoupler coupler;  // empty: total=1, alpha=1 — LiaCc's base state
+  LiaCc nc(kMss, 2, &coupler);
+  LegacyLiaUncoupled lc(kMss, 2);
+  run_loss_script(nc, lc);
+}
+
+/// DCTCP: a full alternating marked/clean-window feedback history plus
+/// the loss-event script must match, including alpha evolution.
+TEST(PolicySplitBitIdentity, DctcpTraceMatchesLegacy) {
+  for (const double initial_alpha : {1.0, 0.5, 0.0}) {
+    DctcpCc nc(kMss, 10, DctcpConfig{1.0 / 16.0, initial_alpha});
+    LegacyDctcp lc(kMss, 10, 1.0 / 16.0, initial_alpha);
+    Lcg rng;
+    std::uint64_t una = 0;
+    int step = 0;
+    for (int w = 0; w < 60; ++w) {
+      // One observation window of ~10 segments, a varying fraction of
+      // them ECE-echoed; the final ACK crosses window_end.
+      const bool any_marks = w % 3 != 2;
+      for (int seg = 0; seg < 10; ++seg) {
+        const std::uint64_t acked = 1 + rng.next(kMss);
+        const bool ece = any_marks && seg % (1 + int(rng.next(3))) == 0;
+        una += acked;
+        const std::uint64_t nxt = una + 12 * kMss;
+        nc.on_ecn_feedback(acked, ece, una, nxt);
+        lc.on_ecn_feedback(acked, ece, una, nxt);
+        nc.on_ack(acked);
+        lc.on_ack(acked);
+        EXPECT_SAME_WINDOW(nc, lc, ++step);
+      }
+    }
+    EXPECT_DOUBLE_EQ(nc.alpha(), lc.alpha()) << "alpha0=" << initial_alpha;
+    run_loss_script(nc, lc);
+  }
+}
+
+// ---------------------------------------------------------------------
+// Composition: any increase pairs with any reaction.
+// ---------------------------------------------------------------------
+
+TEST(PolicyComposition, RenoPlusDctcpEqualsDctcpCc) {
+  CongestionControl composed(kMss, 10, std::make_unique<RenoIncrease>(),
+                             std::make_unique<DctcpReaction>(DctcpConfig{}));
+  DctcpCc leaf(kMss, 10, DctcpConfig{});
+  std::uint64_t una = 0;
+  for (int i = 0; i < 200; ++i) {
+    const std::uint64_t acked = 1 + (i * 711) % kMss;
+    una += acked;
+    composed.on_ecn_feedback(acked, i % 4 == 0, una, una + 8 * kMss);
+    leaf.on_ecn_feedback(acked, i % 4 == 0, una, una + 8 * kMss);
+    composed.on_ack(acked);
+    leaf.on_ack(acked);
+    EXPECT_EQ(composed.cwnd(), leaf.cwnd()) << i;
+    EXPECT_EQ(composed.ssthresh(), leaf.ssthresh()) << i;
+  }
+}
+
+TEST(PolicyComposition, LiaIncreasePairsWithDctcpReaction) {
+  // The pairing the old lattice could not express: coupled increase +
+  // proportional ECN decrease.
+  LiaCoupler coupler;
+  CongestionControl cc(kMss, 10, std::make_unique<LiaIncrease>(&coupler),
+                       std::make_unique<DctcpReaction>(DctcpConfig{}));
+  EXPECT_TRUE(cc.ecn_capable());
+  // A fully-marked first window cuts proportionally (alpha starts 1).
+  const std::uint64_t before = cc.cwnd();
+  cc.on_ecn_feedback(10 * kMss, true, 10 * kMss, 12 * kMss);
+  EXPECT_LT(cc.cwnd(), before);
+  EXPECT_EQ(cc.cwnd(), cc.ssthresh());
+  // CA increase still runs (and is at least one byte).
+  const std::uint64_t after_cut = cc.cwnd();
+  cc.on_ack(kMss);
+  EXPECT_GT(cc.cwnd(), after_cut);
+}
+
+TEST(PolicyComposition, EcnCapabilityComesFromTheReactionPolicy) {
+  CongestionControl blind(kMss, 2, std::make_unique<RenoIncrease>(),
+                          std::make_unique<NoEcnReaction>());
+  CongestionControl aware(kMss, 2, std::make_unique<RenoIncrease>(),
+                          std::make_unique<DctcpReaction>(DctcpConfig{}));
+  EXPECT_FALSE(blind.ecn_capable());
+  EXPECT_TRUE(aware.ecn_capable());
+  // The blind reaction ignores feedback entirely.
+  const std::uint64_t before = blind.cwnd();
+  blind.on_ecn_feedback(4 * kMss, true, 4 * kMss, 8 * kMss);
+  EXPECT_EQ(blind.cwnd(), before);
+}
+
+TEST(PolicyComposition, RejectsNullPolicies) {
+  EXPECT_THROW(CongestionControl(kMss, 2, nullptr,
+                                 std::make_unique<NoEcnReaction>()),
+               InvariantError);
+  EXPECT_THROW(CongestionControl(kMss, 2, std::make_unique<RenoIncrease>(),
+                                 nullptr),
+               InvariantError);
+}
+
+// ---------------------------------------------------------------------
+// The new DCTCP knobs.
+// ---------------------------------------------------------------------
+
+TEST(DctcpKnobs, OneSegmentFloorCutsDeeperThanRfcDefault) {
+  DctcpConfig one;
+  one.min_cwnd_segments = 1;
+  DctcpReaction deep(one);
+  DctcpReaction rfc(DctcpConfig{});
+  // alpha = 1: the proportional cut of a 3-MSS window lands at 1.5 MSS,
+  // below the RFC floor but above the subflow floor.
+  const auto cut_deep =
+      deep.on_ecn_feedback(3 * kMss, true, 3 * kMss, 6 * kMss, 3 * kMss, kMss);
+  const auto cut_rfc =
+      rfc.on_ecn_feedback(3 * kMss, true, 3 * kMss, 6 * kMss, 3 * kMss, kMss);
+  ASSERT_TRUE(cut_deep.has_value());
+  ASSERT_TRUE(cut_rfc.has_value());
+  EXPECT_EQ(cut_rfc->cwnd, 2 * std::uint64_t(kMss));
+  EXPECT_LT(cut_deep->cwnd, cut_rfc->cwnd);
+  EXPECT_GE(cut_deep->cwnd, std::uint64_t(kMss));
+}
+
+TEST(DctcpKnobs, SubSegmentCutsAreSkippedButAlphaStillLearns) {
+  DctcpConfig cfg;
+  cfg.initial_alpha = 0.0;
+  cfg.min_cut_segments = 1;
+  DctcpReaction r(cfg);
+  // First marked window: alpha becomes one gain step (1/16); the cut
+  // depth on a 10-MSS window is 10*alpha/2 < 1 MSS, so no cut applies.
+  const auto cut = r.on_ecn_feedback(10 * kMss, true, 10 * kMss, 20 * kMss,
+                                     10 * kMss, kMss);
+  EXPECT_FALSE(cut.has_value());
+  EXPECT_GT(r.alpha(), 0.0);
+  EXPECT_EQ(r.ecn_reductions(), 0u);
+  // Keep feeding fully-marked windows: alpha climbs until the depth
+  // crosses one segment and a real cut fires.
+  std::uint64_t una = 10 * kMss;
+  bool cut_applied = false;
+  for (int w = 0; w < 10 && !cut_applied; ++w) {
+    una += 10 * kMss;
+    cut_applied = r.on_ecn_feedback(10 * kMss, true, una, una + 10 * kMss,
+                                    10 * kMss, kMss)
+                      .has_value();
+  }
+  EXPECT_TRUE(cut_applied);
+  EXPECT_EQ(r.ecn_reductions(), 1u);
+}
+
+TEST(DctcpKnobs, ZeroMinCutKeepsRfcBehaviour) {
+  DctcpConfig cfg;
+  cfg.initial_alpha = 0.0;  // min_cut_segments stays 0
+  DctcpReaction r(cfg);
+  const auto cut = r.on_ecn_feedback(10 * kMss, true, 10 * kMss, 20 * kMss,
+                                     10 * kMss, kMss);
+  ASSERT_TRUE(cut.has_value());  // any marked window reduces, RFC-style
+  EXPECT_LT(cut->cwnd, 10 * std::uint64_t(kMss));
+}
+
+TEST(DctcpKnobs, RejectsZeroFloor) {
+  DctcpConfig cfg;
+  cfg.min_cwnd_segments = 0;
+  EXPECT_THROW(DctcpReaction{cfg}, ConfigError);
+}
+
+// ---------------------------------------------------------------------
+// LIA invariants at the policy level.
+// ---------------------------------------------------------------------
+
+TEST(LiaIncreaseInvariants, NeverExceedsUncoupledRenoBound) {
+  LiaCoupler coupler;
+  LiaIncrease lia(&coupler);
+  for (std::uint64_t cwnd : {std::uint64_t(2) * kMss, std::uint64_t(40) * kMss,
+                             std::uint64_t(400) * kMss}) {
+    for (std::uint64_t acked : {std::uint64_t(1), std::uint64_t(kMss),
+                                std::uint64_t(3) * kMss}) {
+      const std::uint64_t inc = lia.ca_increment(acked, cwnd, kMss);
+      // RFC 6356's per-ACK cap: acked * MSS / cwnd_i.
+      const auto bound = static_cast<std::uint64_t>(
+          static_cast<double>(acked) * kMss / static_cast<double>(cwnd));
+      EXPECT_LE(inc, bound + 1) << "cwnd=" << cwnd << " acked=" << acked;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmptcp
