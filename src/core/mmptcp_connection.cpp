@@ -1,5 +1,7 @@
 #include "core/mmptcp_connection.h"
 
+#include "trace/recorder.h"
+
 namespace mmptcp {
 
 MmptcpConnection::MmptcpConnection(Simulation& sim, Metrics& metrics,
@@ -52,6 +54,9 @@ void MmptcpConnection::switch_now() {
   if (switched_) return;
   switched_ = true;
   metrics_ref().on_phase_switch(flow_id(), sim_ref().now());
+  if (TraceRecorder* t = sim_ref().trace_for(kTracePhase)) {
+    t->phase_switch(sim_ref().now(), flow_id(), subflow(0).high_water());
+  }
   // "No more packets are put in the initial PS flow which is deactivated
   //  when its window gets emptied."
   subflow(0).freeze_stream();

@@ -37,6 +37,12 @@ ClientFlow::ClientFlow(Simulation& sim, Metrics& metrics, Host& src, Addr dst,
       config.protocol, src.addr(), dst, long_flow ? 0 : bytes, long_flow,
       sim.now());
   flow_id_ = rec.flow_id;
+  sim.logger().child("transport").log(LogLevel::kInfo, [&] {
+    return "flow " + std::to_string(flow_id_) + " (" +
+           to_string(config.protocol) + (long_flow ? ", long" : "") +
+           ") starting: " + std::to_string(long_flow ? 0 : bytes) +
+           " B to " + dst.to_string();
+  });
   switch (config.protocol) {
     case Protocol::kTcp:
     case Protocol::kDctcp: {

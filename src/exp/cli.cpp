@@ -9,7 +9,10 @@
 #include "exp/registry.h"
 #include "exp/runner.h"
 #include "exp/sink.h"
+#include "sim/time.h"
+#include "trace/trace.h"
 #include "util/check.h"
+#include "util/logging.h"
 
 namespace mmptcp::exp {
 
@@ -75,6 +78,28 @@ CliOptions parse_cli(Flags& flags) {
       "with --run: also write BENCH_*.json into this baseline directory");
   o.quiet = flags.get_bool("quiet", false, "suppress progress lines");
   o.no_json = flags.get_bool("no-json", false, "skip the JSON result file");
+  const std::string trace = flags.get_string(
+      "trace", "",
+      "flight recorder channels: 'queue,cwnd,phase,retx,sched' or 'all'");
+  const std::string trace_out = flags.get_string(
+      "trace-out", "", "directory for TRACE_*.jsonl (default: --out)");
+  const std::string trace_interval = flags.get_string(
+      "trace-interval", "1ms", "queue/sched sampling period, e.g. 500us");
+  const std::string log_level = flags.get_string(
+      "log-level", "off", "stderr logging: off|error|warn|info|debug|trace");
+  if (!trace.empty()) {
+    o.sweep.trace_channels = parse_trace_channels(trace);
+    o.sweep.trace_interval = parse_duration(trace_interval);
+    if (o.sweep.trace_interval.ns() <= 0) {
+      throw ConfigError("--trace-interval must be positive, got '" +
+                        trace_interval + "'");
+    }
+    o.sweep.trace_dir = trace_out;
+  }
+  const LogLevel level = parse_log_level(log_level);
+  if (level != LogLevel::kOff) {
+    o.sweep.logger = make_stderr_logger(level);
+  }
   return o;
 }
 
@@ -110,6 +135,13 @@ std::size_t run_one(const ExperimentSpec& spec, const CliOptions& cli) {
 
   const std::vector<RunRecord> records = run_sweep(spec, cli.scale, sweep);
 
+  if (sweep.trace_channels != 0) {
+    std::printf("traces: %s/TRACE_%s_*.jsonl (channels: %s)\n",
+                (sweep.trace_dir.empty() ? cli.out_dir : sweep.trace_dir)
+                    .c_str(),
+                spec.name.c_str(),
+                trace_channels_to_string(sweep.trace_channels).c_str());
+  }
   std::printf("%s\n", to_table(records).to_string().c_str());
   if (sweep.seeds.size() > 1) {
     std::printf("aggregated over %zu seeds:\n%s\n", sweep.seeds.size(),

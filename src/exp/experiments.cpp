@@ -45,6 +45,8 @@ ScenarioConfig point_scenario(const RunContext& ctx, Protocol proto,
                               std::uint32_t subflows) {
   ScenarioConfig cfg = paper_scenario(ctx.scale, proto, subflows);
   cfg.seed = ctx.seed;
+  cfg.trace = ctx.trace;
+  cfg.logger = ctx.logger;
   return cfg;
 }
 
@@ -180,6 +182,8 @@ void register_incast(Registry& r) {
                 static_cast<std::uint32_t>(ctx.params.get_int("senders"));
             cfg.bytes = ctx.scale.short_bytes;
             cfg.seed = ctx.seed;
+            cfg.trace = ctx.trace;
+            cfg.logger = ctx.logger;
             const IncastResult res = run_incast(cfg);
             RunOutcome o;
             o.set("makespan_ms", res.makespan.to_millis());
@@ -546,6 +550,8 @@ IncastConfig incast_battle_point(const RunContext& ctx) {
   cfg.short_start = Time::millis(ctx.params.get_int("warmup_ms"));
   cfg.bytes = ctx.scale.short_bytes;
   cfg.seed = ctx.seed;
+  cfg.trace = ctx.trace;
+  cfg.logger = ctx.logger;
   // Elephants never finish; bound the run for stragglers that exhaust
   // their SYN retries (drop-tail TCP does).
   cfg.max_sim_time = Time::seconds(15);
@@ -578,6 +584,12 @@ RunOutcome timed_incast(const IncastConfig& cfg, Fill&& fill) {
   o.set_timing("events_per_second",
                wall_secs > 0 ? double(res.events_executed) / wall_secs : 0);
   o.set_timing("wall_seconds", wall_secs);
+  // Flight-recorder volume, when the run was traced.  Sidecar-only: the
+  // main JSON must not differ between traced and untraced sweeps.
+  if (res.trace_lines > 0) {
+    o.set_timing("trace_lines", double(res.trace_lines));
+    o.set_timing("trace_bytes", double(res.trace_bytes));
+  }
   return o;
 }
 
@@ -663,6 +675,7 @@ void register_qdisc(Registry& r) {
               o.set("syn_timeouts", double(res.syn_timeouts));
               o.set("completion", res.completion_ratio);
               o.set("peak_queue_pkts", double(res.peak_queue_packets));
+              o.set("peak_queue_at_ms", res.peak_queue_at.to_millis());
               o.set("ecn_marked", double(res.ecn_marked));
             });
           },
@@ -690,6 +703,15 @@ void register_qdisc(Registry& r) {
                .direction = Dir::kHigherIsWorse},
               {.pattern = "ecn_marked", .warn_pct = 15, .fail_pct = 50,
                .abs_slack = 10},
+              // A timestamp, not a latency: must precede the *_ms entry
+              // (whose higher-is-worse direction is wrong for it).  Wide
+              // slack — WHEN the peak lands may legitimately move even
+              // when the peak itself does not.
+              {.pattern = "peak_queue_at_ms",
+               .warn_pct = 25,
+               .fail_pct = 1000,
+               .abs_slack = 5,
+               .direction = Dir::kBoth},
               {.pattern = "*_ms",
                .warn_pct = 8,
                .fail_pct = 25,
@@ -751,6 +773,7 @@ void register_qdisc(Registry& r) {
                                              ? res.long_goodput_mbps.mean()
                                              : 0);
               o.set("peak_queue_pkts", double(res.peak_queue_packets));
+              o.set("peak_queue_at_ms", res.peak_queue_at.to_millis());
               o.set("ecn_marked", double(res.ecn_marked));
             });
           },
@@ -779,6 +802,15 @@ void register_qdisc(Registry& r) {
                .direction = Dir::kHigherIsWorse},
               {.pattern = "ecn_marked", .warn_pct = 15, .fail_pct = 50,
                .abs_slack = 10},
+              // A timestamp, not a latency: must precede the *_ms entry
+              // (whose higher-is-worse direction is wrong for it).  Wide
+              // slack — WHEN the peak lands may legitimately move even
+              // when the peak itself does not.
+              {.pattern = "peak_queue_at_ms",
+               .warn_pct = 25,
+               .fail_pct = 1000,
+               .abs_slack = 5,
+               .direction = Dir::kBoth},
               {.pattern = "*_ms",
                .warn_pct = 8,
                .fail_pct = 25,

@@ -67,6 +67,18 @@ std::vector<RunRecord> expand_adjusted(const ExperimentSpec& spec,
 
 }  // namespace
 
+std::string trace_file_name(const std::string& spec_name,
+                            const std::string& run_id) {
+  std::string id = run_id;
+  for (char& c : id) {
+    const bool safe = (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') ||
+                      (c >= '0' && c <= '9') || c == '.' || c == '_' ||
+                      c == '-';
+    if (!safe) c = '_';
+  }
+  return "TRACE_" + spec_name + "_" + id + ".jsonl";
+}
+
 Scale effective_scale(const ExperimentSpec& spec, Scale scale) {
   if (spec.adjust_scale) spec.adjust_scale(scale);
   return scale;
@@ -114,6 +126,20 @@ std::vector<RunRecord> run_sweep(const ExperimentSpec& spec, Scale scale,
       ctx.params = rec.params;
       ctx.seed = rec.seed;
       ctx.out_dir = options.out_dir;
+      ctx.logger = options.logger;
+      if (options.trace_channels != 0) {
+        ctx.trace.channels = options.trace_channels;
+        ctx.trace.interval = options.trace_interval;
+        ctx.trace.path =
+            (options.trace_dir.empty() ? options.out_dir : options.trace_dir) +
+            "/" + trace_file_name(spec.name, rec.id);
+        ctx.trace.experiment = spec.name;
+        ctx.trace.run_id = rec.id;
+        ctx.trace.seed = rec.seed;
+      }
+      options.logger.child("runner").log(LogLevel::kDebug, [&] {
+        return spec.name + ": starting " + rec.id;
+      });
       try {
         rec.outcome = spec.run(ctx);
       } catch (const std::exception& e) {

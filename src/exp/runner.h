@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "exp/spec.h"
+#include "sim/time.h"
 
 namespace mmptcp::exp {
 
@@ -30,7 +31,19 @@ struct SweepOptions {
   /// lock, possibly from worker threads.  Null disables reporting.
   std::function<void(std::size_t, std::size_t, const std::string&, bool)>
       on_progress;
+  /// Flight recorder: channels to trace (0 = off), sampling interval,
+  /// and where the per-run JSONL files go ("" = out_dir).
+  std::uint32_t trace_channels = 0;
+  Time trace_interval = Time::millis(1);
+  std::string trace_dir;
+  /// Component logger root handed to every run.
+  Logger logger;
 };
+
+/// Name of the trace file one run writes: TRACE_<spec>_<run-id>.jsonl
+/// with the id sanitised to filename-safe characters.
+std::string trace_file_name(const std::string& spec_name,
+                            const std::string& run_id);
 
 /// One grid point of one experiment, with its outcome once executed.
 struct RunRecord {

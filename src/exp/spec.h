@@ -17,6 +17,8 @@
 
 #include "exp/param.h"
 #include "exp/paper.h"
+#include "trace/trace.h"
+#include "util/logging.h"
 
 namespace mmptcp::exp {
 
@@ -26,6 +28,11 @@ struct RunContext {
   ParamSet params;           ///< this point's axis values
   std::uint64_t seed = 1;    ///< this point's RNG seed
   std::string out_dir = "."; ///< where run artifacts (CSVs) belong
+  /// Flight-recorder config for this run; trace.enabled() is false when
+  /// the sweep is untraced.  Specs copy it into their scenario config.
+  TraceConfig trace;
+  /// Component logger root (disabled unless --log-level was given).
+  Logger logger;
 };
 
 /// Outputs of one grid point: ordered metric name -> value.

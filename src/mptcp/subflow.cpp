@@ -17,6 +17,7 @@ Subflow::Subflow(MptcpConnection& conn, std::uint8_t subflow_id,
   // share the connection's token-demux registration.
   disable_fin();
   disable_demux_registration();
+  set_trace_subflow_id(subflow_id);
 }
 
 std::vector<Mapping> Subflow::outstanding_mappings() const {

@@ -1,6 +1,8 @@
 #include "net/link.h"
 
 #include "net/node.h"
+#include "sim/simulation.h"
+#include "trace/recorder.h"
 
 namespace mmptcp {
 
@@ -38,13 +40,16 @@ void Channel::deliver(Packet pkt) {
   sched_.schedule(delay_, std::move(arrival));
 }
 
-Port::Port(Scheduler& sched, std::string name, std::uint64_t rate_bps,
+Port::Port(Simulation& sim, std::string name, std::uint64_t rate_bps,
            QueueLimits limits, Channel* out, LinkLayer layer,
            SharedBufferPool* pool, QdiscConfig qdisc)
-    : sched_(sched), name_(std::move(name)), rate_bps_(rate_bps),
-      queue_(make_qdisc(qdisc, limits, pool)), out_(out), layer_(layer) {
+    : sched_(sim.scheduler()), name_(std::move(name)), rate_bps_(rate_bps),
+      queue_(make_qdisc(qdisc, limits, pool)), out_(out), layer_(layer),
+      trace_(sim.trace_for(kTraceQueue)),
+      log_(sim.logger().child("qdisc")) {
   check(rate_bps_ > 0, "port rate must be positive");
   check(out_ != nullptr, "port needs an output channel");
+  queue_->set_clock(&sched_);
 }
 
 void Port::enqueue(const Packet& pkt) {
@@ -58,10 +63,21 @@ void Port::enqueue(const Packet& pkt) {
   if (!queue_->try_push(pkt)) {
     ++counters_.dropped_packets;
     counters_.dropped_bytes += pkt.size_bytes();
+    if (trace_ != nullptr) {
+      trace_->queue_event(sched_.now(), name_, "drop", queue_->size_packets());
+    }
+    log_.log(LogLevel::kDebug, [&] {
+      return name_ + ": dropped flow " + std::to_string(pkt.flow_id) +
+             " packet at depth " + std::to_string(queue_->size_packets());
+    });
     return;
   }
   ++counters_.enqueued_packets;
   counters_.enqueued_bytes += pkt.size_bytes();
+  if (trace_ != nullptr && queue_->marked_packets() != traced_marks_) {
+    traced_marks_ = queue_->marked_packets();
+    trace_->queue_event(sched_.now(), name_, "mark", queue_->size_packets());
+  }
   maybe_start_tx();
 }
 

@@ -18,10 +18,13 @@
 
 #include "net/queue.h"
 #include "sim/scheduler.h"
+#include "util/logging.h"
 
 namespace mmptcp {
 
 class Node;
+class Simulation;
+class TraceRecorder;
 
 /// Where a link sits in the datacenter hierarchy (for loss accounting).
 enum class LinkLayer : std::uint8_t {
@@ -71,7 +74,10 @@ class Port {
   /// Called on every drop with the dropped packet (optional, for tests).
   using DropFilter = std::function<bool(const Packet&, std::uint64_t index)>;
 
-  Port(Scheduler& sched, std::string name, std::uint64_t rate_bps,
+  /// Takes the Simulation (not just its scheduler) so the port can pick
+  /// up the cross-cutting services: the flight recorder's queue channel
+  /// and the qdisc component logger.
+  Port(Simulation& sim, std::string name, std::uint64_t rate_bps,
        QueueLimits limits, Channel* out, LinkLayer layer,
        SharedBufferPool* pool = nullptr, QdiscConfig qdisc = QdiscConfig{});
 
@@ -102,6 +108,9 @@ class Port {
   std::unique_ptr<Qdisc> queue_;
   Channel* out_;
   LinkLayer layer_;
+  TraceRecorder* trace_;          ///< queue channel, or null (cached once)
+  std::uint64_t traced_marks_ = 0;  ///< qdisc mark count already traced
+  Logger log_;
   PortCounters counters_;
   DropFilter drop_filter_;
   std::uint64_t offer_index_ = 0;  ///< packets offered so far (for filters)

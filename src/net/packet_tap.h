@@ -1,0 +1,40 @@
+#pragma once
+
+// Packet tap: observe (or selectively drop) every packet offered to a
+// Port.  Built on the port's drop-filter hook, so a tap sees each packet
+// before admission — including ones the queue would reject.  Promoted
+// from the test suite because debugging rigs and example programs want
+// the same instrument; an observe-only tap never perturbs the run.
+
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "net/link.h"
+#include "net/packet.h"
+
+namespace mmptcp {
+
+/// Records every packet offered to a Port; optionally drops by predicate.
+class PacketTap {
+ public:
+  /// Attaches to `port`; `drop` may be null (observe only).  The tap
+  /// must outlive the port's traffic — it replaces the port's drop
+  /// filter with one holding `this`.
+  explicit PacketTap(Port& port,
+                     std::function<bool(const Packet&)> drop = nullptr) {
+    port.set_drop_filter([this, drop = std::move(drop)](
+                             const Packet& pkt, std::uint64_t /*index*/) {
+      seen_.push_back(pkt);
+      return drop ? drop(pkt) : false;
+    });
+  }
+
+  const std::vector<Packet>& seen() const { return seen_; }
+  std::size_t count() const { return seen_.size(); }
+
+ private:
+  std::vector<Packet> seen_;
+};
+
+}  // namespace mmptcp

@@ -1,10 +1,9 @@
 #include "net/qdisc/qdisc.h"
 
-#include <algorithm>
-
 #include "net/qdisc/ecn_red.h"
 #include "net/qdisc/priority.h"
 #include "net/queue.h"
+#include "sim/scheduler.h"
 #include "util/check.h"
 
 namespace mmptcp {
@@ -33,7 +32,12 @@ bool Qdisc::try_push(Packet pkt) {
   do_push(std::move(pkt));
   ++packets_;
   bytes_ += size;
-  peak_packets_ = std::max<std::uint64_t>(peak_packets_, packets_);
+  if (packets_ > peak_packets_) {
+    // Strictly-greater: peak_at_ records when the peak was FIRST reached,
+    // not the last revisit of the same depth.
+    peak_packets_ = packets_;
+    if (clock_ != nullptr) peak_at_ = clock_->now();
+  }
   if (pool_ != nullptr) pool_->on_enqueue(size);
   return true;
 }

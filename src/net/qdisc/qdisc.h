@@ -22,9 +22,11 @@
 #include <string>
 
 #include "net/packet.h"
+#include "sim/time.h"
 
 namespace mmptcp {
 
+class Scheduler;
 class SharedBufferPool;
 
 /// Limits for an egress queue; either bound may be disabled with 0.
@@ -68,6 +70,13 @@ class Qdisc {
   std::uint64_t marked_packets() const { return marked_; }
   /// Highest instantaneous occupancy ever reached, in packets.
   std::uint64_t peak_packets() const { return peak_packets_; }
+  /// When peak_packets() was first reached; zero until the queue has a
+  /// clock (Port installs one) and has admitted a packet.
+  Time peak_at() const { return peak_at_; }
+
+  /// Gives the queue a clock so peak occupancy can be timestamped.  May
+  /// stay unset (directly-constructed test queues): peak_at() reads zero.
+  void set_clock(const Scheduler* clock) { clock_ = clock; }
 
  protected:
   /// Admission test beyond the pool check (default: shared limits over
@@ -90,6 +99,8 @@ class Qdisc {
   std::uint64_t bytes_ = 0;
   std::uint64_t marked_ = 0;
   std::uint64_t peak_packets_ = 0;
+  const Scheduler* clock_ = nullptr;  // not owned; may stay null
+  Time peak_at_;
   bool uses_default_admission_;
 };
 

@@ -100,6 +100,10 @@ class Scheduler {
   /// entry immediately, so no tombstones ever inflate or deflate this.
   std::size_t pending() const { return heap_.size() + wheel_count_; }
   std::uint64_t executed() const { return executed_; }
+  /// Occupancy split between the two backing structures (trace-layer
+  /// self-telemetry: how much of the load the wheel actually absorbs).
+  std::size_t wheel_pending() const { return wheel_count_; }
+  std::size_t heap_pending() const { return heap_.size(); }
 
  private:
   /// Where a node's queue entry currently lives.

@@ -1,17 +1,20 @@
 #pragma once
 
 // Simulation context: the bundle of cross-cutting services (event queue,
-// deterministic randomness, logging) that every component needs.  Passed by
-// reference — there are no globals, so multiple simulations can coexist in
-// one process (the tests rely on this).
+// deterministic randomness, logging, tracing) that every component needs.
+// Passed by reference — there are no globals, so multiple simulations can
+// coexist in one process (the tests rely on this).
 
 #include <cstdint>
 
 #include "sim/scheduler.h"
+#include "trace/trace.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
 namespace mmptcp {
+
+class TraceRecorder;
 
 /// Owns the scheduler and the master RNG for one simulation run.
 class Simulation {
@@ -33,10 +36,28 @@ class Simulation {
 
   const Logger& logger() const { return logger_; }
 
+  /// Installs (or clears, with nullptr) the flight recorder.  `channels`
+  /// limits which channels components see; must be a subset of what the
+  /// recorder was configured with.  Not owned — the caller keeps the
+  /// recorder alive for the whole run.
+  void set_trace(TraceRecorder* recorder, std::uint32_t channels) {
+    trace_ = recorder;
+    trace_channels_ = recorder != nullptr ? channels : 0;
+  }
+
+  /// The recorder if `channel` is traced, else nullptr.  Components call
+  /// this once at construction and cache the pointer, reducing the
+  /// disabled-tracing cost on hot paths to a single null check.
+  TraceRecorder* trace_for(TraceChannel channel) const {
+    return (trace_channels_ & channel) != 0 ? trace_ : nullptr;
+  }
+
  private:
   Scheduler scheduler_;
   Rng rng_;
   Logger logger_;
+  TraceRecorder* trace_ = nullptr;
+  std::uint32_t trace_channels_ = 0;
 };
 
 }  // namespace mmptcp

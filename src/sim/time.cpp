@@ -1,5 +1,6 @@
 #include "sim/time.h"
 
+#include <cctype>
 #include <cmath>
 #include <sstream>
 
@@ -25,6 +26,43 @@ std::string Time::to_string() const {
     os << ns_ << "ns";
   }
   return os.str();
+}
+
+Time parse_duration(const std::string& text) {
+  std::size_t unit_start = 0;
+  while (unit_start < text.size() &&
+         (std::isdigit(static_cast<unsigned char>(text[unit_start])) ||
+          text[unit_start] == '.' || text[unit_start] == '+' ||
+          text[unit_start] == '-')) {
+    ++unit_start;
+  }
+  const std::string number = text.substr(0, unit_start);
+  const std::string unit = text.substr(unit_start);
+  std::size_t consumed = 0;
+  double value = 0;
+  try {
+    value = std::stod(number, &consumed);
+  } catch (const std::exception&) {
+    throw ConfigError("bad duration '" + text +
+                      "' (expected e.g. 500us, 1.5ms, 2s)");
+  }
+  require(consumed == number.size() && !number.empty(),
+          "bad duration '" + text + "' (expected e.g. 500us, 1.5ms, 2s)");
+  double unit_ns = 0;
+  if (unit == "ns") {
+    unit_ns = 1;
+  } else if (unit == "us") {
+    unit_ns = 1e3;
+  } else if (unit == "ms") {
+    unit_ns = 1e6;
+  } else if (unit == "s") {
+    unit_ns = 1e9;
+  } else {
+    throw ConfigError("bad duration unit '" + unit + "' in '" + text +
+                      "' (valid: ns, us, ms, s)");
+  }
+  require(value >= 0, "duration cannot be negative: " + text);
+  return Time::nanos(static_cast<std::int64_t>(std::llround(value * unit_ns)));
 }
 
 Time transmission_time(std::uint64_t bytes, std::uint64_t bits_per_sec) {

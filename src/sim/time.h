@@ -69,4 +69,9 @@ class Time {
 /// Serialisation delay of `bytes` at `bits_per_sec` (rounded up to 1 ns).
 Time transmission_time(std::uint64_t bytes, std::uint64_t bits_per_sec);
 
+/// Parses a duration literal "<number><unit>" with unit ns/us/ms/s, e.g.
+/// "500us", "1.5ms", "2s".  Throws ConfigError on malformed or negative
+/// input (flag parsing — the inverse of Time::to_string's rendering).
+Time parse_duration(const std::string& text);
+
 }  // namespace mmptcp

@@ -19,13 +19,22 @@ std::uint64_t total_marked_packets(const Network& net) {
   return marked;
 }
 
-std::uint64_t peak_switch_queue_packets(const Network& net) {
-  std::uint64_t peak = 0;
+PeakQueue peak_switch_queue(const Network& net) {
+  PeakQueue peak;
   net.for_each_port([&peak](const Node& node, const Port& port) {
     if (dynamic_cast<const Switch*>(&node) == nullptr) return;
-    peak = std::max(peak, port.qdisc().peak_packets());
+    // Strictly-greater keeps the FIRST port (in deterministic walk order)
+    // to have reached the winning depth, and its timestamp with it.
+    if (port.qdisc().peak_packets() > peak.packets) {
+      peak.packets = port.qdisc().peak_packets();
+      peak.at = port.qdisc().peak_at();
+    }
   });
   return peak;
+}
+
+std::uint64_t peak_switch_queue_packets(const Network& net) {
+  return peak_switch_queue(net).packets;
 }
 
 std::map<LinkLayer, LayerStats> collect_layer_stats(const Network& net) {
@@ -39,8 +48,10 @@ std::map<LinkLayer, LayerStats> collect_layer_stats(const Network& net) {
     s.tx_bytes += c.tx_bytes;
     s.dropped_packets += c.dropped_packets;
     s.marked_packets += port.qdisc().marked_packets();
-    s.peak_queue_packets =
-        std::max(s.peak_queue_packets, port.qdisc().peak_packets());
+    if (port.qdisc().peak_packets() > s.peak_queue_packets) {
+      s.peak_queue_packets = port.qdisc().peak_packets();
+      s.peak_queue_at = port.qdisc().peak_at();
+    }
     s.port_count += 1;
     s.capacity_bps_sum += port.rate_bps();
   });

@@ -21,6 +21,7 @@ struct LayerStats {
   std::uint64_t dropped_packets = 0;
   std::uint64_t marked_packets = 0;      ///< CE-marked by this layer's qdiscs
   std::uint64_t peak_queue_packets = 0;  ///< max peak occupancy over ports
+  Time peak_queue_at;                    ///< when that peak was first reached
   std::uint64_t port_count = 0;
   std::uint64_t capacity_bps_sum = 0;
 
@@ -43,7 +44,15 @@ std::map<LinkLayer, LayerStats> collect_layer_stats(const Network& net);
 std::uint64_t total_marked_packets(const Network& net);
 
 /// Peak queue occupancy (packets) over *switch* egress ports — host NICs
-/// are unbounded (OS-backpressured) and would swamp the signal.
+/// are unbounded (OS-backpressured) and would swamp the signal — together
+/// with the time the winning port first reached it.
+struct PeakQueue {
+  std::uint64_t packets = 0;
+  Time at;
+};
+PeakQueue peak_switch_queue(const Network& net);
+
+/// Peak-packets component of peak_switch_queue() (legacy convenience).
 std::uint64_t peak_switch_queue_packets(const Network& net);
 
 }  // namespace mmptcp

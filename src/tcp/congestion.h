@@ -78,6 +78,11 @@ class EcnReactionPolicy {
   virtual std::optional<WindowCut> on_ecn_feedback(
       std::uint64_t acked, bool ece, std::uint64_t snd_una,
       std::uint64_t snd_nxt, std::uint64_t cwnd, std::uint32_t mss);
+
+  /// The policy's congestion estimate in [0, 1] when it maintains one
+  /// (DCTCP's alpha); nullopt otherwise.  Observability only — the
+  /// flight recorder's cwnd channel samples it alongside the window.
+  virtual std::optional<double> ecn_alpha() const { return std::nullopt; }
 };
 
 /// Loss halving only; CE echoes are ignored and ECT is never set.
@@ -131,6 +136,9 @@ class CongestionControl {
   /// policy; outside loss recovery only — the socket guarantees that).
   void on_ecn_feedback(std::uint64_t acked, bool ece, std::uint64_t snd_una,
                        std::uint64_t snd_nxt);
+
+  /// The reaction policy's congestion estimate (DCTCP alpha), if any.
+  std::optional<double> ecn_alpha() const { return reaction_->ecn_alpha(); }
 
   /// The installed policies (introspection: stats, tests).
   const WindowIncreasePolicy& increase_policy() const { return *increase_; }

@@ -59,6 +59,7 @@ class DctcpReaction final : public EcnReactionPolicy {
                                            std::uint32_t mss) override;
 
   double alpha() const { return alpha_; }
+  std::optional<double> ecn_alpha() const override { return alpha_; }
   /// Proportional window reductions performed (one max per window).
   std::uint64_t ecn_reductions() const { return reductions_; }
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "trace/recorder.h"
+
 namespace mmptcp {
 
 TcpSocket::TcpSocket(Simulation& sim, Metrics& metrics, Host& local,
@@ -15,6 +17,17 @@ TcpSocket::TcpSocket(Simulation& sim, Metrics& metrics, Host& local,
       flow_id_(flow_id), config_(config), cc_(std::move(cc)),
       dupack_policy_(config.dupack, path_count), rtt_(config.rto) {
   check(cc_ != nullptr, "socket needs a congestion controller");
+  if (role_ == SocketRole::kClient) {
+    // Only the data sender has a window worth recording; the server side
+    // never touches its controller.
+    trace_cwnd_ = sim_.trace_for(kTraceCwnd);
+    trace_retx_ = sim_.trace_for(kTraceRetx);
+  }
+}
+
+void TcpSocket::trace_cwnd_point(const char* event) {
+  trace_cwnd_->cwnd_sample(sim_.now(), flow_id_, trace_sf_, event, cc_->cwnd(),
+                           cc_->ssthresh(), cc_->ecn_alpha(), srtt());
 }
 
 TcpSocket::~TcpSocket() {
@@ -80,6 +93,7 @@ void TcpSocket::handle_packet(const Packet& pkt) {
         cancel_rto();
         send_pure_ack_for_handshake();
         on_established();
+        if (trace_cwnd_ != nullptr) trace_cwnd_point("established");
         try_send();
         maybe_sender_drained();
       } else {
@@ -281,6 +295,7 @@ void TcpSocket::process_ack(const Packet& pkt) {
         in_recovery_ = false;
         dup_acks_ = 0;
       }
+      if (trace_cwnd_ != nullptr) trace_cwnd_point("undo");
     }
   }
   const std::uint64_t ack = pkt.ack;
@@ -317,6 +332,7 @@ void TcpSocket::process_ack(const Packet& pkt) {
       cc_->on_ecn_feedback(acked, pkt.ece(), snd_una_, snd_nxt_);
       cc_->on_ack(acked);
     }
+    if (trace_cwnd_ != nullptr) trace_cwnd_point("ack");
     if (bytes_in_flight() > 0) {
       restart_rto();
     } else {
@@ -347,6 +363,10 @@ void TcpSocket::enter_fast_retransmit() {
   cc_->enter_recovery(bytes_in_flight());
   ++fast_rtx_;
   metrics_.on_fast_retransmit(flow_id_);
+  if (trace_retx_ != nullptr) {
+    trace_retx_->retx_event(sim_.now(), flow_id_, trace_sf_, "fast_rtx");
+  }
+  if (trace_cwnd_ != nullptr) trace_cwnd_point("fast_rtx");
   retransmit_one(snd_una_);
   restart_rto();
   on_congestion_event(CongestionEventKind::kFastRetransmit);
@@ -494,6 +514,9 @@ void TcpSocket::handle_syn_timeout() {
     return;
   }
   metrics_.on_syn_timeout(flow_id_);
+  if (trace_retx_ != nullptr) {
+    trace_retx_->retx_event(sim_.now(), flow_id_, trace_sf_, "syn_timeout");
+  }
   on_congestion_event(CongestionEventKind::kSynTimeout);
   send_syn();
 }
@@ -509,6 +532,10 @@ void TcpSocket::handle_data_timeout() {
   metrics_.on_rto(flow_id_);
   dupack_policy_.on_rto();
   cc_->on_rto(bytes_in_flight());
+  if (trace_retx_ != nullptr) {
+    trace_retx_->retx_event(sim_.now(), flow_id_, trace_sf_, "rto");
+  }
+  if (trace_cwnd_ != nullptr) trace_cwnd_point("rto");
   in_recovery_ = false;
   undo_pending_ = false;  // a timeout is strong evidence of genuine loss
   dup_acks_ = 0;

@@ -31,6 +31,8 @@
 
 namespace mmptcp {
 
+class TraceRecorder;
+
 /// Which side of the connection this socket is.
 enum class SocketRole : std::uint8_t { kClient, kServer };
 
@@ -186,6 +188,10 @@ class TcpSocket : public Endpoint {
   /// owning connection, which already registered the shared token.
   void disable_demux_registration() { demux_registration_ = false; }
 
+  /// Subflows tag their trace lines with the subflow index (the default
+  /// -1 renders a single-path socket).
+  void set_trace_subflow_id(std::uint8_t id) { trace_sf_ = id; }
+
  private:
   // ---- sender ----
   void try_send();
@@ -210,6 +216,9 @@ class TcpSocket : public Endpoint {
   void handle_syn_timeout();
   void handle_data_timeout();
   void give_up();
+  // ---- tracing ----
+  /// Emits one cwnd-channel line (call only when trace_cwnd_ is set).
+  void trace_cwnd_point(const char* event);
 
   Simulation& sim_;
   Metrics& metrics_;
@@ -224,6 +233,12 @@ class TcpSocket : public Endpoint {
   std::unique_ptr<CongestionControl> cc_;
   DupAckPolicy dupack_policy_;
   RttEstimator rtt_;
+
+  // Flight-recorder channels, cached once at construction (null when the
+  // channel is off or this is the ACK-only server side).
+  TraceRecorder* trace_cwnd_ = nullptr;
+  TraceRecorder* trace_retx_ = nullptr;
+  int trace_sf_ = -1;  ///< subflow index in trace lines; -1 = single-path
 
   // Connection state.
   bool demux_registration_ = true;

@@ -1,0 +1,56 @@
+#include "trace/sampler.h"
+
+#include "net/link.h"
+#include "net/switch.h"
+
+namespace mmptcp {
+
+TraceSampler::TraceSampler(Simulation& sim, TraceRecorder& recorder,
+                           const Network& net)
+    : sim_(sim), recorder_(recorder) {
+  if (!recorder_.wants(kTraceQueue)) return;
+  net.for_each_port([this](const Node& node, const Port& port) {
+    if (dynamic_cast<const Switch*>(&node) == nullptr) return;
+    PortState state;
+    state.port = &port;
+    ports_.push_back(state);
+  });
+}
+
+void TraceSampler::start() {
+  sim_.scheduler().schedule(recorder_.interval(), [this] { tick(); });
+}
+
+void TraceSampler::tick() {
+  const Time now = sim_.now();
+  for (PortState& state : ports_) {
+    const Qdisc& q = state.port->qdisc();
+    const std::uint64_t depth = q.size_packets();
+    const std::uint64_t bytes = q.size_bytes();
+    const std::uint64_t marks = q.marked_packets();
+    const std::uint64_t drops = state.port->counters().dropped_packets;
+    if (state.primed && depth == state.depth && bytes == state.bytes &&
+        marks == state.marks && drops == state.drops) {
+      continue;
+    }
+    state.depth = depth;
+    state.bytes = bytes;
+    state.marks = marks;
+    state.drops = drops;
+    state.primed = true;
+    recorder_.queue_sample(now, state.port->name(), depth, bytes, marks,
+                           drops);
+  }
+  if (recorder_.wants(kTraceSched)) {
+    const Scheduler& sched = sim_.scheduler();
+    recorder_.sched_sample(now, sched.executed(), sched.wheel_pending(),
+                           sched.heap_pending());
+  }
+  // pending() excludes the tick being executed: zero means the sampler
+  // was the last live event and the simulation is quiescent for good.
+  if (sim_.scheduler().pending() > 0) {
+    sim_.scheduler().schedule(recorder_.interval(), [this] { tick(); });
+  }
+}
+
+}  // namespace mmptcp

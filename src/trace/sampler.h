@@ -1,0 +1,59 @@
+#pragma once
+
+// Periodic trace sampler: a self-rescheduling scheduler event that
+// snapshots switch egress queues (queue channel) and the scheduler's own
+// counters (sched channel) every recorder interval.
+//
+// Two properties keep it honest:
+//  * read-only — it touches no component state and draws no randomness,
+//    so enabling it cannot perturb the simulated physics (the main result
+//    JSON of a traced run is byte-identical to the untraced run);
+//  * delta-compressed — a queue line is emitted only when the port's
+//    depth/bytes/marks/drops changed since the last tick, so an idle
+//    fabric costs near-nothing in trace volume.
+//
+// The sampler stops rescheduling once it is the only pending event: at
+// that point nothing can ever change again, the run is effectively over,
+// and re-arming would only spin the clock to max_sim_time.
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/simulation.h"
+#include "topo/network.h"
+#include "trace/recorder.h"
+
+namespace mmptcp {
+
+/// Owns the periodic sampling loop of one traced run.
+class TraceSampler {
+ public:
+  /// Snapshots switch egress ports of `net` (host NICs are unbounded and
+  /// would swamp the queue channel) into `recorder`.
+  TraceSampler(Simulation& sim, TraceRecorder& recorder, const Network& net);
+
+  TraceSampler(const TraceSampler&) = delete;
+  TraceSampler& operator=(const TraceSampler&) = delete;
+
+  /// Schedules the first tick one interval from now.  The sampler must
+  /// outlive the scheduler run (pending ticks capture `this`).
+  void start();
+
+ private:
+  struct PortState {
+    const Port* port = nullptr;
+    std::uint64_t depth = 0;
+    std::uint64_t bytes = 0;
+    std::uint64_t marks = 0;
+    std::uint64_t drops = 0;
+    bool primed = false;  ///< first tick always emits a baseline line
+  };
+
+  void tick();
+
+  Simulation& sim_;
+  TraceRecorder& recorder_;
+  std::vector<PortState> ports_;  ///< creation order: deterministic
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,62 @@
+#include "trace/trace.h"
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+namespace {
+
+struct ChannelName {
+  const char* name;
+  TraceChannel channel;
+};
+
+// Declaration order is the canonical rendering order.
+constexpr ChannelName kChannelNames[] = {
+    {"queue", kTraceQueue}, {"cwnd", kTraceCwnd},   {"phase", kTracePhase},
+    {"retx", kTraceRetx},   {"sched", kTraceSched},
+};
+
+}  // namespace
+
+std::uint32_t parse_trace_channels(const std::string& text) {
+  std::uint32_t mask = 0;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = text.find(',', start);
+    const std::size_t end = comma == std::string::npos ? text.size() : comma;
+    const std::string item = text.substr(start, end - start);
+    if (item == "all") {
+      mask |= kTraceAllChannels;
+    } else {
+      bool found = false;
+      for (const ChannelName& cn : kChannelNames) {
+        if (item == cn.name) {
+          mask |= cn.channel;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        throw ConfigError("unknown trace channel '" + item +
+                          "' (valid: queue, cwnd, phase, retx, sched, all)");
+      }
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  require(mask != 0, "empty trace channel list");
+  return mask;
+}
+
+std::string trace_channels_to_string(std::uint32_t mask) {
+  std::string out;
+  for (const ChannelName& cn : kChannelNames) {
+    if ((mask & cn.channel) == 0) continue;
+    if (!out.empty()) out += ',';
+    out += cn.name;
+  }
+  return out;
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,57 @@
+#pragma once
+
+// Flight-recorder channel taxonomy and configuration.
+//
+// The trace subsystem is a typed, channel-based event recorder: components
+// emit structured samples (queue depth, cwnd, phase switches, ...) onto
+// named channels, and a run enables any subset of them.  The design goal
+// is near-zero cost when disabled: Simulation hands every component a
+// per-channel TraceRecorder pointer at construction — nullptr unless that
+// channel is on — so the hot path is one branch on a cached pointer, and
+// a build without --trace executes no formatting, no allocation and no
+// virtual dispatch.  When enabled, output is a JSONL stream whose bytes
+// are fully deterministic (driven by simulated time and event order, never
+// by the host or the worker-thread count).
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace mmptcp {
+
+/// One trace channel per observable subsystem; values are bitmask bits so
+/// a run's selection is a plain uint32 mask.
+enum TraceChannel : std::uint32_t {
+  kTraceQueue = 1u << 0,  ///< per-port queue depth/bytes, CE marks, drops
+  kTraceCwnd = 1u << 1,   ///< per-(sub)flow cwnd/ssthresh/alpha/RTT samples
+  kTracePhase = 1u << 2,  ///< MMPTCP PS -> MPTCP phase switches
+  kTraceRetx = 1u << 3,   ///< RTO / fast-retransmit / SYN-timeout events
+  kTraceSched = 1u << 4,  ///< scheduler self-telemetry (executed, occupancy)
+};
+
+inline constexpr std::uint32_t kTraceAllChannels =
+    kTraceQueue | kTraceCwnd | kTracePhase | kTraceRetx | kTraceSched;
+
+/// Parses a comma list of channel names ("queue,cwnd,sched") or "all";
+/// throws ConfigError on unknown names or an empty selection.
+std::uint32_t parse_trace_channels(const std::string& text);
+
+/// Canonical rendering of a channel mask ("queue,cwnd"); "" for 0.
+std::string trace_channels_to_string(std::uint32_t mask);
+
+/// Everything one run's recorder needs.  enabled() is the master switch:
+/// a default-constructed config (no channels, no path) records nothing.
+struct TraceConfig {
+  std::uint32_t channels = 0;       ///< TraceChannel mask; 0 = off
+  Time interval = Time::millis(1);  ///< periodic sampler tick
+  std::string path;                 ///< output JSONL file; "" = off
+  // Run provenance, echoed into the stream header line.
+  std::string experiment;
+  std::string run_id;
+  std::uint64_t seed = 0;
+
+  bool enabled() const { return channels != 0 && !path.empty(); }
+};
+
+}  // namespace mmptcp

@@ -32,9 +32,12 @@ LogSink::LogSink(std::ostream* out) : out_(out ? out : &std::cerr) {}
 
 void LogSink::write(LogLevel level, const std::string& component,
                     const std::string& message) {
-  (*out_) << '[' << to_string(level) << "] ";
-  if (!component.empty()) (*out_) << component << ": ";
-  (*out_) << message << '\n';
+  std::ostringstream line;
+  line << '[' << to_string(level) << "] ";
+  if (!component.empty()) line << component << ": ";
+  line << message << '\n';
+  const std::lock_guard<std::mutex> lock(mutex_);
+  (*out_) << line.str();
 }
 
 Logger make_stderr_logger(LogLevel level, const std::string& component) {

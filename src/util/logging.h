@@ -11,6 +11,7 @@
 #include <functional>
 #include <iosfwd>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -22,7 +23,9 @@ enum class LogLevel : int { kOff = 0, kError, kWarn, kInfo, kDebug, kTrace };
 LogLevel parse_log_level(const std::string& text);
 std::string to_string(LogLevel level);
 
-/// Shared destination for log output (stderr by default).
+/// Shared destination for log output (stderr by default).  write() is
+/// line-atomic under a mutex: sweep worker threads share one sink, and
+/// interleaved half-lines would be unreadable.
 class LogSink {
  public:
   explicit LogSink(std::ostream* out = nullptr);
@@ -30,6 +33,7 @@ class LogSink {
              const std::string& message);
 
  private:
+  std::mutex mutex_;
   std::ostream* out_;
 };
 

@@ -5,8 +5,17 @@
 namespace mmptcp {
 
 Scenario::Scenario(ScenarioConfig config)
-    : cfg_(std::move(config)), sim_(cfg_.seed) {
+    : cfg_(std::move(config)),
+      trace_(cfg_.trace.enabled()
+                 ? std::make_unique<TraceRecorder>(cfg_.trace)
+                 : nullptr),
+      sim_(cfg_.seed, cfg_.logger) {
+  if (trace_) sim_.set_trace(trace_.get(), trace_->channels());
   build();
+  if (trace_ && (trace_->wants(kTraceQueue) || trace_->wants(kTraceSched))) {
+    sampler_ = std::make_unique<TraceSampler>(sim_, *trace_, *net_);
+    sampler_->start();
+  }
 }
 
 Scenario::~Scenario() {
@@ -205,6 +214,10 @@ std::uint64_t Scenario::peak_switch_queue_packets() const {
   return mmptcp::peak_switch_queue_packets(*net_);
 }
 
+PeakQueue Scenario::peak_switch_queue() const {
+  return mmptcp::peak_switch_queue(*net_);
+}
+
 namespace {
 
 /// Stops `sim` once all `expected_shorts` completed (elephants never do).
@@ -227,9 +240,19 @@ void poll_incast_done(Simulation& sim, const Metrics& metrics,
 }  // namespace
 
 IncastResult run_incast(const IncastConfig& config) {
-  Simulation sim(config.seed);
+  Simulation sim(config.seed, config.logger);
+  std::unique_ptr<TraceRecorder> trace;
+  if (config.trace.enabled()) {
+    trace = std::make_unique<TraceRecorder>(config.trace);
+    sim.set_trace(trace.get(), trace->channels());
+  }
   FatTree ft(sim, config.fat_tree);
   Metrics metrics;
+  std::unique_ptr<TraceSampler> sampler;
+  if (trace && (trace->wants(kTraceQueue) || trace->wants(kTraceSched))) {
+    sampler = std::make_unique<TraceSampler>(sim, *trace, ft.network());
+    sampler->start();
+  }
   require(config.senders + config.long_senders + ft.hosts_per_edge() <=
               ft.host_count(),
           "incast needs enough hosts outside the receiver's rack");
@@ -287,8 +310,15 @@ IncastResult run_incast(const IncastConfig& config) {
   result.long_goodput_mbps =
       metrics.long_flow_goodput_mbps(transport.protocol, sim.now());
   result.ecn_marked = total_marked_packets(ft.network());
-  result.peak_queue_packets = peak_switch_queue_packets(ft.network());
+  const PeakQueue peak = peak_switch_queue(ft.network());
+  result.peak_queue_packets = peak.packets;
+  result.peak_queue_at = peak.at;
   result.events_executed = sim.scheduler().executed();
+  if (trace) {
+    trace->close();
+    result.trace_lines = trace->lines();
+    result.trace_bytes = trace->bytes_written();
+  }
   return result;
 }
 

@@ -21,6 +21,8 @@
 #include "stats/link_stats.h"
 #include "topo/dual_homed.h"
 #include "topo/fat_tree.h"
+#include "trace/recorder.h"
+#include "trace/sampler.h"
 #include "workload/apps.h"
 #include "workload/arrivals.h"
 #include "workload/size_dist.h"
@@ -60,6 +62,13 @@ struct ScenarioConfig {
   Time check_interval = Time::millis(50);
   Time server_linger = Time::seconds(20);  ///< server endpoint GC delay
   std::uint16_t port = 5001;
+
+  // --- observability ---
+  /// Flight recorder; when trace.enabled() the scenario opens a recorder
+  /// at trace.path and wires it through the simulation.
+  TraceConfig trace{};
+  /// Component logger root (default: disabled).
+  Logger logger{};
 };
 
 /// Builds and runs one scenario; query results afterwards.
@@ -103,6 +112,10 @@ class Scenario {
   std::uint64_t ecn_marked_packets() const;
   /// Peak queue occupancy (packets) over switch egress ports.
   std::uint64_t peak_switch_queue_packets() const;
+  /// Peak switch queue occupancy with the time it was first reached.
+  PeakQueue peak_switch_queue() const;
+  /// The run's flight recorder, or null when tracing is off.
+  TraceRecorder* trace() { return trace_.get(); }
 
  private:
   void build();
@@ -114,6 +127,7 @@ class Scenario {
   Host& host(std::size_t i) { return net_->host(i); }
 
   ScenarioConfig cfg_;
+  std::unique_ptr<TraceRecorder> trace_;  ///< before sim_: wired into it
   Simulation sim_;
   std::unique_ptr<FatTree> ft_;
   std::unique_ptr<DualHomedFatTree> dh_;
@@ -132,6 +146,7 @@ class Scenario {
   std::uint32_t shorts_started_ = 0;
   Time end_time_;
   bool stopped_ = false;
+  std::unique_ptr<TraceSampler> sampler_;  ///< periodic queue/sched snapshots
 };
 
 /// N-to-1 synchronized burst — the paper's objective (3), "tolerance to
@@ -154,6 +169,9 @@ struct IncastConfig {
   Time check_interval = Time::millis(10);  ///< completion poll (elephants)
   std::uint64_t seed = 1;
   Time max_sim_time = Time::seconds(60);
+  /// Flight recorder + component logger (see ScenarioConfig).
+  TraceConfig trace{};
+  Logger logger{};
 };
 
 /// Outcome of one incast run (all flow counters cover short flows only).
@@ -169,9 +187,13 @@ struct IncastResult {
   Summary long_goodput_mbps;
   std::uint64_t ecn_marked = 0;          ///< CE marks across all qdiscs
   std::uint64_t peak_queue_packets = 0;  ///< max occupancy over switch ports
+  Time peak_queue_at;                    ///< when that peak was first reached
   /// Scheduler events the run executed.  Deterministic; specs divide it
   /// by wall time for the events_per_second timing sidecar.
   std::uint64_t events_executed = 0;
+  /// Flight-recorder volume (zero when tracing was off).
+  std::uint64_t trace_lines = 0;
+  std::uint64_t trace_bytes = 0;
 };
 
 /// Runs the incast microbenchmark (receiver = host 0; senders spread over

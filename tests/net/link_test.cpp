@@ -31,8 +31,7 @@ struct Rig {
                Time delay = Time::micros(10),
                QueueLimits limits = QueueLimits{100, 0})
       : sim(1), sink(sim, 0), channel(sim.scheduler(), delay),
-        port(sim.scheduler(), "p", rate, limits, &channel,
-             LinkLayer::kHostEdge) {
+        port(sim, "p", rate, limits, &channel, LinkLayer::kHostEdge) {
     channel.attach_sink(&sink, 7);
   }
 
@@ -130,10 +129,9 @@ TEST(Link, LayerTagPreserved) {
 TEST(Link, InvalidConstructionRejected) {
   Simulation sim(1);
   Channel ch(sim.scheduler(), Time::micros(1));
-  EXPECT_THROW(Port(sim.scheduler(), "p", 0, QueueLimits{}, &ch,
-                    LinkLayer::kOther),
+  EXPECT_THROW(Port(sim, "p", 0, QueueLimits{}, &ch, LinkLayer::kOther),
                InvariantError);
-  EXPECT_THROW(Port(sim.scheduler(), "p", 1000, QueueLimits{}, nullptr,
+  EXPECT_THROW(Port(sim, "p", 1000, QueueLimits{}, nullptr,
                     LinkLayer::kOther),
                InvariantError);
 }

@@ -4,37 +4,22 @@
 //  * PairNet    — two hosts on one full-duplex link (socket mechanics).
 //  * MiniFatTree — a FatTree with sinks on every host and a helper to
 //                  launch a flow of any protocol (protocol behaviour).
-//  * PacketTap  — observe (or selectively drop) traffic through a Port.
+//  * PacketTap  — observe (or selectively drop) traffic through a Port
+//                 (now a library instrument, re-exported from
+//                 net/packet_tap.h for existing test code).
 
 #include <functional>
 #include <memory>
 #include <vector>
 
 #include "core/transport_factory.h"
+#include "net/packet_tap.h"
 #include "topo/fat_tree.h"
 #include "workload/apps.h"
 
 namespace mmptcp::testing {
 
-/// Records every packet offered to a Port; optionally drops by predicate.
-class PacketTap {
- public:
-  /// Attaches to `port`; `drop` may be null (observe only).
-  explicit PacketTap(Port& port,
-                     std::function<bool(const Packet&)> drop = nullptr) {
-    port.set_drop_filter([this, drop = std::move(drop)](
-                             const Packet& pkt, std::uint64_t /*index*/) {
-      seen_.push_back(pkt);
-      return drop ? drop(pkt) : false;
-    });
-  }
-
-  const std::vector<Packet>& seen() const { return seen_; }
-  std::size_t count() const { return seen_.size(); }
-
- private:
-  std::vector<Packet> seen_;
-};
+using mmptcp::PacketTap;
 
 /// Two hosts joined by one full-duplex link.
 struct PairNet {

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exp/registry.h"
+#include "exp/runner.h"
+#include "exp/sink.h"
+#include "trace/trace.h"
+
+// The flight recorder's core guarantee, end to end: a traced sweep's
+// trace files are byte-identical at any worker-thread count, and tracing
+// never perturbs the main results document.
+
+namespace mmptcp::exp {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// A one-grid-point slice of the registered incast_ecn spec, small
+/// enough for a unit test: one variant, the small fan-in, short warmup.
+SweepOptions reduced_incast(const std::string& out_dir) {
+  SweepOptions options;
+  options.seeds = {1};
+  options.axis_overrides = {{"variant", {"mmptcp-dctcp"}},
+                            {"senders", {"8"}},
+                            {"long_senders", {"2"}},
+                            {"warmup_ms", {"50"}}};
+  options.out_dir = out_dir;
+  return options;
+}
+
+std::string fresh_dir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+TEST(TraceDeterminism, TraceFilesAreByteIdenticalAcrossJobCounts) {
+  register_builtin_experiments();
+  const ExperimentSpec* spec = Registry::global().find("incast_ecn");
+  ASSERT_NE(spec, nullptr);
+
+  const std::string dir1 = fresh_dir("trace_j1");
+  const std::string dir8 = fresh_dir("trace_j8");
+
+  SweepOptions serial = reduced_incast(dir1);
+  serial.jobs = 1;
+  serial.trace_channels = kTraceAllChannels;
+  serial.trace_dir = dir1;
+  SweepOptions parallel = reduced_incast(dir8);
+  parallel.jobs = 8;
+  parallel.trace_channels = kTraceAllChannels;
+  parallel.trace_dir = dir8;
+
+  const auto a = run_sweep(*spec, Scale{}, serial);
+  const auto b = run_sweep(*spec, Scale{}, parallel);
+  ASSERT_EQ(a.size(), 1u);
+  ASSERT_EQ(b.size(), 1u);
+  ASSERT_TRUE(a[0].outcome.ok) << a[0].outcome.error;
+
+  // Main results document: identical, as for any sweep.
+  EXPECT_EQ(to_json(*spec, Scale{}, a), to_json(*spec, Scale{}, b));
+
+  // Trace stream: same name, same bytes, regardless of --jobs.
+  const std::string name = trace_file_name(spec->name, a[0].id);
+  EXPECT_EQ(name, trace_file_name(spec->name, b[0].id));
+  const std::string t1 = read_file(dir1 + "/" + name);
+  const std::string t8 = read_file(dir8 + "/" + name);
+  ASSERT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t8);
+  EXPECT_NE(t1.find("\"kind\":\"trace\""), std::string::npos);
+  EXPECT_NE(t1.find("\"experiment\":\"incast_ecn\""), std::string::npos);
+}
+
+TEST(TraceDeterminism, TracingDoesNotPerturbTheMainResults) {
+  register_builtin_experiments();
+  const ExperimentSpec* spec = Registry::global().find("incast_ecn");
+  ASSERT_NE(spec, nullptr);
+
+  const std::string traced_dir = fresh_dir("trace_vs_plain");
+  SweepOptions plain = reduced_incast(traced_dir);
+  SweepOptions traced = reduced_incast(traced_dir);
+  traced.trace_channels = kTraceAllChannels;
+  traced.trace_dir = traced_dir;
+
+  const auto untraced = run_sweep(*spec, Scale{}, plain);
+  const auto with_trace = run_sweep(*spec, Scale{}, traced);
+
+  // Trace emission is read-only and draws no randomness: the simulation
+  // — and therefore the deterministic document — must not notice it.
+  EXPECT_EQ(to_json(*spec, Scale{}, untraced),
+            to_json(*spec, Scale{}, with_trace));
+
+  // The recorder's volume telemetry lands in the timing sidecar (and
+  // only there), and only for the traced sweep.
+  const std::string plain_timing = to_timing_json(*spec, untraced);
+  const std::string traced_timing = to_timing_json(*spec, with_trace);
+  EXPECT_EQ(plain_timing.find("trace_lines"), std::string::npos);
+  EXPECT_NE(traced_timing.find("trace_lines"), std::string::npos);
+  EXPECT_NE(traced_timing.find("trace_bytes"), std::string::npos);
+}
+
+TEST(TraceDeterminism, TraceFileNamesAreFilesystemSafe) {
+  EXPECT_EQ(trace_file_name("incast_ecn", "variant=tcp/senders=8/seed=1"),
+            "TRACE_incast_ecn_variant_tcp_senders_8_seed_1.jsonl");
+  EXPECT_EQ(trace_file_name("smoke", "seed=2"), "TRACE_smoke_seed_2.jsonl");
+}
+
+}  // namespace
+}  // namespace mmptcp::exp
