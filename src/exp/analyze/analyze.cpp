@@ -1,0 +1,558 @@
+#include "exp/analyze/analyze.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/json.h"
+#include "exp/runner.h"
+#include "exp/sink.h"
+#include "util/check.h"
+#include "util/table.h"
+
+namespace mmptcp::exp {
+
+namespace {
+
+/// Width of one retransmission-timeline bucket (simulated time).
+constexpr std::int64_t kTimelineBinMs = 10;
+
+std::string fmt(double v, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", digits, v);
+  return buf;
+}
+
+/// Streaming mean without storing samples (groups can span many seeds).
+struct MeanAcc {
+  double total = 0;
+  std::size_t n = 0;
+  void add(double v) {
+    total += v;
+    ++n;
+  }
+  double mean() const { return n ? total / static_cast<double>(n) : 0.0; }
+};
+
+/// Queue attribution for one switch band, summed over a group's traced
+/// runs.  marks/drops come from the cumulative sample counters (per-run
+/// per-port maximum), mark_events/drop_events from discrete event lines.
+struct BandStats {
+  std::set<std::string> ports;
+  std::uint64_t peak_depth = 0;
+  std::uint64_t marks = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t mark_events = 0;
+  std::uint64_t drop_events = 0;
+};
+
+struct BinCounts {
+  std::uint64_t rto = 0;
+  std::uint64_t syn_timeout = 0;
+  std::uint64_t fast_rtx = 0;
+};
+
+/// One grid point (params minus seed) with its per-seed aggregates.
+struct GroupAgg {
+  std::string key;  ///< "axis=v/axis=v" in document order; "(all)" if none
+  std::vector<std::pair<std::string, std::string>> params;
+  std::size_t runs = 0;    ///< ok runs aggregated
+  std::size_t traced = 0;  ///< runs whose trace stream was joined
+  MeanAcc fct, p50, p99, p999;
+  MeanAcc handshake, rto_stall, fast_recovery, transfer;
+  MeanAcc reorder_wait, ttfb;
+  MeanAcc rtos, syn_timeouts;
+  std::map<std::string, BandStats> bands;
+  std::map<std::int64_t, BinCounts> timeline;
+};
+
+/// First metric present among `names`; false when none is.
+bool find_metric(const std::map<std::string, double>& metrics,
+                 std::initializer_list<const char*> names, double* out) {
+  for (const char* name : names) {
+    const auto it = metrics.find(name);
+    if (it != metrics.end()) {
+      *out = it->second;
+      return true;
+    }
+  }
+  return false;
+}
+
+void add_metric(MeanAcc& acc, const std::map<std::string, double>& metrics,
+                std::initializer_list<const char*> names) {
+  double v = 0;
+  if (find_metric(metrics, names, &v)) acc.add(v);
+}
+
+/// Switch band of a port name: the alphabetic prefix before the first
+/// digit ("edge3.E1/p2" -> "edge", "core0/p1" -> "core").
+std::string port_band(const std::string& port) {
+  std::string band;
+  for (char c : port) {
+    if (!std::isalpha(static_cast<unsigned char>(c))) break;
+    band += c;
+  }
+  return band.empty() ? "other" : band;
+}
+
+/// Folds one run's trace stream into its group: per-port cumulative
+/// counters are collapsed to their per-run maximum first so restarts of
+/// the same port name across runs do not double-count.
+void join_trace(const std::string& text, const std::string& origin,
+                GroupAgg& group) {
+  struct PortAgg {
+    std::uint64_t peak = 0;
+    std::uint64_t marks = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t mark_events = 0;
+    std::uint64_t drop_events = 0;
+  };
+  std::map<std::string, PortAgg> ports;
+
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    const std::string line = text.substr(start, end - start);
+    start = end + 1;
+    if (line.empty()) continue;
+    const JsonValue v = json_parse(line, origin);
+    const JsonValue* ch = v.find("ch");
+    if (ch == nullptr) continue;  // stream header / foreign line
+    if (ch->as_string() == "queue") {
+      PortAgg& p = ports[v.at("port").as_string()];
+      const std::uint64_t depth =
+          static_cast<std::uint64_t>(v.at("depth").as_number());
+      p.peak = std::max(p.peak, depth);
+      if (const JsonValue* event = v.find("event")) {
+        if (event->as_string() == "mark") {
+          ++p.mark_events;
+        } else {
+          ++p.drop_events;
+        }
+      } else {
+        p.marks = std::max(
+            p.marks, static_cast<std::uint64_t>(v.at("marks").as_number()));
+        p.drops = std::max(
+            p.drops, static_cast<std::uint64_t>(v.at("drops").as_number()));
+      }
+    } else if (ch->as_string() == "retx") {
+      const std::int64_t t_ns =
+          static_cast<std::int64_t>(v.at("t").as_number());
+      const std::int64_t bin =
+          t_ns / (kTimelineBinMs * 1'000'000) * kTimelineBinMs;
+      BinCounts& counts = group.timeline[bin];
+      const std::string& kind = v.at("event").as_string();
+      if (kind == "rto") {
+        ++counts.rto;
+      } else if (kind == "syn_timeout") {
+        ++counts.syn_timeout;
+      } else if (kind == "fast_rtx") {
+        ++counts.fast_rtx;
+      }
+    }
+  }
+
+  for (const auto& [name, p] : ports) {
+    BandStats& band = group.bands[port_band(name)];
+    band.ports.insert(name);
+    band.peak_depth = std::max(band.peak_depth, p.peak);
+    band.marks += p.marks;
+    band.drops += p.drops;
+    band.mark_events += p.mark_events;
+    band.drop_events += p.drop_events;
+  }
+  ++group.traced;
+}
+
+/// One contending axis value inside a verdict context.
+struct Contender {
+  std::string value;
+  const GroupAgg* group = nullptr;
+};
+
+struct VerdictContext {
+  std::string context;  ///< params minus the battle axis; "(all)" if none
+  std::vector<Contender> entries;
+};
+
+}  // namespace
+
+AnalysisReport analyze_results(const std::string& results_path,
+                               const std::string& trace_dir) {
+  const JsonValue doc = json_parse(read_file(results_path), results_path);
+  require(doc.is_object() && doc.find("kind") != nullptr &&
+              doc.at("kind").as_string() == "sweep",
+          "--analyze expects a sweep result document (kind=\"sweep\"): " +
+              results_path);
+  const std::string experiment = doc.at("experiment").as_string();
+  const std::vector<JsonValue>& runs = doc.at("runs").items();
+
+  // ---- Pass 1: group runs by grid point (params minus seed). ----
+  std::vector<GroupAgg> groups;
+  std::map<std::string, std::size_t> group_index;
+  std::size_t total = runs.size();
+  std::size_t ok_count = 0;
+  std::size_t traced = 0;
+
+  for (const JsonValue& run : runs) {
+    if (!run.at("ok").as_bool()) continue;
+    ++ok_count;
+
+    std::vector<std::pair<std::string, std::string>> params;
+    std::string key;
+    for (const auto& [name, value] : run.at("params").members()) {
+      params.emplace_back(name, value.as_string());
+      if (!key.empty()) key += "/";
+      key += name + "=" + value.as_string();
+    }
+    if (key.empty()) key = "(all)";
+
+    const auto it = group_index.find(key);
+    std::size_t idx;
+    if (it == group_index.end()) {
+      idx = groups.size();
+      group_index.emplace(key, idx);
+      groups.push_back({});
+      groups.back().key = key;
+      groups.back().params = std::move(params);
+    } else {
+      idx = it->second;
+    }
+    GroupAgg& g = groups[idx];
+    ++g.runs;
+
+    std::map<std::string, double> metrics;
+    if (const JsonValue* m = run.find("metrics")) {
+      for (const auto& [name, value] : m->members()) {
+        metrics.emplace(name, value.as_number());
+      }
+    }
+    add_metric(g.fct, metrics, {"mean_fct_ms", "mean_ms"});
+    add_metric(g.p50, metrics, {"fct_p50_ms", "p50_ms"});
+    add_metric(g.p99, metrics, {"p99_fct_ms", "p99_ms"});
+    add_metric(g.p999, metrics, {"p999_fct_ms", "p999_ms"});
+    add_metric(g.handshake, metrics, {"budget_handshake_ms"});
+    add_metric(g.rto_stall, metrics, {"budget_rto_stall_ms"});
+    add_metric(g.fast_recovery, metrics, {"budget_fast_recovery_ms"});
+    add_metric(g.transfer, metrics, {"budget_transfer_ms"});
+    add_metric(g.reorder_wait, metrics, {"budget_reorder_wait_ms"});
+    add_metric(g.ttfb, metrics, {"budget_ttfb_ms"});
+    add_metric(g.rtos, metrics, {"rtos"});
+    add_metric(g.syn_timeouts, metrics, {"syn_timeouts"});
+
+    // ---- Trace join (optional): one JSONL stream per run. ----
+    if (!trace_dir.empty()) {
+      const std::string path =
+          trace_dir + "/" +
+          trace_file_name(experiment, run.at("id").as_string());
+      if (std::FILE* probe = std::fopen(path.c_str(), "rb")) {
+        std::fclose(probe);
+        join_trace(read_file(path), path, g);
+        ++traced;
+      }
+    }
+  }
+
+  // ---- Battle verdicts: rank along the contending axis per context. ----
+  const char* battle_axis = nullptr;
+  for (const GroupAgg& g : groups) {
+    for (const auto& [name, value] : g.params) {
+      (void)value;
+      if (name == "variant") battle_axis = "variant";
+    }
+  }
+  if (battle_axis == nullptr) {
+    for (const GroupAgg& g : groups) {
+      for (const auto& [name, value] : g.params) {
+        (void)value;
+        if (name == "protocol") battle_axis = "protocol";
+      }
+    }
+  }
+
+  std::vector<VerdictContext> contexts;
+  if (battle_axis != nullptr) {
+    std::map<std::string, std::size_t> context_index;
+    for (const GroupAgg& g : groups) {
+      std::string axis_value;
+      std::string context;
+      for (const auto& [name, value] : g.params) {
+        if (name == battle_axis) {
+          axis_value = value;
+          continue;
+        }
+        if (!context.empty()) context += "/";
+        context += name + "=" + value;
+      }
+      if (axis_value.empty()) continue;  // group without the axis
+      if (context.empty()) context = "(all)";
+      const auto it = context_index.find(context);
+      std::size_t idx;
+      if (it == context_index.end()) {
+        idx = contexts.size();
+        context_index.emplace(context, idx);
+        contexts.push_back({context, {}});
+      } else {
+        idx = it->second;
+      }
+      contexts[idx].entries.push_back({axis_value, &g});
+    }
+    // Rank: lowest mean FCT wins; names break exact ties so the order
+    // never depends on container iteration details.
+    for (VerdictContext& ctx : contexts) {
+      std::sort(ctx.entries.begin(), ctx.entries.end(),
+                [](const Contender& a, const Contender& b) {
+                  const double fa = a.group->fct.mean();
+                  const double fb = b.group->fct.mean();
+                  if (fa != fb) return fa < fb;
+                  return a.value < b.value;
+                });
+    }
+  }
+
+  // ---- Render: text. ----
+  std::string text;
+  text += "== analysis: " + experiment + " ==\n";
+  text += "runs: " + std::to_string(total) + " total, " +
+          std::to_string(ok_count) + " ok, " + std::to_string(traced) +
+          " traced\n\n";
+
+  text += "FCT decomposition (ms, mean per completed short flow):\n";
+  {
+    Table t({"group", "runs", "fct", "p99", "handshake", "rto_stall",
+             "fast_rec", "transfer", "stall%", "xfer%", "reorder", "ttfb"});
+    for (const GroupAgg& g : groups) {
+      const double budget = g.handshake.mean() + g.rto_stall.mean() +
+                            g.fast_recovery.mean() + g.transfer.mean();
+      const double share = budget > 0 ? 100.0 / budget : 0.0;
+      t.add_row({g.key, Table::num(std::uint64_t(g.runs)),
+                 Table::num(g.fct.mean(), 3), Table::num(g.p99.mean(), 3),
+                 Table::num(g.handshake.mean(), 3),
+                 Table::num(g.rto_stall.mean(), 3),
+                 Table::num(g.fast_recovery.mean(), 3),
+                 Table::num(g.transfer.mean(), 3),
+                 fmt(g.rto_stall.mean() * share, 1),
+                 fmt(g.transfer.mean() * share, 1),
+                 Table::num(g.reorder_wait.mean(), 3),
+                 Table::num(g.ttfb.mean(), 3)});
+    }
+    text += t.to_string() + "\n";
+  }
+
+  if (traced > 0) {
+    text += "queue attribution (per switch band, over traced runs):\n";
+    Table t({"group", "band", "ports", "peak_pkts", "marks", "drops",
+             "mark_ev", "drop_ev"});
+    for (const GroupAgg& g : groups) {
+      for (const auto& [band, s] : g.bands) {
+        t.add_row({g.key, band, Table::num(std::uint64_t(s.ports.size())),
+                   Table::num(s.peak_depth), Table::num(s.marks),
+                   Table::num(s.drops), Table::num(s.mark_events),
+                   Table::num(s.drop_events)});
+      }
+    }
+    text += t.to_string() + "\n";
+
+    text += "retransmission timeline (" + std::to_string(kTimelineBinMs) +
+            " ms bins, over traced runs):\n";
+    Table tl({"group", "bin_ms", "rto", "syn_timeout", "fast_rtx"});
+    for (const GroupAgg& g : groups) {
+      for (const auto& [bin, counts] : g.timeline) {
+        tl.add_row({g.key, Table::num(bin), Table::num(counts.rto),
+                    Table::num(counts.syn_timeout),
+                    Table::num(counts.fast_rtx)});
+      }
+    }
+    text += tl.to_string() + "\n";
+  } else {
+    text += "queue attribution / retransmission timeline: no trace "
+            "streams joined (pass --trace-dir <dir> with TRACE_*.jsonl "
+            "from a --trace run)\n\n";
+  }
+
+  // ---- Render: verdict narratives (shared by text and JSON). ----
+  struct Verdict {
+    const VerdictContext* ctx;
+    std::string narrative;
+  };
+  std::vector<Verdict> verdicts;
+  for (const VerdictContext& ctx : contexts) {
+    if (ctx.entries.size() < 2) continue;
+    const GroupAgg& win = *ctx.entries[0].group;
+    const GroupAgg& run2 = *ctx.entries[1].group;
+    const double margin_pct =
+        run2.fct.mean() > 0
+            ? (run2.fct.mean() - win.fct.mean()) / run2.fct.mean() * 100.0
+            : 0.0;
+    // Attribution: budget-component savings of the winner, largest first.
+    std::vector<std::pair<std::string, double>> components = {
+        {"RTO stall", run2.rto_stall.mean() - win.rto_stall.mean()},
+        {"transfer/queueing", run2.transfer.mean() - win.transfer.mean()},
+        {"handshake", run2.handshake.mean() - win.handshake.mean()},
+        {"fast recovery",
+         run2.fast_recovery.mean() - win.fast_recovery.mean()},
+    };
+    std::stable_sort(components.begin(), components.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.second > b.second;
+                     });
+    std::string attribution;
+    for (const auto& [name, delta] : components) {
+      if (!attribution.empty()) attribution += ", ";
+      attribution += name + " " + fmt(-delta, 3) + " ms";
+    }
+    std::string narrative =
+        ctx.entries[0].value + " wins [" + ctx.context + "]: mean FCT " +
+        fmt(win.fct.mean(), 3) + " ms vs " + fmt(run2.fct.mean(), 3) +
+        " ms for " + ctx.entries[1].value + " (" + fmt(margin_pct, 1) +
+        "% faster). Attribution vs runner-up: " + attribution + "; p99 " +
+        fmt(-(run2.p99.mean() - win.p99.mean()), 3) + " ms";
+    if (win.rtos.n > 0 && run2.rtos.n > 0) {
+      narrative += "; rtos " + fmt(win.rtos.mean(), 1) + " vs " +
+                   fmt(run2.rtos.mean(), 1);
+    }
+    narrative += ".";
+    verdicts.push_back({&ctx, std::move(narrative)});
+  }
+
+  if (!verdicts.empty()) {
+    text += "battle verdicts (axis: " + std::string(battle_axis) + "):\n";
+    for (const Verdict& v : verdicts) {
+      text += "  " + v.narrative + "\n";
+    }
+    text += "\n";
+  }
+
+  // ---- Render: canonical JSON (no input paths, stable bytes). ----
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(std::uint64_t{1});
+  w.key("kind").value("analysis");
+  w.key("experiment").value(experiment);
+  w.key("runs").begin_object();
+  w.key("total").value(std::uint64_t(total));
+  w.key("ok").value(std::uint64_t(ok_count));
+  w.key("traced").value(std::uint64_t(traced));
+  w.end_object();
+
+  w.key("decomposition").begin_array();
+  for (const GroupAgg& g : groups) {
+    const double budget = g.handshake.mean() + g.rto_stall.mean() +
+                          g.fast_recovery.mean() + g.transfer.mean();
+    const double share = budget > 0 ? 100.0 / budget : 0.0;
+    w.begin_object();
+    w.key("group").value(g.key);
+    w.key("runs").value(std::uint64_t(g.runs));
+    w.key("fct_ms").value(g.fct.mean());
+    w.key("p50_ms").value(g.p50.mean());
+    w.key("p99_ms").value(g.p99.mean());
+    w.key("p999_ms").value(g.p999.mean());
+    w.key("handshake_ms").value(g.handshake.mean());
+    w.key("rto_stall_ms").value(g.rto_stall.mean());
+    w.key("fast_recovery_ms").value(g.fast_recovery.mean());
+    w.key("transfer_ms").value(g.transfer.mean());
+    w.key("rto_stall_share_pct").value(g.rto_stall.mean() * share);
+    w.key("transfer_share_pct").value(g.transfer.mean() * share);
+    w.key("reorder_wait_ms").value(g.reorder_wait.mean());
+    w.key("ttfb_ms").value(g.ttfb.mean());
+    if (g.rtos.n > 0) w.key("rtos").value(g.rtos.mean());
+    if (g.syn_timeouts.n > 0) {
+      w.key("syn_timeouts").value(g.syn_timeouts.mean());
+    }
+    w.end_object();
+  }
+  w.end_array();
+
+  w.key("queues").begin_array();
+  for (const GroupAgg& g : groups) {
+    for (const auto& [band, s] : g.bands) {
+      w.begin_object();
+      w.key("group").value(g.key);
+      w.key("band").value(band);
+      w.key("ports").value(std::uint64_t(s.ports.size()));
+      w.key("peak_depth_pkts").value(s.peak_depth);
+      w.key("marks").value(s.marks);
+      w.key("drops").value(s.drops);
+      w.key("mark_events").value(s.mark_events);
+      w.key("drop_events").value(s.drop_events);
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  w.key("rto_timeline").begin_array();
+  for (const GroupAgg& g : groups) {
+    for (const auto& [bin, counts] : g.timeline) {
+      w.begin_object();
+      w.key("group").value(g.key);
+      w.key("bin_ms").value(bin);
+      w.key("rto").value(counts.rto);
+      w.key("syn_timeout").value(counts.syn_timeout);
+      w.key("fast_rtx").value(counts.fast_rtx);
+      w.end_object();
+    }
+  }
+  w.end_array();
+
+  w.key("verdicts").begin_array();
+  for (const Verdict& v : verdicts) {
+    const VerdictContext& ctx = *v.ctx;
+    const GroupAgg& win = *ctx.entries[0].group;
+    const GroupAgg& run2 = *ctx.entries[1].group;
+    w.begin_object();
+    w.key("context").value(ctx.context);
+    w.key("axis").value(battle_axis);
+    w.key("winner").value(ctx.entries[0].value);
+    w.key("runner_up").value(ctx.entries[1].value);
+    w.key("fct_ms").value(win.fct.mean());
+    w.key("runner_up_fct_ms").value(run2.fct.mean());
+    w.key("fct_delta_pct").value(
+        run2.fct.mean() > 0
+            ? (run2.fct.mean() - win.fct.mean()) / run2.fct.mean() * 100.0
+            : 0.0);
+    w.key("p99_delta_ms").value(win.p99.mean() - run2.p99.mean());
+    w.key("handshake_delta_ms")
+        .value(win.handshake.mean() - run2.handshake.mean());
+    w.key("rto_stall_delta_ms")
+        .value(win.rto_stall.mean() - run2.rto_stall.mean());
+    w.key("fast_recovery_delta_ms")
+        .value(win.fast_recovery.mean() - run2.fast_recovery.mean());
+    w.key("transfer_delta_ms")
+        .value(win.transfer.mean() - run2.transfer.mean());
+    if (win.rtos.n > 0 && run2.rtos.n > 0) {
+      w.key("rtos_delta").value(win.rtos.mean() - run2.rtos.mean());
+    }
+    w.key("ranking").begin_array();
+    for (const Contender& c : ctx.entries) {
+      w.begin_object();
+      w.key("value").value(c.value);
+      w.key("fct_ms").value(c.group->fct.mean());
+      w.key("p99_ms").value(c.group->p99.mean());
+      w.key("rto_stall_ms").value(c.group->rto_stall.mean());
+      w.key("transfer_ms").value(c.group->transfer.mean());
+      w.key("reorder_wait_ms").value(c.group->reorder_wait.mean());
+      w.end_object();
+    }
+    w.end_array();
+    w.key("narrative").value(v.narrative);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+
+  AnalysisReport report;
+  report.text = std::move(text);
+  report.json = w.str() + "\n";
+  return report;
+}
+
+}  // namespace mmptcp::exp

@@ -1,0 +1,46 @@
+#pragma once
+
+// Offline flow-time attribution: joins one sweep result document
+// (BENCH_<spec>.json) with the per-run flight-recorder streams
+// (TRACE_<spec>_<id>.jsonl) and produces a deterministic report that
+// explains *where* each protocol's flow time went.
+//
+// The report has four sections:
+//   - decomposition: per grid point, the FCT budget split (handshake /
+//     RTO stall / fast recovery / transfer) with share percentages,
+//     plus the reorder-wait and TTFB overlays.
+//   - queues: per grid point and switch band (edge/agg/core), peak
+//     occupancy and cumulative ECN-mark/drop attribution from the
+//     queue trace channel.
+//   - rto_timeline: retransmission-event counts (rto / syn_timeout /
+//     fast_rtx) bucketed into fixed 10 ms bins of simulated time.
+//   - verdicts: for sweeps with a competing axis ("variant" or
+//     "protocol"), a ranked battle verdict per context with a
+//     narrative that attributes the winner's margin to budget deltas.
+//
+// Determinism contract: the JSON report depends only on the bytes of
+// the inputs — never on file paths, wall-clock time, the host, or the
+// --jobs value that produced them.  Reports built from a --jobs 1 and
+// a --jobs 8 sweep of the same experiment are byte-identical.  Trace
+// files are joined by the runner's trace_file_name() convention; runs
+// whose stream is absent are simply reported as untraced.
+
+#include <string>
+
+namespace mmptcp::exp {
+
+/// A rendered analysis: human-readable text and the canonical JSON
+/// document (single line + trailing newline, stable byte content).
+struct AnalysisReport {
+  std::string text;
+  std::string json;
+};
+
+/// Analyses a sweep result document.  `trace_dir` is the directory
+/// holding that sweep's TRACE_*.jsonl streams ("" = skip the trace
+/// join; the queue and timeline sections come out empty).  Throws
+/// ConfigError on unreadable/invalid results documents.
+AnalysisReport analyze_results(const std::string& results_path,
+                               const std::string& trace_dir);
+
+}  // namespace mmptcp::exp

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <exception>
 
+#include "exp/analyze/analyze.h"
 #include "exp/compare/compare.h"
 #include "exp/compare/report.h"
 #include "exp/registry.h"
@@ -262,6 +263,31 @@ int compare_documents(const std::string& baseline_path,
   return 0;
 }
 
+/// `--analyze results.json`: flow-time attribution report (optionally
+/// joined with TRACE_*.jsonl streams from --trace-dir).
+int analyze_document(const std::string& results_path,
+                     const std::string& trace_dir,
+                     const std::string& report_path) {
+  const AnalysisReport report = analyze_results(results_path, trace_dir);
+  std::fputs(report.text.c_str(), stdout);
+  if (!report_path.empty()) {
+    write_file(report_path, report.json);
+    std::printf("report json: %s\n", report_path.c_str());
+  }
+  return 0;
+}
+
+const char* direction_name(MetricTolerance::Direction d) {
+  switch (d) {
+    case MetricTolerance::Direction::kHigherIsWorse:
+      return "higher-is-worse";
+    case MetricTolerance::Direction::kLowerIsWorse:
+      return "lower-is-worse";
+    default:
+      return "both";
+  }
+}
+
 int describe_experiment(const std::string& name, const Scale& scale) {
   const ExperimentSpec* spec = Registry::global().find(name);
   if (spec == nullptr) {
@@ -285,6 +311,20 @@ int describe_experiment(const std::string& name, const Scale& scale) {
   std::printf("%s\n", axes.to_string().c_str());
   std::printf("runs per seed: %zu (seed list comes from --seed/--seeds)\n",
               cartesian(spec->axes(adjusted)).size());
+  if (!spec->tolerances.empty()) {
+    std::printf("\nregression tolerances (--compare gates; first matching "
+                "pattern wins):\n");
+    Table tol({"pattern", "warn%", "fail%", "abs_slack", "direction"});
+    for (const MetricTolerance& t : spec->tolerances) {
+      tol.add_row({t.pattern, Table::num(t.warn_pct, 2),
+                   Table::num(t.fail_pct, 2), Table::num(t.abs_slack, 4),
+                   direction_name(t.direction)});
+    }
+    std::printf("%s", tol.to_string().c_str());
+    std::printf("unlisted metrics gate at the defaults: warn %.2f%%, fail "
+                "%.2f%%, direction both\n",
+                MetricTolerance{}.warn_pct, MetricTolerance{}.fail_pct);
+  }
   if (!spec->notes.empty()) std::printf("\n%s\n", spec->notes.c_str());
   return 0;
 }
@@ -304,6 +344,13 @@ int exp_main(int argc, char** argv) {
         "compare", "",
         "diff this baseline result JSON against a candidate "
         "(--compare base.json cand.json)");
+    const std::string analyze = flags.get_string(
+        "analyze", "",
+        "flow-time attribution report for this sweep result JSON "
+        "(--analyze BENCH_x.json [--trace-dir d] [--report out.json])");
+    const std::string trace_dir = flags.get_string(
+        "trace-dir", "",
+        "with --analyze: directory holding the sweep's TRACE_*.jsonl");
     const std::string filter = flags.get_string(
         "filter", "", "with --list: only names containing this");
     const CompareCliOptions copts = parse_compare_cli(flags);
@@ -318,6 +365,10 @@ int exp_main(int argc, char** argv) {
       return compare_documents(compare, copts, flags);
     }
     flags.check_unknown();
+
+    if (!analyze.empty()) {
+      return analyze_document(analyze, trace_dir, copts.report_path);
+    }
 
     if (list) return list_experiments(filter);
     if (!describe.empty()) return describe_experiment(describe, cli.scale);

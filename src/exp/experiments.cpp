@@ -19,14 +19,38 @@ namespace {
 
 using Dir = MetricTolerance::Direction;
 
-/// Standard metric set of a Scenario-based run.
+/// Appends the flow-time attribution metrics (all additive: they come
+/// after every pre-existing metric, so old baseline values stay put).
+/// FCT percentiles are sketch-derived — within QuantileSketch's ~0.3%
+/// relative error of the exact values — and the budget components are
+/// exact means over completed shorts.
+void append_flow_time_metrics(RunOutcome& o, const FlowSketches& s) {
+  o.set("fct_p50_ms", s.fct_ms.quantile(0.5));
+  o.set("fct_p99_ms", s.fct_ms.quantile(0.99));
+  o.set("fct_p999_ms", s.fct_ms.quantile(0.999));
+  o.set("budget_handshake_ms", s.handshake_ms.mean());
+  o.set("budget_rto_stall_ms", s.rto_stall_ms.mean());
+  o.set("budget_fast_recovery_ms", s.fast_recovery_ms.mean());
+  o.set("budget_transfer_ms", s.transfer_ms.mean());
+  o.set("budget_reorder_wait_ms", s.reorder_wait_ms.mean());
+  o.set("budget_ttfb_ms", s.ttfb_ms.mean());
+  o.set("budget_rto_stall_p99_ms", s.rto_stall_ms.quantile(0.99));
+  o.set("budget_ps_phase_ms", s.ps_phase_ms.mean());
+  o.set("budget_mptcp_phase_ms", s.mptcp_phase_ms.mean());
+}
+
+/// Standard metric set of a Scenario-based run.  With exact_stats off the
+/// classic FCT metrics fall back to the streaming sketch (documented in
+/// bench/baselines/README.md; gated specs keep the exact path).
 RunOutcome scenario_outcome(const RunResult& r) {
   RunOutcome o;
-  o.set("mean_ms", r.fct_ms.count() ? r.fct_ms.mean() : 0);
-  o.set("stddev_ms", r.fct_ms.count() ? r.fct_ms.stddev() : 0);
-  o.set("p50_ms", r.fct_ms.count() ? r.fct_ms.percentile(50) : 0);
-  o.set("p99_ms", r.fct_ms.count() ? r.fct_ms.percentile(99) : 0);
-  o.set("max_ms", r.fct_ms.count() ? r.fct_ms.max() : 0);
+  const bool exact = r.fct_ms.count() > 0;
+  const QuantileSketch& sk = r.short_sketches.fct_ms;
+  o.set("mean_ms", exact ? r.fct_ms.mean() : sk.mean());
+  o.set("stddev_ms", exact ? r.fct_ms.stddev() : sk.stddev());
+  o.set("p50_ms", exact ? r.fct_ms.percentile(50) : sk.quantile(0.5));
+  o.set("p99_ms", exact ? r.fct_ms.percentile(99) : sk.quantile(0.99));
+  o.set("max_ms", exact ? r.fct_ms.max() : sk.max());
   o.set("flows_with_rto", double(r.flows_with_rto));
   o.set("rtos", double(r.rtos));
   o.set("spurious_rtx", double(r.spurious));
@@ -38,6 +62,8 @@ RunOutcome scenario_outcome(const RunResult& r) {
   o.set("agg_loss", r.agg_loss);
   o.set("ecn_marked", double(r.ecn_marked));
   o.set("peak_queue_pkts", double(r.peak_queue_pkts));
+  o.set("p999_ms", exact ? r.fct_ms.p999() : sk.quantile(0.999));
+  append_flow_time_metrics(o, r.short_sketches);
   return o;
 }
 
@@ -194,6 +220,8 @@ void register_incast(Registry& r) {
             o.set("syn_timeouts", double(res.syn_timeouts));
             o.set("fast_rtx", double(res.fast_retransmits));
             o.set("completion", res.completion_ratio);
+            o.set("p999_fct_ms", res.fct_ms.count() ? res.fct_ms.p999() : 0);
+            append_flow_time_metrics(o, res.short_sketches);
             return o;
           },
   });
@@ -469,6 +497,10 @@ void register_smoke(Registry& r) {
             o.set("rtos", double(sc.short_flow_rtos()));
             const double events = double(sc.sim().scheduler().executed());
             o.set("events", events);
+            o.set("p999_ms", fct.count() ? fct.p999() : 0);
+            append_flow_time_metrics(
+                o, sc.metrics().short_flow_sketches(
+                       cfg.transport.protocol));
             // Simulator throughput for per-PR trend tracking; sidecar
             // JSON only, so the main result stays deterministic.
             o.set_timing("events_per_second",
@@ -677,6 +709,9 @@ void register_qdisc(Registry& r) {
               o.set("peak_queue_pkts", double(res.peak_queue_packets));
               o.set("peak_queue_at_ms", res.peak_queue_at.to_millis());
               o.set("ecn_marked", double(res.ecn_marked));
+              o.set("p999_fct_ms",
+                    res.fct_ms.count() ? res.fct_ms.p999() : 0);
+              append_flow_time_metrics(o, res.short_sketches);
             });
           },
       // Gate thresholds for --compare: FCT/makespan may only degrade so
@@ -775,6 +810,9 @@ void register_qdisc(Registry& r) {
               o.set("peak_queue_pkts", double(res.peak_queue_packets));
               o.set("peak_queue_at_ms", res.peak_queue_at.to_millis());
               o.set("ecn_marked", double(res.ecn_marked));
+              o.set("p999_fct_ms",
+                    res.fct_ms.count() ? res.fct_ms.p999() : 0);
+              append_flow_time_metrics(o, res.short_sketches);
             });
           },
       // The battle's gated verdict: the short-flow tail, the elephants'

@@ -59,7 +59,11 @@ RunResult run_scenario(const ScenarioConfig& cfg) {
   Scenario sc(cfg);
   sc.run();
   RunResult r;
-  r.fct_ms = sc.short_fct_ms();
+  if (cfg.exact_stats) {
+    r.fct_ms = sc.short_fct_ms();
+  }
+  r.short_sketches =
+      sc.metrics().short_flow_sketches(cfg.transport.protocol);
   r.long_goodput = sc.long_goodput_mbps();
   r.utilization = sc.network_utilization();
   r.completion = sc.short_completion_ratio();

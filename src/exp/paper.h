@@ -52,6 +52,9 @@ struct RunResult {
   std::uint64_t ecn_marked = 0;       ///< CE marks across all qdiscs
   std::uint64_t peak_queue_pkts = 0;  ///< peak occupancy, switch ports
   Time end_time;
+  /// Streaming FCT/budget sketches over completed shorts (always filled;
+  /// with ScenarioConfig::exact_stats=false they are the only FCT stats).
+  FlowSketches short_sketches;
 };
 
 /// Builds, runs and summarises one scenario.

@@ -1,6 +1,7 @@
 #include "mptcp/mptcp_connection.h"
 
 #include <algorithm>
+#include <iterator>
 
 namespace mmptcp {
 
@@ -253,8 +254,20 @@ void MptcpConnection::on_data_segment(const Packet& pkt) {
       const std::uint64_t old = data_rcv_nxt_;
       data_rcv_nxt_ = data_rx_.first_missing_after(data_rcv_nxt_);
       if (data_rcv_nxt_ > old) {
-        metrics_.on_delivered(flow_id_, data_rcv_nxt_ - old);
+        metrics_.on_delivered(flow_id_, data_rcv_nxt_ - old, sim_.now());
       }
+    }
+    // Connection-level head-of-line blocking: data-sequence bytes beyond
+    // data_rcv_nxt_ sit in the reassembly buffer until the hole fills —
+    // the receiver-side cost of scattering/striping across paths.
+    const bool blocked = !data_rx_.empty() &&
+                         std::prev(data_rx_.end())->second > data_rcv_nxt_;
+    if (blocked && !ooo_pending_) {
+      ooo_pending_ = true;
+      ooo_since_ = sim_.now();
+    } else if (!blocked && ooo_pending_) {
+      ooo_pending_ = false;
+      metrics_.on_reorder_wait(flow_id_, sim_.now() - ooo_since_);
     }
   }
   if (pkt.has(pkt_flags::kDataFin)) {

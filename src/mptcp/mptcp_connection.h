@@ -205,6 +205,9 @@ class MptcpConnection : public Endpoint {
   std::uint64_t data_rcv_nxt_ = 0;
   std::uint64_t data_fin_total_ = std::uint64_t(-1);
   bool receiver_complete_ = false;
+  // Connection-level head-of-line blocking episode (flow-time budget).
+  bool ooo_pending_ = false;
+  Time ooo_since_;
 };
 
 }  // namespace mmptcp

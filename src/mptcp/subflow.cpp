@@ -56,6 +56,11 @@ void Subflow::deliver_in_order(std::uint64_t /*newly*/) {
   // Delivery accounting happens at the connection level (on_data_segment).
 }
 
+void Subflow::on_reorder_release(Time /*wait*/) {
+  // Subflow-level reordering is invisible to the application; reorder wait
+  // is measured on the connection-level reassembly buffer instead.
+}
+
 void Subflow::stream_complete() {
   // Subflows carry no TCP FIN; connection-level DATA_FIN ends the flow.
 }

@@ -32,6 +32,7 @@ class Subflow : public TcpSocket {
   void on_peer_ack(const Packet& pkt) override;
   void on_data_segment(const Packet& pkt) override;
   void deliver_in_order(std::uint64_t newly) override;
+  void on_reorder_release(Time wait) override;
   void stream_complete() override;
   void on_established() override;
   void on_congestion_event(CongestionEventKind kind) override;

@@ -33,7 +33,8 @@ Time parse_duration(const std::string& text) {
   while (unit_start < text.size() &&
          (std::isdigit(static_cast<unsigned char>(text[unit_start])) ||
           text[unit_start] == '.' || text[unit_start] == '+' ||
-          text[unit_start] == '-')) {
+          text[unit_start] == '-' || text[unit_start] == 'e' ||
+          text[unit_start] == 'E')) {
     ++unit_start;
   }
   const std::string number = text.substr(0, unit_start);
@@ -44,10 +45,13 @@ Time parse_duration(const std::string& text) {
     value = std::stod(number, &consumed);
   } catch (const std::exception&) {
     throw ConfigError("bad duration '" + text +
-                      "' (expected e.g. 500us, 1.5ms, 2s)");
+                      "' (expected <number><unit> with unit ns, us, ms or "
+                      "s, e.g. 500us, 1.5ms, 2s)");
   }
   require(consumed == number.size() && !number.empty(),
-          "bad duration '" + text + "' (expected e.g. 500us, 1.5ms, 2s)");
+          "bad duration '" + text +
+              "' (expected <number><unit> with unit ns, us, ms or s, "
+              "e.g. 500us, 1.5ms, 2s)");
   double unit_ns = 0;
   if (unit == "ns") {
     unit_ns = 1;
@@ -57,12 +61,21 @@ Time parse_duration(const std::string& text) {
     unit_ns = 1e6;
   } else if (unit == "s") {
     unit_ns = 1e9;
+  } else if (unit.empty()) {
+    throw ConfigError("duration '" + text +
+                      "' is missing a unit (append ns, us, ms or s)");
   } else {
     throw ConfigError("bad duration unit '" + unit + "' in '" + text +
                       "' (valid: ns, us, ms, s)");
   }
   require(value >= 0, "duration cannot be negative: " + text);
-  return Time::nanos(static_cast<std::int64_t>(std::llround(value * unit_ns)));
+  require(std::isfinite(value), "duration is not finite: " + text);
+  // llround on a value beyond int64 range is undefined behaviour; the
+  // simulated clock tops out at ~292 years anyway.
+  const double ns = value * unit_ns;
+  require(ns < 9.2e18, "duration overflows the 64-bit nanosecond clock: " +
+                           text);
+  return Time::nanos(static_cast<std::int64_t>(std::llround(ns)));
 }
 
 Time transmission_time(std::uint64_t bytes, std::uint64_t bits_per_sec) {

@@ -4,6 +4,47 @@
 
 namespace mmptcp {
 
+namespace {
+
+Time& open_bucket(FlowRecord& rec) {
+  switch (rec.budget_state) {
+    case BudgetState::kHandshake:
+      return rec.t_handshake;
+    case BudgetState::kFastRecovery:
+      return rec.t_fast_recovery;
+    default:
+      return rec.t_transfer;
+  }
+}
+
+}  // namespace
+
+void FlowSketches::add(const FlowRecord& rec) {
+  fct_ms.add(rec.fct().to_millis());
+  handshake_ms.add(rec.t_handshake.to_millis());
+  rto_stall_ms.add(rec.t_rto_stall.to_millis());
+  fast_recovery_ms.add(rec.t_fast_recovery.to_millis());
+  transfer_ms.add(rec.t_transfer.to_millis());
+  reorder_wait_ms.add(rec.t_reorder_wait.to_millis());
+  ttfb_ms.add(rec.saw_first_byte() ? rec.ttfb().to_millis() : 0.0);
+  if (has_ps_phase(rec.protocol)) {
+    ps_phase_ms.add(rec.ps_phase_time().to_millis());
+    mptcp_phase_ms.add(rec.mptcp_phase_time().to_millis());
+  }
+}
+
+void FlowSketches::merge(const FlowSketches& other) {
+  fct_ms.merge(other.fct_ms);
+  handshake_ms.merge(other.handshake_ms);
+  rto_stall_ms.merge(other.rto_stall_ms);
+  fast_recovery_ms.merge(other.fast_recovery_ms);
+  transfer_ms.merge(other.transfer_ms);
+  reorder_wait_ms.merge(other.reorder_wait_ms);
+  ttfb_ms.merge(other.ttfb_ms);
+  ps_phase_ms.merge(other.ps_phase_ms);
+  mptcp_phase_ms.merge(other.mptcp_phase_ms);
+}
+
 FlowRecord& Metrics::on_flow_started(Protocol proto, Addr src, Addr dst,
                                      std::uint64_t request_bytes,
                                      bool long_flow, Time now) {
@@ -15,6 +56,7 @@ FlowRecord& Metrics::on_flow_started(Protocol proto, Addr src, Addr dst,
   rec.request_bytes = request_bytes;
   rec.long_flow = long_flow;
   rec.start = now;
+  rec.budget_since = now;
   flows_.push_back(rec);
   return flows_.back();
 }
@@ -29,14 +71,78 @@ const FlowRecord& Metrics::record(std::uint32_t flow_id) const {
   return flows_[flow_id];
 }
 
-void Metrics::on_delivered(std::uint32_t flow_id, std::uint64_t bytes) {
-  record(flow_id).delivered_bytes += bytes;
+void Metrics::on_delivered(std::uint32_t flow_id, std::uint64_t bytes,
+                           Time now) {
+  FlowRecord& rec = record(flow_id);
+  if (bytes > 0 && !rec.saw_first_byte()) rec.first_byte_at = now;
+  rec.delivered_bytes += bytes;
 }
 
 void Metrics::on_flow_completed(std::uint32_t flow_id, Time now) {
   FlowRecord& rec = record(flow_id);
   check(!rec.is_complete(), "flow completed twice");
   rec.completed_at = now;
+  close_budget_bucket(rec, now, BudgetState::kDone);
+  if (!rec.long_flow) short_sketches_[rec.protocol].add(rec);
+}
+
+void Metrics::on_reorder_wait(std::uint32_t flow_id, Time wait) {
+  record(flow_id).t_reorder_wait += wait;
+}
+
+void Metrics::close_budget_bucket(FlowRecord& rec, Time now,
+                                  BudgetState next) {
+  if (rec.budget_state == BudgetState::kDone) return;
+  if (now > rec.budget_since) {
+    open_bucket(rec) += now - rec.budget_since;
+    rec.budget_since = now;
+  }
+  rec.budget_state = next;
+}
+
+void Metrics::on_flow_established(std::uint32_t flow_id, Time now) {
+  FlowRecord& rec = record(flow_id);
+  // Only the first subflow's handshake bounds the connect bucket; later
+  // joins establish while the flow is already transferring.
+  if (rec.budget_state == BudgetState::kHandshake) {
+    close_budget_bucket(rec, now, BudgetState::kTransfer);
+  }
+}
+
+void Metrics::on_recovery_enter(std::uint32_t flow_id, Time now) {
+  FlowRecord& rec = record(flow_id);
+  if (rec.budget_state == BudgetState::kDone) return;
+  ++rec.recovery_depth;
+  if (rec.recovery_depth == 1 &&
+      rec.budget_state == BudgetState::kTransfer) {
+    close_budget_bucket(rec, now, BudgetState::kFastRecovery);
+  }
+}
+
+void Metrics::on_recovery_exit(std::uint32_t flow_id, Time now) {
+  FlowRecord& rec = record(flow_id);
+  if (rec.budget_state == BudgetState::kDone) return;
+  if (rec.recovery_depth > 0) --rec.recovery_depth;
+  if (rec.recovery_depth == 0 &&
+      rec.budget_state == BudgetState::kFastRecovery) {
+    close_budget_bucket(rec, now, BudgetState::kTransfer);
+  }
+}
+
+void Metrics::on_rto_stall(std::uint32_t flow_id, Time stall_begin,
+                           Time now) {
+  FlowRecord& rec = record(flow_id);
+  if (rec.budget_state == BudgetState::kDone) return;
+  // Charge [budget_since, begin) to the open bucket and [begin, now) to
+  // the stall; clamping `begin` to budget_since keeps the partition exact
+  // when stalls overlap other attributed intervals.
+  Time begin = stall_begin > rec.budget_since ? stall_begin : rec.budget_since;
+  if (begin > now) begin = now;
+  if (begin > rec.budget_since) {
+    open_bucket(rec) += begin - rec.budget_since;
+  }
+  rec.t_rto_stall += now - begin;
+  rec.budget_since = now;
 }
 
 void Metrics::on_rto(std::uint32_t flow_id) { ++record(flow_id).rto_count; }
@@ -107,6 +213,12 @@ double Metrics::short_flow_completion_ratio(Protocol proto) const {
   }
   return total == 0 ? 1.0
                     : static_cast<double>(done) / static_cast<double>(total);
+}
+
+const FlowSketches& Metrics::short_flow_sketches(Protocol proto) const {
+  static const FlowSketches empty;
+  const auto it = short_sketches_.find(proto);
+  return it == short_sketches_.end() ? empty : it->second;
 }
 
 std::uint64_t Metrics::total(

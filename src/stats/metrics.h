@@ -8,12 +8,34 @@
 
 #include <deque>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "stats/flow_record.h"
+#include "stats/sketch.h"
 #include "util/summary.h"
 
 namespace mmptcp {
+
+/// Streaming sketches over completed short flows of one protocol: FCT and
+/// its budget decomposition, all in milliseconds.  O(1) memory regardless
+/// of flow count; mergeable across shards with byte-identical state.
+struct FlowSketches {
+  QuantileSketch fct_ms;
+  QuantileSketch handshake_ms;
+  QuantileSketch rto_stall_ms;
+  QuantileSketch fast_recovery_ms;
+  QuantileSketch transfer_ms;
+  QuantileSketch reorder_wait_ms;
+  QuantileSketch ttfb_ms;
+  // PS-capable protocols only (zero elsewhere); ps + mptcp sum to fct.
+  QuantileSketch ps_phase_ms;
+  QuantileSketch mptcp_phase_ms;
+
+  /// Folds a completed flow record into every component sketch.
+  void add(const FlowRecord& rec);
+  void merge(const FlowSketches& other);
+};
 
 /// Collects flow records and protocol event counters for one run.
 class Metrics {
@@ -27,8 +49,10 @@ class Metrics {
   const FlowRecord& record(std::uint32_t flow_id) const;
 
   /// Receiver-side events.
-  void on_delivered(std::uint32_t flow_id, std::uint64_t bytes);
+  void on_delivered(std::uint32_t flow_id, std::uint64_t bytes, Time now);
   void on_flow_completed(std::uint32_t flow_id, Time now);
+  /// Receiver head-of-line blocking episode ended after `wait`.
+  void on_reorder_wait(std::uint32_t flow_id, Time wait);
 
   /// Sender-side events.
   void on_rto(std::uint32_t flow_id);
@@ -38,6 +62,15 @@ class Metrics {
   void on_data_packet_sent(std::uint32_t flow_id);
   void on_phase_switch(std::uint32_t flow_id, Time now);
   void on_subflow_used(std::uint32_t flow_id);
+
+  /// Budget transitions (see FlowRecord): the first subflow's handshake
+  /// completed; a subflow entered/left fast recovery; a retransmission
+  /// timer fired after stalling since `stall_begin` (charged retroactively,
+  /// clamped so overlapping subflow stalls never double count).
+  void on_flow_established(std::uint32_t flow_id, Time now);
+  void on_recovery_enter(std::uint32_t flow_id, Time now);
+  void on_recovery_exit(std::uint32_t flow_id, Time now);
+  void on_rto_stall(std::uint32_t flow_id, Time stall_begin, Time now);
 
   std::size_t flow_count() const { return flows_.size(); }
 
@@ -59,8 +92,16 @@ class Metrics {
       const std::function<std::uint64_t(const FlowRecord&)>& field,
       const std::function<bool(const FlowRecord&)>& pred = nullptr) const;
 
+  /// Streaming FCT/budget sketches over completed short flows of `proto`
+  /// (an empty set of sketches when none completed).
+  const FlowSketches& short_flow_sketches(Protocol proto) const;
+
  private:
+  /// Charges [budget_since, now) to the open bucket and opens `next`.
+  static void close_budget_bucket(FlowRecord& rec, Time now, BudgetState next);
+
   std::deque<FlowRecord> flows_;
+  std::map<Protocol, FlowSketches> short_sketches_;
 };
 
 }  // namespace mmptcp

@@ -1,0 +1,170 @@
+#include "stats/sketch.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.h"
+
+namespace mmptcp {
+
+namespace {
+
+constexpr int kSubBuckets = 128;  // buckets per octave
+
+// Sub-bucket boundaries over one octave: boundary[j] ~= 2^(j/128) for
+// j in [0, 128].  Built from sqrt/multiply only — both correctly rounded
+// under IEEE 754 — so the table (and therefore every bucket decision) is
+// bit-identical on any conforming host.
+struct BucketTable {
+  double boundary[kSubBuckets + 1];
+  double midpoint[kSubBuckets];  // geometric midpoint of each sub-bucket
+
+  BucketTable() {
+    double ratio = 2.0;  // 2^(1/128) after 7 square roots
+    for (int i = 0; i < 7; ++i) ratio = std::sqrt(ratio);
+    const double half = std::sqrt(ratio);  // 2^(1/256)
+    boundary[0] = 1.0;
+    for (int j = 1; j <= kSubBuckets; ++j) {
+      boundary[j] = boundary[j - 1] * ratio;
+    }
+    for (int j = 0; j < kSubBuckets; ++j) {
+      midpoint[j] = boundary[j] * half;
+    }
+  }
+};
+
+const BucketTable& table() {
+  static const BucketTable t;
+  return t;
+}
+
+// Largest j with boundary[j] <= y, for y in [1, 2).
+int sub_bucket(double y) {
+  const BucketTable& t = table();
+  int lo = 0, hi = kSubBuckets;
+  while (hi - lo > 1) {
+    const int mid = (lo + hi) / 2;
+    if (t.boundary[mid] <= y) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+double QuantileSketch::relative_error() {
+  // Half a bucket width: 2^(1/256) - 1.
+  double half = 2.0;
+  for (int i = 0; i < 8; ++i) half = std::sqrt(half);
+  return half - 1.0;
+}
+
+std::int32_t QuantileSketch::bucket_index(double value) {
+  int exp = 0;
+  const double mantissa = std::frexp(value, &exp);  // value = m * 2^exp
+  const double y = mantissa * 2.0;                  // y in [1, 2)
+  return static_cast<std::int32_t>(exp - 1) * kSubBuckets + sub_bucket(y);
+}
+
+double QuantileSketch::bucket_midpoint(std::int32_t index) {
+  const int octave =
+      index >= 0 ? index / kSubBuckets : (index - kSubBuckets + 1) / kSubBuckets;
+  const int sub = index - octave * kSubBuckets;
+  return std::ldexp(table().midpoint[sub], octave);
+}
+
+void QuantileSketch::add(double value) {
+  check(std::isfinite(value), "QuantileSketch::add on non-finite value");
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    if (value < min_) min_ = value;
+    if (value > max_) max_ = value;
+  }
+  ++count_;
+  sum_ += value;
+  sum_sq_ += value * value;
+  if (value > 0) {
+    ++buckets_[bucket_index(value)];
+  } else {
+    ++zero_count_;
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+  zero_count_ += other.zero_count_;
+  for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+}
+
+double QuantileSketch::mean() const {
+  return count_ == 0 ? 0.0 : sum_ / static_cast<double>(count_);
+}
+
+double QuantileSketch::stddev() const {
+  if (count_ < 2) return 0.0;
+  const double n = static_cast<double>(count_);
+  const double var = (sum_sq_ - sum_ * sum_ / n) / (n - 1.0);
+  return var > 0 ? std::sqrt(var) : 0.0;
+}
+
+double QuantileSketch::min() const { return count_ == 0 ? 0.0 : min_; }
+
+double QuantileSketch::max() const { return count_ == 0 ? 0.0 : max_; }
+
+double QuantileSketch::quantile(double q) const {
+  check(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+  if (count_ == 0) return 0.0;
+  // Target rank, 1-based, matching the "nearest rank" definition.
+  const std::uint64_t target =
+      q <= 0.0 ? 1
+               : static_cast<std::uint64_t>(
+                     std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = zero_count_;
+  if (target <= seen) return min_ < 0.0 ? min_ : 0.0;
+  for (const auto& [index, n] : buckets_) {
+    seen += n;
+    if (seen >= target) {
+      double v = bucket_midpoint(index);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
+std::string QuantileSketch::serialize() const {
+  // Canonical text form; %.17g round-trips doubles exactly.
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "qsketch1 n=%llu zero=%llu sum=%.17g sumsq=%.17g min=%.17g "
+                "max=%.17g buckets=",
+                static_cast<unsigned long long>(count_),
+                static_cast<unsigned long long>(zero_count_), sum_, sum_sq_,
+                min_, max_);
+  std::string out = buf;
+  bool first = true;
+  for (const auto& [index, n] : buckets_) {
+    std::snprintf(buf, sizeof buf, "%s%d:%llu", first ? "" : ",",
+                  static_cast<int>(index), static_cast<unsigned long long>(n));
+    out += buf;
+    first = false;
+  }
+  return out;
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,69 @@
+#pragma once
+
+// Deterministic mergeable percentile sketch.
+//
+// A log-bucket histogram: positive values land in geometric buckets of
+// ratio 2^(1/128), giving a worst-case relative quantile error of
+// 2^(1/256) - 1 (~0.27%) while holding O(1) memory per metric (at most a
+// few hundred occupied buckets for any realistic value range).  Bucket
+// boundaries are derived exclusively from IEEE-exact operations (frexp,
+// sqrt, multiply), so the sketch is byte-identical across hosts, across
+// `--jobs` values, and under any split-then-merge sharding — unlike a
+// t-digest, whose centroids depend on insertion order.
+//
+// count/sum/sum-of-squares/min/max are tracked exactly; only the
+// quantiles are approximate.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace mmptcp {
+
+/// Streaming quantile sketch over non-negative samples (values <= 0 are
+/// counted in a dedicated zero bucket).
+class QuantileSketch {
+ public:
+  /// Worst-case relative error of quantile(): half a bucket width.
+  static double relative_error();
+
+  void add(double value);
+  void merge(const QuantileSketch& other);
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  /// Exact mean (0 when empty).
+  double mean() const;
+  /// Sample (n-1) standard deviation from exact moments; 0 below 2 samples.
+  double stddev() const;
+  /// Exact extremes; 0 when empty.
+  double min() const;
+  double max() const;
+
+  /// Approximate quantile, q in [0, 1]; 0 when empty.  The result is the
+  /// geometric midpoint of the bucket holding the target rank, clamped to
+  /// the exact [min, max] range.
+  double quantile(double q) const;
+
+  /// Canonical byte representation: identical sketches (by content, in any
+  /// insertion or merge order) serialise to identical bytes.
+  std::string serialize() const;
+
+  std::size_t bucket_count() const { return buckets_.size(); }
+
+ private:
+  static std::int32_t bucket_index(double value);
+  static double bucket_midpoint(std::int32_t index);
+
+  // Occupied buckets only, keyed by global bucket index (octave * 128 +
+  // sub-bucket).  std::map iteration order is the canonical order.
+  std::map<std::int32_t, std::uint64_t> buckets_;
+  std::uint64_t zero_count_ = 0;
+  std::uint64_t count_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+}  // namespace mmptcp

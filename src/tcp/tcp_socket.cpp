@@ -1,6 +1,7 @@
 #include "tcp/tcp_socket.h"
 
 #include <algorithm>
+#include <iterator>
 
 #include "trace/recorder.h"
 
@@ -91,6 +92,7 @@ void TcpSocket::handle_packet(const Packet& pkt) {
         }
         timing_valid_ = false;
         cancel_rto();
+        metrics_.on_flow_established(flow_id_, sim_.now());
         send_pure_ack_for_handshake();
         on_established();
         if (trace_cwnd_ != nullptr) trace_cwnd_point("established");
@@ -134,7 +136,11 @@ void TcpSocket::on_first_data_sent() {
 }
 
 void TcpSocket::deliver_in_order(std::uint64_t newly) {
-  metrics_.on_delivered(flow_id_, newly);
+  metrics_.on_delivered(flow_id_, newly, sim_.now());
+}
+
+void TcpSocket::on_reorder_release(Time wait) {
+  metrics_.on_reorder_wait(flow_id_, wait);
 }
 
 void TcpSocket::stream_complete() {
@@ -294,6 +300,7 @@ void TcpSocket::process_ack(const Packet& pkt) {
       if (in_recovery_) {
         in_recovery_ = false;
         dup_acks_ = 0;
+        metrics_.on_recovery_exit(flow_id_, sim_.now());
       }
       if (trace_cwnd_ != nullptr) trace_cwnd_point("undo");
     }
@@ -319,6 +326,7 @@ void TcpSocket::process_ack(const Packet& pkt) {
         in_recovery_ = false;
         dup_acks_ = 0;
         cc_->exit_recovery();
+        metrics_.on_recovery_exit(flow_id_, sim_.now());
       } else {
         // Partial ACK: retransmit the next hole immediately (RFC 6582).
         cc_->partial_ack(acked);
@@ -363,6 +371,7 @@ void TcpSocket::enter_fast_retransmit() {
   cc_->enter_recovery(bytes_in_flight());
   ++fast_rtx_;
   metrics_.on_fast_retransmit(flow_id_);
+  metrics_.on_recovery_enter(flow_id_, sim_.now());
   if (trace_retx_ != nullptr) {
     trace_retx_->retx_event(sim_.now(), flow_id_, trace_sf_, "fast_rtx");
   }
@@ -424,6 +433,18 @@ void TcpSocket::process_data(const Packet& pkt) {
     delivered_payload_ += newly;
     deliver_in_order(newly);
   }
+  // Head-of-line blocking: bytes beyond rcv_nxt_ are held in the reorder
+  // buffer until the hole fills; the episode's duration is the receiver
+  // reorder wait (packet scatter's main cost).
+  const bool blocked = !rx_ranges_.empty() &&
+                       std::prev(rx_ranges_.end())->second > rcv_nxt_;
+  if (blocked && !ooo_pending_) {
+    ooo_pending_ = true;
+    ooo_since_ = sim_.now();
+  } else if (!blocked && ooo_pending_) {
+    ooo_pending_ = false;
+    on_reorder_release(sim_.now() - ooo_since_);
+  }
   send_ack_reply(pkt, dup);
   if (fin_received_ && rcv_nxt_ >= fin_seq_rx_ + 1 && !receiver_complete_) {
     receiver_complete_ = true;
@@ -480,6 +501,7 @@ void TcpSocket::arm_rto_if_needed() {
                     (established_ && bytes_in_flight() > 0);
   if (!need) return;
   rto_armed_ = true;
+  rto_armed_at_ = sim_.now();
   const std::uint64_t gen = ++rto_generation_;
   rto_event_ = sim_.scheduler().schedule(
       current_rto(), [this, gen] { on_rto_timer(gen); });
@@ -514,6 +536,7 @@ void TcpSocket::handle_syn_timeout() {
     return;
   }
   metrics_.on_syn_timeout(flow_id_);
+  metrics_.on_rto_stall(flow_id_, rto_armed_at_, sim_.now());
   if (trace_retx_ != nullptr) {
     trace_retx_->retx_event(sim_.now(), flow_id_, trace_sf_, "syn_timeout");
   }
@@ -530,6 +553,8 @@ void TcpSocket::handle_data_timeout() {
     return;
   }
   metrics_.on_rto(flow_id_);
+  metrics_.on_rto_stall(flow_id_, rto_armed_at_, sim_.now());
+  if (in_recovery_) metrics_.on_recovery_exit(flow_id_, sim_.now());
   dupack_policy_.on_rto();
   cc_->on_rto(bytes_in_flight());
   if (trace_retx_ != nullptr) {

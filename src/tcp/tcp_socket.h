@@ -152,6 +152,12 @@ class TcpSocket : public Endpoint {
   /// Receiver side: `newly` contiguous payload bytes became in-order.
   virtual void deliver_in_order(std::uint64_t newly);
 
+  /// Receiver side: a head-of-line blocking episode ended — out-of-order
+  /// bytes were held for `wait` before the hole filled.  The default
+  /// reports receiver reorder wait to metrics; subflows override to a
+  /// no-op (reassembly happens at the connection level).
+  virtual void on_reorder_release(Time wait);
+
   /// Receiver side: FIN delivered, whole stream in order.
   virtual void stream_complete();
 
@@ -288,11 +294,15 @@ class TcpSocket : public Endpoint {
   bool fin_received_ = false;
   std::uint64_t fin_seq_rx_ = 0;
   bool receiver_complete_ = false;
+  // Head-of-line blocking episode (flow-time attribution).
+  bool ooo_pending_ = false;
+  Time ooo_since_;
 
   // RTO timer (generation-checked lazy cancellation).
   EventId rto_event_{};
   std::uint64_t rto_generation_ = 0;
   bool rto_armed_ = false;
+  Time rto_armed_at_;  ///< start of the current timer interval (stall base)
 };
 
 }  // namespace mmptcp

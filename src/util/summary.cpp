@@ -21,6 +21,24 @@ void Summary::add_all(const std::vector<double>& values) {
   for (double v : values) add(v);
 }
 
+void Summary::merge(const Summary& other) {
+  if (other.samples_.empty()) return;
+  const double na = static_cast<double>(samples_.size());
+  const double nb = static_cast<double>(other.samples_.size());
+  if (samples_.empty()) {
+    mean_run_ = other.mean_run_;
+    m2_run_ = other.m2_run_;
+  } else {
+    const double delta = other.mean_run_ - mean_run_;
+    mean_run_ += delta * nb / (na + nb);
+    m2_run_ += other.m2_run_ + delta * delta * na * nb / (na + nb);
+  }
+  sum_ += other.sum_;
+  samples_.insert(samples_.end(), other.samples_.begin(),
+                  other.samples_.end());
+  sorted_valid_ = false;
+}
+
 double Summary::mean() const {
   return samples_.empty() ? 0.0 : mean_run_;
 }

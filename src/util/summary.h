@@ -26,6 +26,13 @@ class Summary {
   double max() const;
   /// Exact percentile by linear interpolation; p in [0, 100].
   double percentile(double p) const;
+  /// The 99.9th percentile (tail-of-the-tail shorthand).
+  double p999() const { return percentile(99.9); }
+
+  /// Count-weighted merge: afterwards this summary describes the union of
+  /// both sample sets, with mean/stddev combined by the parallel Welford
+  /// formula (numerically robust for shards of any relative size).
+  void merge(const Summary& other);
 
   /// Number of samples with value > threshold.
   std::size_t count_above(double threshold) const;

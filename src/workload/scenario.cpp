@@ -295,7 +295,10 @@ IncastResult run_incast(const IncastConfig& config) {
   sim.scheduler().run_until(config.max_sim_time);
 
   IncastResult result;
-  result.fct_ms = metrics.short_flow_fct_ms(transport.protocol);
+  if (config.exact_stats) {
+    result.fct_ms = metrics.short_flow_fct_ms(transport.protocol);
+  }
+  result.short_sketches = metrics.short_flow_sketches(transport.protocol);
   Time last = Time::zero();
   for (const auto* rec : metrics.flows()) {
     if (rec->long_flow) continue;

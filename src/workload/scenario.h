@@ -69,6 +69,11 @@ struct ScenarioConfig {
   TraceConfig trace{};
   /// Component logger root (default: disabled).
   Logger logger{};
+  /// When false the run skips materialising per-flow FCT samples for the
+  /// exact Summary percentiles and reports only the O(1) streaming
+  /// sketches (see FlowSketches).  Specs that gate exact values keep the
+  /// default.
+  bool exact_stats = true;
 };
 
 /// Builds and runs one scenario; query results afterwards.
@@ -172,6 +177,8 @@ struct IncastConfig {
   /// Flight recorder + component logger (see ScenarioConfig).
   TraceConfig trace{};
   Logger logger{};
+  /// See ScenarioConfig::exact_stats.
+  bool exact_stats = true;
 };
 
 /// Outcome of one incast run (all flow counters cover short flows only).
@@ -194,6 +201,8 @@ struct IncastResult {
   /// Flight-recorder volume (zero when tracing was off).
   std::uint64_t trace_lines = 0;
   std::uint64_t trace_bytes = 0;
+  /// Streaming FCT/budget sketches over completed shorts (always filled).
+  FlowSketches short_sketches;
 };
 
 /// Runs the incast microbenchmark (receiver = host 0; senders spread over

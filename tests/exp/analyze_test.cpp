@@ -1,0 +1,205 @@
+#include "exp/analyze/analyze.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "exp/json.h"
+#include "exp/runner.h"
+#include "exp/sink.h"
+#include "util/check.h"
+
+namespace mmptcp::exp {
+namespace {
+
+std::string fresh_dir(const std::string& leaf) {
+  const std::string dir = ::testing::TempDir() + leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+/// One synthetic run entry of the sweep document.
+std::string run_json(const std::string& variant, std::uint64_t seed,
+                     double fct, double rto_stall, double transfer) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("id").value(variant == "a" ? "variant=a/senders=4/seed=" +
+                                         std::to_string(seed)
+                                   : "variant=b/senders=4/seed=" +
+                                         std::to_string(seed));
+  w.key("params").begin_object();
+  w.key("variant").value(variant);
+  w.key("senders").value("4");
+  w.end_object();
+  w.key("seed").value(seed);
+  w.key("ok").value(true);
+  w.key("metrics").begin_object();
+  w.key("mean_fct_ms").value(fct);
+  w.key("p99_fct_ms").value(fct * 2);
+  w.key("rtos").value(rto_stall > 0 ? 3.0 : 0.0);
+  w.key("budget_handshake_ms").value(1.0);
+  w.key("budget_rto_stall_ms").value(rto_stall);
+  w.key("budget_fast_recovery_ms").value(0.5);
+  w.key("budget_transfer_ms").value(transfer);
+  w.key("budget_reorder_wait_ms").value(0.25);
+  w.key("budget_ttfb_ms").value(0.75);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+/// A two-variant, two-seed synthetic sweep: "a" wins on every count.
+std::string sweep_json() {
+  std::string runs;
+  runs += run_json("a", 1, 10, 0, 9) + ",";
+  runs += run_json("a", 2, 12, 0, 11) + ",";
+  runs += run_json("b", 1, 20, 8, 11) + ",";
+  runs += run_json("b", 2, 24, 10, 13) + ",";
+  // A failed run: must be counted in total but excluded everywhere else.
+  runs += "{\"id\":\"variant=b/senders=4/seed=3\",\"params\":"
+          "{\"variant\":\"b\",\"senders\":\"4\"},\"seed\":3,\"ok\":false,"
+          "\"error\":\"boom\"}";
+  return "{\"schema_version\":2,\"kind\":\"sweep\",\"experiment\":"
+         "\"synthetic\",\"runs\":[" +
+         runs + "]}\n";
+}
+
+TEST(Analyze, DecompositionAndVerdictFromSyntheticSweep) {
+  const std::string dir = fresh_dir("analyze_synth");
+  write_file(dir + "/results.json", sweep_json());
+
+  const AnalysisReport report = analyze_results(dir + "/results.json", "");
+  const JsonValue doc = json_parse(report.json, "report");
+  EXPECT_EQ(doc.at("kind").as_string(), "analysis");
+  EXPECT_EQ(doc.at("experiment").as_string(), "synthetic");
+  EXPECT_EQ(doc.at("runs").at("total").as_number(), 5);
+  EXPECT_EQ(doc.at("runs").at("ok").as_number(), 4);
+  EXPECT_EQ(doc.at("runs").at("traced").as_number(), 0);
+
+  const auto& rows = doc.at("decomposition").items();
+  ASSERT_EQ(rows.size(), 2u);  // grouped across seeds
+  EXPECT_EQ(rows[0].at("group").as_string(), "variant=a/senders=4");
+  EXPECT_EQ(rows[0].at("runs").as_number(), 2);
+  EXPECT_DOUBLE_EQ(rows[0].at("fct_ms").as_number(), 11.0);
+  EXPECT_DOUBLE_EQ(rows[0].at("rto_stall_ms").as_number(), 0.0);
+  EXPECT_DOUBLE_EQ(rows[1].at("fct_ms").as_number(), 22.0);
+  EXPECT_DOUBLE_EQ(rows[1].at("rto_stall_ms").as_number(), 9.0);
+  // Shares are percentages of the additive budget.
+  const double b_budget = 1.0 + 9.0 + 0.5 + 12.0;
+  EXPECT_NEAR(rows[1].at("rto_stall_share_pct").as_number(),
+              9.0 / b_budget * 100.0, 1e-9);
+
+  const auto& verdicts = doc.at("verdicts").items();
+  ASSERT_EQ(verdicts.size(), 1u);
+  const JsonValue& v = verdicts[0];
+  EXPECT_EQ(v.at("context").as_string(), "senders=4");
+  EXPECT_EQ(v.at("axis").as_string(), "variant");
+  EXPECT_EQ(v.at("winner").as_string(), "a");
+  EXPECT_EQ(v.at("runner_up").as_string(), "b");
+  EXPECT_DOUBLE_EQ(v.at("fct_delta_pct").as_number(), 50.0);
+  EXPECT_DOUBLE_EQ(v.at("rto_stall_delta_ms").as_number(), -9.0);
+  EXPECT_DOUBLE_EQ(v.at("transfer_delta_ms").as_number(), -2.0);
+  ASSERT_EQ(v.at("ranking").items().size(), 2u);
+  EXPECT_EQ(v.at("ranking").items()[0].at("value").as_string(), "a");
+  // The narrative names the winner and the dominant component.
+  EXPECT_NE(v.at("narrative").as_string().find("a wins"),
+            std::string::npos);
+  EXPECT_NE(v.at("narrative").as_string().find("RTO stall"),
+            std::string::npos);
+  EXPECT_NE(report.text.find("a wins"), std::string::npos);
+}
+
+TEST(Analyze, ReportBytesDoNotDependOnInputPaths) {
+  const std::string dir1 = fresh_dir("analyze_path1");
+  const std::string dir2 = fresh_dir("analyze_path2/deeper");
+  write_file(dir1 + "/results.json", sweep_json());
+  write_file(dir2 + "/other_name.json", sweep_json());
+  const AnalysisReport a = analyze_results(dir1 + "/results.json", "");
+  const AnalysisReport b = analyze_results(dir2 + "/other_name.json", "");
+  EXPECT_EQ(a.json, b.json);
+  EXPECT_EQ(a.text, b.text);
+}
+
+TEST(Analyze, TraceJoinAggregatesBandsAndTimeline) {
+  const std::string dir = fresh_dir("analyze_traced");
+  write_file(dir + "/results.json", sweep_json());
+
+  // Streams for variant=a seeds 1..2; variant=b stays untraced (the join
+  // must tolerate sweeps whose traces are partial).
+  const std::string header =
+      "{\"kind\":\"trace\",\"schema_version\":1,\"experiment\":"
+      "\"synthetic\",\"run\":\"x\",\"seed\":1,\"channels\":\"all\","
+      "\"interval_ns\":1000000}\n";
+  const std::string stream1 =
+      header +
+      // Cumulative counters rise; the per-port maximum (12 marks, 2
+      // drops) is what attribution must count, not the sum of samples.
+      "{\"t\":1000000,\"ch\":\"queue\",\"port\":\"edge0.E1/p2\","
+      "\"depth\":5,\"bytes\":7500,\"marks\":4,\"drops\":0}\n"
+      "{\"t\":2000000,\"ch\":\"queue\",\"port\":\"edge0.E1/p2\","
+      "\"depth\":9,\"bytes\":13500,\"marks\":12,\"drops\":2}\n"
+      "{\"t\":2000000,\"ch\":\"queue\",\"port\":\"agg0.A1/p0\","
+      "\"depth\":3,\"bytes\":4500,\"marks\":0,\"drops\":0}\n"
+      "{\"t\":1500000,\"ch\":\"queue\",\"port\":\"edge0.E1/p2\","
+      "\"event\":\"mark\",\"depth\":21}\n"
+      "{\"t\":1600000,\"ch\":\"queue\",\"port\":\"edge0.E1/p2\","
+      "\"event\":\"drop\",\"depth\":33}\n"
+      "{\"t\":15000000,\"ch\":\"retx\",\"flow\":7,\"sf\":0,"
+      "\"event\":\"rto\"}\n"
+      "{\"t\":15500000,\"ch\":\"retx\",\"flow\":8,\"sf\":1,"
+      "\"event\":\"fast_rtx\"}\n"
+      "{\"t\":203000000,\"ch\":\"retx\",\"flow\":9,\"sf\":-1,"
+      "\"event\":\"syn_timeout\"}\n";
+  const std::string stream2 =
+      header +
+      "{\"t\":1000000,\"ch\":\"queue\",\"port\":\"edge0.E1/p2\","
+      "\"depth\":40,\"bytes\":60000,\"marks\":1,\"drops\":0}\n"
+      "{\"t\":16000000,\"ch\":\"retx\",\"flow\":3,\"sf\":0,"
+      "\"event\":\"rto\"}\n";
+  write_file(
+      dir + "/" + trace_file_name("synthetic", "variant=a/senders=4/seed=1"),
+      stream1);
+  write_file(
+      dir + "/" + trace_file_name("synthetic", "variant=a/senders=4/seed=2"),
+      stream2);
+
+  const AnalysisReport report =
+      analyze_results(dir + "/results.json", dir);
+  const JsonValue doc = json_parse(report.json, "report");
+  EXPECT_EQ(doc.at("runs").at("traced").as_number(), 2);
+
+  const auto& queues = doc.at("queues").items();
+  ASSERT_EQ(queues.size(), 2u);  // agg + edge for group a, sorted
+  EXPECT_EQ(queues[0].at("group").as_string(), "variant=a/senders=4");
+  EXPECT_EQ(queues[0].at("band").as_string(), "agg");
+  EXPECT_EQ(queues[0].at("peak_depth_pkts").as_number(), 3);
+  EXPECT_EQ(queues[1].at("band").as_string(), "edge");
+  EXPECT_EQ(queues[1].at("ports").as_number(), 1);
+  // Peak over both runs and event depths: max(9, 21, 33, 40) = 40.
+  EXPECT_EQ(queues[1].at("peak_depth_pkts").as_number(), 40);
+  EXPECT_EQ(queues[1].at("marks").as_number(), 13);  // 12 + 1, not 4+12+1
+  EXPECT_EQ(queues[1].at("drops").as_number(), 2);
+  EXPECT_EQ(queues[1].at("mark_events").as_number(), 1);
+  EXPECT_EQ(queues[1].at("drop_events").as_number(), 1);
+
+  const auto& timeline = doc.at("rto_timeline").items();
+  ASSERT_EQ(timeline.size(), 2u);
+  EXPECT_EQ(timeline[0].at("bin_ms").as_number(), 10);
+  EXPECT_EQ(timeline[0].at("rto").as_number(), 2);  // 15 ms and 16 ms
+  EXPECT_EQ(timeline[0].at("fast_rtx").as_number(), 1);
+  EXPECT_EQ(timeline[0].at("syn_timeout").as_number(), 0);
+  EXPECT_EQ(timeline[1].at("bin_ms").as_number(), 200);
+  EXPECT_EQ(timeline[1].at("syn_timeout").as_number(), 1);
+}
+
+TEST(Analyze, RejectsNonSweepDocuments) {
+  const std::string dir = fresh_dir("analyze_bad");
+  write_file(dir + "/bad.json", "{\"kind\":\"timing\"}\n");
+  EXPECT_THROW(analyze_results(dir + "/bad.json", ""), ConfigError);
+  EXPECT_THROW(analyze_results(dir + "/absent.json", ""), ConfigError);
+}
+
+}  // namespace
+}  // namespace mmptcp::exp

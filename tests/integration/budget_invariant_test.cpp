@@ -1,0 +1,79 @@
+// The flow-time budget's core invariant, end to end: for every flow a
+// real simulation completes — any protocol, with or without losses,
+// recoveries and timer stalls — the four budget buckets partition the
+// flow's lifetime exactly, with no gap, overlap, or rounding drift:
+//     t_handshake + t_rto_stall + t_fast_recovery + t_transfer == fct()
+// to the nanosecond tick.
+
+#include <gtest/gtest.h>
+
+#include "workload/scenario.h"
+
+namespace mmptcp {
+namespace {
+
+ScenarioConfig budget_scenario(Protocol proto) {
+  ScenarioConfig cfg;
+  cfg.fat_tree.k = 4;
+  cfg.fat_tree.oversubscription = 2;
+  cfg.transport.protocol = proto;
+  cfg.transport.subflows = 4;
+  cfg.short_flow_count = 50;
+  cfg.short_rate_per_host = 20.0;
+  cfg.max_sim_time = Time::seconds(30);
+  cfg.seed = 11;
+  if (proto == Protocol::kDctcp || proto == Protocol::kMmptcpDctcp) {
+    cfg.fat_tree.qdisc.kind = QdiscKind::kEcnRed;
+    cfg.fat_tree.qdisc.ecn_threshold_packets = 20;
+  }
+  return cfg;
+}
+
+void expect_budget_partitions_fct(Protocol proto) {
+  Scenario sc(budget_scenario(proto));
+  sc.run();
+  std::size_t completed = 0;
+  for (const FlowRecord* rec :
+       sc.metrics().flows([](const FlowRecord& r) { return true; })) {
+    if (!rec->is_complete()) continue;
+    ++completed;
+    EXPECT_EQ(rec->budget_total(), rec->fct())
+        << to_string(proto) << " flow " << rec->flow_id << ": handshake "
+        << rec->t_handshake.to_string() << " + stall "
+        << rec->t_rto_stall.to_string() << " + recovery "
+        << rec->t_fast_recovery.to_string() << " + transfer "
+        << rec->t_transfer.to_string() << " != fct "
+        << rec->fct().to_string();
+    EXPECT_EQ(rec->budget_state, BudgetState::kDone);
+    // Overlays stay within physical bounds.
+    if (rec->saw_first_byte()) {
+      EXPECT_GE(rec->ttfb(), Time::zero());
+      EXPECT_LE(rec->ttfb(), rec->fct());
+    }
+    EXPECT_GE(rec->t_reorder_wait, Time::zero());
+  }
+  EXPECT_GT(completed, 0u) << to_string(proto);
+}
+
+TEST(BudgetInvariant, Tcp) {
+  expect_budget_partitions_fct(Protocol::kTcp);
+}
+
+TEST(BudgetInvariant, Dctcp) {
+  expect_budget_partitions_fct(Protocol::kDctcp);
+}
+
+TEST(BudgetInvariant, Mptcp) {
+  expect_budget_partitions_fct(Protocol::kMptcp);
+}
+
+TEST(BudgetInvariant, Mmptcp) {
+  expect_budget_partitions_fct(Protocol::kMmptcp);
+}
+
+TEST(BudgetInvariant, MmptcpDctcp) {
+  expect_budget_partitions_fct(Protocol::kMmptcpDctcp);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -87,5 +87,63 @@ TEST(TransmissionTime, NoOverflowOnHugeInputs) {
   EXPECT_GT(t, Time::seconds(1'000'000));
 }
 
+TEST(ParseDuration, AcceptsEveryUnit) {
+  EXPECT_EQ(parse_duration("500ns"), Time::nanos(500));
+  EXPECT_EQ(parse_duration("250us"), Time::micros(250));
+  EXPECT_EQ(parse_duration("1.5ms"), Time::micros(1500));
+  EXPECT_EQ(parse_duration("2s"), Time::seconds(2));
+  EXPECT_EQ(parse_duration("0ms"), Time::zero());
+}
+
+TEST(ParseDuration, AcceptsScientificNotation) {
+  EXPECT_EQ(parse_duration("1e3us"), Time::millis(1));
+  EXPECT_EQ(parse_duration("2.5e-3s"), Time::micros(2500));
+}
+
+TEST(ParseDuration, RejectsNegative) {
+  EXPECT_THROW(parse_duration("-5ms"), ConfigError);
+  EXPECT_THROW(parse_duration("-0.001s"), ConfigError);
+}
+
+TEST(ParseDuration, RejectsOverflow) {
+  // 1e12 s = 1e21 ns: past the 64-bit nanosecond clock (~292 years).
+  EXPECT_THROW(parse_duration("1e12s"), ConfigError);
+  EXPECT_THROW(parse_duration("1e30ms"), ConfigError);
+  EXPECT_THROW(parse_duration("1e400s"), ConfigError);  // stod overflow
+}
+
+TEST(ParseDuration, RejectsMissingUnit) {
+  EXPECT_THROW(parse_duration("123"), ConfigError);
+  EXPECT_THROW(parse_duration("1.5"), ConfigError);
+}
+
+TEST(ParseDuration, RejectsGarbage) {
+  EXPECT_THROW(parse_duration(""), ConfigError);
+  EXPECT_THROW(parse_duration("abc"), ConfigError);
+  EXPECT_THROW(parse_duration("ms"), ConfigError);
+  EXPECT_THROW(parse_duration("12eee"), ConfigError);
+  EXPECT_THROW(parse_duration("1.2.3ms"), ConfigError);
+  EXPECT_THROW(parse_duration("5 ms"), ConfigError);
+  EXPECT_THROW(parse_duration("5m"), ConfigError);   // minutes unsupported
+  EXPECT_THROW(parse_duration("5sec"), ConfigError);
+}
+
+TEST(ParseDuration, ErrorsNameTheAcceptedUnits) {
+  try {
+    parse_duration("17");
+    FAIL() << "unit-less duration must throw";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("ns, us, ms or s"),
+              std::string::npos);
+  }
+  try {
+    parse_duration("5sec");
+    FAIL() << "bad unit must throw";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("valid: ns, us, ms, s"),
+              std::string::npos);
+  }
+}
+
 }  // namespace
 }  // namespace mmptcp

@@ -41,7 +41,7 @@ TEST(Metrics, CountersAccumulate) {
   m.on_spurious_retransmit(rec.flow_id);
   m.on_syn_timeout(rec.flow_id);
   m.on_data_packet_sent(rec.flow_id);
-  m.on_delivered(rec.flow_id, 70);
+  m.on_delivered(rec.flow_id, 70, Time::millis(1));
   m.on_subflow_used(rec.flow_id);
   EXPECT_EQ(rec.rto_count, 2u);
   EXPECT_EQ(rec.fast_retransmits, 1u);
@@ -89,7 +89,7 @@ TEST(Metrics, LongFlowGoodput) {
   Metrics m;
   auto& lg = m.on_flow_started(Protocol::kMptcp, Addr{1}, Addr{2}, 0, true,
                                Time::zero());
-  m.on_delivered(lg.flow_id, 12'500'000);  // 100 Mbit
+  m.on_delivered(lg.flow_id, 12'500'000, Time::seconds(1));  // 100 Mbit
   const Summary g = m.long_flow_goodput_mbps(Protocol::kMptcp,
                                              Time::seconds(2));
   EXPECT_EQ(g.count(), 1u);
@@ -133,6 +133,122 @@ TEST(Protocol, Names) {
   EXPECT_EQ(to_string(Protocol::kMptcp), "MPTCP");
   EXPECT_EQ(to_string(Protocol::kPacketScatter), "PS");
   EXPECT_EQ(to_string(Protocol::kMmptcp), "MMPTCP");
+}
+
+// ---- Flow-time budget state machine ------------------------------------
+
+TEST(FlowBudget, HandshakeThenTransferPartitionsFct) {
+  Metrics m;
+  auto& rec = m.on_flow_started(Protocol::kTcp, Addr{1}, Addr{2}, 100,
+                                false, Time::zero());
+  m.on_flow_established(rec.flow_id, Time::millis(1));
+  m.on_flow_completed(rec.flow_id, Time::millis(5));
+  EXPECT_EQ(rec.t_handshake, Time::millis(1));
+  EXPECT_EQ(rec.t_transfer, Time::millis(4));
+  EXPECT_EQ(rec.t_rto_stall, Time::zero());
+  EXPECT_EQ(rec.t_fast_recovery, Time::zero());
+  EXPECT_EQ(rec.budget_total(), rec.fct());
+}
+
+TEST(FlowBudget, SynStallChargesRtoStallNotHandshake) {
+  Metrics m;
+  auto& rec = m.on_flow_started(Protocol::kTcp, Addr{1}, Addr{2}, 100,
+                                false, Time::zero());
+  // SYN timer armed at start, fires at 3 ms: the whole wait is stall.
+  m.on_rto_stall(rec.flow_id, Time::zero(), Time::millis(3));
+  m.on_flow_established(rec.flow_id, Time::millis(4));
+  m.on_flow_completed(rec.flow_id, Time::millis(10));
+  EXPECT_EQ(rec.t_rto_stall, Time::millis(3));
+  EXPECT_EQ(rec.t_handshake, Time::millis(1));
+  EXPECT_EQ(rec.t_transfer, Time::millis(6));
+  EXPECT_EQ(rec.budget_total(), rec.fct());
+}
+
+TEST(FlowBudget, OverlappingStallsClampAndNeverDoubleCount) {
+  Metrics m;
+  auto& rec = m.on_flow_started(Protocol::kMptcp, Addr{1}, Addr{2}, 100,
+                                false, Time::zero());
+  m.on_flow_established(rec.flow_id, Time::millis(1));
+  // Subflow A armed its timer at 2 ms, fires at 6 ms.
+  m.on_rto_stall(rec.flow_id, Time::millis(2), Time::millis(6));
+  // Subflow B armed at 4 ms (inside A's stall), fires at 8 ms: only the
+  // [6, 8) remainder may be charged again.
+  m.on_rto_stall(rec.flow_id, Time::millis(4), Time::millis(8));
+  m.on_flow_completed(rec.flow_id, Time::millis(9));
+  EXPECT_EQ(rec.t_rto_stall, Time::millis(6));
+  EXPECT_EQ(rec.t_transfer, Time::millis(2));
+  EXPECT_EQ(rec.t_handshake, Time::millis(1));
+  EXPECT_EQ(rec.budget_total(), rec.fct());
+}
+
+TEST(FlowBudget, RecoveryDepthHandlesConcurrentSubflows) {
+  Metrics m;
+  auto& rec = m.on_flow_started(Protocol::kMptcp, Addr{1}, Addr{2}, 100,
+                                false, Time::zero());
+  m.on_flow_established(rec.flow_id, Time::millis(1));
+  m.on_recovery_enter(rec.flow_id, Time::millis(2));    // depth 0 -> 1
+  m.on_recovery_enter(rec.flow_id, Time::millis(3));    // depth 1 -> 2
+  m.on_recovery_exit(rec.flow_id, Time::millis(4));     // depth 2 -> 1
+  m.on_recovery_exit(rec.flow_id, Time::millis(6));     // depth 1 -> 0
+  m.on_flow_completed(rec.flow_id, Time::millis(9));
+  EXPECT_EQ(rec.t_fast_recovery, Time::millis(4));  // [2, 6)
+  EXPECT_EQ(rec.t_transfer, Time::millis(4));       // [1, 2) + [6, 9)
+  EXPECT_EQ(rec.budget_total(), rec.fct());
+}
+
+TEST(FlowBudget, CompletionFreezesTheBudget) {
+  Metrics m;
+  auto& rec = m.on_flow_started(Protocol::kTcp, Addr{1}, Addr{2}, 100,
+                                false, Time::zero());
+  m.on_flow_established(rec.flow_id, Time::millis(1));
+  m.on_flow_completed(rec.flow_id, Time::millis(5));
+  const Time total = rec.budget_total();
+  // Late hooks (a straggler subflow timer, a stale recovery exit) are
+  // no-ops after completion.
+  m.on_rto_stall(rec.flow_id, Time::millis(5), Time::millis(7));
+  m.on_recovery_enter(rec.flow_id, Time::millis(7));
+  m.on_recovery_exit(rec.flow_id, Time::millis(8));
+  m.on_flow_established(rec.flow_id, Time::millis(8));
+  EXPECT_EQ(rec.budget_total(), total);
+  EXPECT_EQ(rec.budget_total(), rec.fct());
+}
+
+TEST(FlowBudget, TtfbAndReorderWaitOverlays) {
+  Metrics m;
+  auto& rec = m.on_flow_started(Protocol::kMmptcp, Addr{1}, Addr{2}, 100,
+                                false, Time::millis(1));
+  EXPECT_FALSE(rec.saw_first_byte());
+  m.on_delivered(rec.flow_id, 0, Time::millis(2));  // pure ACK: no byte
+  EXPECT_FALSE(rec.saw_first_byte());
+  m.on_delivered(rec.flow_id, 40, Time::millis(3));
+  m.on_delivered(rec.flow_id, 60, Time::millis(4));
+  EXPECT_TRUE(rec.saw_first_byte());
+  EXPECT_EQ(rec.ttfb(), Time::millis(2));  // 3 ms - 1 ms start
+  m.on_reorder_wait(rec.flow_id, Time::micros(300));
+  m.on_reorder_wait(rec.flow_id, Time::micros(200));
+  EXPECT_EQ(rec.t_reorder_wait, Time::micros(500));
+}
+
+TEST(FlowBudget, ShortFlowSketchesFeedPerProtocol) {
+  Metrics m;
+  auto& rec = m.on_flow_started(Protocol::kMmptcp, Addr{1}, Addr{2}, 100,
+                                false, Time::zero());
+  m.on_flow_established(rec.flow_id, Time::millis(1));
+  m.on_phase_switch(rec.flow_id, Time::millis(2));
+  m.on_flow_completed(rec.flow_id, Time::millis(4));
+  auto& lg = m.on_flow_started(Protocol::kMmptcp, Addr{1}, Addr{2}, 0, true,
+                               Time::zero());
+  m.on_flow_completed(lg.flow_id, Time::millis(8));  // long flow: excluded
+
+  const FlowSketches& s = m.short_flow_sketches(Protocol::kMmptcp);
+  EXPECT_EQ(s.fct_ms.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.fct_ms.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.handshake_ms.mean(), 1.0);
+  EXPECT_DOUBLE_EQ(s.transfer_ms.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.ps_phase_ms.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.mptcp_phase_ms.mean(), 2.0);
+  // No flows of another protocol: empty fallback, not a throw.
+  EXPECT_EQ(m.short_flow_sketches(Protocol::kTcp).fct_ms.count(), 0u);
 }
 
 }  // namespace

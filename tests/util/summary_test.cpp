@@ -93,6 +93,69 @@ TEST(Summary, AddAfterQueryKeepsCorrectOrder) {
   EXPECT_DOUBLE_EQ(s.min(), 1);
 }
 
+TEST(Summary, P999IsTheTailOfTheTail) {
+  Summary s;
+  for (int i = 1; i <= 1000; ++i) s.add(i);
+  EXPECT_DOUBLE_EQ(s.p999(), s.percentile(99.9));
+  EXPECT_GT(s.p999(), s.percentile(99));
+  EXPECT_LE(s.p999(), s.max());
+  EXPECT_NEAR(s.p999(), 999.001, 1e-9);  // interpolated rank 999.9 of 1..1000
+}
+
+TEST(Summary, MergeMatchesSingleShot) {
+  Summary whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double v = std::sin(i) * 50 + 100;
+    whole.add(v);
+    (i < 300 ? a : b).add(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.sum(), whole.sum(), 1e-9);
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+  EXPECT_NEAR(a.stddev(), whole.stddev(), 1e-9);
+  // Percentiles are exact: merge keeps every sample.
+  EXPECT_DOUBLE_EQ(a.percentile(50), whole.percentile(50));
+  EXPECT_DOUBLE_EQ(a.p999(), whole.p999());
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(Summary, MergeWithEmptySummaries) {
+  Summary a, empty;
+  a.add_all({1, 2, 3});
+  a.merge(empty);  // no-op
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+  Summary b;
+  b.merge(a);  // copy into empty
+  EXPECT_EQ(b.count(), 3u);
+  EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(b.stddev(), a.stddev());
+
+  Summary c, d;
+  c.merge(d);  // empty + empty stays empty
+  EXPECT_EQ(c.count(), 0u);
+}
+
+TEST(Summary, MergeUnbalancedShards) {
+  // One huge and one tiny shard: the parallel Welford combination must
+  // not lose precision when counts are lopsided.
+  Summary big, tiny, whole;
+  for (int i = 0; i < 100'000; ++i) {
+    const double v = 10 + 0.001 * (i % 97);
+    big.add(v);
+    whole.add(v);
+  }
+  tiny.add(1e6);
+  whole.add(1e6);
+  big.merge(tiny);
+  EXPECT_EQ(big.count(), whole.count());
+  EXPECT_NEAR(big.mean(), whole.mean(), whole.mean() * 1e-12);
+  EXPECT_NEAR(big.stddev(), whole.stddev(), whole.stddev() * 1e-9);
+}
+
 TEST(Summary, WelfordMatchesNaiveOnManySamples) {
   Summary s;
   double sum = 0, sq = 0;
