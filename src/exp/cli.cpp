@@ -9,6 +9,7 @@
 #include "exp/compare/report.h"
 #include "exp/registry.h"
 #include "exp/runner.h"
+#include "exp/shard.h"
 #include "exp/sink.h"
 #include "sim/time.h"
 #include "trace/trace.h"
@@ -73,6 +74,15 @@ CliOptions parse_cli(Flags& flags) {
   if (!overrides.empty()) {
     o.sweep.axis_overrides = parse_axis_overrides(overrides);
   }
+  const std::string shard = flags.get_string(
+      "shard", "",
+      "run only shard i of N ('i/N'); writes BENCH_*.shard<i>of<N>.json "
+      "for --merge");
+  if (!shard.empty()) {
+    const ShardSpec spec = parse_shard_spec(shard);
+    o.sweep.shard_index = spec.index;
+    o.sweep.shard_count = spec.count;
+  }
   o.out_dir = flags.get_string("out", ".", "directory for BENCH_*.json");
   o.baselines_dir = flags.get_string(
       "update-baselines", "",
@@ -122,10 +132,23 @@ void print_spec_preamble(const ExperimentSpec& spec, const Scale& scale,
 std::size_t run_one(const ExperimentSpec& spec, const CliOptions& cli) {
   SweepOptions sweep = cli.sweep;
   sweep.out_dir = cli.out_dir;
+  const bool sharded = sweep.shard_count > 1;
+  require(!sharded || cli.baselines_dir.empty(),
+          "--update-baselines cannot be combined with --shard: merge the "
+          "shards first (--merge ... --report), then refresh baselines from "
+          "an unsharded run");
   const Scale scale = effective_scale(spec, cli.scale);
   const std::size_t total = sweep_size(spec, cli.scale, sweep);
-  print_spec_preamble(spec, scale, total,
-                      std::max<std::size_t>(1, std::min(sweep.jobs, total)));
+  // Expansion validates the shard spec against the run count (and throws
+  // a clear error instead of producing an empty document).
+  const std::size_t mine =
+      sharded ? expand(spec, cli.scale, sweep).size() : total;
+  print_spec_preamble(spec, scale, mine,
+                      std::max<std::size_t>(1, std::min(sweep.jobs, mine)));
+  if (sharded) {
+    std::printf("shard: %zu/%zu (%zu of %zu runs)\n\n", sweep.shard_index,
+                sweep.shard_count, mine, total);
+  }
   if (!cli.quiet) {
     sweep.on_progress = [](std::size_t done, std::size_t all,
                            const std::string& id, bool ok) {
@@ -153,18 +176,27 @@ std::size_t run_one(const ExperimentSpec& spec, const CliOptions& cli) {
   // --update-baselines works even under --no-json (the baseline copy is
   // the point of that invocation).
   if (!cli.no_json || !cli.baselines_dir.empty()) {
-    const std::string json = to_json(spec, scale, records);
+    const std::string stem =
+        "BENCH_" + spec.name +
+        (sharded ? ".shard" + std::to_string(sweep.shard_index) + "of" +
+                       std::to_string(sweep.shard_count)
+                 : "");
+    const std::string json =
+        sharded ? to_shard_json(spec, scale, records, sweep.shard_index,
+                                sweep.shard_count, total)
+                : to_json(spec, scale, records);
     // Wall-clock metrics (events/s) go in a sidecar so the main JSON
     // stays byte-identical across hosts and --jobs values.
-    const std::string timing = to_timing_json(spec, records);
+    const std::string timing =
+        sharded ? to_shard_timing_json(spec, records, sweep.shard_index,
+                                       sweep.shard_count, total)
+                : to_timing_json(spec, records);
     if (!cli.no_json) {
-      const std::string path =
-          cli.out_dir + "/BENCH_" + spec.name + ".json";
+      const std::string path = cli.out_dir + "/" + stem + ".json";
       write_file(path, json);
       std::printf("json: %s\n", path.c_str());
       if (!timing.empty()) {
-        const std::string tpath =
-            cli.out_dir + "/BENCH_" + spec.name + ".timing.json";
+        const std::string tpath = cli.out_dir + "/" + stem + ".timing.json";
         write_file(tpath, timing);
         std::printf("timing json: %s\n", tpath.c_str());
       }
@@ -263,6 +295,64 @@ int compare_documents(const std::string& baseline_path,
   return 0;
 }
 
+/// "x.json" -> "x.timing.json" (the sidecar naming both the sharded and
+/// unsharded writers use).
+std::string timing_sibling(const std::string& path) {
+  const std::string suffix = ".json";
+  if (path.size() > suffix.size() &&
+      path.compare(path.size() - suffix.size(), suffix.size(), suffix) == 0) {
+    return path.substr(0, path.size() - suffix.size()) + ".timing.json";
+  }
+  return path + ".timing.json";
+}
+
+bool try_read_file(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  *out = read_file(path);
+  return true;
+}
+
+/// `--merge shard0.json shard1.json ... --report merged.json`: recombine
+/// one sweep's shard documents into the unsharded result (byte-identical
+/// to a single-machine run) plus a merged timing sidecar next to the
+/// report.  Returns 0 on success, 2 on unusable inputs.
+int merge_documents(const std::string& first_path,
+                    const CompareCliOptions& copts, Flags& flags) {
+  std::vector<std::string> paths{first_path};
+  for (const std::string& p : flags.positionals()) paths.push_back(p);
+  flags.check_unknown();
+  require(!copts.report_path.empty(),
+          "--merge needs --report <merged.json> for the output path");
+
+  std::vector<ShardDoc> docs;
+  docs.reserve(paths.size());
+  for (const std::string& path : paths) {
+    docs.push_back(ShardDoc{path, read_file(path)});
+  }
+  write_file(copts.report_path, merge_shard_docs(docs));
+  std::printf("merged json: %s\n", copts.report_path.c_str());
+
+  // Timing sidecars are optional (a shard whose runs reported no
+  // wall-clock metrics writes none); merge whichever exist.
+  std::vector<ShardDoc> timing_docs;
+  for (const std::string& path : paths) {
+    const std::string tpath = timing_sibling(path);
+    std::string text;
+    if (try_read_file(tpath, &text)) {
+      timing_docs.push_back(ShardDoc{tpath, std::move(text)});
+    }
+  }
+  const std::string timing = merge_timing_docs(timing_docs);
+  if (!timing.empty()) {
+    const std::string tpath = timing_sibling(copts.report_path);
+    write_file(tpath, timing);
+    std::printf("merged timing json: %s\n", tpath.c_str());
+  }
+  return 0;
+}
+
 /// `--analyze results.json`: flow-time attribution report (optionally
 /// joined with TRACE_*.jsonl streams from --trace-dir).
 int analyze_document(const std::string& results_path,
@@ -344,6 +434,10 @@ int exp_main(int argc, char** argv) {
         "compare", "",
         "diff this baseline result JSON against a candidate "
         "(--compare base.json cand.json)");
+    const std::string merge = flags.get_string(
+        "merge", "",
+        "recombine shard documents into the unsharded sweep result "
+        "(--merge shard0.json shard1.json ... --report merged.json)");
     const std::string analyze = flags.get_string(
         "analyze", "",
         "flow-time attribution report for this sweep result JSON "
@@ -363,6 +457,11 @@ int exp_main(int argc, char** argv) {
       // compare_documents reads the positional candidate path before
       // check_unknown.
       return compare_documents(compare, copts, flags);
+    }
+    if (!merge.empty()) {
+      // merge_documents reads the positional shard paths before
+      // check_unknown.
+      return merge_documents(merge, copts, flags);
     }
     flags.check_unknown();
 

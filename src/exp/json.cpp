@@ -123,6 +123,13 @@ JsonWriter& JsonWriter::value(bool b) {
   return *this;
 }
 
+JsonWriter& JsonWriter::value_null() {
+  comma();
+  out_ += "null";
+  need_comma_ = true;
+  return *this;
+}
+
 // ----------------------------------------------------------- JsonValue
 
 bool JsonValue::as_bool() const {
@@ -389,6 +396,36 @@ class JsonParser {
 
 JsonValue json_parse(const std::string& text, const std::string& origin) {
   return JsonParser(text, origin).parse_document();
+}
+
+void json_emit(const JsonValue& v, JsonWriter& w) {
+  switch (v.kind()) {
+    case JsonValue::Kind::kNull:
+      w.value_null();
+      break;
+    case JsonValue::Kind::kBool:
+      w.value(v.as_bool());
+      break;
+    case JsonValue::Kind::kNumber:
+      w.value(v.as_number());
+      break;
+    case JsonValue::Kind::kString:
+      w.value(v.as_string());
+      break;
+    case JsonValue::Kind::kObject:
+      w.begin_object();
+      for (const auto& [key, member] : v.members()) {
+        w.key(key);
+        json_emit(member, w);
+      }
+      w.end_object();
+      break;
+    case JsonValue::Kind::kArray:
+      w.begin_array();
+      for (const JsonValue& item : v.items()) json_emit(item, w);
+      w.end_array();
+      break;
+  }
 }
 
 }  // namespace mmptcp::exp

@@ -43,6 +43,7 @@ class JsonWriter {
   JsonWriter& value(std::int64_t v);
   JsonWriter& value(std::uint64_t v);
   JsonWriter& value(bool b);
+  JsonWriter& value_null();
 
   const std::string& str() const { return out_; }
 
@@ -103,5 +104,12 @@ class JsonValue {
 /// message) on syntax errors or trailing garbage.
 JsonValue json_parse(const std::string& text,
                      const std::string& origin = "<json>");
+
+/// Re-emits a parsed value through `w`.  For documents our writer
+/// produced this is byte-identical to the original text (members keep
+/// document order, and json_number is a fixed point on its own output),
+/// which is what lets the shard merge tool rebuild an unsharded sweep
+/// document exactly.
+void json_emit(const JsonValue& v, JsonWriter& w);
 
 }  // namespace mmptcp::exp

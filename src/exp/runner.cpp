@@ -1,8 +1,10 @@
 #include "exp/runner.h"
 
+#include <algorithm>
 #include <atomic>
 #include <exception>
 #include <mutex>
+#include <numeric>
 #include <thread>
 
 #include "util/check.h"
@@ -50,19 +52,63 @@ std::vector<RunRecord> expand_adjusted(const ExperimentSpec& spec,
       options.seeds.empty() ? spec.seeds : options.seeds;
   require(!seeds.empty(), "empty seed list");
 
+  require(options.shard_count >= 1, "--shard needs a shard count >= 1");
+  if (options.shard_index >= options.shard_count) {
+    throw ConfigError("shard index " + std::to_string(options.shard_index) +
+                      " is out of range for " +
+                      std::to_string(options.shard_count) +
+                      " shards (valid: 0.." +
+                      std::to_string(options.shard_count - 1) + ")");
+  }
+
   std::vector<RunRecord> records;
+  std::size_t index = 0;
   for (const ParamSet& point : cartesian(effective_axes(spec, scale, options))) {
     for (const std::uint64_t seed : seeds) {
-      RunRecord rec;
-      rec.params = point;
-      rec.seed = seed;
-      rec.id = point.entries().empty()
-                   ? "seed=" + std::to_string(seed)
-                   : point.id() + "/seed=" + std::to_string(seed);
-      records.push_back(std::move(rec));
+      if (index % options.shard_count == options.shard_index) {
+        RunRecord rec;
+        rec.params = point;
+        rec.seed = seed;
+        rec.index = index;
+        rec.id = point.entries().empty()
+                     ? "seed=" + std::to_string(seed)
+                     : point.id() + "/seed=" + std::to_string(seed);
+        records.push_back(std::move(rec));
+      }
+      ++index;
     }
   }
+  if (options.shard_count > index) {
+    // More shards than runs would leave some shard with an empty document
+    // the merge step cannot distinguish from a broken run.  Refuse.
+    throw ConfigError("cannot split " + std::to_string(index) + " run" +
+                      (index == 1 ? "" : "s") + " of experiment " + spec.name +
+                      " into " + std::to_string(options.shard_count) +
+                      " shards; use at most " + std::to_string(index) +
+                      " shards or widen the sweep (--seeds/--set)");
+  }
   return records;
+}
+
+// Job-claim order: identity (= expansion order) unless the spec estimates
+// per-point cost, in which case expected-longest-first.  stable_sort keeps
+// equal-cost runs in expansion order, so specs without cost variation and
+// single-job sweeps behave exactly as before.
+std::vector<std::size_t> claim_order(const ExperimentSpec& spec,
+                                     const Scale& scale,
+                                     const std::vector<RunRecord>& records) {
+  std::vector<std::size_t> order(records.size());
+  std::iota(order.begin(), order.end(), 0);
+  if (!spec.run_cost) return order;
+  std::vector<double> cost(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    cost[i] = spec.run_cost(records[i].params, scale);
+  }
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return cost[a] > cost[b];
+                   });
+  return order;
 }
 
 }  // namespace
@@ -106,6 +152,7 @@ std::vector<RunRecord> run_sweep(const ExperimentSpec& spec, Scale scale,
                                  const SweepOptions& options) {
   if (spec.adjust_scale) spec.adjust_scale(scale);
   std::vector<RunRecord> records = expand_adjusted(spec, scale, options);
+  const std::vector<std::size_t> order = claim_order(spec, scale, records);
 
   const std::size_t total = records.size();
   const std::size_t jobs =
@@ -117,9 +164,9 @@ std::vector<RunRecord> run_sweep(const ExperimentSpec& spec, Scale scale,
 
   const auto worker = [&] {
     for (;;) {
-      const std::size_t index = cursor.fetch_add(1);
-      if (index >= total) return;
-      RunRecord& rec = records[index];
+      const std::size_t pos = cursor.fetch_add(1);
+      if (pos >= total) return;
+      RunRecord& rec = records[order[pos]];
       RunContext ctx;
       ctx.scale = scale;
       ctx.scale.seed = rec.seed;

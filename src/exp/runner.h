@@ -25,6 +25,13 @@ struct SweepOptions {
   std::size_t jobs = 1;                 ///< worker threads (>= 1)
   std::vector<std::uint64_t> seeds;     ///< override; empty = spec default
   std::string out_dir = ".";            ///< directory for run artifacts
+  /// Shard selection (--shard i/N): of the full expansion, this invocation
+  /// executes only runs whose global index satisfies
+  /// `index % shard_count == shard_index`.  The default 0/1 runs
+  /// everything.  expand() rejects shard_count > total runs (a shard would
+  /// be empty) and shard_index >= shard_count.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
   /// Replaces the values of the named axes (from --set name=v1,v2).
   std::vector<Axis> axis_overrides;
   /// Progress callback (completed, total, run id, ok); called under a
@@ -50,6 +57,10 @@ struct RunRecord {
   std::string id;         ///< "subflows=3/seed=1" (stable, unique)
   ParamSet params;
   std::uint64_t seed = 0;
+  /// Position in the FULL (unsharded) expansion.  Contiguous 0..total-1
+  /// when shard_count == 1; the merge tool interleaves shard documents
+  /// back into this order.
+  std::size_t index = 0;
   RunOutcome outcome;
 };
 

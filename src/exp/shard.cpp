@@ -1,0 +1,345 @@
+#include "exp/shard.h"
+
+#include <algorithm>
+#include <map>
+
+#include "exp/json.h"
+#include "exp/sink.h"
+#include "stats/sketch.h"
+#include "util/check.h"
+#include "util/summary.h"
+
+namespace mmptcp::exp {
+
+namespace {
+
+/// The grid point a run id belongs to: everything before the trailing
+/// "/seed=N" (the runner appends the seed last), or "" when the spec
+/// sweeps nothing and the id is just "seed=N".  Matches ParamSet::id()
+/// on the unsharded path.
+std::string group_of_run_id(const std::string& id) {
+  const std::size_t pos = id.rfind("/seed=");
+  return pos == std::string::npos ? "" : id.substr(0, pos);
+}
+
+std::size_t as_index(const JsonValue& v, const std::string& what) {
+  const double n = v.as_number();
+  require(n >= 0 && n == static_cast<double>(static_cast<std::size_t>(n)),
+          what + " is not a non-negative integer");
+  return static_cast<std::size_t>(n);
+}
+
+/// Everything that must agree across the shards of one sweep: the
+/// document re-emitted without the per-shard members.  Byte equality
+/// here means the headers (experiment, artefact, description, scale,
+/// schema) are identical.
+std::string header_fingerprint(const JsonValue& doc) {
+  JsonWriter w;
+  w.begin_object();
+  for (const auto& [key, member] : doc.members()) {
+    if (key == "shard" || key == "runs") continue;
+    if (key == "kind") continue;  // checked separately with a clear message
+    w.key(key);
+    json_emit(member, w);
+  }
+  w.end_object();
+  return w.str();
+}
+
+JsonValue parse_shard(const ShardDoc& shard, const char* expected_kind) {
+  JsonValue doc = json_parse(shard.text, shard.origin);
+  require(doc.is_object(), shard.origin + ": not a JSON object");
+  const JsonValue* kind = doc.find("kind");
+  require(kind != nullptr && kind->is_string(),
+          shard.origin + ": document has no \"kind\"");
+  if (kind->as_string() != expected_kind) {
+    throw ConfigError(shard.origin + ": kind is \"" + kind->as_string() +
+                      "\", expected \"" + expected_kind +
+                      "\" — --merge takes the output of --shard i/N, not "
+                      "whole sweep documents");
+  }
+  const std::size_t version =
+      as_index(doc.at("schema_version"), shard.origin + ": schema_version");
+  if (version != kResultSchemaVersion) {
+    throw ConfigError(shard.origin + ": schema_version " +
+                      std::to_string(version) + " != current " +
+                      std::to_string(kResultSchemaVersion) +
+                      "; re-run the shards with this binary");
+  }
+  return doc;
+}
+
+/// Validated shard metadata of one parsed document.
+struct ShardMeta {
+  std::size_t index = 0;
+  std::size_t count = 0;
+  std::size_t runs_total = 0;
+};
+
+ShardMeta shard_meta(const JsonValue& doc, const std::string& origin) {
+  const JsonValue& shard = doc.at("shard");
+  ShardMeta meta;
+  meta.index = as_index(shard.at("index"), origin + ": shard.index");
+  meta.count = as_index(shard.at("count"), origin + ": shard.count");
+  meta.runs_total =
+      as_index(shard.at("runs_total"), origin + ": shard.runs_total");
+  require(meta.count >= 1, origin + ": shard.count must be >= 1");
+  require(meta.index < meta.count,
+          origin + ": shard.index out of range for shard.count");
+  return meta;
+}
+
+/// Cross-checks one shard set: same experiment and shard geometry, every
+/// shard present exactly once.  Returns the common geometry.
+ShardMeta check_shard_set(const std::vector<JsonValue>& docs,
+                          const std::vector<ShardDoc>& shards) {
+  const ShardMeta first = shard_meta(docs.front(), shards.front().origin);
+  const std::string& experiment = docs.front().at("experiment").as_string();
+  std::vector<bool> seen(first.count, false);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    const std::string& origin = shards[i].origin;
+    const std::string& exp = docs[i].at("experiment").as_string();
+    if (exp != experiment) {
+      throw ConfigError(origin + ": experiment \"" + exp +
+                        "\" does not match \"" + experiment + "\" (" +
+                        shards.front().origin + ")");
+    }
+    const ShardMeta meta = shard_meta(docs[i], origin);
+    require(meta.count == first.count && meta.runs_total == first.runs_total,
+            origin + ": shard geometry (count/runs_total) differs from " +
+                shards.front().origin);
+    if (seen[meta.index]) {
+      throw ConfigError(origin + ": duplicate shard " +
+                        std::to_string(meta.index) + "/" +
+                        std::to_string(meta.count));
+    }
+    seen[meta.index] = true;
+  }
+  if (docs.size() != first.count) {
+    std::string missing;
+    for (std::size_t i = 0; i < first.count; ++i) {
+      if (!seen[i]) {
+        if (!missing.empty()) missing += ", ";
+        missing += std::to_string(i) + "/" + std::to_string(first.count);
+      }
+    }
+    throw ConfigError("merge needs all " + std::to_string(first.count) +
+                      " shards of the sweep; got " +
+                      std::to_string(docs.size()) + " (missing: " + missing +
+                      ")");
+  }
+  return first;
+}
+
+/// Runs of all shards, exactly covering expansion indices
+/// 0..runs_total-1, returned in that order.
+std::vector<const JsonValue*> collect_runs(
+    const std::vector<JsonValue>& docs, const std::vector<ShardDoc>& shards,
+    std::size_t runs_total) {
+  std::vector<const JsonValue*> by_index(runs_total, nullptr);
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    for (const JsonValue& run : docs[i].at("runs").items()) {
+      const std::size_t idx =
+          as_index(run.at("index"), shards[i].origin + ": run index");
+      require(idx < runs_total, shards[i].origin + ": run index " +
+                                    std::to_string(idx) +
+                                    " is out of range for runs_total " +
+                                    std::to_string(runs_total));
+      if (by_index[idx] != nullptr) {
+        throw ConfigError(shards[i].origin + ": run index " +
+                          std::to_string(idx) +
+                          " appears in more than one shard");
+      }
+      by_index[idx] = &run;
+    }
+  }
+  std::size_t have = 0;
+  for (const JsonValue* run : by_index) {
+    if (run != nullptr) ++have;
+  }
+  if (have != runs_total) {
+    throw ConfigError("shards cover only " + std::to_string(have) + " of " +
+                      std::to_string(runs_total) +
+                      " runs; the set is incomplete or was produced by "
+                      "different invocations");
+  }
+  return by_index;
+}
+
+}  // namespace
+
+ShardSpec parse_shard_spec(const std::string& text) {
+  const auto fail = [&text](const std::string& why) -> ConfigError {
+    return ConfigError("invalid --shard argument '" + text + "': " + why +
+                       " (expected i/N with 0 <= i < N, e.g. --shard 0/3)");
+  };
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos) throw fail("missing '/'");
+  const std::string index_text = text.substr(0, slash);
+  const std::string count_text = text.substr(slash + 1);
+  const auto digits = [](const std::string& s) {
+    return !s.empty() &&
+           std::all_of(s.begin(), s.end(),
+                       [](char c) { return c >= '0' && c <= '9'; });
+  };
+  if (!digits(index_text) || !digits(count_text)) {
+    throw fail("both i and N must be non-negative integers");
+  }
+  ShardSpec spec;
+  spec.index = static_cast<std::size_t>(std::stoull(index_text));
+  spec.count = static_cast<std::size_t>(std::stoull(count_text));
+  if (spec.count == 0) throw fail("N must be >= 1");
+  if (spec.index >= spec.count) {
+    throw fail("shard index " + index_text + " must be < shard count " +
+               count_text);
+  }
+  return spec;
+}
+
+std::string merge_shard_docs(const std::vector<ShardDoc>& shards) {
+  require(!shards.empty(), "--merge needs at least one shard document");
+
+  std::vector<JsonValue> docs;
+  docs.reserve(shards.size());
+  for (const ShardDoc& shard : shards) {
+    docs.push_back(parse_shard(shard, "sweep_shard"));
+  }
+
+  const std::string fingerprint = header_fingerprint(docs.front());
+  for (std::size_t i = 1; i < docs.size(); ++i) {
+    if (header_fingerprint(docs[i]) != fingerprint) {
+      throw ConfigError(shards[i].origin +
+                        ": header (experiment/artefact/scale) differs from " +
+                        shards.front().origin +
+                        "; shards must come from identical invocations");
+    }
+  }
+
+  const ShardMeta meta = check_shard_set(docs, shards);
+  const std::vector<const JsonValue*> runs =
+      collect_runs(docs, shards, meta.runs_total);
+
+  // Re-emit: the first shard's members in document order with the
+  // shard-only pieces removed, runs interleaved back into expansion
+  // order, and "aggregates" recomputed from the serialised sketches.
+  JsonWriter w;
+  w.begin_object();
+  for (const auto& [key, member] : docs.front().members()) {
+    if (key == "shard") continue;
+    if (key == "kind") {
+      w.key("kind").value("sweep");
+      continue;
+    }
+    if (key == "runs") {
+      w.key("runs").begin_array();
+      for (const JsonValue* run : runs) {
+        w.begin_object();
+        for (const auto& [k, v] : run->members()) {
+          if (k == "index" || k == "sketches") continue;
+          w.key(k);
+          json_emit(v, w);
+        }
+        w.end_object();
+      }
+      w.end_array();
+      continue;
+    }
+    w.key(key);
+    json_emit(member, w);
+  }
+
+  std::vector<SketchRun> sketch_runs;
+  for (const JsonValue* run : runs) {
+    if (!run->at("ok").as_bool()) continue;
+    SketchRun sr;
+    sr.group = group_of_run_id(run->at("id").as_string());
+    if (const JsonValue* sketches = run->find("sketches")) {
+      for (const auto& [name, text] : sketches->members()) {
+        sr.sketches.emplace_back(name,
+                                 QuantileSketch::deserialize(text.as_string()));
+      }
+    }
+    sketch_runs.push_back(std::move(sr));
+  }
+  append_aggregates_json(w, sketch_runs);
+
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string merge_timing_docs(const std::vector<ShardDoc>& shards) {
+  if (shards.empty()) return "";
+
+  std::vector<JsonValue> docs;
+  docs.reserve(shards.size());
+  for (const ShardDoc& shard : shards) {
+    docs.push_back(parse_shard(shard, "timing_shard"));
+  }
+  const std::string& experiment = docs.front().at("experiment").as_string();
+  for (std::size_t i = 1; i < docs.size(); ++i) {
+    require(docs[i].at("experiment").as_string() == experiment,
+            shards[i].origin + ": experiment does not match " +
+                shards.front().origin);
+  }
+
+  // Runs with timings across all shards, in expansion order.  Unlike the
+  // main document, runs without timings are absent by design, so the set
+  // need not cover every index — only be duplicate-free.
+  std::map<std::size_t, const JsonValue*> by_index;
+  for (std::size_t i = 0; i < docs.size(); ++i) {
+    for (const JsonValue& run : docs[i].at("runs").items()) {
+      const std::size_t idx =
+          as_index(run.at("index"), shards[i].origin + ": run index");
+      if (!by_index.emplace(idx, &run).second) {
+        throw ConfigError(shards[i].origin + ": run index " +
+                          std::to_string(idx) +
+                          " appears in more than one timing shard");
+      }
+    }
+  }
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema_version").value(kResultSchemaVersion);
+  w.key("kind").value("timing");
+  w.key("experiment").value(experiment);
+  w.key("runs").begin_array();
+  for (const auto& [idx, run] : by_index) {
+    (void)idx;
+    w.begin_object();
+    for (const auto& [k, v] : run->members()) {
+      if (k == "index") continue;
+      w.key(k);
+      json_emit(v, w);
+    }
+    w.end_object();
+  }
+  w.end_array();
+  // Aggregate means recomputed over the merged run list, first-seen name
+  // order — the same shape to_timing_json emits.
+  std::vector<std::string> names;
+  for (const auto& [idx, run] : by_index) {
+    (void)idx;
+    for (const auto& [k, v] : run->members()) {
+      (void)v;
+      if (k == "id" || k == "index") continue;
+      if (std::find(names.begin(), names.end(), k) == names.end()) {
+        names.push_back(k);
+      }
+    }
+  }
+  w.key("aggregate").begin_object();
+  for (const std::string& name : names) {
+    Summary s;
+    for (const auto& [idx, run] : by_index) {
+      (void)idx;
+      if (const JsonValue* v = run->find(name)) s.add(v->as_number());
+    }
+    if (s.count()) w.key(name + "_mean").value(s.mean());
+  }
+  w.end_object();
+  w.end_object();
+  return w.str() + "\n";
+}
+
+}  // namespace mmptcp::exp

@@ -1,0 +1,56 @@
+#pragma once
+
+// Sharded sweeps: split one experiment's (grid point x seed) run set
+// across machines and recombine the pieces.
+//
+// `--shard i/N` makes an invocation execute only the runs whose global
+// expansion index is congruent to i mod N, and write a kind="sweep_shard"
+// document carrying each run's index and serialised quantile sketches.
+// `--merge` validates that all N shards of the same sweep are present,
+// interleaves the runs back into expansion order, and re-emits the
+// kind="sweep" document byte-identical to what a single unsharded
+// invocation would have written: the header round-trips through the
+// deterministic JSON parser/writer, run objects are re-emitted with the
+// shard-only fields stripped, and the "aggregates" section is recomputed
+// by merging the deserialised sketches in the same global order the
+// unsharded sink uses.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mmptcp::exp {
+
+/// Parsed `--shard i/N` argument.
+struct ShardSpec {
+  std::size_t index = 0;  ///< this invocation's shard, 0-based
+  std::size_t count = 1;  ///< total shards
+};
+
+/// Parses "i/N" (e.g. "0/3").  Throws ConfigError on anything else:
+/// malformed text, N = 0, or i >= N.
+ShardSpec parse_shard_spec(const std::string& text);
+
+/// One shard document plus where it came from (for error messages).
+struct ShardDoc {
+  std::string origin;  ///< file path or test label
+  std::string text;    ///< full document content
+};
+
+/// Merges all N kind="sweep_shard" documents of one sweep into the
+/// kind="sweep" document the unsharded run would have produced,
+/// byte-for-byte.  Throws ConfigError when the inputs are not a complete,
+/// consistent shard set: wrong kind, mixed experiments or scales, stale
+/// schema versions, duplicate or missing shards, or runs that do not
+/// cover exactly 0..runs_total-1.
+std::string merge_shard_docs(const std::vector<ShardDoc>& shards);
+
+/// Merges kind="timing_shard" sidecars into a kind="timing" document
+/// (runs in expansion order, aggregate means recomputed).  Only
+/// structurally comparable to an unsharded sidecar — wall-clock values
+/// legitimately differ run by run.  Shards whose runs reported no
+/// timings have no sidecar; pass only the ones that exist.  Returns ""
+/// when `shards` is empty.
+std::string merge_timing_docs(const std::vector<ShardDoc>& shards);
+
+}  // namespace mmptcp::exp

@@ -42,14 +42,13 @@ std::vector<std::string> axis_names(const std::vector<RunRecord>& records) {
   return names;
 }
 
-}  // namespace
-
-std::string to_json(const ExperimentSpec& spec, const Scale& scale,
-                    const std::vector<RunRecord>& records) {
-  JsonWriter w;
-  w.begin_object();
+/// Header shared by whole-sweep and shard documents; byte-equality of
+/// this prefix is what lets --merge lift the header straight out of a
+/// shard file.
+void emit_header(JsonWriter& w, const char* kind, const ExperimentSpec& spec,
+                 const Scale& scale) {
   w.key("schema_version").value(kResultSchemaVersion);
-  w.key("kind").value("sweep");
+  w.key("kind").value(kind);
   w.key("experiment").value(spec.name);
   w.key("artefact").value(spec.artefact);
   w.key("description").value(spec.description);
@@ -64,36 +63,148 @@ std::string to_json(const ExperimentSpec& spec, const Scale& scale,
   w.key("max_sim_secs").value(
       std::uint64_t(scale.max_sim_time.ns() / 1'000'000'000));
   w.end_object();
+}
 
-  w.key("runs").begin_array();
-  for (const RunRecord& rec : records) {
-    w.begin_object();
-    w.key("id").value(rec.id);
-    w.key("params").begin_object();
-    for (const auto& [name, value] : rec.params.entries()) {
+/// One run object inside "runs".  Shard documents additionally carry the
+/// run's global expansion index and its serialised sketches (the whole
+/// document folds sketches into "aggregates" instead).
+void emit_run(JsonWriter& w, const RunRecord& rec, bool shard) {
+  w.begin_object();
+  w.key("id").value(rec.id);
+  if (shard) w.key("index").value(std::uint64_t(rec.index));
+  w.key("params").begin_object();
+  for (const auto& [name, value] : rec.params.entries()) {
+    w.key(name).value(value);
+  }
+  w.end_object();
+  w.key("seed").value(rec.seed);
+  w.key("ok").value(rec.outcome.ok);
+  if (rec.outcome.ok) {
+    w.key("metrics").begin_object();
+    for (const auto& [name, value] : rec.outcome.metrics) {
       w.key(name).value(value);
     }
     w.end_object();
-    w.key("seed").value(rec.seed);
-    w.key("ok").value(rec.outcome.ok);
-    if (rec.outcome.ok) {
-      w.key("metrics").begin_object();
-      for (const auto& [name, value] : rec.outcome.metrics) {
-        w.key(name).value(value);
-      }
-      w.end_object();
-    } else {
-      w.key("error").value(rec.outcome.error);
+  } else {
+    w.key("error").value(rec.outcome.error);
+  }
+  if (shard && rec.outcome.ok && !rec.outcome.sketches.empty()) {
+    w.key("sketches").begin_object();
+    for (const auto& [name, sketch] : rec.outcome.sketches) {
+      w.key(name).value(sketch.serialize());
     }
     w.end_object();
   }
+  w.end_object();
+}
+
+std::vector<SketchRun> sketch_runs(const std::vector<RunRecord>& records) {
+  std::vector<SketchRun> runs;
+  for (const RunRecord& rec : records) {
+    if (!rec.outcome.ok) continue;
+    runs.push_back(SketchRun{rec.params.id(), rec.outcome.sketches});
+  }
+  return runs;
+}
+
+}  // namespace
+
+std::string to_json(const ExperimentSpec& spec, const Scale& scale,
+                    const std::vector<RunRecord>& records) {
+  JsonWriter w;
+  w.begin_object();
+  emit_header(w, "sweep", spec, scale);
+  w.key("runs").begin_array();
+  for (const RunRecord& rec : records) emit_run(w, rec, /*shard=*/false);
+  w.end_array();
+  append_aggregates_json(w, sketch_runs(records));
+  w.end_object();
+  return w.str() + "\n";
+}
+
+std::string to_shard_json(const ExperimentSpec& spec, const Scale& scale,
+                          const std::vector<RunRecord>& records,
+                          std::size_t shard_index, std::size_t shard_count,
+                          std::size_t runs_total) {
+  JsonWriter w;
+  w.begin_object();
+  emit_header(w, "sweep_shard", spec, scale);
+  w.key("shard").begin_object();
+  w.key("index").value(std::uint64_t(shard_index));
+  w.key("count").value(std::uint64_t(shard_count));
+  w.key("runs_total").value(std::uint64_t(runs_total));
+  w.end_object();
+  w.key("runs").begin_array();
+  for (const RunRecord& rec : records) emit_run(w, rec, /*shard=*/true);
   w.end_array();
   w.end_object();
   return w.str() + "\n";
 }
 
-std::string to_timing_json(const ExperimentSpec& spec,
-                           const std::vector<RunRecord>& records) {
+void append_aggregates_json(JsonWriter& w, const std::vector<SketchRun>& runs) {
+  bool any = false;
+  for (const SketchRun& run : runs) {
+    if (!run.sketches.empty()) {
+      any = true;
+      break;
+    }
+  }
+  if (!any) return;
+
+  // Grid points in first-seen order (== axis-major expansion order).
+  std::vector<std::string> order;
+  std::map<std::string, std::vector<const SketchRun*>> groups;
+  for (const SketchRun& run : runs) {
+    if (groups.find(run.group) == groups.end()) order.push_back(run.group);
+    groups[run.group].push_back(&run);
+  }
+
+  w.key("aggregates").begin_array();
+  for (const std::string& key : order) {
+    const auto& group = groups[key];
+    // Sketch names in first-seen order within the group.
+    std::vector<std::string> names;
+    for (const SketchRun* run : group) {
+      for (const auto& [name, sketch] : run->sketches) {
+        (void)sketch;
+        if (std::find(names.begin(), names.end(), name) == names.end()) {
+          names.push_back(name);
+        }
+      }
+    }
+    w.begin_object();
+    w.key("id").value(key);
+    w.key("runs").value(std::uint64_t(group.size()));
+    w.key("sketches").begin_object();
+    for (const std::string& name : names) {
+      QuantileSketch merged;
+      for (const SketchRun* run : group) {
+        for (const auto& [n, sketch] : run->sketches) {
+          if (n == name) merged.merge(sketch);
+        }
+      }
+      w.key(name).begin_object();
+      w.key("count").value(merged.count());
+      w.key("mean").value(merged.mean());
+      w.key("p50").value(merged.quantile(0.50));
+      w.key("p99").value(merged.quantile(0.99));
+      w.key("p999").value(merged.quantile(0.999));
+      w.key("max").value(merged.max());
+      w.end_object();
+    }
+    w.end_object();
+    w.end_object();
+  }
+  w.end_array();
+}
+
+namespace {
+
+std::string timing_json_impl(const ExperimentSpec& spec,
+                             const std::vector<RunRecord>& records,
+                             bool shard, std::size_t shard_index,
+                             std::size_t shard_count,
+                             std::size_t runs_total) {
   bool any = false;
   for (const RunRecord& rec : records) {
     if (!rec.outcome.timings.empty()) {
@@ -106,13 +217,21 @@ std::string to_timing_json(const ExperimentSpec& spec,
   JsonWriter w;
   w.begin_object();
   w.key("schema_version").value(kResultSchemaVersion);
-  w.key("kind").value("timing");
+  w.key("kind").value(shard ? "timing_shard" : "timing");
   w.key("experiment").value(spec.name);
+  if (shard) {
+    w.key("shard").begin_object();
+    w.key("index").value(std::uint64_t(shard_index));
+    w.key("count").value(std::uint64_t(shard_count));
+    w.key("runs_total").value(std::uint64_t(runs_total));
+    w.end_object();
+  }
   w.key("runs").begin_array();
   for (const RunRecord& rec : records) {
     if (rec.outcome.timings.empty()) continue;
     w.begin_object();
     w.key("id").value(rec.id);
+    if (shard) w.key("index").value(std::uint64_t(rec.index));
     for (const auto& [name, value] : rec.outcome.timings) {
       w.key(name).value(value);
     }
@@ -142,6 +261,23 @@ std::string to_timing_json(const ExperimentSpec& spec,
   w.end_object();
   w.end_object();
   return w.str() + "\n";
+}
+
+}  // namespace
+
+std::string to_timing_json(const ExperimentSpec& spec,
+                           const std::vector<RunRecord>& records) {
+  return timing_json_impl(spec, records, /*shard=*/false, 0, 1,
+                          records.size());
+}
+
+std::string to_shard_timing_json(const ExperimentSpec& spec,
+                                 const std::vector<RunRecord>& records,
+                                 std::size_t shard_index,
+                                 std::size_t shard_count,
+                                 std::size_t runs_total) {
+  return timing_json_impl(spec, records, /*shard=*/true, shard_index,
+                          shard_count, runs_total);
 }
 
 Table to_table(const std::vector<RunRecord>& records) {

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/json.h"
 #include "exp/runner.h"
 #include "util/table.h"
 
@@ -23,15 +24,55 @@ namespace mmptcp::exp {
 inline constexpr std::uint64_t kResultSchemaVersion = 2;
 
 /// Full sweep result as a compact JSON document (trailing newline).
-/// Top-level fields: schema_version, kind="sweep", experiment, ...
+/// Top-level fields: schema_version, kind="sweep", experiment, ...,
+/// runs, and — when runs carry quantile sketches — an "aggregates"
+/// section with per-grid-point sketch merges.  The section is additive
+/// (the compare subsystem ignores unknown top-level members), so it
+/// needs no schema bump.
 std::string to_json(const ExperimentSpec& spec, const Scale& scale,
                     const std::vector<RunRecord>& records);
+
+/// One shard's result (kind="sweep_shard"): the to_json header plus a
+/// "shard" section {index, count, runs_total} and, per run, its global
+/// expansion "index" and serialised "sketches".  Shard documents are the
+/// exact inputs `--merge` needs to rebuild the unsharded to_json output
+/// byte-identically; compare refuses them (kind mismatch) so a shard is
+/// never diffed against a whole sweep by accident.
+std::string to_shard_json(const ExperimentSpec& spec, const Scale& scale,
+                          const std::vector<RunRecord>& records,
+                          std::size_t shard_index, std::size_t shard_count,
+                          std::size_t runs_total);
 
 /// Wall-clock metrics (RunOutcome::timings) as a sidecar JSON document:
 /// per-run values plus a per-metric aggregate mean.  Returns an empty
 /// string when no run reported timings (nothing to write).
 std::string to_timing_json(const ExperimentSpec& spec,
                            const std::vector<RunRecord>& records);
+
+/// One shard's timing sidecar (kind="timing_shard", per-run "index").
+/// Merged timing values are only structurally — not byte — comparable to
+/// an unsharded sidecar: wall-clock numbers legitimately differ.
+std::string to_shard_timing_json(const ExperimentSpec& spec,
+                                 const std::vector<RunRecord>& records,
+                                 std::size_t shard_index,
+                                 std::size_t shard_count,
+                                 std::size_t runs_total);
+
+/// One successful run's contribution to the "aggregates" section: the
+/// grid point it belongs to (ParamSet::id(); "" when the spec sweeps
+/// nothing) and its named sketches in emission order.
+struct SketchRun {
+  std::string group;
+  std::vector<std::pair<std::string, QuantileSketch>> sketches;
+};
+
+/// Appends the "aggregates" member to a document under construction:
+/// grid points in first-seen order, each holding every sketch name's
+/// merge over the point's runs plus the contributing run count.  No-op
+/// when no run carries sketches.  `runs` must be in full-expansion order
+/// — the whole-sweep and merged-shard paths then perform identical
+/// floating-point merge sequences and emit identical bytes.
+void append_aggregates_json(JsonWriter& w, const std::vector<SketchRun>& runs);
 
 /// One row per run: axis columns + seed + every metric column.
 Table to_table(const std::vector<RunRecord>& records);

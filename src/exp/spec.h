@@ -17,6 +17,7 @@
 
 #include "exp/param.h"
 #include "exp/paper.h"
+#include "stats/sketch.h"
 #include "trace/trace.h"
 #include "util/logging.h"
 
@@ -44,12 +45,20 @@ struct RunOutcome {
   /// the main JSON — whose bytes must not depend on the host or thread
   /// count — and written to a BENCH_<name>.timing.json sidecar instead.
   std::vector<std::pair<std::string, double>> timings;
+  /// Named quantile sketches over per-flow samples.  Deterministic, so
+  /// they ride in the main JSON: the sink merges them per grid point into
+  /// the document's "aggregates" section, and sharded sweeps serialise
+  /// them so --merge can recombine shards byte-identically.
+  std::vector<std::pair<std::string, QuantileSketch>> sketches;
 
   void set(std::string name, double value) {
     metrics.emplace_back(std::move(name), value);
   }
   void set_timing(std::string name, double value) {
     timings.emplace_back(std::move(name), value);
+  }
+  void set_sketch(std::string name, QuantileSketch sketch) {
+    sketches.emplace_back(std::move(name), std::move(sketch));
   }
   double get(const std::string& name) const;
 
@@ -101,6 +110,13 @@ struct ExperimentSpec {
   /// Optional scale adjustment applied before expansion (e.g. load_sweep
   /// halves the per-point flow count so the whole sweep stays fast).
   std::function<void(Scale&)> adjust_scale;
+
+  /// Optional relative cost estimate of one grid point (any monotone
+  /// proxy for expected runtime; units are irrelevant).  When present the
+  /// runner *claims* jobs longest-expected-first so a straggler cannot be
+  /// picked up last and extend the sweep's tail — results are still
+  /// written to expansion-order slots, so output bytes are unchanged.
+  std::function<double(const ParamSet&, const Scale&)> run_cost;
 
   /// Per-metric regression tolerances consulted by the compare
   /// subsystem; first pattern that matches a metric name wins, and

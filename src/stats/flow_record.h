@@ -56,6 +56,9 @@ struct FlowRecord {
   Time start;                        ///< client initiated the connection
   Time completed_at = Time::max();   ///< receiver held all bytes
   std::uint64_t delivered_bytes = 0; ///< receiver-side in-order bytes
+  /// Folded into Metrics' retired aggregates (streaming mode); the slot
+  /// is awaiting recycling and queries must skip it.
+  bool retired = false;
 
   std::uint32_t rto_count = 0;
   std::uint32_t fast_retransmits = 0;

@@ -48,8 +48,8 @@ void FlowSketches::merge(const FlowSketches& other) {
 FlowRecord& Metrics::on_flow_started(Protocol proto, Addr src, Addr dst,
                                      std::uint64_t request_bytes,
                                      bool long_flow, Time now) {
+  if (!long_flow) ++short_started_;
   FlowRecord rec;
-  rec.flow_id = static_cast<std::uint32_t>(flows_.size());
   rec.protocol = proto;
   rec.src = src;
   rec.dst = dst;
@@ -57,8 +57,43 @@ FlowRecord& Metrics::on_flow_started(Protocol proto, Addr src, Addr dst,
   rec.long_flow = long_flow;
   rec.start = now;
   rec.budget_since = now;
+  if (!free_slots_.empty()) {
+    const std::uint32_t id = free_slots_.back();
+    free_slots_.pop_back();
+    rec.flow_id = id;
+    flows_[id] = rec;
+    return flows_[id];
+  }
+  rec.flow_id = static_cast<std::uint32_t>(flows_.size());
   flows_.push_back(rec);
   return flows_.back();
+}
+
+void Metrics::retire(std::uint32_t flow_id) {
+  check(streaming_, "Metrics::retire without streaming mode");
+  FlowRecord& rec = record(flow_id);
+  check(!rec.long_flow && rec.is_complete() && !rec.retired,
+        "retire needs a completed, unretired short flow");
+  ++retired_.flows;
+  retired_.delivered_bytes += rec.delivered_bytes;
+  retired_.rtos += std::uint64_t(rec.rto_count) + rec.syn_timeouts;
+  if (rec.rto_count + rec.syn_timeouts > 0) ++retired_.flows_with_rto;
+  retired_.spurious += rec.spurious_retransmits;
+  ++retired_by_proto_[rec.protocol];
+  rec.retired = true;
+  retire_queue_.emplace_back(rec.completed_at, flow_id);
+}
+
+void Metrics::recycle_before(Time cutoff) {
+  while (!retire_queue_.empty() && retire_queue_.front().first < cutoff) {
+    free_slots_.push_back(retire_queue_.front().second);
+    retire_queue_.pop_front();
+  }
+}
+
+std::uint64_t Metrics::retired_short_flows(Protocol proto) const {
+  const auto it = retired_by_proto_.find(proto);
+  return it == retired_by_proto_.end() ? 0 : it->second;
 }
 
 FlowRecord& Metrics::record(std::uint32_t flow_id) {
@@ -83,7 +118,10 @@ void Metrics::on_flow_completed(std::uint32_t flow_id, Time now) {
   check(!rec.is_complete(), "flow completed twice");
   rec.completed_at = now;
   close_budget_bucket(rec, now, BudgetState::kDone);
-  if (!rec.long_flow) short_sketches_[rec.protocol].add(rec);
+  if (!rec.long_flow) {
+    ++short_completed_;
+    short_sketches_[rec.protocol].add(rec);
+  }
 }
 
 void Metrics::on_reorder_wait(std::uint32_t flow_id, Time wait) {
@@ -177,6 +215,7 @@ std::vector<const FlowRecord*> Metrics::flows(
     const std::function<bool(const FlowRecord&)>& pred) const {
   std::vector<const FlowRecord*> out;
   for (const auto& rec : flows_) {
+    if (rec.retired) continue;  // folded into retired() already
     if (!pred || pred(rec)) out.push_back(&rec);
   }
   return out;
@@ -185,6 +224,7 @@ std::vector<const FlowRecord*> Metrics::flows(
 Summary Metrics::short_flow_fct_ms(Protocol proto) const {
   Summary s;
   for (const auto& rec : flows_) {
+    if (rec.retired) continue;
     if (!rec.long_flow && rec.protocol == proto && rec.is_complete()) {
       s.add(rec.fct().to_millis());
     }
@@ -205,9 +245,11 @@ Summary Metrics::long_flow_goodput_mbps(Protocol proto, Time now) const {
 }
 
 double Metrics::short_flow_completion_ratio(Protocol proto) const {
-  std::uint64_t total = 0, done = 0;
+  // Retired flows are by definition complete: they count in both terms.
+  std::uint64_t total = retired_short_flows(proto);
+  std::uint64_t done = total;
   for (const auto& rec : flows_) {
-    if (rec.long_flow || rec.protocol != proto) continue;
+    if (rec.retired || rec.long_flow || rec.protocol != proto) continue;
     ++total;
     if (rec.is_complete()) ++done;
   }
@@ -226,6 +268,7 @@ std::uint64_t Metrics::total(
     const std::function<bool(const FlowRecord&)>& pred) const {
   std::uint64_t sum = 0;
   for (const auto& rec : flows_) {
+    if (rec.retired) continue;  // folded into retired() already
     if (!pred || pred(rec)) sum += field(rec);
   }
   return sum;

@@ -9,6 +9,7 @@
 #include <deque>
 #include <functional>
 #include <map>
+#include <utility>
 #include <vector>
 
 #include "stats/flow_record.h"
@@ -35,6 +36,17 @@ struct FlowSketches {
   /// Folds a completed flow record into every component sketch.
   void add(const FlowRecord& rec);
   void merge(const FlowSketches& other);
+};
+
+/// Counters a retired short-flow record folds into before its slot is
+/// recycled (streaming mode).  Everything the Scenario result helpers
+/// still need once the record itself is gone.
+struct RetiredTotals {
+  std::uint64_t flows = 0;            ///< retired (completed) short flows
+  std::uint64_t delivered_bytes = 0;
+  std::uint64_t rtos = 0;             ///< rto_count + syn_timeouts
+  std::uint64_t flows_with_rto = 0;
+  std::uint64_t spurious = 0;
 };
 
 /// Collects flow records and protocol event counters for one run.
@@ -74,6 +86,38 @@ class Metrics {
 
   std::size_t flow_count() const { return flows_.size(); }
 
+  // ---- streaming (million-flow) mode ----
+  //
+  // With streaming on, completed short flows can be *retired*: their
+  // counters fold into RetiredTotals (the sketches already absorbed them
+  // at completion) and, once the server endpoint is gone too, the record
+  // slot is recycled for a future flow.  Memory then stays O(live flows)
+  // instead of O(all flows).  Flow ids are never observable by the
+  // simulation (ECMP hashes the 5-tuple), so recycling does not change
+  // behaviour — results are byte-identical to the non-streaming run.
+  void set_streaming(bool on) { streaming_ = on; }
+  bool streaming() const { return streaming_; }
+
+  /// Folds a completed short flow into the retired aggregates and queues
+  /// its slot for recycling.  Call only when the client side is finished;
+  /// the slot stays valid (marked retired) until recycle_before().
+  void retire(std::uint32_t flow_id);
+
+  /// Recycles retired slots whose flow completed before `cutoff`.  Call
+  /// only after the server endpoints for those flows were destroyed
+  /// (Sink::gc with the same cutoff) — afterwards the ids may be handed
+  /// to new flows.
+  void recycle_before(Time cutoff);
+
+  const RetiredTotals& retired() const { return retired_; }
+  /// Retired (completed) short flows of `proto`.
+  std::uint64_t retired_short_flows(Protocol proto) const;
+
+  /// Short flows ever started / completed, retired ones included.  O(1);
+  /// the scenario stop condition uses these instead of scanning records.
+  std::uint64_t short_flows_started() const { return short_started_; }
+  std::uint64_t short_flows_completed() const { return short_completed_; }
+
   /// All records matching `pred` (nullptr = all).
   std::vector<const FlowRecord*> flows(
       const std::function<bool(const FlowRecord&)>& pred = nullptr) const;
@@ -102,6 +146,17 @@ class Metrics {
 
   std::deque<FlowRecord> flows_;
   std::map<Protocol, FlowSketches> short_sketches_;
+
+  bool streaming_ = false;
+  RetiredTotals retired_;
+  std::map<Protocol, std::uint64_t> retired_by_proto_;
+  /// Retired slots not yet recyclable: (completed_at, flow_id), in
+  /// retirement order (completion times are non-decreasing across
+  /// periodic checks, so a prefix scan suffices).
+  std::deque<std::pair<Time, std::uint32_t>> retire_queue_;
+  std::vector<std::uint32_t> free_slots_;
+  std::uint64_t short_started_ = 0;
+  std::uint64_t short_completed_ = 0;
 };
 
 }  // namespace mmptcp

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "util/check.h"
 
@@ -165,6 +166,84 @@ std::string QuantileSketch::serialize() const {
     first = false;
   }
   return out;
+}
+
+namespace {
+
+/// Reads "<key>=" at `pos` (advancing past it) or fails.
+void expect_key(const std::string& text, std::size_t& pos, const char* key) {
+  const std::size_t len = std::string(key).size();
+  check(text.compare(pos, len, key) == 0 && pos + len < text.size() &&
+            text[pos + len] == '=',
+        std::string("QuantileSketch::deserialize: expected '") + key +
+            "=' in: " + text.substr(0, 64));
+  pos += len + 1;
+}
+
+std::uint64_t parse_u64(const std::string& text, std::size_t& pos) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str() + pos, &end, 10);
+  check(end != text.c_str() + pos,
+        "QuantileSketch::deserialize: expected integer");
+  pos = static_cast<std::size_t>(end - text.c_str());
+  return static_cast<std::uint64_t>(v);
+}
+
+double parse_f64(const std::string& text, std::size_t& pos) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str() + pos, &end);
+  check(end != text.c_str() + pos,
+        "QuantileSketch::deserialize: expected number");
+  pos = static_cast<std::size_t>(end - text.c_str());
+  return v;
+}
+
+void skip_space(const std::string& text, std::size_t& pos) {
+  while (pos < text.size() && text[pos] == ' ') ++pos;
+}
+
+}  // namespace
+
+QuantileSketch QuantileSketch::deserialize(const std::string& text) {
+  check(text.compare(0, 9, "qsketch1 ") == 0,
+        "QuantileSketch::deserialize: not a qsketch1 string: " +
+            text.substr(0, 32));
+  QuantileSketch s;
+  std::size_t pos = 9;
+  expect_key(text, pos, "n");
+  s.count_ = parse_u64(text, pos);
+  skip_space(text, pos);
+  expect_key(text, pos, "zero");
+  s.zero_count_ = parse_u64(text, pos);
+  skip_space(text, pos);
+  expect_key(text, pos, "sum");
+  s.sum_ = parse_f64(text, pos);
+  skip_space(text, pos);
+  expect_key(text, pos, "sumsq");
+  s.sum_sq_ = parse_f64(text, pos);
+  skip_space(text, pos);
+  expect_key(text, pos, "min");
+  s.min_ = parse_f64(text, pos);
+  skip_space(text, pos);
+  expect_key(text, pos, "max");
+  s.max_ = parse_f64(text, pos);
+  skip_space(text, pos);
+  expect_key(text, pos, "buckets");
+  while (pos < text.size()) {
+    char* end = nullptr;
+    const long idx = std::strtol(text.c_str() + pos, &end, 10);
+    check(end != text.c_str() + pos && *end == ':',
+          "QuantileSketch::deserialize: malformed bucket list");
+    pos = static_cast<std::size_t>(end - text.c_str()) + 1;
+    const std::uint64_t n = parse_u64(text, pos);
+    s.buckets_[static_cast<std::int32_t>(idx)] = n;
+    if (pos < text.size()) {
+      check(text[pos] == ',',
+            "QuantileSketch::deserialize: malformed bucket separator");
+      ++pos;
+    }
+  }
+  return s;
 }
 
 }  // namespace mmptcp

@@ -49,6 +49,12 @@ class QuantileSketch {
   /// insertion or merge order) serialise to identical bytes.
   std::string serialize() const;
 
+  /// Exact inverse of serialize(): the returned sketch is bit-identical to
+  /// the serialised one (doubles round-trip through %.17g), so sharded
+  /// sweeps can ship sketches as text and merge them without any drift.
+  /// Throws ConfigError on malformed input.
+  static QuantileSketch deserialize(const std::string& text);
+
   std::size_t bucket_count() const { return buckets_.size(); }
 
  private:

@@ -1,0 +1,25 @@
+#pragma once
+
+// Peak resident set size of the current process, for the timing sidecar
+// of memory-sensitive specs (scale_sweep's flat-memory gate).
+
+#include <sys/resource.h>
+
+namespace mmptcp {
+
+/// Peak RSS in MiB, 0 when the platform cannot report it.  The value is
+/// a per-process high-water mark — it only ever grows — so an honest
+/// per-grid-point comparison must run each point in its own process
+/// (e.g. separate invocations with --set shorts=<n>); within one sweep
+/// every later run reports at least the earlier runs' peak.
+inline double peak_rss_mb() {
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<double>(usage.ru_maxrss) / (1024.0 * 1024.0);  // bytes
+#else
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;  // KiB on Linux
+#endif
+}
+
+}  // namespace mmptcp

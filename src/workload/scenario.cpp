@@ -11,6 +11,9 @@ Scenario::Scenario(ScenarioConfig config)
                  : nullptr),
       sim_(cfg_.seed, cfg_.logger) {
   if (trace_) sim_.set_trace(trace_.get(), trace_->channels());
+  // exact_stats=false is the million-flow mode: retire completed shorts
+  // so record memory is O(live flows) (see ScenarioConfig::exact_stats).
+  if (!cfg_.exact_stats) metrics_.set_streaming(true);
   build();
   if (trace_ && (trace_->wants(kTraceQueue) || trace_->wants(kTraceSched))) {
     sampler_ = std::make_unique<TraceSampler>(sim_, *trace_, *net_);
@@ -130,23 +133,28 @@ std::size_t Scenario::pick_destination(std::size_t src_idx) {
 
 void Scenario::periodic_check() {
   if (stopped_) return;
-  sinks_->gc(sim_.now() - cfg_.server_linger);
+  const Time gc_cutoff = sim_.now() - cfg_.server_linger;
+  sinks_->gc(gc_cutoff);
   std::erase_if(flows_, [this](const std::unique_ptr<ClientFlow>& f) {
     const FlowRecord& rec = metrics_.record(f->flow_id());
-    return !rec.long_flow && rec.is_complete() && f->finished();
+    const bool reap = !rec.long_flow && rec.is_complete() && f->finished();
+    // Streaming mode: fold the finished short into the retired
+    // aggregates now (the client side is done); the slot itself is
+    // recycled below only after the server endpoint was GC'd.
+    if (reap && metrics_.streaming() && !rec.retired) {
+      metrics_.retire(f->flow_id());
+    }
+    return reap;
   });
-  if (shorts_started_ >= cfg_.short_flow_count) {
-    std::uint64_t done = 0, shorts = 0;
-    for (const auto* rec : metrics_.flows()) {
-      if (rec->long_flow) continue;
-      ++shorts;
-      if (rec->is_complete()) ++done;
-    }
-    if (shorts >= cfg_.short_flow_count && done == shorts) {
-      stopped_ = true;
-      sim_.scheduler().stop();
-      return;
-    }
+  if (metrics_.streaming()) metrics_.recycle_before(gc_cutoff);
+  // O(1) stop condition: every requested short started and completed
+  // (started/completed counters include retired flows by construction).
+  if (shorts_started_ >= cfg_.short_flow_count &&
+      metrics_.short_flows_started() >= cfg_.short_flow_count &&
+      metrics_.short_flows_completed() == metrics_.short_flows_started()) {
+    stopped_ = true;
+    sim_.scheduler().stop();
+    return;
   }
   sim_.scheduler().schedule(cfg_.check_interval, [this] { periodic_check(); });
 }
@@ -167,7 +175,7 @@ std::map<LinkLayer, LayerStats> Scenario::layer_stats() const {
 double Scenario::network_utilization() const {
   const double secs = end_time_.to_seconds();
   if (secs <= 0.0) return 0.0;
-  std::uint64_t delivered = 0;
+  std::uint64_t delivered = metrics_.retired().delivered_bytes;
   for (const auto* rec : metrics_.flows()) delivered += rec->delivered_bytes;
   // Total host access capacity (counts every NIC, so dual-homed hosts
   // contribute twice).
@@ -186,24 +194,27 @@ double Scenario::short_completion_ratio() const {
 }
 
 std::uint64_t Scenario::short_flow_rtos() const {
-  return metrics_.total(
-      [](const FlowRecord& r) {
-        return std::uint64_t(r.rto_count) + r.syn_timeouts;
-      },
-      [](const FlowRecord& r) { return !r.long_flow; });
+  return metrics_.retired().rtos +
+         metrics_.total(
+             [](const FlowRecord& r) {
+               return std::uint64_t(r.rto_count) + r.syn_timeouts;
+             },
+             [](const FlowRecord& r) { return !r.long_flow; });
 }
 
 std::uint64_t Scenario::short_flows_with_rto() const {
-  return metrics_.total(
-      [](const FlowRecord& r) {
-        return (r.rto_count + r.syn_timeouts) > 0 ? 1u : 0u;
-      },
-      [](const FlowRecord& r) { return !r.long_flow; });
+  return metrics_.retired().flows_with_rto +
+         metrics_.total(
+             [](const FlowRecord& r) {
+               return (r.rto_count + r.syn_timeouts) > 0 ? 1u : 0u;
+             },
+             [](const FlowRecord& r) { return !r.long_flow; });
 }
 
 std::uint64_t Scenario::total_spurious_retransmits() const {
-  return metrics_.total(
-      [](const FlowRecord& r) { return r.spurious_retransmits; });
+  return metrics_.retired().spurious +
+         metrics_.total(
+             [](const FlowRecord& r) { return r.spurious_retransmits; });
 }
 
 std::uint64_t Scenario::ecn_marked_packets() const {

@@ -71,8 +71,13 @@ struct ScenarioConfig {
   Logger logger{};
   /// When false the run skips materialising per-flow FCT samples for the
   /// exact Summary percentiles and reports only the O(1) streaming
-  /// sketches (see FlowSketches).  Specs that gate exact values keep the
-  /// default.
+  /// sketches (see FlowSketches).  It also switches Metrics into
+  /// streaming mode: completed short flows retire — their counters fold
+  /// into RetiredTotals and their record slots are recycled once the
+  /// server endpoint is gone — so memory stays O(live flows) at any
+  /// short_flow_count.  Results are byte-identical to an exact_stats run
+  /// for every sketch-derived metric (flow ids are invisible to the
+  /// simulation).  Specs that gate exact values keep the default.
   bool exact_stats = true;
 };
 

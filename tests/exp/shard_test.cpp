@@ -1,0 +1,263 @@
+#include "exp/shard.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "exp/sink.h"
+#include "stats/sketch.h"
+#include "util/check.h"
+
+namespace mmptcp::exp {
+namespace {
+
+/// Cheap synthetic spec with per-run sketches so merged documents carry a
+/// non-trivial "aggregates" section.  Metrics are arithmetic in the grid
+/// point, so whole-vs-merged comparisons are instant and exact.
+ExperimentSpec sketch_spec() {
+  ExperimentSpec spec;
+  spec.name = "sketchy";
+  spec.description = "arith with sketches";
+  spec.axes = fixed_axes({{"x", {"1", "2", "3"}}, {"y", {"10", "20"}}});
+  spec.seeds = {1, 2};
+  spec.run = [](const RunContext& ctx) {
+    RunOutcome o;
+    const double base =
+        ctx.params.get_int("x") * double(ctx.params.get_int("y"));
+    o.set("product", base);
+    o.set("seed_echo", double(ctx.seed));
+    QuantileSketch s;
+    for (int i = 0; i < 40; ++i) s.add(base + i + double(ctx.seed));
+    o.set_sketch("lat_ms", std::move(s));
+    return o;
+  };
+  return spec;
+}
+
+/// Runs shard i/N for every i and returns the N shard documents.
+std::vector<ShardDoc> run_shards(const ExperimentSpec& spec, std::size_t n,
+                                 std::size_t jobs) {
+  const std::size_t total = expand(spec, Scale{}, SweepOptions{}).size();
+  std::vector<ShardDoc> docs;
+  for (std::size_t i = 0; i < n; ++i) {
+    SweepOptions o;
+    o.jobs = jobs;
+    o.shard_index = i;
+    o.shard_count = n;
+    const auto records = run_sweep(spec, Scale{}, o);
+    docs.push_back({"shard" + std::to_string(i),
+                    to_shard_json(spec, Scale{}, records, i, n, total)});
+  }
+  return docs;
+}
+
+TEST(ShardSpec, ParsesWellFormedArguments) {
+  EXPECT_EQ(parse_shard_spec("0/3").index, 0u);
+  EXPECT_EQ(parse_shard_spec("0/3").count, 3u);
+  EXPECT_EQ(parse_shard_spec("2/3").index, 2u);
+  EXPECT_EQ(parse_shard_spec("0/1").count, 1u);
+  EXPECT_EQ(parse_shard_spec("11/12").index, 11u);
+}
+
+TEST(ShardSpec, RejectsMalformedArgumentsWithAClearMessage) {
+  const auto msg_of = [](const std::string& text) -> std::string {
+    try {
+      parse_shard_spec(text);
+    } catch (const ConfigError& e) {
+      return e.what();
+    }
+    return "";
+  };
+  for (const char* bad : {"abc", "3", "1/2/3", "-1/3", "a/3", "1/b", "/3",
+                          "1/", "", " 1/3", "0x1/3"}) {
+    const std::string msg = msg_of(bad);
+    ASSERT_FALSE(msg.empty()) << "'" << bad << "' was accepted";
+    // Every rejection names the offending argument and shows the shape.
+    EXPECT_NE(msg.find("invalid --shard argument"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("i/N"), std::string::npos) << msg;
+  }
+  EXPECT_NE(msg_of("0/0").find("N must be >= 1"), std::string::npos);
+  EXPECT_NE(msg_of("3/3").find("must be < shard count"), std::string::npos);
+  EXPECT_NE(msg_of("7/3").find("must be < shard count"), std::string::npos);
+}
+
+TEST(Shard, PartitionCoversEveryRunExactlyOnce) {
+  const ExperimentSpec spec = sketch_spec();
+  const auto whole = expand(spec, Scale{}, SweepOptions{});
+  ASSERT_EQ(whole.size(), 12u);
+  for (std::size_t n : {1u, 2u, 3u, 5u, 12u}) {
+    std::set<std::size_t> claimed;
+    for (std::size_t i = 0; i < n; ++i) {
+      SweepOptions o;
+      o.shard_index = i;
+      o.shard_count = n;
+      for (const RunRecord& rec : expand(spec, Scale{}, o)) {
+        // Each shard sees its slice of the FULL expansion: the global
+        // index is preserved and maps back to the unsharded record.
+        EXPECT_EQ(rec.index % n, i);
+        EXPECT_EQ(rec.id, whole[rec.index].id);
+        EXPECT_TRUE(claimed.insert(rec.index).second)
+            << "run " << rec.index << " claimed twice at N=" << n;
+      }
+    }
+    EXPECT_EQ(claimed.size(), whole.size()) << "N=" << n;
+  }
+}
+
+TEST(Shard, MoreShardsThanRunsFailsLoudly) {
+  // A shard set wider than the sweep would leave some shards writing
+  // empty documents; refuse up front and say how to widen the sweep.
+  SweepOptions o;
+  o.shard_index = 0;
+  o.shard_count = 13;  // sweep has 12 runs
+  try {
+    expand(sketch_spec(), Scale{}, o);
+    FAIL() << "oversharded sweep was accepted";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("cannot split 12 runs"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("at most 12 shards"), std::string::npos) << msg;
+  }
+  o.shard_index = 5;
+  o.shard_count = 3;  // index out of range
+  EXPECT_THROW(expand(sketch_spec(), Scale{}, o), ConfigError);
+}
+
+TEST(Shard, MergedDocumentIsByteIdenticalToUnshardedSweep) {
+  const ExperimentSpec spec = sketch_spec();
+  // The reference document, at both job counts (they must agree anyway).
+  SweepOptions serial;
+  serial.jobs = 1;
+  const std::string whole =
+      to_json(spec, Scale{}, run_sweep(spec, Scale{}, serial));
+  ASSERT_NE(whole.find("\"aggregates\":"), std::string::npos);
+  ASSERT_NE(whole.find("\"lat_ms\":"), std::string::npos);
+
+  for (std::size_t n : {2u, 3u}) {
+    for (std::size_t jobs : {1u, 8u}) {
+      const std::vector<ShardDoc> docs = run_shards(spec, n, jobs);
+      EXPECT_EQ(merge_shard_docs(docs), whole)
+          << "N=" << n << " jobs=" << jobs;
+    }
+  }
+}
+
+TEST(Shard, MergeIsInputOrderIndependent) {
+  const std::vector<ShardDoc> docs = run_shards(sketch_spec(), 3, 2);
+  const std::string merged = merge_shard_docs(docs);
+  std::vector<ShardDoc> shuffled = {docs[2], docs[0], docs[1]};
+  EXPECT_EQ(merge_shard_docs(shuffled), merged);
+  std::vector<ShardDoc> reversed = {docs[2], docs[1], docs[0]};
+  EXPECT_EQ(merge_timing_docs({}), "");
+  EXPECT_EQ(merge_shard_docs(reversed), merged);
+}
+
+TEST(Shard, MergeRejectsIncompleteOrInconsistentSets) {
+  const ExperimentSpec spec = sketch_spec();
+  const std::vector<ShardDoc> docs = run_shards(spec, 3, 1);
+
+  // Missing shards are named explicitly.
+  try {
+    merge_shard_docs({docs[0]});
+    FAIL() << "incomplete shard set was accepted";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("merge needs all 3 shards"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("missing: 1/3, 2/3"), std::string::npos) << msg;
+  }
+
+  // Duplicates are refused even when the count looks right.
+  try {
+    merge_shard_docs({docs[0], docs[1], docs[1]});
+    FAIL() << "duplicate shard was accepted";
+  } catch (const ConfigError& e) {
+    EXPECT_NE(std::string(e.what()).find("duplicate shard 1/3"),
+              std::string::npos)
+        << e.what();
+  }
+
+  // A whole sweep document is not a shard; the message says what to do.
+  const std::string whole =
+      to_json(spec, Scale{}, run_sweep(spec, Scale{}, SweepOptions{}));
+  try {
+    merge_shard_docs({{"whole.json", whole}, docs[1], docs[2]});
+    FAIL() << "whole document was accepted as a shard";
+  } catch (const ConfigError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("kind is \"sweep\""), std::string::npos) << msg;
+    EXPECT_NE(msg.find("--shard i/N"), std::string::npos) << msg;
+  }
+
+  // Shards of different invocations (here: different specs) do not mix.
+  ExperimentSpec other = sketch_spec();
+  other.name = "sketchy2";
+  const std::vector<ShardDoc> foreign = run_shards(other, 3, 1);
+  EXPECT_THROW(merge_shard_docs({docs[0], docs[1], foreign[2]}), ConfigError);
+}
+
+TEST(Shard, RunCostReordersClaimsWithoutChangingBytes) {
+  // Longest-expected-first: with a run_cost hook, workers claim the
+  // costly runs first so one straggler cannot serialise the tail...
+  ExperimentSpec spec = sketch_spec();
+  spec.seeds = {1};
+  spec.run_cost = [](const ParamSet& p, const Scale&) {
+    return double(p.get_int("x")) * double(p.get_int("y"));
+  };
+  SweepOptions o;
+  o.jobs = 1;  // serial: completion order == claim order
+  std::vector<std::string> completion_order;
+  o.on_progress = [&](std::size_t, std::size_t, const std::string& id, bool) {
+    completion_order.push_back(id);
+  };
+  const auto records = run_sweep(spec, Scale{}, o);
+  ASSERT_EQ(completion_order.size(), 6u);
+  EXPECT_EQ(completion_order.front(), "x=3/y=20/seed=1");  // cost 60
+  EXPECT_EQ(completion_order.back(), "x=1/y=10/seed=1");   // cost 10
+
+  // ...while the document stays in expansion order, byte-identical to
+  // the same spec without the hook.
+  ExperimentSpec plain = sketch_spec();
+  plain.seeds = {1};
+  const std::string reference =
+      to_json(plain, Scale{}, run_sweep(plain, Scale{}, SweepOptions{}));
+  EXPECT_EQ(to_json(spec, Scale{}, records), reference);
+}
+
+TEST(Shard, TimingSidecarsMergeIntoExpansionOrder) {
+  ExperimentSpec spec;
+  spec.name = "timed";
+  spec.axes = fixed_axes({{"i", {"1", "2", "3", "4"}}});
+  spec.run = [](const RunContext& ctx) {
+    RunOutcome o;
+    o.set("v", double(ctx.params.get_int("i")));
+    o.set_timing("events_per_second", 100.0 * ctx.params.get_int("i"));
+    return o;
+  };
+  const std::size_t total = expand(spec, Scale{}, SweepOptions{}).size();
+  std::vector<ShardDoc> docs;
+  for (std::size_t i = 0; i < 2; ++i) {
+    SweepOptions o;
+    o.shard_index = i;
+    o.shard_count = 2;
+    const auto records = run_sweep(spec, Scale{}, o);
+    docs.push_back({"t" + std::to_string(i),
+                    to_shard_timing_json(spec, records, i, 2, total)});
+  }
+  const std::string merged = merge_timing_docs({docs[1], docs[0]});
+  EXPECT_NE(merged.find("\"kind\":\"timing\""), std::string::npos);
+  // Runs come back in expansion order regardless of input order, with
+  // the shard-only index stripped and the mean over all four runs.
+  EXPECT_LT(merged.find("i=1/seed=1"), merged.find("i=2/seed=1"));
+  EXPECT_LT(merged.find("i=2/seed=1"), merged.find("i=3/seed=1"));
+  EXPECT_EQ(merged.find("\"index\""), std::string::npos);
+  EXPECT_NE(merged.find("\"events_per_second_mean\":250"), std::string::npos);
+  // Sweep shards are not timing shards and vice versa.
+  EXPECT_THROW(merge_shard_docs({docs[0], docs[1]}), ConfigError);
+}
+
+}  // namespace
+}  // namespace mmptcp::exp

@@ -138,6 +138,61 @@ TEST(QuantileSketch, LognormalQuantilesWithinDocumentedError) {
   EXPECT_NEAR(sketch.mean(), exact.mean(), exact.mean() * 1e-12);
 }
 
+TEST(QuantileSketch, DeserializeIsTheExactInverseOfSerialize) {
+  // The --shard/--merge path ships sketches as text and re-merges them on
+  // another machine; the round trip must be lossless down to the bit so
+  // merged aggregates stay byte-identical to the unsharded run.
+  std::mt19937_64 rng(11);
+  std::lognormal_distribution<double> dist(0.5, 1.2);
+  QuantileSketch original;
+  original.add(0.0);    // zero bucket
+  original.add(-1.25);  // negative, exercises min < 0
+  for (int i = 0; i < 5'000; ++i) original.add(dist(rng));
+
+  const std::string text = original.serialize();
+  const QuantileSketch copy = QuantileSketch::deserialize(text);
+  EXPECT_EQ(copy.serialize(), text);
+  EXPECT_EQ(copy.count(), original.count());
+  EXPECT_DOUBLE_EQ(copy.sum(), original.sum());
+  EXPECT_DOUBLE_EQ(copy.min(), original.min());
+  EXPECT_DOUBLE_EQ(copy.max(), original.max());
+  EXPECT_DOUBLE_EQ(copy.stddev(), original.stddev());
+  for (double q : {0.0, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_DOUBLE_EQ(copy.quantile(q), original.quantile(q)) << q;
+  }
+
+  // Merging a deserialized copy behaves exactly like merging the live
+  // sketch — the shard-merge path in one assertion.
+  QuantileSketch via_live;
+  via_live.add(7.0);
+  QuantileSketch via_text;
+  via_text.add(7.0);
+  via_live.merge(original);
+  via_text.merge(copy);
+  EXPECT_EQ(via_live.serialize(), via_text.serialize());
+}
+
+TEST(QuantileSketch, EmptySketchRoundTrips) {
+  const QuantileSketch empty;
+  const std::string text = empty.serialize();
+  const QuantileSketch copy = QuantileSketch::deserialize(text);
+  EXPECT_EQ(copy.count(), 0u);
+  EXPECT_EQ(copy.serialize(), text);
+}
+
+TEST(QuantileSketch, DeserializeRejectsGarbage) {
+  EXPECT_THROW(QuantileSketch::deserialize(""), InvariantError);
+  EXPECT_THROW(QuantileSketch::deserialize("not a sketch"), InvariantError);
+  EXPECT_THROW(QuantileSketch::deserialize("qsketch1 n=x"), InvariantError);
+  // Truncated bucket list.
+  QuantileSketch s;
+  s.add(1.0);
+  s.add(2.0);
+  const std::string text = s.serialize();
+  EXPECT_THROW(QuantileSketch::deserialize(text.substr(0, text.size() - 2)),
+               InvariantError);
+}
+
 TEST(QuantileSketch, QuantileClampsToObservedRange) {
   QuantileSketch s;
   s.add(10.0);
