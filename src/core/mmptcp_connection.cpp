@@ -30,10 +30,13 @@ std::unique_ptr<Subflow> MmptcpConnection::make_subflow(
       mm_config_.oracle != nullptr
           ? mm_config_.oracle->path_count(local_host().addr(), peer_addr())
           : 0;
+  // Fork off the host stream, not the master RNG: subflows are created
+  // while domain windows execute in parallel, and per-host streams keep
+  // the draw sequence deterministic without cross-domain sharing.
   return std::make_unique<PsSubflow>(
       *this, role, local_port, peer_port, cfg,
       make_cc(/*coupled=*/false, mm_config_.ps_dctcp), paths,
-      sim_ref().rng().fork());
+      local_host().rng().fork());
 }
 
 void MmptcpConnection::before_allocate(Subflow& sf) {

@@ -65,6 +65,12 @@ CliOptions parse_cli(Flags& flags) {
   o.sweep.jobs = static_cast<std::size_t>(
       flags.get_int("jobs", 1, "worker threads for the sweep"));
   require(o.sweep.jobs >= 1, "--jobs must be >= 1");
+  const long long sim_threads = flags.get_int(
+      "sim-threads", 1,
+      "worker threads inside each run (domain-parallel event execution; "
+      "results are byte-identical at any value)");
+  require(sim_threads >= 1, "--sim-threads must be >= 1");
+  o.sweep.sim_threads = static_cast<unsigned>(sim_threads);
   const std::string seeds = flags.get_string(
       "seeds", "", "seed list: '7', '1,2,5' or '1..10' (default: --seed)");
   o.sweep.seeds = seeds.empty() ? std::vector<std::uint64_t>{o.scale.seed}
@@ -99,6 +105,14 @@ CliOptions parse_cli(Flags& flags) {
   const std::string log_level = flags.get_string(
       "log-level", "off", "stderr logging: off|error|warn|info|debug|trace");
   if (!trace.empty()) {
+    if (o.sweep.sim_threads > 1) {
+      // The scenario would force one worker anyway (the windowed schedule
+      // — and the trace — is identical either way); fail loudly instead
+      // of silently ignoring the requested parallelism.
+      throw ConfigError(
+          "--trace cannot be combined with --sim-threads > 1: tracing "
+          "runs the windowed schedule on one worker; drop one of the two");
+    }
     o.sweep.trace_channels = parse_trace_channels(trace);
     o.sweep.trace_interval = parse_duration(trace_interval);
     if (o.sweep.trace_interval.ns() <= 0) {

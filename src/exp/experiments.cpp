@@ -11,6 +11,7 @@
 
 #include "exp/perf_micro.h"
 #include "exp/registry.h"
+#include "util/check.h"
 #include "util/rss.h"
 #include "workload/traffic_matrix.h"
 
@@ -68,6 +69,9 @@ RunOutcome scenario_outcome(const RunResult& r) {
   o.set("ecn_marked", double(r.ecn_marked));
   o.set("peak_queue_pkts", double(r.peak_queue_pkts));
   o.set("p999_ms", exact ? r.fct_ms.p999() : sk.quantile(0.999));
+  // Routing-bug canary: nonzero means a switch silently dropped packets
+  // whose route fell off the table.  Always zero in a healthy fabric.
+  o.set("unroutable", double(r.unroutable));
   append_flow_time_metrics(o, r.short_sketches);
   return o;
 }
@@ -78,6 +82,7 @@ ScenarioConfig point_scenario(const RunContext& ctx, Protocol proto,
   cfg.seed = ctx.seed;
   cfg.trace = ctx.trace;
   cfg.logger = ctx.logger;
+  cfg.sim_threads = ctx.sim_threads;
   return cfg;
 }
 
@@ -504,8 +509,13 @@ void register_smoke(Registry& r) {
             o.set("mean_ms", fct.count() ? fct.mean() : 0);
             o.set("p99_ms", fct.count() ? fct.percentile(99) : 0);
             o.set("rtos", double(sc.short_flow_rtos()));
-            const double events = double(sc.sim().scheduler().executed());
+            // Control + all domain schedulers: the canary covers the
+            // whole windowed execution, not just control events.
+            const double events = double(sc.sim().total_executed());
             o.set("events", events);
+            const std::uint64_t unroutable = sc.network().unroutable_total();
+            check(unroutable == 0, "smoke run dropped unroutable packets");
+            o.set("unroutable", double(unroutable));
             o.set("p999_ms", fct.count() ? fct.p999() : 0);
             append_flow_time_metrics(
                 o, sc.metrics().short_flow_sketches(
@@ -515,6 +525,7 @@ void register_smoke(Registry& r) {
             o.set_timing("events_per_second",
                          wall_secs > 0 ? events / wall_secs : 0);
             o.set_timing("wall_seconds", wall_secs);
+            o.set_timing("sim_threads", double(ctx.sim_threads));
             return o;
           },
       .adjust_scale =
@@ -543,6 +554,12 @@ void register_smoke(Registry& r) {
               // Executed-event count: the determinism canary.  Any real
               // simulator change moves it and must refresh baselines.
               {.pattern = "events", .warn_pct = 0.5, .fail_pct = 5},
+              // Hard canary: any unroutable packet is a routing bug.
+              {.pattern = "unroutable",
+               .warn_pct = 0,
+               .fail_pct = 0,
+               .abs_slack = 0,
+               .direction = Dir::kHigherIsWorse},
               {.pattern = "*_ms",
                .warn_pct = 5,
                .fail_pct = 20,
@@ -955,6 +972,10 @@ void register_scale(Registry& r) {
             // going: a short server linger bounds live records at
             // (arrival rate x linger) instead of the full short count.
             cfg.server_linger = Time::seconds(1);
+            // Longer spine runs (realistic for a big fabric) widen the
+            // conservative lookahead window, so --sim-threads has room
+            // to overlap pod execution — this is the speedup spec.
+            cfg.fat_tree.core_link_delay = Time::micros(100);
             const auto wall_start = std::chrono::steady_clock::now();
             Scenario sc(cfg);
             sc.run();
@@ -973,8 +994,12 @@ void register_scale(Registry& r) {
             o.set("p999_ms", s.fct_ms.quantile(0.999));
             o.set("max_ms", s.fct_ms.max());
             o.set("rtos", double(sc.short_flow_rtos()));
-            const double events = double(sc.sim().scheduler().executed());
+            const double events = double(sc.sim().total_executed());
             o.set("events", events);
+            const std::uint64_t unroutable = sc.network().unroutable_total();
+            check(unroutable == 0,
+                  "scale_sweep run dropped unroutable packets");
+            o.set("unroutable", double(unroutable));
             // Deterministic memory canary: record slots ever allocated =
             // high-water mark of concurrently live (unrecycled) flows.
             // Flat across the shorts axis == memory is O(live flows).
@@ -983,6 +1008,7 @@ void register_scale(Registry& r) {
             o.set_timing("events_per_second",
                          wall_secs > 0 ? events / wall_secs : 0);
             o.set_timing("wall_seconds", wall_secs);
+            o.set_timing("sim_threads", double(ctx.sim_threads));
             // Host-dependent twin of peak_flow_slots; cumulative across
             // the process, so per-point comparisons need one point per
             // invocation (--set shorts=<n>).
@@ -1022,6 +1048,12 @@ void register_scale(Registry& r) {
               // mark move only when the simulator (or GC cadence)
               // genuinely changes — refresh baselines deliberately.
               {.pattern = "events", .warn_pct = 0.5, .fail_pct = 5},
+              // Hard canary: any unroutable packet is a routing bug.
+              {.pattern = "unroutable",
+               .warn_pct = 0,
+               .fail_pct = 0,
+               .abs_slack = 0,
+               .direction = Dir::kHigherIsWorse},
               {.pattern = "peak_flow_slots",
                .warn_pct = 2,
                .fail_pct = 10,

@@ -79,6 +79,7 @@ RunResult run_scenario(const ScenarioConfig& cfg) {
   }
   r.ecn_marked = sc.ecn_marked_packets();
   r.peak_queue_pkts = sc.peak_switch_queue_packets();
+  r.unroutable = sc.network().unroutable_total();
   r.end_time = sc.end_time();
   return r;
 }

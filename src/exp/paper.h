@@ -51,6 +51,9 @@ struct RunResult {
   double agg_loss = 0;      ///< drop rate at the aggregation layer
   std::uint64_t ecn_marked = 0;       ///< CE marks across all qdiscs
   std::uint64_t peak_queue_pkts = 0;  ///< peak occupancy, switch ports
+  /// Packets whose route fell off a switch's table — a hard canary:
+  /// any nonzero value means a routing bug silently vanished traffic.
+  std::uint64_t unroutable = 0;
   Time end_time;
   /// Streaming FCT/budget sketches over completed shorts (always filled;
   /// with ScenarioConfig::exact_stats=false they are the only FCT stats).

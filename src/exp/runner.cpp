@@ -155,8 +155,14 @@ std::vector<RunRecord> run_sweep(const ExperimentSpec& spec, Scale scale,
   const std::vector<std::size_t> order = claim_order(spec, scale, records);
 
   const std::size_t total = records.size();
-  const std::size_t jobs =
-      std::max<std::size_t>(1, std::min(options.jobs, total));
+  std::size_t jobs = std::max<std::size_t>(1, std::min(options.jobs, total));
+  if (options.sim_threads > 1) {
+    // Keep jobs x sim_threads within the machine: each run's engine
+    // spins up sim_threads workers, so concurrent runs multiply.
+    const std::size_t hc = std::max(1u, std::thread::hardware_concurrency());
+    jobs = std::max<std::size_t>(
+        1, std::min(jobs, hc / std::max(1u, options.sim_threads)));
+  }
 
   std::atomic<std::size_t> cursor{0};
   std::atomic<std::size_t> completed{0};
@@ -174,6 +180,7 @@ std::vector<RunRecord> run_sweep(const ExperimentSpec& spec, Scale scale,
       ctx.seed = rec.seed;
       ctx.out_dir = options.out_dir;
       ctx.logger = options.logger;
+      ctx.sim_threads = options.sim_threads;
       if (options.trace_channels != 0) {
         ctx.trace.channels = options.trace_channels;
         ctx.trace.interval = options.trace_interval;

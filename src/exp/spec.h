@@ -34,6 +34,10 @@ struct RunContext {
   TraceConfig trace;
   /// Component logger root (disabled unless --log-level was given).
   Logger logger;
+  /// Worker threads for intra-run parallel event execution (--sim-threads).
+  /// Specs copy it into their ScenarioConfig; results are byte-identical
+  /// at any value (see sim/engine.h), only wall time changes.
+  unsigned sim_threads = 1;
 };
 
 /// Outputs of one grid point: ordered metric name -> value.

@@ -24,7 +24,7 @@ std::uint64_t ecmp_hash(std::uint64_t salt, Addr src, Addr dst,
 std::size_t ecmp_select(std::uint64_t salt, Addr src, Addr dst,
                         std::uint16_t sport, std::uint16_t dport,
                         std::size_t n) {
-  check(n > 0, "ecmp_select needs at least one candidate");
+  dcheck(n > 0, "ecmp_select needs at least one candidate");
   return static_cast<std::size_t>(ecmp_hash(salt, src, dst, sport, dport) % n);
 }
 

@@ -5,11 +5,12 @@
 namespace mmptcp {
 
 Host::Host(Simulation& sim, NodeId id, std::string name, Addr addr)
-    : Node(sim, id, std::move(name)), addr_(addr) {}
+    : Node(sim, id, std::move(name)), addr_(addr), rng_(sim.rng().fork()) {}
 
-void Host::send(const Packet& pkt) {
-  check(port_count() > 0, "host has no NIC attached");
-  port(pick_nic(pkt)).enqueue(pkt);
+void Host::send(Packet pkt) {
+  dcheck(port_count() > 0, "host has no NIC attached");
+  const std::size_t nic = pick_nic(pkt);
+  port(nic).enqueue(std::move(pkt));
 }
 
 std::size_t Host::pick_nic(const Packet& pkt) const {

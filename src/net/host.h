@@ -35,7 +35,12 @@ class Host : public Node {
   Addr addr() const { return addr_; }
 
   /// Transmits via the selected NIC (all host ports are NICs).
-  void send(const Packet& pkt);
+  void send(Packet pkt);
+
+  /// Per-host random stream, forked from the master RNG at construction.
+  /// Runtime draws (MMPTCP's per-subflow port randomisation) use this
+  /// instead of the master so parallel domains never share an RNG.
+  Rng& rng() { return rng_; }
 
   /// Registers/unregisters the endpoint owning `token`.
   void register_token(std::uint32_t token, Endpoint* ep);
@@ -67,6 +72,7 @@ class Host : public Node {
   std::size_t pick_nic(const Packet& pkt) const;
 
   Addr addr_;
+  Rng rng_;
   std::unordered_map<std::uint32_t, Endpoint*> by_token_;
   std::unordered_map<std::uint16_t, AcceptHandler> listeners_;
   NicSelector nic_selector_;

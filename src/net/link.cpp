@@ -29,7 +29,13 @@ void Channel::attach_sink(Node* dst, std::size_t dst_port) {
 }
 
 void Channel::deliver(Packet pkt) {
-  check(dst_ != nullptr, "channel has no sink attached");
+  dcheck(dst_ != nullptr, "channel has no sink attached");
+  if (outbox_ != nullptr) {
+    // Crossing domains: buffer with the arrival time stamped off the
+    // emitting domain's clock; the barrier inserts it canonically.
+    outbox_->post(src_sched_->now() + delay_, this, pkt);
+    return;
+  }
   auto arrival = [this, pkt] { dst_->receive(pkt, dst_port_); };
   // Delivery is the hottest event in the simulator: if Packet grows past
   // the EventFn inline budget this becomes a per-packet heap allocation,
@@ -40,10 +46,16 @@ void Channel::deliver(Packet pkt) {
   sched_.schedule(delay_, std::move(arrival));
 }
 
-Port::Port(Simulation& sim, std::string name, std::uint64_t rate_bps,
-           QueueLimits limits, Channel* out, LinkLayer layer,
-           SharedBufferPool* pool, QdiscConfig qdisc)
-    : sched_(sim.scheduler()), name_(std::move(name)), rate_bps_(rate_bps),
+void Channel::deliver_at(Time at, const Packet& pkt) {
+  dcheck(dst_ != nullptr, "channel has no sink attached");
+  auto arrival = [this, pkt] { dst_->receive(pkt, dst_port_); };
+  sched_.schedule_at(at, std::move(arrival));
+}
+
+Port::Port(Simulation& sim, Scheduler& sched, std::string name,
+           std::uint64_t rate_bps, QueueLimits limits, Channel* out,
+           LinkLayer layer, SharedBufferPool* pool, QdiscConfig qdisc)
+    : sched_(sched), name_(std::move(name)), rate_bps_(rate_bps),
       queue_(make_qdisc(qdisc, limits, pool)), out_(out), layer_(layer),
       trace_(sim.trace_for(kTraceQueue)),
       log_(sim.logger().child("qdisc")) {
@@ -52,28 +64,30 @@ Port::Port(Simulation& sim, std::string name, std::uint64_t rate_bps,
   queue_->set_clock(&sched_);
 }
 
-void Port::enqueue(const Packet& pkt) {
+void Port::enqueue(Packet pkt) {
   const std::uint64_t index = offer_index_++;
+  const std::uint64_t bytes = pkt.size_bytes();
+  const auto flow = pkt.flow_id;
   if (drop_filter_ && drop_filter_(pkt, index)) {
     ++counters_.injected_drops;
     ++counters_.dropped_packets;
-    counters_.dropped_bytes += pkt.size_bytes();
+    counters_.dropped_bytes += bytes;
     return;
   }
-  if (!queue_->try_push(pkt)) {
+  if (!queue_->try_push(std::move(pkt))) {
     ++counters_.dropped_packets;
-    counters_.dropped_bytes += pkt.size_bytes();
+    counters_.dropped_bytes += bytes;
     if (trace_ != nullptr) {
       trace_->queue_event(sched_.now(), name_, "drop", queue_->size_packets());
     }
     log_.log(LogLevel::kDebug, [&] {
-      return name_ + ": dropped flow " + std::to_string(pkt.flow_id) +
+      return name_ + ": dropped flow " + std::to_string(flow) +
              " packet at depth " + std::to_string(queue_->size_packets());
     });
     return;
   }
   ++counters_.enqueued_packets;
-  counters_.enqueued_bytes += pkt.size_bytes();
+  counters_.enqueued_bytes += bytes;
   if (trace_ != nullptr && queue_->marked_packets() != traced_marks_) {
     traced_marks_ = queue_->marked_packets();
     trace_->queue_event(sched_.now(), name_, "mark", queue_->size_packets());
@@ -83,7 +97,8 @@ void Port::enqueue(const Packet& pkt) {
 
 void Port::maybe_start_tx() {
   if (transmitting_ || queue_->empty()) return;
-  check(queue_->pop_into(in_tx_), "queue reported non-empty but pop failed");
+  [[maybe_unused]] const bool popped = queue_->pop_into(in_tx_);
+  dcheck(popped, "queue reported non-empty but pop failed");
   transmitting_ = true;
   sched_.schedule(transmission_time(in_tx_.size_bytes(), rate_bps_),
                   [this] { on_tx_done(); });

@@ -15,6 +15,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "net/queue.h"
 #include "sim/scheduler.h"
@@ -47,16 +48,62 @@ struct PortCounters {
   std::uint64_t injected_drops = 0;  ///< test-hook forced drops
 };
 
+class Channel;
+
+/// Buffer of cross-domain deliveries emitted by one source domain during
+/// one parallel window.  Single-writer (only that domain's worker posts)
+/// and drained by the barrier: entries from every outbox are sorted by
+/// (arrival time, source domain, emission seq) and inserted into the
+/// destination schedulers in that canonical order, so event sequence
+/// numbers — and therefore the whole run — do not depend on the worker
+/// count.
+class CrossDomainOutbox {
+ public:
+  struct Entry {
+    Time at;                    ///< arrival time at the destination
+    std::uint64_t seq = 0;      ///< source-domain emission order
+    Channel* channel = nullptr;
+    Packet pkt;
+  };
+
+  void post(Time at, Channel* channel, const Packet& pkt) {
+    entries_.push_back(Entry{at, next_seq_++, channel, pkt});
+  }
+
+  std::vector<Entry>& entries() { return entries_; }
+  void clear() { entries_.clear(); }
+
+ private:
+  std::vector<Entry> entries_;
+  std::uint64_t next_seq_ = 0;
+};
+
 /// Unidirectional wire: fixed rate (modelled at the Port) and delay.
 class Channel {
  public:
+  /// `sched` is the scheduler arrivals are inserted into — the receiving
+  /// node's domain scheduler in parallel runs.
   Channel(Scheduler& sched, Time propagation_delay);
 
   /// Sets the receiving node and its ingress port index (wiring step).
   void attach_sink(Node* dst, std::size_t dst_port);
 
+  /// Marks this channel as crossing domains: deliveries are buffered in
+  /// `outbox` (arrival times read off the emitting side's `src_sched`)
+  /// and inserted at the next barrier instead of being scheduled
+  /// directly.
+  void make_cross_domain(const Scheduler& src_sched,
+                         CrossDomainOutbox* outbox) {
+    src_sched_ = &src_sched;
+    outbox_ = outbox;
+  }
+  bool cross_domain() const { return outbox_ != nullptr; }
+
   /// Accepts a fully-serialised packet; delivers it after the delay.
   void deliver(Packet pkt);
+
+  /// Barrier-time insertion of a delivery buffered by deliver().
+  void deliver_at(Time at, const Packet& pkt);
 
   Time propagation_delay() const { return delay_; }
   Node* sink() const { return dst_; }
@@ -66,6 +113,8 @@ class Channel {
   Time delay_;
   Node* dst_ = nullptr;
   std::size_t dst_port_ = 0;
+  const Scheduler* src_sched_ = nullptr;  ///< set on cross-domain channels
+  CrossDomainOutbox* outbox_ = nullptr;
 };
 
 /// Egress interface: queue + serialising transmitter feeding a Channel.
@@ -76,14 +125,17 @@ class Port {
 
   /// Takes the Simulation (not just its scheduler) so the port can pick
   /// up the cross-cutting services: the flight recorder's queue channel
-  /// and the qdisc component logger.
-  Port(Simulation& sim, std::string name, std::uint64_t rate_bps,
-       QueueLimits limits, Channel* out, LinkLayer layer,
-       SharedBufferPool* pool = nullptr, QdiscConfig qdisc = QdiscConfig{});
+  /// and the qdisc component logger.  `sched` is the owning node's
+  /// domain scheduler, where transmit-completion events run.
+  Port(Simulation& sim, Scheduler& sched, std::string name,
+       std::uint64_t rate_bps, QueueLimits limits, Channel* out,
+       LinkLayer layer, SharedBufferPool* pool = nullptr,
+       QdiscConfig qdisc = QdiscConfig{});
 
   /// Enqueues for transmission; drops (and counts) when the queue is full
-  /// or the injected drop filter matches.
-  void enqueue(const Packet& pkt);
+  /// or the injected drop filter matches.  By value: callers that own
+  /// their copy (every forwarding hop) move it straight into the qdisc.
+  void enqueue(Packet pkt);
 
   const PortCounters& counters() const { return counters_; }
   LinkLayer layer() const { return layer_; }

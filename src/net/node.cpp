@@ -9,7 +9,8 @@ std::size_t Node::add_port(std::uint64_t rate_bps, QueueLimits limits,
                            Channel* out, LinkLayer layer,
                            SharedBufferPool* pool, QdiscConfig qdisc) {
   ports_.push_back(std::make_unique<Port>(
-      sim_, name_ + "/p" + std::to_string(ports_.size()),
+      sim_, sim_.domain_scheduler(domain_),
+      name_ + "/p" + std::to_string(ports_.size()),
       rate_bps, limits, out, layer, pool, qdisc));
   return ports_.size() - 1;
 }

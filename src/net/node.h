@@ -38,6 +38,13 @@ class Node {
                        SharedBufferPool* pool = nullptr,
                        QdiscConfig qdisc = QdiscConfig{});
 
+  /// Execution domain for parallel runs.  Builders tag every node right
+  /// after creation and before its ports are wired: add_port() binds the
+  /// port's transmitter to the domain's scheduler.  Defaults to 0, which
+  /// is the control scheduler while domains are unconfigured.
+  void set_domain(std::size_t d) { domain_ = d; }
+  std::size_t domain() const { return domain_; }
+
   NodeId id() const { return id_; }
   const std::string& name() const { return name_; }
   std::size_t port_count() const { return ports_.size(); }
@@ -52,6 +59,7 @@ class Node {
   Simulation& sim_;
   NodeId id_;
   std::string name_;
+  std::size_t domain_ = 0;
   std::vector<std::unique_ptr<Port>> ports_;
 };
 

@@ -26,13 +26,13 @@ void Switch::enable_shared_buffer(std::uint64_t capacity_bytes, double alpha) {
 }
 
 void Switch::receive(Packet pkt, std::size_t /*in_port*/) {
-  check(router_ != nullptr, "switch has no router installed");
+  dcheck(router_ != nullptr, "switch has no router installed");
   const std::size_t out = router_->route(*this, pkt);
   if (out >= port_count()) {
     ++unroutable_;
     return;
   }
-  port(out).enqueue(pkt);
+  port(out).enqueue(std::move(pkt));
 }
 
 }  // namespace mmptcp

@@ -1,0 +1,148 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+
+#include "sim/parallel.h"
+#include "sim/simulation.h"
+#include "util/check.h"
+
+namespace mmptcp {
+
+namespace {
+
+/// Spin briefly, then yield: windows are short, but on oversubscribed
+/// hosts (more workers than cores) pure spinning would burn the peer's
+/// whole quantum.
+template <typename Pred>
+void relax_until(const Pred& pred) {
+  int spins = 0;
+  while (!pred()) {
+    if (++spins >= 64) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+}
+
+}  // namespace
+
+Engine::Engine(Simulation& sim, Time lookahead, unsigned workers)
+    : sim_(sim), lookahead_(lookahead), workers_(std::max(1u, workers)) {
+  if (sim_.num_domains() > 0) {
+    check(lookahead_ > Time::zero(),
+          "parallel engine needs a positive lookahead");
+    workers_ = std::min<unsigned>(
+        workers_, static_cast<unsigned>(sim_.num_domains()));
+  } else {
+    workers_ = 1;
+  }
+}
+
+Engine::~Engine() {
+  if (!pool_.empty()) {
+    shutdown_.store(true, std::memory_order_release);
+    for (std::thread& t : pool_) t.join();
+  }
+}
+
+void Engine::ensure_pool() {
+  if (workers_ <= 1 || !pool_.empty()) return;
+  pool_.reserve(workers_ - 1);
+  for (unsigned i = 0; i + 1 < workers_; ++i) {
+    pool_.emplace_back([this] { worker_main(); });
+  }
+}
+
+void Engine::worker_main() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    relax_until([&] {
+      return epoch_.load(std::memory_order_acquire) != seen ||
+             shutdown_.load(std::memory_order_acquire);
+    });
+    if (shutdown_.load(std::memory_order_acquire)) return;
+    seen = epoch_.load(std::memory_order_acquire);
+    claim_and_run(Time::nanos(window_end_ns_.load(std::memory_order_acquire)));
+  }
+}
+
+void Engine::claim_and_run(Time end) {
+  const std::size_t n = sim_.num_domains();
+  for (;;) {
+    const std::size_t d = next_domain_.fetch_add(1, std::memory_order_relaxed);
+    if (d >= n) return;
+    Scheduler& sched = sim_.domain_scheduler(d);
+    {
+      par::ScopedDomain scope(&sched, static_cast<int>(d));
+      sched.run_window(end);
+    }
+    domains_done_.fetch_add(1, std::memory_order_release);
+  }
+}
+
+void Engine::run_domains(Time end) {
+  const std::size_t n = sim_.num_domains();
+  if (workers_ <= 1) {
+    for (std::size_t d = 0; d < n; ++d) {
+      Scheduler& sched = sim_.domain_scheduler(d);
+      par::ScopedDomain scope(&sched, static_cast<int>(d));
+      sched.run_window(end);
+    }
+    return;
+  }
+  ensure_pool();
+  window_end_ns_.store(end.ns(), std::memory_order_relaxed);
+  next_domain_.store(0, std::memory_order_relaxed);
+  domains_done_.store(0, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_release);
+  claim_and_run(end);
+  relax_until([&] {
+    return domains_done_.load(std::memory_order_acquire) >= n;
+  });
+}
+
+void Engine::run_until(Time until) {
+  stopped_ = false;
+  Scheduler& control = sim_.control_scheduler();
+  const std::size_t n = sim_.num_domains();
+  if (n == 0) {
+    // Serial collapse: no domains were configured, so every event lives
+    // in the control scheduler and the classic inclusive run applies.
+    if (hook_) hook_();
+    control.run_until(until);
+    stopped_ = control.stop_requested();
+    if (hook_) hook_();
+    return;
+  }
+  for (;;) {
+    if (hook_) hook_();
+    Time next = Time::max();
+    bool any = false;
+    Time t;
+    if (control.next_time(t)) {
+      next = t;
+      any = true;
+    }
+    for (std::size_t d = 0; d < n; ++d) {
+      if (sim_.domain_scheduler(d).next_time(t) && t < next) {
+        next = t;
+        any = true;
+      }
+    }
+    if (!any || next >= until) {
+      control.run_window(until);
+      run_domains(until);
+      break;
+    }
+    const Time window_end = std::min(next + lookahead_, until);
+    control.run_window(window_end);
+    if (control.stop_requested()) {
+      stopped_ = true;
+      break;
+    }
+    run_domains(window_end);
+  }
+  if (hook_) hook_();
+}
+
+}  // namespace mmptcp

@@ -1,0 +1,86 @@
+#pragma once
+
+// Barrier-synchronous conservative parallel event engine.
+//
+// The simulation's schedulers (one control + N domain) advance in
+// windows.  Each iteration finds T, the earliest pending event across
+// all schedulers, and executes every event in [T, T + lookahead) — the
+// control scheduler first and single-threaded, then all domains on a
+// worker pool.  `lookahead` is the minimum cross-domain propagation
+// delay, so an event at time t can only influence another domain at
+// t + lookahead or later: everything inside one window is causally
+// independent across domains and may run concurrently.
+//
+// Cross-domain packets and metric mutations are buffered during the
+// window (net/link.h outboxes, stats/metrics.h journals) and flushed by
+// the barrier hook at the top of every iteration, in a canonical order
+// that does not depend on the worker count.  Determinism therefore holds
+// by construction: the sequence of windows, the event stream inside each
+// domain, and the flush order are identical at any `workers` value —
+// threads only change which core executes a given window.
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <thread>
+#include <vector>
+
+#include "sim/time.h"
+
+namespace mmptcp {
+
+class Simulation;
+
+class Engine {
+ public:
+  /// `lookahead` must be positive when the simulation has domains
+  /// configured.  `workers` is the number of threads executing domain
+  /// windows (the calling thread is one of them); clamped to the domain
+  /// count.
+  Engine(Simulation& sim, Time lookahead, unsigned workers);
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Invoked at every barrier (and once before the first window and once
+  /// after the last): drain cross-domain mailboxes and metric journals.
+  void set_barrier_hook(std::function<void()> hook) {
+    hook_ = std::move(hook);
+  }
+
+  /// Runs events with timestamp strictly below `until`, leaving every
+  /// clock at `until` — unless the control scheduler's stop() fired, in
+  /// which case the run ends at that event.  With no domains configured
+  /// this is exactly `control.run_until(until)` (inclusive, serial).
+  void run_until(Time until);
+
+  /// True when the last run_until ended because of a control stop().
+  bool stopped() const { return stopped_; }
+
+  unsigned workers() const { return workers_; }
+
+ private:
+  void run_domains(Time end);
+  void claim_and_run(Time end);
+  void worker_main();
+  void ensure_pool();
+
+  Simulation& sim_;
+  Time lookahead_;
+  unsigned workers_;
+  std::function<void()> hook_;
+  bool stopped_ = false;
+
+  // Worker-pool handshake: bumping epoch_ releases the pool into the
+  // window published in window_end_ns_; workers claim domains from
+  // next_domain_ and count completions in domains_done_.
+  std::vector<std::thread> pool_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::atomic<std::int64_t> window_end_ns_{0};
+  std::atomic<std::size_t> next_domain_{0};
+  std::atomic<std::size_t> domains_done_{0};
+  std::atomic<bool> shutdown_{false};
+};
+
+}  // namespace mmptcp

@@ -1,0 +1,45 @@
+#pragma once
+
+// Ambient execution context for domain-decomposed parallel runs.
+//
+// When the Engine executes a domain's window it pins that domain's
+// scheduler (and index) into thread-local state; Simulation::scheduler()
+// resolves through it, so every component that schedules "via the
+// simulation" — socket timers, port transmit completions, arrival
+// rescheduling — lands in the scheduler of the domain it executes in
+// without any plumbing changes.  Outside a window (topology build,
+// control events, unit tests) the thread-locals are null and the
+// simulation's own scheduler is used, which is exactly the serial path.
+
+#include "sim/scheduler.h"
+
+namespace mmptcp::par {
+
+inline thread_local Scheduler* tls_scheduler = nullptr;
+inline thread_local int tls_domain = -1;  ///< -1 = control / no domain
+
+/// RAII pin of the ambient (scheduler, domain) for one window.
+class ScopedDomain {
+ public:
+  ScopedDomain(Scheduler* sched, int domain)
+      : prev_sched_(tls_scheduler), prev_domain_(tls_domain) {
+    tls_scheduler = sched;
+    tls_domain = domain;
+  }
+  ~ScopedDomain() {
+    tls_scheduler = prev_sched_;
+    tls_domain = prev_domain_;
+  }
+  ScopedDomain(const ScopedDomain&) = delete;
+  ScopedDomain& operator=(const ScopedDomain&) = delete;
+
+ private:
+  Scheduler* prev_sched_;
+  int prev_domain_;
+};
+
+/// Domain the current thread is executing, or -1 when on the control
+/// path.  Metrics journaling keys off this.
+inline int current_domain() { return tls_domain; }
+
+}  // namespace mmptcp::par

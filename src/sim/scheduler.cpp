@@ -231,6 +231,23 @@ std::uint64_t Scheduler::run_until(Time until) {
   return ran;
 }
 
+std::uint64_t Scheduler::run_window(Time end) {
+  std::uint64_t ran = 0;
+  stop_requested_ = false;
+  Ref ref;
+  while (peek(ref)) {
+    if (ref.at >= end) break;
+    now_ = ref.at;
+    Callback cb = extract(ref);
+    cb();
+    ++executed_;
+    ++ran;
+    if (stop_requested_) break;
+  }
+  if (now_ < end && !stop_requested_) now_ = end;
+  return ran;
+}
+
 std::uint64_t Scheduler::run() {
   std::uint64_t ran = 0;
   stop_requested_ = false;

@@ -63,16 +63,16 @@ class Scheduler {
   /// — the capture is never relocated between schedule and execution.
   template <typename F>
   EventId schedule(Time delay, F&& cb) {
-    check(!delay.is_negative(), "cannot schedule into the past");
+    dcheck(!delay.is_negative(), "cannot schedule into the past");
     return schedule_at(now_ + delay, std::forward<F>(cb));
   }
 
   /// Schedules `cb` at absolute time `at` (must be >= now()).
   template <typename F>
   EventId schedule_at(Time at, F&& cb) {
-    check(at >= now_, "cannot schedule before the current time");
+    dcheck(at >= now_, "cannot schedule before the current time");
     if constexpr (std::is_same_v<std::decay_t<F>, EventFn>) {
-      check(static_cast<bool>(cb), "cannot schedule an empty callback");
+      dcheck(static_cast<bool>(cb), "cannot schedule an empty callback");
     }
     const std::uint32_t slot = alloc_slot();
     nodes_[slot].cb = std::forward<F>(cb);
@@ -87,14 +87,32 @@ class Scheduler {
   /// The clock ends at `until` (or later if an executed event advanced it).
   std::uint64_t run_until(Time until);
 
+  /// Runs events with timestamp strictly below `end` and leaves the clock
+  /// at `end` (unless stop() fired mid-window).  This is the conservative
+  /// parallel window primitive: the caller guarantees no event earlier
+  /// than `end` can still arrive from outside this scheduler.
+  std::uint64_t run_window(Time end);
+
+  /// Timestamp of the earliest pending event; false when the queue is
+  /// empty.  Used by the window loop to find the global next event time.
+  bool next_time(Time& out) const {
+    Ref ref;
+    if (!peek(ref)) return false;
+    out = ref.at;
+    return true;
+  }
+
   /// Runs until the queue drains completely.
   std::uint64_t run();
 
   /// Runs at most one event; returns false when the queue is empty.
   bool step();
 
-  /// Requests that run()/run_until() return after the current event.
+  /// Requests that run()/run_until()/run_window() return after the
+  /// current event.
   void stop() { stop_requested_ = true; }
+  /// True when the last run broke out early because of stop().
+  bool stop_requested() const { return stop_requested_; }
 
   /// Number of live pending events.  Exact: cancellation removes the
   /// entry immediately, so no tombstones ever inflate or deflate this.

@@ -6,7 +6,10 @@
 // coexist in one process (the tests rely on this).
 
 #include <cstdint>
+#include <memory>
+#include <vector>
 
+#include "sim/parallel.h"
 #include "sim/scheduler.h"
 #include "trace/trace.h"
 #include "util/logging.h"
@@ -25,10 +28,52 @@ class Simulation {
   Simulation(const Simulation&) = delete;
   Simulation& operator=(const Simulation&) = delete;
 
-  Scheduler& scheduler() { return scheduler_; }
-  const Scheduler& scheduler() const { return scheduler_; }
+  /// The scheduler of the ambient execution context: inside a domain
+  /// window this is that domain's scheduler; everywhere else (build,
+  /// control events, serial runs) it is the simulation's own.
+  Scheduler& scheduler() {
+    return par::tls_scheduler != nullptr ? *par::tls_scheduler : scheduler_;
+  }
+  const Scheduler& scheduler() const {
+    return par::tls_scheduler != nullptr ? *par::tls_scheduler : scheduler_;
+  }
 
-  Time now() const { return scheduler_.now(); }
+  Time now() const { return scheduler().now(); }
+
+  /// Splits event execution into `n` domain schedulers (plus the control
+  /// scheduler above).  Call once, before wiring the topology; n >= 2.
+  /// When never called, domain_scheduler() collapses to the control
+  /// scheduler and everything runs on the exact serial path.
+  void configure_domains(std::size_t n) {
+    check(domains_.empty(), "domains already configured");
+    check(n >= 2, "configure_domains needs at least 2 domains");
+    domains_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      domains_.push_back(std::make_unique<Scheduler>());
+    }
+  }
+
+  std::size_t num_domains() const { return domains_.size(); }
+
+  /// Scheduler that owns domain `d`'s events; the control scheduler when
+  /// domains were never configured (serial collapse).
+  Scheduler& domain_scheduler(std::size_t d) {
+    if (domains_.empty()) return scheduler_;
+    check(d < domains_.size(), "domain index out of range");
+    return *domains_[d];
+  }
+
+  /// The control scheduler (scenario bookkeeping, completion polls),
+  /// bypassing the ambient-domain resolution.
+  Scheduler& control_scheduler() { return scheduler_; }
+  const Scheduler& control_scheduler() const { return scheduler_; }
+
+  /// Events executed across the control scheduler and every domain.
+  std::uint64_t total_executed() const {
+    std::uint64_t sum = scheduler_.executed();
+    for (const auto& d : domains_) sum += d->executed();
+    return sum;
+  }
 
   /// Master RNG; components should fork their own stream from it once at
   /// construction so later draws do not perturb unrelated components.
@@ -54,6 +99,7 @@ class Simulation {
 
  private:
   Scheduler scheduler_;
+  std::vector<std::unique_ptr<Scheduler>> domains_;
   Rng rng_;
   Logger logger_;
   TraceRecorder* trace_ = nullptr;

@@ -55,6 +55,11 @@ std::map<LinkLayer, LayerStats> collect_layer_stats(const Network& net) {
     s.port_count += 1;
     s.capacity_bps_sum += port.rate_bps();
   });
+  for (std::size_t i = 0; i < net.switch_count(); ++i) {
+    const Switch& sw = net.node_switch(i);
+    if (sw.unroutable() == 0 || sw.port_count() == 0) continue;
+    out[sw.port(0).layer()].unroutable_packets += sw.unroutable();
+  }
   return out;
 }
 

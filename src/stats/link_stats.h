@@ -20,6 +20,11 @@ struct LayerStats {
   std::uint64_t tx_bytes = 0;
   std::uint64_t dropped_packets = 0;
   std::uint64_t marked_packets = 0;      ///< CE-marked by this layer's qdiscs
+  /// Packets dropped at this layer's switches because routing returned no
+  /// valid port (attributed by the switch's down-facing port layer:
+  /// edge -> host-edge, agg -> edge-agg, core -> agg-core).  A routing
+  /// bug canary — must be zero in a healthy fabric.
+  std::uint64_t unroutable_packets = 0;
   std::uint64_t peak_queue_packets = 0;  ///< max peak occupancy over ports
   Time peak_queue_at;                    ///< when that peak was first reached
   std::uint64_t port_count = 0;

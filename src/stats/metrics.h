@@ -3,15 +3,32 @@
 // Metrics registry: one per simulation run.
 //
 // Transports report events against a flow id; benches and tests query
-// summaries.  Flow ids are dense indices into a deque so records have
-// stable addresses and O(1) lookup.
+// summaries.  Flow ids are shard-local dense indices (shard in the high
+// 8 bits) into per-shard deques, so records have stable addresses and
+// O(1) lookup.  With one shard — the default — ids are plain dense
+// indices, exactly the classic behaviour.
+//
+// Parallel runs configure one shard per execution domain.  Two rules
+// then make concurrent mutation deterministic and race-free:
+//   * on_flow_started allocates synchronously from the *calling
+//     domain's* shard, so id assignment never depends on cross-domain
+//     interleaving;
+//   * every other mutator appends to the calling domain's journal
+//     instead of touching the record (a flow's record is written from
+//     both endpoints' domains — sender retransmit state, receiver
+//     delivery — which may execute concurrently).  flush_journals(),
+//     called at every window barrier, applies the buffered ops in the
+//     canonical (time, domain, append order) order, which is identical
+//     at any worker count.
 
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <map>
 #include <utility>
 #include <vector>
 
+#include "sim/parallel.h"
 #include "stats/flow_record.h"
 #include "stats/sketch.h"
 #include "util/summary.h"
@@ -52,6 +69,21 @@ struct RetiredTotals {
 /// Collects flow records and protocol event counters for one run.
 class Metrics {
  public:
+  /// Flow id layout: shard (= domain) in the high bits, dense local
+  /// index below.  16.7M live flows per shard.
+  static constexpr unsigned kShardShift = 24;
+  static constexpr std::uint32_t kLocalMask = (1u << kShardShift) - 1;
+
+  /// Splits flow storage into `n` shards, one per execution domain.
+  /// Call before the first flow starts (parallel scenario setup).
+  void configure_shards(std::size_t n);
+  std::size_t shard_count() const { return shards_.size(); }
+
+  /// Applies every journaled mutation in canonical (time, domain,
+  /// append-order) order.  The engine's barrier hook calls this between
+  /// windows; serial runs never journal, so it is a no-op for them.
+  void flush_journals();
+
   /// Registers a new flow and returns its record (flow_id assigned).
   FlowRecord& on_flow_started(Protocol proto, Addr src, Addr dst,
                               std::uint64_t request_bytes, bool long_flow,
@@ -84,7 +116,11 @@ class Metrics {
   void on_recovery_exit(std::uint32_t flow_id, Time now);
   void on_rto_stall(std::uint32_t flow_id, Time stall_begin, Time now);
 
-  std::size_t flow_count() const { return flows_.size(); }
+  std::size_t flow_count() const {
+    std::size_t n = 0;
+    for (const Shard& s : shards_) n += s.records.size();
+    return n;
+  }
 
   // ---- streaming (million-flow) mode ----
   //
@@ -113,9 +149,14 @@ class Metrics {
   /// Retired (completed) short flows of `proto`.
   std::uint64_t retired_short_flows(Protocol proto) const;
 
-  /// Short flows ever started / completed, retired ones included.  O(1);
-  /// the scenario stop condition uses these instead of scanning records.
-  std::uint64_t short_flows_started() const { return short_started_; }
+  /// Short flows ever started / completed, retired ones included.
+  /// O(shards); the scenario stop condition uses these instead of
+  /// scanning records.
+  std::uint64_t short_flows_started() const {
+    std::uint64_t n = 0;
+    for (const Shard& s : shards_) n += s.short_started;
+    return n;
+  }
   std::uint64_t short_flows_completed() const { return short_completed_; }
 
   /// All records matching `pred` (nullptr = all).
@@ -141,10 +182,68 @@ class Metrics {
   const FlowSketches& short_flow_sketches(Protocol proto) const;
 
  private:
+  /// One execution domain's flow storage (single shard when serial).
+  struct Shard {
+    std::deque<FlowRecord> records;
+    std::vector<std::uint32_t> free_slots;  ///< recycled local indices
+    std::uint64_t short_started = 0;
+  };
+
+  /// One buffered mutation.  `at` is the ambient event time when the op
+  /// was journaled — the canonical primary sort key at flush.
+  struct MetricOp {
+    enum class Kind : std::uint8_t {
+      kDelivered, kCompleted, kReorderWait, kRto, kFastRetransmit,
+      kSpurious, kSynTimeout, kDataSent, kPhaseSwitch, kSubflowUsed,
+      kEstablished, kRecoveryEnter, kRecoveryExit, kRtoStall,
+    };
+    Time at;
+    Time t2;               ///< wait (ReorderWait) / stall_begin (RtoStall)
+    std::uint64_t a = 0;   ///< bytes (Delivered)
+    std::uint32_t flow = 0;
+    Kind kind{};
+  };
+
+  static constexpr std::uint32_t encode_id(std::size_t shard,
+                                           std::uint32_t local) {
+    return static_cast<std::uint32_t>(shard << kShardShift) | local;
+  }
+
+  /// Buffers `op` when called from inside a domain window of a sharded
+  /// run; returns false (caller applies immediately) otherwise.
+  bool journal(MetricOp::Kind kind, std::uint32_t flow, Time t2 = Time::zero(),
+               std::uint64_t a = 0) {
+    const int d = par::current_domain();
+    if (d < 0 || static_cast<std::size_t>(d) >= journals_.size()) return false;
+    journals_[d].push_back(
+        MetricOp{par::tls_scheduler->now(), t2, a, flow, kind});
+    return true;
+  }
+
+  /// Position of one journaled op in the canonical flush order.
+  struct OpRef {
+    Time at;
+    std::uint32_t domain;
+    std::uint32_t idx;  ///< append order within the domain's journal
+  };
+
+  void apply(const MetricOp& op);
+
+  void apply_delivered(std::uint32_t flow_id, std::uint64_t bytes, Time now);
+  void apply_completed(std::uint32_t flow_id, Time now);
+  void apply_reorder_wait(std::uint32_t flow_id, Time wait);
+  void apply_established(std::uint32_t flow_id, Time now);
+  void apply_recovery_enter(std::uint32_t flow_id, Time now);
+  void apply_recovery_exit(std::uint32_t flow_id, Time now);
+  void apply_rto_stall(std::uint32_t flow_id, Time stall_begin, Time now);
+  void apply_phase_switch(std::uint32_t flow_id, Time now);
+
   /// Charges [budget_since, now) to the open bucket and opens `next`.
   static void close_budget_bucket(FlowRecord& rec, Time now, BudgetState next);
 
-  std::deque<FlowRecord> flows_;
+  std::vector<Shard> shards_{1};
+  std::vector<std::vector<MetricOp>> journals_;  ///< one per domain
+  std::vector<OpRef> flush_order_;               ///< scratch for flush
   std::map<Protocol, FlowSketches> short_sketches_;
 
   bool streaming_ = false;
@@ -154,8 +253,6 @@ class Metrics {
   /// retirement order (completion times are non-decreasing across
   /// periodic checks, so a prefix scan suffices).
   std::deque<std::pair<Time, std::uint32_t>> retire_queue_;
-  std::vector<std::uint32_t> free_slots_;
-  std::uint64_t short_started_ = 0;
   std::uint64_t short_completed_ = 0;
 };
 

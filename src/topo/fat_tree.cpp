@@ -84,7 +84,7 @@ FatTree::FatTree(Simulation& sim, FatTreeConfig config)
   const LinkSpec agg_link{config_.link_rate_bps, config_.link_delay,
                           config_.queue, LinkLayer::kEdgeAgg, std::nullopt,
                           config_.qdisc, std::nullopt};
-  const LinkSpec core_link{config_.link_rate_bps, config_.link_delay,
+  const LinkSpec core_link{config_.link_rate_bps, core_delay(),
                            config_.queue, LinkLayer::kAggCore, std::nullopt,
                            config_.qdisc, std::nullopt};
 
@@ -97,6 +97,11 @@ FatTree::FatTree(Simulation& sim, FatTreeConfig config)
     sw.enable_shared_buffer(bytes, config_.shared_buffer_alpha);
   };
 
+  // Domain tagging happens at creation, before any port is wired: pod p
+  // is domain p, core c joins domain c % k.  Harmless when the simulation
+  // never configured domains (everything collapses to the control
+  // scheduler), mandatory before add_port() when it did.
+  //
   // Hosts first so net_.host(i) is pod-major, edge-major, host-minor.
   for (std::uint32_t p = 0; p < config_.k; ++p) {
     for (std::uint32_t e = 0; e < half; ++e) {
@@ -104,7 +109,8 @@ FatTree::FatTree(Simulation& sim, FatTreeConfig config)
         const Addr a = FatTreeAddr::host(p, e, h);
         net_.make_host("h" + std::to_string(p) + "." + std::to_string(e) +
                            "." + std::to_string(h),
-                       a);
+                       a)
+            .set_domain(p);
       }
     }
   }
@@ -114,6 +120,7 @@ FatTree::FatTree(Simulation& sim, FatTreeConfig config)
     for (std::uint32_t e = 0; e < half; ++e) {
       Switch& sw = net_.make_switch("edge" + std::to_string(p) + "." +
                                     std::to_string(e));
+      sw.set_domain(p);
       maybe_shared(sw, hosts + half);
       sw.set_router(std::make_unique<EdgeRouter>(p, e, half, hosts));
     }
@@ -123,6 +130,7 @@ FatTree::FatTree(Simulation& sim, FatTreeConfig config)
     for (std::uint32_t a = 0; a < half; ++a) {
       Switch& sw =
           net_.make_switch("agg" + std::to_string(p) + "." + std::to_string(a));
+      sw.set_domain(p);
       maybe_shared(sw, config_.k);
       sw.set_router(std::make_unique<AggRouter>(p, half));
     }
@@ -130,6 +138,7 @@ FatTree::FatTree(Simulation& sim, FatTreeConfig config)
   core_base_ = net_.switch_count();
   for (std::uint32_t c = 0; c < core_count(); ++c) {
     Switch& sw = net_.make_switch("core" + std::to_string(c));
+    sw.set_domain(c % config_.k);
     maybe_shared(sw, config_.k);
     sw.set_router(std::make_unique<CoreRouter>(config_.k));
   }
@@ -167,6 +176,16 @@ FatTree::FatTree(Simulation& sim, FatTreeConfig config)
   }
   // The inner loops give agg(p, a) its up-ports in ascending j order and
   // core c its ports in ascending pod order, matching the routers.
+}
+
+FatTreeDomainPlan FatTree::domain_plan(const FatTreeConfig& config) {
+  FatTreeDomainPlan plan;
+  const Time cross = config.core_link_delay.is_zero() ? config.link_delay
+                                                      : config.core_link_delay;
+  if (cross <= Time::zero()) return plan;  // zero lookahead: serial fallback
+  plan.domains = config.k;
+  plan.lookahead = cross;
+  return plan;
 }
 
 std::size_t FatTree::host_index(std::uint32_t pod, std::uint32_t edge,

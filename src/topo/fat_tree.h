@@ -31,6 +31,11 @@ struct FatTreeConfig {
   std::uint32_t oversubscription = 1;   ///< hosts per edge = this * k/2
   std::uint64_t link_rate_bps = 100'000'000;
   Time link_delay = Time::micros(20);
+  /// Propagation delay of agg<->core links; zero means link_delay.  These
+  /// are the only links that cross parallel domains, so this value IS the
+  /// conservative lookahead — larger core delays (realistic for the long
+  /// spine runs in big fabrics) widen the parallel window.
+  Time core_link_delay = Time::zero();
   QueueLimits queue{100, 0};
   /// Host egress queue.  Default unbounded: a real sender's NIC ring gets
   /// OS backpressure instead of dropping its own bursts; loss then happens
@@ -59,10 +64,33 @@ struct FatTreeAddr {
   static std::uint32_t host_index(Addr a) { return (a.raw & 0xff) - 2; }
 };
 
+/// How a FatTree decomposes into parallel execution domains: one domain
+/// per pod (a pod's hosts, edge and aggregation switches), with core
+/// switch c assigned to domain c % k so the spine's load spreads evenly.
+/// Only agg<->core links cross domains, so the lookahead is their
+/// propagation delay.
+struct FatTreeDomainPlan {
+  std::size_t domains = 1;      ///< 1 = not partitionable, run serial
+  Time lookahead = Time::zero();  ///< min cross-domain delay when > 1
+};
+
 /// Builder/owner of a FatTree network.
 class FatTree : public PathOracle {
  public:
   FatTree(Simulation& sim, FatTreeConfig config);
+
+  /// The per-pod decomposition this config yields, computable before the
+  /// topology is built (the simulation must configure its domains before
+  /// any node is wired).  Returns a single-domain plan — the serial
+  /// fallback — when the cross-domain (core) delay is zero: conservative
+  /// execution needs strictly positive lookahead.
+  static FatTreeDomainPlan domain_plan(const FatTreeConfig& config);
+
+  /// Effective agg<->core propagation delay (the lookahead source).
+  Time core_delay() const {
+    return config_.core_link_delay.is_zero() ? config_.link_delay
+                                             : config_.core_link_delay;
+  }
 
   Network& network() { return net_; }
   const FatTreeConfig& config() const { return config_; }

@@ -1,5 +1,7 @@
 #include "topo/network.h"
 
+#include <algorithm>
+
 namespace mmptcp {
 
 Host& Network::make_host(std::string name, Addr addr) {
@@ -19,12 +21,22 @@ void Network::connect(Node& a, Node& b, const LinkSpec& spec) {
     if (auto* sw = dynamic_cast<Switch*>(&n)) return sw->shared_buffer();
     return nullptr;
   };
-  channels_.push_back(
-      std::make_unique<Channel>(sim_.scheduler(), spec.delay));
+  // Arrivals run in the receiving node's domain.  The two directions of
+  // one full-duplex link may therefore live in different schedulers.
+  Scheduler& a_sched = sim_.domain_scheduler(a.domain());
+  Scheduler& b_sched = sim_.domain_scheduler(b.domain());
+  channels_.push_back(std::make_unique<Channel>(b_sched, spec.delay));
   Channel& ab = *channels_.back();
-  channels_.push_back(
-      std::make_unique<Channel>(sim_.scheduler(), spec.delay));
+  channels_.push_back(std::make_unique<Channel>(a_sched, spec.delay));
   Channel& ba = *channels_.back();
+  // Scheduler identity, not domain id: with domains unconfigured every
+  // node resolves to the control scheduler and nothing ever crosses.
+  if (&a_sched != &b_sched) {
+    ab.make_cross_domain(a_sched, &outbox(a.domain()));
+    ba.make_cross_domain(b_sched, &outbox(b.domain()));
+    cross_delay_min_ = std::min(cross_delay_min_, spec.delay);
+    cross_channels_ += 2;
+  }
 
   const std::size_t ap = a.add_port(spec.rate_bps, spec.queue, &ab,
                                     spec.layer, pool_of(a), spec.qdisc);
@@ -33,6 +45,42 @@ void Network::connect(Node& a, Node& b, const LinkSpec& spec) {
                  spec.layer, pool_of(b), spec.qdisc_b.value_or(spec.qdisc));
   ab.attach_sink(&b, bp);
   ba.attach_sink(&a, ap);
+}
+
+CrossDomainOutbox& Network::outbox(std::size_t domain) {
+  if (outboxes_.empty()) {
+    outboxes_.reserve(sim_.num_domains());
+    for (std::size_t d = 0; d < sim_.num_domains(); ++d) {
+      outboxes_.push_back(std::make_unique<CrossDomainOutbox>());
+    }
+  }
+  return *outboxes_.at(domain);
+}
+
+void Network::flush_cross_domain() {
+  flush_scratch_.clear();
+  for (std::size_t d = 0; d < outboxes_.size(); ++d) {
+    for (CrossDomainOutbox::Entry& e : outboxes_[d]->entries()) {
+      flush_scratch_.push_back(FlushRef{e.at, d, e.seq, &e});
+    }
+  }
+  if (flush_scratch_.empty()) return;
+  std::sort(flush_scratch_.begin(), flush_scratch_.end(),
+            [](const FlushRef& x, const FlushRef& y) {
+              if (x.at != y.at) return x.at < y.at;
+              if (x.domain != y.domain) return x.domain < y.domain;
+              return x.seq < y.seq;
+            });
+  for (const FlushRef& ref : flush_scratch_) {
+    ref.entry->channel->deliver_at(ref.at, ref.entry->pkt);
+  }
+  for (const auto& box : outboxes_) box->clear();
+}
+
+std::uint64_t Network::unroutable_total() const {
+  std::uint64_t sum = 0;
+  for (const auto& s : switches_) sum += s->unroutable();
+  return sum;
 }
 
 void Network::for_each_port(

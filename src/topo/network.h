@@ -58,14 +58,34 @@ class Network {
 
   /// Wires a full-duplex link a<->b; both directions share the spec.
   /// If an endpoint is a switch with a shared buffer enabled, its egress
-  /// port draws from that switch's pool.
+  /// port draws from that switch's pool.  Each direction's channel
+  /// inserts arrivals into the *receiving* node's domain scheduler; when
+  /// the endpoints live in different domains (and the simulation has
+  /// domains configured) the channel is routed through the emitting
+  /// domain's outbox and registered as a cross-domain edge.
   void connect(Node& a, Node& b, const LinkSpec& spec);
+
+  /// Drains every domain's outbox into the destination schedulers in the
+  /// canonical (arrival time, source domain, emission seq) order.  Called
+  /// by the engine's barrier hook; cheap no-op when nothing crossed.
+  void flush_cross_domain();
+
+  /// Minimum propagation delay over cross-domain channels — the
+  /// conservative lookahead.  Time::max() when no channel crosses.
+  Time min_cross_domain_delay() const { return cross_delay_min_; }
+  std::size_t cross_domain_channel_count() const { return cross_channels_; }
+
+  /// Sum of Switch::unroutable() over all switches: packets whose route
+  /// fell off the table.  Surfaced into results as a hard canary — any
+  /// nonzero value means a routing bug silently vanished traffic.
+  std::uint64_t unroutable_total() const;
 
   std::size_t host_count() const { return hosts_.size(); }
   std::size_t switch_count() const { return switches_.size(); }
   Host& host(std::size_t i) { return *hosts_.at(i); }
   const Host& host(std::size_t i) const { return *hosts_.at(i); }
   Switch& node_switch(std::size_t i) { return *switches_.at(i); }
+  const Switch& node_switch(std::size_t i) const { return *switches_.at(i); }
 
   /// Invokes `fn` for every egress port in the network.
   void for_each_port(const std::function<void(const Node&, const Port&)>& fn) const;
@@ -73,10 +93,23 @@ class Network {
   Simulation& sim() { return sim_; }
 
  private:
+  CrossDomainOutbox& outbox(std::size_t domain);
+
+  struct FlushRef {
+    Time at;
+    std::size_t domain;
+    std::uint64_t seq;
+    CrossDomainOutbox::Entry* entry;
+  };
+
   Simulation& sim_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::vector<std::unique_ptr<Switch>> switches_;
   std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<CrossDomainOutbox>> outboxes_;  ///< per domain
+  std::vector<FlushRef> flush_scratch_;
+  Time cross_delay_min_ = Time::max();
+  std::size_t cross_channels_ = 0;
   NodeId next_id_ = 0;
 };
 

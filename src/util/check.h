@@ -47,6 +47,21 @@ inline void check(bool cond, std::string_view msg,
   if (!cond) detail::fail_check(msg, loc);
 }
 
+/// Debug-only variant of check() for per-event hot paths (scheduler
+/// inserts, ECMP selection, qdisc admission): the same contract in debug
+/// builds, an empty inline function in release (NDEBUG) builds so the
+/// optimizer deletes the condition.  The condition must therefore be
+/// side-effect free; keep check() at setup and API boundaries.
+#ifdef NDEBUG
+inline void dcheck(bool, std::string_view,
+                   std::source_location = std::source_location::current()) {}
+#else
+inline void dcheck(bool cond, std::string_view msg,
+                   std::source_location loc = std::source_location::current()) {
+  if (!cond) detail::fail_check(msg, loc);
+}
+#endif
+
 /// Abort (by throwing ConfigError) if user-supplied configuration is invalid.
 inline void require(
     bool cond, std::string_view msg,

@@ -1,6 +1,9 @@
 #include "workload/scenario.h"
 
 #include <algorithm>
+#include <cstdio>
+
+#include "sim/engine.h"
 
 namespace mmptcp {
 
@@ -24,11 +27,33 @@ Scenario::Scenario(ScenarioConfig config)
 Scenario::~Scenario() {
   // Flows hold demux registrations on hosts owned by the topology; drop
   // them first so teardown order is safe.
-  flows_.clear();
+  for (auto& list : flows_) list.clear();
   sinks_.reset();
 }
 
 void Scenario::build() {
+  // Decide the parallel decomposition before any node exists: domains
+  // must be configured before ports are wired, flow shards before the
+  // first flow starts.  FatTree runs always decompose (the window
+  // schedule, and therefore every result byte, is then independent of
+  // sim_threads); dual-homed stays serial until it grows a plan.
+  if (!cfg_.dual_homed) {
+    const FatTreeDomainPlan plan = FatTree::domain_plan(cfg_.fat_tree);
+    if (plan.domains > 1) {
+      sim_.configure_domains(plan.domains);
+      metrics_.configure_shards(plan.domains);
+      domains_ = plan.domains;
+      lookahead_ = plan.lookahead;
+    }
+  }
+  if (domains_ == 1 && cfg_.sim_threads > 1) {
+    std::fprintf(stderr,
+                 "mmptcp: --sim-threads %u requested but the topology "
+                 "yields no parallel decomposition (%s); running serial\n",
+                 cfg_.sim_threads,
+                 cfg_.dual_homed ? "dual-homed" : "zero lookahead");
+  }
+  flows_.resize(domains_);
   if (cfg_.dual_homed) {
     dh_ = std::make_unique<DualHomedFatTree>(sim_, cfg_.dual);
     net_ = &dh_->network();
@@ -60,12 +85,37 @@ void Scenario::build() {
     if (!is_long[h]) short_hosts_.push_back(h);
   }
 
-  arrivals_.reserve(short_hosts_.size());
-  for (std::size_t i = 0; i < short_hosts_.size(); ++i) {
+  const std::size_t roles = short_hosts_.size();
+  arrivals_.reserve(roles);
+  size_rngs_.reserve(roles);
+  hotspot_rngs_.reserve(roles);
+  for (std::size_t i = 0; i < roles; ++i) {
     arrivals_.emplace_back(sim_.rng().fork(), cfg_.short_rate_per_host);
+    size_rngs_.push_back(sim_.rng().fork());
+    hotspot_rngs_.push_back(sim_.rng().fork());
   }
-  size_rng_ = sim_.rng().fork();
-  hotspot_rng_ = sim_.rng().fork();
+  // Fixed per-role share of the short-flow budget.  A shared countdown
+  // would make "who gets the last slot" depend on how concurrently
+  // executing pods interleave; fixed quotas keep the workload a pure
+  // function of the seed.
+  role_quota_.assign(roles, 0);
+  shorts_by_role_.assign(roles, 0);
+  if (roles > 0) {
+    const std::uint32_t base =
+        cfg_.short_flow_count / static_cast<std::uint32_t>(roles);
+    const std::uint32_t extra =
+        cfg_.short_flow_count % static_cast<std::uint32_t>(roles);
+    for (std::size_t i = 0; i < roles; ++i) {
+      role_quota_[i] = base + (i < extra ? 1u : 0u);
+    }
+  }
+}
+
+std::vector<std::unique_ptr<ClientFlow>>& Scenario::domain_flows() {
+  const int d = par::current_domain();
+  return flows_[d >= 0 && static_cast<std::size_t>(d) < flows_.size()
+                    ? static_cast<std::size_t>(d)
+                    : 0];
 }
 
 const PathOracle& Scenario::oracle() const {
@@ -78,8 +128,17 @@ void Scenario::run() {
   for (std::size_t i = 0; i < short_hosts_.size(); ++i) {
     schedule_short_arrival(i);
   }
-  sim_.scheduler().schedule(cfg_.check_interval, [this] { periodic_check(); });
-  sim_.scheduler().run_until(cfg_.max_sim_time);
+  sim_.control_scheduler().schedule(cfg_.check_interval,
+                                    [this] { periodic_check(); });
+  // Tracing forces one worker: the windowed schedule is identical either
+  // way, so trace and main results stay byte-equal to any thread count.
+  const unsigned workers = trace_ ? 1u : std::max(1u, cfg_.sim_threads);
+  Engine engine(sim_, lookahead_, workers);
+  engine.set_barrier_hook([this] {
+    net_->flush_cross_domain();
+    metrics_.flush_journals();
+  });
+  engine.run_until(cfg_.max_sim_time);
   end_time_ = sim_.now();
 }
 
@@ -89,8 +148,8 @@ void Scenario::start_long_flows() {
     const Time at = Time::nanos(static_cast<std::int64_t>(
         stagger.uniform(static_cast<std::uint64_t>(
             std::max<std::int64_t>(cfg_.long_start_spread.ns(), 1)))));
-    sim_.scheduler().schedule_at(at, [this, h] {
-      flows_.push_back(std::make_unique<ClientFlow>(
+    sim_.domain_scheduler(host(h).domain()).schedule_at(at, [this, h] {
+      domain_flows().push_back(std::make_unique<ClientFlow>(
           sim_, metrics_, host(h), host(perm_[h]).addr(), long_transport_,
           ClientFlow::kLongFlow, /*long_flow=*/true));
     });
@@ -98,33 +157,39 @@ void Scenario::start_long_flows() {
 }
 
 void Scenario::schedule_short_arrival(std::size_t role_idx) {
+  if (shorts_by_role_[role_idx] >= role_quota_[role_idx]) return;
   const Time gap = arrivals_[role_idx].next_gap();
-  sim_.scheduler().schedule(gap, [this, role_idx] {
-    if (stopped_ || shorts_started_ >= cfg_.short_flow_count) return;
-    start_short_flow(short_hosts_[role_idx]);
-    schedule_short_arrival(role_idx);
-  });
+  // The arrival fires in the source host's domain, so the whole chain
+  // (draw gap -> start flow -> draw next gap) is domain-local.
+  sim_.domain_scheduler(host(short_hosts_[role_idx]).domain())
+      .schedule(gap, [this, role_idx] {
+        if (stopped_) return;
+        start_short_flow(role_idx);
+        schedule_short_arrival(role_idx);
+      });
 }
 
-void Scenario::start_short_flow(std::size_t src_idx) {
-  ++shorts_started_;
-  const std::size_t dst = pick_destination(src_idx);
-  const std::uint64_t bytes = cfg_.short_sizes
-                                  ? cfg_.short_sizes->sample(size_rng_)
-                                  : cfg_.short_flow_bytes;
-  flows_.push_back(std::make_unique<ClientFlow>(
+void Scenario::start_short_flow(std::size_t role_idx) {
+  ++shorts_by_role_[role_idx];
+  const std::size_t src_idx = short_hosts_[role_idx];
+  const std::size_t dst = pick_destination(role_idx, src_idx);
+  const std::uint64_t bytes =
+      cfg_.short_sizes ? cfg_.short_sizes->sample(size_rngs_[role_idx])
+                       : cfg_.short_flow_bytes;
+  domain_flows().push_back(std::make_unique<ClientFlow>(
       sim_, metrics_, host(src_idx), host(dst).addr(), transport_, bytes,
       /*long_flow=*/false));
 }
 
-std::size_t Scenario::pick_destination(std::size_t src_idx) {
-  if (cfg_.hotspot_fraction > 0.0 &&
-      hotspot_rng_.bernoulli(cfg_.hotspot_fraction)) {
+std::size_t Scenario::pick_destination(std::size_t role_idx,
+                                       std::size_t src_idx) {
+  Rng& rng = hotspot_rngs_[role_idx];
+  if (cfg_.hotspot_fraction > 0.0 && rng.bernoulli(cfg_.hotspot_fraction)) {
     // Hosts are pod-major, so rack (0,0) is the index prefix.
     const std::size_t rack =
         ft_ ? ft_->hosts_per_edge()
             : dh_->hosts_per_pair();
-    std::size_t dst = hotspot_rng_.uniform(rack);
+    std::size_t dst = rng.uniform(rack);
     if (dst == src_idx) dst = (dst + 1) % net_->host_count();
     return dst;
   }
@@ -132,24 +197,31 @@ std::size_t Scenario::pick_destination(std::size_t src_idx) {
 }
 
 void Scenario::periodic_check() {
+  // Runs on the control scheduler: the engine executes the control
+  // window before (and never concurrently with) the domain windows, so
+  // reaping flows and recycling records here is race-free.  Metric
+  // journals flushed at the last barrier bound what is visible, which
+  // can delay the stop decision by at most one lookahead window.
   if (stopped_) return;
   const Time gc_cutoff = sim_.now() - cfg_.server_linger;
   sinks_->gc(gc_cutoff);
-  std::erase_if(flows_, [this](const std::unique_ptr<ClientFlow>& f) {
-    const FlowRecord& rec = metrics_.record(f->flow_id());
-    const bool reap = !rec.long_flow && rec.is_complete() && f->finished();
-    // Streaming mode: fold the finished short into the retired
-    // aggregates now (the client side is done); the slot itself is
-    // recycled below only after the server endpoint was GC'd.
-    if (reap && metrics_.streaming() && !rec.retired) {
-      metrics_.retire(f->flow_id());
-    }
-    return reap;
-  });
+  for (auto& list : flows_) {
+    std::erase_if(list, [this](const std::unique_ptr<ClientFlow>& f) {
+      const FlowRecord& rec = metrics_.record(f->flow_id());
+      const bool reap = !rec.long_flow && rec.is_complete() && f->finished();
+      // Streaming mode: fold the finished short into the retired
+      // aggregates now (the client side is done); the slot itself is
+      // recycled below only after the server endpoint was GC'd.
+      if (reap && metrics_.streaming() && !rec.retired) {
+        metrics_.retire(f->flow_id());
+      }
+      return reap;
+    });
+  }
   if (metrics_.streaming()) metrics_.recycle_before(gc_cutoff);
   // O(1) stop condition: every requested short started and completed
   // (started/completed counters include retired flows by construction).
-  if (shorts_started_ >= cfg_.short_flow_count &&
+  if (shorts_started() >= cfg_.short_flow_count &&
       metrics_.short_flows_started() >= cfg_.short_flow_count &&
       metrics_.short_flows_completed() == metrics_.short_flows_started()) {
     stopped_ = true;

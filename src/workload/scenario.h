@@ -58,6 +58,13 @@ struct ScenarioConfig {
 
   // --- control ---
   std::uint64_t seed = 1;
+  /// Worker threads for domain-parallel event execution.  FatTree runs
+  /// always decompose into per-pod domains executed in conservative
+  /// lookahead windows (see sim/engine.h); this only sets how many
+  /// threads run the window, so the main results are byte-identical at
+  /// any value.  Forced to 1 when tracing (identical schedule either
+  /// way) and for dual-homed topologies (no decomposition yet).
+  unsigned sim_threads = 1;
   Time max_sim_time = Time::seconds(120);
   Time check_interval = Time::millis(50);
   Time server_linger = Time::seconds(20);  ///< server endpoint GC delay
@@ -103,7 +110,15 @@ class Scenario {
   FatTree* fat_tree() { return ft_.get(); }
   std::size_t host_count() const { return net_->host_count(); }
   Time end_time() const { return end_time_; }
-  std::uint32_t shorts_started() const { return shorts_started_; }
+  std::uint32_t shorts_started() const {
+    std::uint32_t n = 0;
+    for (std::uint32_t c : shorts_by_role_) n += c;
+    return n;
+  }
+  /// Parallel decomposition actually used: >1 when the run executes in
+  /// per-pod domains (the conservative window width is lookahead()).
+  std::size_t domain_count() const { return domains_; }
+  Time lookahead() const { return lookahead_; }
   const std::vector<std::size_t>& permutation() const { return perm_; }
   const std::vector<std::size_t>& long_hosts() const { return long_hosts_; }
 
@@ -131,10 +146,12 @@ class Scenario {
   void build();
   void start_long_flows();
   void schedule_short_arrival(std::size_t role_idx);
-  void start_short_flow(std::size_t host_idx);
-  std::size_t pick_destination(std::size_t src_idx);
+  void start_short_flow(std::size_t role_idx);
+  std::size_t pick_destination(std::size_t role_idx, std::size_t src_idx);
   void periodic_check();
   Host& host(std::size_t i) { return net_->host(i); }
+  /// Flow list of the calling domain (index 0 at control time / serial).
+  std::vector<std::unique_ptr<ClientFlow>>& domain_flows();
 
   ScenarioConfig cfg_;
   std::unique_ptr<TraceRecorder> trace_;  ///< before sim_: wired into it
@@ -146,14 +163,25 @@ class Scenario {
   TransportConfig transport_;  ///< cfg_.transport with the oracle filled in
   TransportConfig long_transport_;  ///< transport for background flows
   std::unique_ptr<SinkFarm> sinks_;
-  std::vector<std::unique_ptr<ClientFlow>> flows_;
+  /// Flow ownership is sharded by execution domain: each domain's events
+  /// only ever push into their own list, the control thread reaps from
+  /// all of them while the workers are parked.
+  std::vector<std::vector<std::unique_ptr<ClientFlow>>> flows_;
   std::vector<std::size_t> perm_;
   std::vector<std::size_t> long_hosts_;
   std::vector<std::size_t> short_hosts_;
-  std::vector<PoissonArrivals> arrivals_;  ///< parallel to short_hosts_
-  Rng size_rng_;
-  Rng hotspot_rng_;
-  std::uint32_t shorts_started_ = 0;
+  // Per short-host ("role") state, all parallel to short_hosts_: arrival
+  // processes, size/hotspot RNG streams, and a fixed share of the total
+  // short-flow budget.  Keeping these per-role (instead of shared
+  // globals) removes every cross-domain interaction from the workload
+  // generator, so arrivals in different pods can run concurrently.
+  std::vector<PoissonArrivals> arrivals_;
+  std::vector<Rng> size_rngs_;
+  std::vector<Rng> hotspot_rngs_;
+  std::vector<std::uint32_t> role_quota_;
+  std::vector<std::uint32_t> shorts_by_role_;
+  std::size_t domains_ = 1;
+  Time lookahead_ = Time::zero();
   Time end_time_;
   bool stopped_ = false;
   std::unique_ptr<TraceSampler> sampler_;  ///< periodic queue/sched snapshots

@@ -31,7 +31,8 @@ struct Rig {
                Time delay = Time::micros(10),
                QueueLimits limits = QueueLimits{100, 0})
       : sim(1), sink(sim, 0), channel(sim.scheduler(), delay),
-        port(sim, "p", rate, limits, &channel, LinkLayer::kHostEdge) {
+        port(sim, sim.scheduler(), "p", rate, limits, &channel,
+             LinkLayer::kHostEdge) {
     channel.attach_sink(&sink, 7);
   }
 
@@ -129,18 +130,23 @@ TEST(Link, LayerTagPreserved) {
 TEST(Link, InvalidConstructionRejected) {
   Simulation sim(1);
   Channel ch(sim.scheduler(), Time::micros(1));
-  EXPECT_THROW(Port(sim, "p", 0, QueueLimits{}, &ch, LinkLayer::kOther),
+  EXPECT_THROW(Port(sim, sim.scheduler(), "p", 0, QueueLimits{}, &ch,
+                    LinkLayer::kOther),
                InvariantError);
-  EXPECT_THROW(Port(sim, "p", 1000, QueueLimits{}, nullptr,
+  EXPECT_THROW(Port(sim, sim.scheduler(), "p", 1000, QueueLimits{}, nullptr,
                     LinkLayer::kOther),
                InvariantError);
 }
 
+// The sink guard is a dcheck on the delivery hot path: compiled out
+// under NDEBUG, so only exercise it in debug builds.
+#ifndef NDEBUG
 TEST(Link, ChannelRequiresAttachedSink) {
   Simulation sim(1);
   Channel ch(sim.scheduler(), Time::micros(1));
   EXPECT_THROW(ch.deliver(Packet{}), InvariantError);
 }
+#endif
 
 }  // namespace
 }  // namespace mmptcp

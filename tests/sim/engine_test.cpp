@@ -1,0 +1,171 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/simulation.h"
+
+namespace mmptcp {
+namespace {
+
+// ------------------------------------------------- serial collapse
+
+TEST(Engine, SerialCollapseMatchesRunUntil) {
+  // No domains configured: run_until is the classic inclusive serial run
+  // on the control scheduler, regardless of lookahead or worker count.
+  Simulation sim(1);
+  std::vector<int> order;
+  sim.scheduler().schedule(Time::millis(1), [&] { order.push_back(1); });
+  sim.scheduler().schedule(Time::millis(5), [&] { order.push_back(5); });
+  sim.scheduler().schedule(Time::millis(5), [&] { order.push_back(50); });
+  Engine engine(sim, Time::zero(), 4);
+  engine.run_until(Time::millis(5));
+  EXPECT_EQ(order, (std::vector<int>{1, 5, 50}));  // inclusive at until
+  EXPECT_FALSE(engine.stopped());
+}
+
+TEST(Engine, SerialCollapseHonoursStop) {
+  Simulation sim(1);
+  bool late = false;
+  sim.scheduler().schedule(Time::millis(1),
+                           [&] { sim.scheduler().stop(); });
+  sim.scheduler().schedule(Time::millis(2), [&] { late = true; });
+  Engine engine(sim, Time::zero(), 1);
+  engine.run_until(Time::millis(10));
+  EXPECT_TRUE(engine.stopped());
+  EXPECT_FALSE(late);
+}
+
+// ------------------------------------------------- windowed execution
+
+struct DomainRig {
+  DomainRig() {
+    sim.configure_domains(2);
+  }
+  Simulation sim{1};
+};
+
+TEST(Engine, WindowedRunExecutesEveryDomainEvent) {
+  DomainRig rig;
+  int ran = 0;
+  for (std::size_t d = 0; d < 2; ++d) {
+    for (int i = 1; i <= 5; ++i) {
+      rig.sim.domain_scheduler(d).schedule(Time::micros(100 * i),
+                                           [&] { ++ran; });
+    }
+  }
+  rig.sim.control_scheduler().schedule(Time::micros(250), [&] { ++ran; });
+  Engine engine(rig.sim, Time::micros(120), 2);
+  engine.run_until(Time::millis(10));
+  EXPECT_EQ(ran, 11);
+  // Windowed runs are exclusive at `until` and park every clock there.
+  EXPECT_EQ(rig.sim.control_scheduler().now(), Time::millis(10));
+  EXPECT_EQ(rig.sim.domain_scheduler(0).now(), Time::millis(10));
+  EXPECT_EQ(rig.sim.domain_scheduler(1).now(), Time::millis(10));
+}
+
+TEST(Engine, EventExactlyAtUntilIsNotRunInWindowedMode) {
+  DomainRig rig;
+  bool ran = false;
+  rig.sim.domain_scheduler(0).schedule(Time::millis(10), [&] { ran = true; });
+  Engine engine(rig.sim, Time::micros(50), 1);
+  engine.run_until(Time::millis(10));
+  EXPECT_FALSE(ran);
+  EXPECT_EQ(rig.sim.domain_scheduler(0).now(), Time::millis(10));
+}
+
+TEST(Engine, ControlWindowRunsBeforeDomainWindows) {
+  // Same window, same timestamp: the control event must observe none of
+  // the domain events of that window (control runs first, workers
+  // parked — this is what makes control-side mutation race-free).
+  DomainRig rig;
+  int domain_ran = 0;
+  int seen_at_control = -1;
+  rig.sim.domain_scheduler(0).schedule(Time::micros(100),
+                                       [&] { ++domain_ran; });
+  rig.sim.domain_scheduler(1).schedule(Time::micros(100),
+                                       [&] { ++domain_ran; });
+  rig.sim.control_scheduler().schedule(Time::micros(100), [&] {
+    seen_at_control = domain_ran;
+  });
+  Engine engine(rig.sim, Time::micros(500), 2);
+  engine.run_until(Time::millis(1));
+  EXPECT_EQ(domain_ran, 2);
+  EXPECT_EQ(seen_at_control, 0);
+}
+
+TEST(Engine, ControlStopEndsWindowedRun) {
+  DomainRig rig;
+  bool late_domain = false;
+  rig.sim.control_scheduler().schedule(Time::micros(100), [&] {
+    rig.sim.control_scheduler().stop();
+  });
+  // Lies beyond the stopping window: must never run.
+  rig.sim.domain_scheduler(0).schedule(Time::millis(5),
+                                       [&] { late_domain = true; });
+  Engine engine(rig.sim, Time::micros(200), 2);
+  engine.run_until(Time::seconds(1));
+  EXPECT_TRUE(engine.stopped());
+  EXPECT_FALSE(late_domain);
+}
+
+TEST(Engine, BarrierHookBracketsEveryWindow) {
+  DomainRig rig;
+  int hooks = 0;
+  int events = 0;
+  // Three windows' worth of events, windows 200us wide.
+  for (int i = 1; i <= 3; ++i) {
+    rig.sim.domain_scheduler(0).schedule(Time::millis(i), [&] { ++events; });
+  }
+  Engine engine(rig.sim, Time::micros(200), 1);
+  engine.set_barrier_hook([&] { ++hooks; });
+  engine.run_until(Time::millis(10));
+  EXPECT_EQ(events, 3);
+  // One hook before each window plus the final drain: > window count.
+  EXPECT_GE(hooks, 4);
+}
+
+TEST(Engine, HookInsertionLandsInLaterWindow) {
+  // The barrier hook models the cross-domain flush: an insertion it makes
+  // for a future timestamp must execute in its own window.
+  DomainRig rig;
+  bool injected_ran = false;
+  bool injected = false;
+  rig.sim.domain_scheduler(0).schedule(Time::micros(100), [] {});
+  Engine engine(rig.sim, Time::micros(200), 2);
+  engine.set_barrier_hook([&] {
+    if (!injected) {
+      injected = true;
+      rig.sim.domain_scheduler(1).schedule_at(Time::millis(2),
+                                              [&] { injected_ran = true; });
+    }
+  });
+  engine.run_until(Time::millis(10));
+  EXPECT_TRUE(injected_ran);
+}
+
+TEST(Engine, ResultsIndependentOfWorkerCount) {
+  // The same event program must leave identical executed counts and
+  // clocks at 1, 2 and 4 workers.
+  auto run = [](unsigned workers) {
+    Simulation sim(7);
+    sim.configure_domains(4);
+    for (std::size_t d = 0; d < 4; ++d) {
+      for (int i = 1; i <= 20; ++i) {
+        sim.domain_scheduler(d).schedule(Time::micros(37 * i + 11 * d),
+                                         [] {});
+      }
+    }
+    Engine engine(sim, Time::micros(100), workers);
+    engine.run_until(Time::millis(5));
+    return sim.total_executed();
+  };
+  const std::uint64_t one = run(1);
+  EXPECT_EQ(one, 80u);
+  EXPECT_EQ(run(2), one);
+  EXPECT_EQ(run(4), one);
+}
+
+}  // namespace
+}  // namespace mmptcp

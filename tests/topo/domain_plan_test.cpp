@@ -1,0 +1,91 @@
+// Domain decomposition of the FatTree: the per-pod plan, the node
+// tagging it relies on, and the cross-domain accounting the Network
+// derives from it (lookahead = min agg<->core propagation delay).
+
+#include <gtest/gtest.h>
+
+#include "topo/fat_tree.h"
+
+namespace mmptcp {
+namespace {
+
+TEST(DomainPlan, OneDomainPerPod) {
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  const FatTreeDomainPlan plan = FatTree::domain_plan(cfg);
+  EXPECT_EQ(plan.domains, 4u);
+  EXPECT_EQ(plan.lookahead, cfg.link_delay);
+}
+
+TEST(DomainPlan, CoreLinkDelayOverridesTheLookahead) {
+  FatTreeConfig cfg;
+  cfg.k = 8;
+  cfg.core_link_delay = Time::micros(100);
+  const FatTreeDomainPlan plan = FatTree::domain_plan(cfg);
+  EXPECT_EQ(plan.domains, 8u);
+  EXPECT_EQ(plan.lookahead, Time::micros(100));
+}
+
+TEST(DomainPlan, ZeroCrossDelayFallsBackToSerial) {
+  // Conservative execution needs strictly positive lookahead; a fabric
+  // with zero-delay core links cannot be windowed.
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  cfg.link_delay = Time::zero();
+  const FatTreeDomainPlan plan = FatTree::domain_plan(cfg);
+  EXPECT_EQ(plan.domains, 1u);
+  EXPECT_EQ(plan.lookahead, Time::zero());
+}
+
+TEST(DomainPlan, EveryNodeTaggedByPodRule) {
+  // Hosts, edge and aggregation switches carry their pod's domain; core
+  // switch c goes to domain c % k so the spine spreads evenly.
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  cfg.oversubscription = 2;
+  Simulation sim(1);
+  FatTree ft(sim, cfg);
+  for (std::uint32_t p = 0; p < ft.pods(); ++p) {
+    for (std::uint32_t e = 0; e < ft.edges_per_pod(); ++e) {
+      EXPECT_EQ(ft.edge_switch(p, e).domain(), p);
+      for (std::uint32_t h = 0; h < ft.hosts_per_edge(); ++h) {
+        EXPECT_EQ(ft.host_at(p, e, h).domain(), p);
+      }
+    }
+    for (std::uint32_t a = 0; a < ft.aggs_per_pod(); ++a) {
+      EXPECT_EQ(ft.agg_switch(p, a).domain(), p);
+    }
+  }
+  for (std::uint32_t c = 0; c < ft.core_count(); ++c) {
+    EXPECT_EQ(ft.core_switch(c).domain(), c % cfg.k);
+  }
+}
+
+TEST(DomainPlan, OnlyAggCoreLinksCrossDomains) {
+  // On a configured simulation, exactly the agg<->core links whose core
+  // lives in another pod's domain become cross-domain channels.  Core c
+  // serves one agg per pod and sits in domain c % k, so per core exactly
+  // one of its k links stays domain-local.
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  Simulation sim(1);
+  sim.configure_domains(FatTree::domain_plan(cfg).domains);
+  FatTree ft(sim, cfg);
+  const std::size_t core_links = std::size_t{cfg.k} * ft.core_count();
+  const std::size_t crossing = core_links - ft.core_count();
+  EXPECT_EQ(ft.network().cross_domain_channel_count(), 2 * crossing);
+  EXPECT_EQ(ft.network().min_cross_domain_delay(), ft.core_delay());
+}
+
+TEST(DomainPlan, UnconfiguredSimulationWiresEverythingSerial) {
+  // Same topology, domains never configured: every node resolves to the
+  // control scheduler and nothing registers as cross-domain.
+  FatTreeConfig cfg;
+  cfg.k = 4;
+  Simulation sim(1);
+  FatTree ft(sim, cfg);
+  EXPECT_EQ(ft.network().cross_domain_channel_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mmptcp

@@ -167,7 +167,7 @@ TEST(TracePort, OverflowDropEmitsQueueEvent) {
   NullSink sink(sim, 0);
   Channel channel(sim.scheduler(), Time::micros(10));
   channel.attach_sink(&sink, 0);
-  Port port(sim, "edge0-up", 100'000'000, QueueLimits{2, 0}, &channel,
+  Port port(sim, sim.scheduler(), "edge0-up", 100'000'000, QueueLimits{2, 0}, &channel,
             LinkLayer::kEdgeAgg);
   for (int i = 0; i < 5; ++i) port.enqueue(data_packet(1460));
   sim.scheduler().run();
@@ -196,7 +196,7 @@ TEST(TracePort, CeMarkEmitsQueueEvent) {
   QdiscConfig ecn;
   ecn.kind = QdiscKind::kEcnRed;
   ecn.ecn_threshold_packets = 1;
-  Port port(sim, "sw-ecn", 100'000'000, QueueLimits{100, 0}, &channel,
+  Port port(sim, sim.scheduler(), "sw-ecn", 100'000'000, QueueLimits{100, 0}, &channel,
             LinkLayer::kEdgeAgg, nullptr, ecn);
   // Back-to-back ECT arrivals: the first serialises immediately, the
   // second sits alone (below K), the third meets a standing queue >= K
@@ -251,7 +251,7 @@ TEST(PacketTapLib, ObservesEveryOfferAndDropsByPredicate) {
   NullSink sink(sim, 0);
   Channel channel(sim.scheduler(), Time::micros(10));
   channel.attach_sink(&sink, 0);
-  Port port(sim, "p", 100'000'000, QueueLimits{100, 0}, &channel,
+  Port port(sim, sim.scheduler(), "p", 100'000'000, QueueLimits{100, 0}, &channel,
             LinkLayer::kHostEdge);
   PacketTap tap(port, [](const Packet& pkt) { return pkt.payload == 2; });
   for (std::uint32_t payload = 1; payload <= 3; ++payload) {
