@@ -33,6 +33,10 @@ Engine::Engine(Simulation& sim, Time lookahead, unsigned workers)
           "parallel engine needs a positive lookahead");
     workers_ = std::min<unsigned>(
         workers_, static_cast<unsigned>(sim_.num_domains()));
+    // The claim index (domains plus at most one overshoot fetch_add per
+    // thread per epoch) must fit below the epoch bits of claim_.
+    check(sim_.num_domains() + 2ull * workers_ < (1ull << kIndexBits),
+          "too many domains for the claim-word index field");
   } else {
     workers_ = 1;
   }
@@ -57,20 +61,37 @@ void Engine::worker_main() {
   std::uint64_t seen = 0;
   for (;;) {
     relax_until([&] {
-      return epoch_.load(std::memory_order_acquire) != seen ||
+      return (claim_.load(std::memory_order_acquire) >> kIndexBits) != seen ||
              shutdown_.load(std::memory_order_acquire);
     });
     if (shutdown_.load(std::memory_order_acquire)) return;
-    seen = epoch_.load(std::memory_order_acquire);
-    claim_and_run(Time::nanos(window_end_ns_.load(std::memory_order_acquire)));
+    const std::uint64_t epoch =
+        claim_.load(std::memory_order_acquire) >> kIndexBits;
+    seen = claim_and_run(
+        epoch, Time::nanos(window_end_ns_.load(std::memory_order_acquire)));
   }
 }
 
-void Engine::claim_and_run(Time end) {
+std::uint64_t Engine::claim_and_run(std::uint64_t epoch, Time end) {
   const std::size_t n = sim_.num_domains();
   for (;;) {
-    const std::size_t d = next_domain_.fetch_add(1, std::memory_order_relaxed);
-    if (d >= n) return;
+    const std::uint64_t word = claim_.fetch_add(1, std::memory_order_acq_rel);
+    if ((word >> kIndexBits) != epoch) {
+      // Stale claim across a barrier: the main thread saw every domain
+      // of `epoch` done, ran the barrier hook and republished claim_
+      // before this fetch_add landed, so the claim we just consumed
+      // belongs to the *new* window.  Adopt it — the acquire above
+      // synchronises with that release publish, ordering us after the
+      // hook's insertions — and re-read the new window end (stable:
+      // the main thread cannot republish again while this claim's
+      // domain is unfinished).  Running it with the old `end` instead
+      // would silently skip the domain's new window and race with the
+      // hook's heap mutations.
+      epoch = word >> kIndexBits;
+      end = Time::nanos(window_end_ns_.load(std::memory_order_acquire));
+    }
+    const std::size_t d = static_cast<std::size_t>(word & kIndexMask);
+    if (d >= n) return epoch;
     Scheduler& sched = sim_.domain_scheduler(d);
     {
       par::ScopedDomain scope(&sched, static_cast<int>(d));
@@ -92,10 +113,12 @@ void Engine::run_domains(Time end) {
   }
   ensure_pool();
   window_end_ns_.store(end.ns(), std::memory_order_relaxed);
-  next_domain_.store(0, std::memory_order_relaxed);
   domains_done_.store(0, std::memory_order_relaxed);
-  epoch_.fetch_add(1, std::memory_order_release);
-  claim_and_run(end);
+  // Single release store publishes the window: bumps the epoch (waking
+  // parked workers) and resets the claim index atomically.
+  ++epoch_;
+  claim_.store(epoch_ << kIndexBits, std::memory_order_release);
+  claim_and_run(epoch_, end);
   relax_until([&] {
     return domains_done_.load(std::memory_order_acquire) >= n;
   });
@@ -131,6 +154,12 @@ void Engine::run_until(Time until) {
     }
     if (!any || next >= until) {
       control.run_window(until);
+      if (control.stop_requested()) {
+        // Mirror the mid-loop branch: a stop() in the final control
+        // window also ends the run before the domain windows.
+        stopped_ = true;
+        break;
+      }
       run_domains(until);
       break;
     }

@@ -62,7 +62,11 @@ class Engine {
 
  private:
   void run_domains(Time end);
-  void claim_and_run(Time end);
+  /// Claims and runs domains of `epoch`'s window until the claim index
+  /// is exhausted; follows the claim word across epochs if a stale
+  /// claim lands in a newer window.  Returns the last epoch it
+  /// participated in (workers use it as their park key).
+  std::uint64_t claim_and_run(std::uint64_t epoch, Time end);
   void worker_main();
   void ensure_pool();
 
@@ -72,13 +76,23 @@ class Engine {
   std::function<void()> hook_;
   bool stopped_ = false;
 
-  // Worker-pool handshake: bumping epoch_ releases the pool into the
-  // window published in window_end_ns_; workers claim domains from
-  // next_domain_ and count completions in domains_done_.
+  // Worker-pool handshake.  claim_ packs (epoch << kIndexBits) | next
+  // domain index into one word: publishing a window is a single release
+  // store that simultaneously bumps the epoch (waking parked workers)
+  // and resets the claim index.  Because epoch and index travel
+  // together, a worker that was preempted across a barrier and
+  // fetch_adds a word of a *newer* epoch can detect it and adopt that
+  // window (re-reading window_end_ns_) instead of running the claimed
+  // domain against a stale window end — see claim_and_run.  Workers
+  // count completions in domains_done_; exactly num_domains() claims
+  // per epoch carry an index < num_domains(), so the main thread's
+  // wait-for-n and reset of domains_done_ cannot observe stragglers.
+  static constexpr unsigned kIndexBits = 16;
+  static constexpr std::uint64_t kIndexMask = (1ull << kIndexBits) - 1;
   std::vector<std::thread> pool_;
-  std::atomic<std::uint64_t> epoch_{0};
+  std::uint64_t epoch_ = 0;  // main thread only; published via claim_
+  std::atomic<std::uint64_t> claim_{0};
   std::atomic<std::int64_t> window_end_ns_{0};
-  std::atomic<std::size_t> next_domain_{0};
   std::atomic<std::size_t> domains_done_{0};
   std::atomic<bool> shutdown_{false};
 };

@@ -61,6 +61,19 @@ void Scenario::build() {
     ft_ = std::make_unique<FatTree>(sim_, cfg_.fat_tree);
     net_ = &ft_->network();
   }
+  if (domains_ > 1) {
+    // The plan's lookahead is a promise about the network we then
+    // build: verify it against the actual wiring.  A cross-domain link
+    // shorter than the lookahead would break conservative causality,
+    // and the runtime guard (schedule_at's at >= now_) is a dcheck
+    // compiled out of release builds — so fail loudly here instead of
+    // corrupting event order later.
+    check(net_->cross_domain_channel_count() > 0,
+          "domain decomposition produced no cross-domain channels");
+    check(lookahead_ <= net_->min_cross_domain_delay(),
+          "domain lookahead exceeds the built network's minimum "
+          "cross-domain delay");
+  }
   transport_ = cfg_.transport;
   transport_.oracle = &oracle();
   transport_.server_port = cfg_.port;

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <vector>
 
 #include "sim/simulation.h"
@@ -143,6 +144,26 @@ TEST(Engine, HookInsertionLandsInLaterWindow) {
   });
   engine.run_until(Time::millis(10));
   EXPECT_TRUE(injected_ran);
+}
+
+TEST(Engine, ManyTinyWindowsHammerTheClaimHandshake) {
+  // Thousands of one-event-per-domain windows on a full worker pool:
+  // maximises the chance that a worker is preempted across a barrier so
+  // its next claim lands in a newer epoch (the stale-claim adoption
+  // path in claim_and_run).  A skipped or double-run window shows up as
+  // a wrong count; a broken handshake hangs the run.
+  Simulation sim(3);
+  sim.configure_domains(4);
+  std::atomic<int> ran{0};
+  constexpr int kWindows = 2000;
+  for (std::size_t d = 0; d < 4; ++d) {
+    for (int i = 1; i <= kWindows; ++i) {
+      sim.domain_scheduler(d).schedule(Time::micros(10 * i), [&] { ++ran; });
+    }
+  }
+  Engine engine(sim, Time::micros(10), 4);
+  engine.run_until(Time::micros(10 * (kWindows + 1)));
+  EXPECT_EQ(ran.load(), 4 * kWindows);
 }
 
 TEST(Engine, ResultsIndependentOfWorkerCount) {
