@@ -68,9 +68,18 @@ CliOptions parse_cli(Flags& flags) {
   const long long sim_threads = flags.get_int(
       "sim-threads", 1,
       "worker threads inside each run (domain-parallel event execution; "
+      "0 = auto, i.e. all hardware threads clamped to the domain count; "
       "results are byte-identical at any value)");
-  require(sim_threads >= 1, "--sim-threads must be >= 1");
+  require(sim_threads >= 0, "--sim-threads must be >= 0 (0 = auto)");
   o.sweep.sim_threads = static_cast<unsigned>(sim_threads);
+  o.sweep.sim_domains = flags.get_string(
+      "sim-domains", "pod",
+      "domain decomposition granularity: 'pod' (one domain per pod) or "
+      "'edge' (one domain per edge switch + per-pod fabric domains); "
+      "results are byte-identical at either value");
+  require(o.sweep.sim_domains == "pod" || o.sweep.sim_domains == "edge",
+          "--sim-domains must be 'pod' or 'edge', got '" +
+              o.sweep.sim_domains + "'");
   const std::string seeds = flags.get_string(
       "seeds", "", "seed list: '7', '1,2,5' or '1..10' (default: --seed)");
   o.sweep.seeds = seeds.empty() ? std::vector<std::uint64_t>{o.scale.seed}
@@ -105,12 +114,13 @@ CliOptions parse_cli(Flags& flags) {
   const std::string log_level = flags.get_string(
       "log-level", "off", "stderr logging: off|error|warn|info|debug|trace");
   if (!trace.empty()) {
-    if (o.sweep.sim_threads > 1) {
+    if (o.sweep.sim_threads != 1) {
       // The scenario would force one worker anyway (the windowed schedule
       // — and the trace — is identical either way); fail loudly instead
-      // of silently ignoring the requested parallelism.
+      // of silently ignoring the requested parallelism.  0 (auto) counts:
+      // it resolves to all hardware threads.
       throw ConfigError(
-          "--trace cannot be combined with --sim-threads > 1: tracing "
+          "--trace cannot be combined with --sim-threads != 1: tracing "
           "runs the windowed schedule on one worker; drop one of the two");
     }
     o.sweep.trace_channels = parse_trace_channels(trace);

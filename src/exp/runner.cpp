@@ -156,12 +156,15 @@ std::vector<RunRecord> run_sweep(const ExperimentSpec& spec, Scale scale,
 
   const std::size_t total = records.size();
   std::size_t jobs = std::max<std::size_t>(1, std::min(options.jobs, total));
-  if (options.sim_threads > 1) {
+  const std::size_t hc = std::max(1u, std::thread::hardware_concurrency());
+  // --sim-threads 0 = auto resolves to all hardware threads per run.
+  const unsigned eff_sim_threads =
+      options.sim_threads == 0 ? static_cast<unsigned>(hc)
+                               : options.sim_threads;
+  if (eff_sim_threads > 1) {
     // Keep jobs x sim_threads within the machine: each run's engine
     // spins up sim_threads workers, so concurrent runs multiply.
-    const std::size_t hc = std::max(1u, std::thread::hardware_concurrency());
-    jobs = std::max<std::size_t>(
-        1, std::min(jobs, hc / std::max(1u, options.sim_threads)));
+    jobs = std::max<std::size_t>(1, std::min(jobs, hc / eff_sim_threads));
   }
 
   std::atomic<std::size_t> cursor{0};
@@ -181,6 +184,7 @@ std::vector<RunRecord> run_sweep(const ExperimentSpec& spec, Scale scale,
       ctx.out_dir = options.out_dir;
       ctx.logger = options.logger;
       ctx.sim_threads = options.sim_threads;
+      ctx.sim_domains = options.sim_domains;
       if (options.trace_channels != 0) {
         ctx.trace.channels = options.trace_channels;
         ctx.trace.interval = options.trace_interval;

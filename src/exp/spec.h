@@ -34,10 +34,16 @@ struct RunContext {
   TraceConfig trace;
   /// Component logger root (disabled unless --log-level was given).
   Logger logger;
-  /// Worker threads for intra-run parallel event execution (--sim-threads).
-  /// Specs copy it into their ScenarioConfig; results are byte-identical
-  /// at any value (see sim/engine.h), only wall time changes.
+  /// Worker threads for intra-run parallel event execution (--sim-threads;
+  /// 0 = auto).  Specs copy it into their ScenarioConfig; results are
+  /// byte-identical at any value (see sim/engine.h), only wall time
+  /// changes.
   unsigned sim_threads = 1;
+  /// Domain decomposition granularity for intra-run parallelism
+  /// (--sim-domains): "pod" (k domains) or "edge" (one domain per edge
+  /// switch plus per-pod fabric domains).  Results are byte-identical at
+  /// either value; finer granularity exposes more parallelism.
+  std::string sim_domains = "pod";
 };
 
 /// Outputs of one grid point: ordered metric name -> value.

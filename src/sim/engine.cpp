@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "sim/parallel.h"
 #include "sim/simulation.h"
@@ -12,7 +13,8 @@ namespace {
 
 /// Spin briefly, then yield: windows are short, but on oversubscribed
 /// hosts (more workers than cores) pure spinning would burn the peer's
-/// whole quantum.
+/// whole quantum.  Main-thread barrier wait only — workers escalate to
+/// relax_or_park so an idle pool costs no CPU.
 template <typename Pred>
 void relax_until(const Pred& pred) {
   int spins = 0;
@@ -24,6 +26,13 @@ void relax_until(const Pred& pred) {
   }
 }
 
+std::uint64_t ns_since(std::chrono::steady_clock::time_point t0) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+}
+
 }  // namespace
 
 Engine::Engine(Simulation& sim, Time lookahead, unsigned workers)
@@ -33,8 +42,9 @@ Engine::Engine(Simulation& sim, Time lookahead, unsigned workers)
           "parallel engine needs a positive lookahead");
     workers_ = std::min<unsigned>(
         workers_, static_cast<unsigned>(sim_.num_domains()));
-    // The claim index (domains plus at most one overshoot fetch_add per
-    // thread per epoch) must fit below the epoch bits of claim_.
+    // The claim index (active domains plus at most one overshoot
+    // fetch_add per thread per epoch) must fit below the count field,
+    // and the count (at most num_domains) below the epoch bits.
     check(sim_.num_domains() + 2ull * workers_ < (1ull << kIndexBits),
           "too many domains for the claim-word index field");
   } else {
@@ -45,6 +55,13 @@ Engine::Engine(Simulation& sim, Time lookahead, unsigned workers)
 Engine::~Engine() {
   if (!pool_.empty()) {
     shutdown_.store(true, std::memory_order_release);
+    {
+      // Empty critical section: a worker past its predicate check but
+      // not yet asleep holds park_mu_, so this lock orders the store
+      // before its wait and the notify below cannot be lost.
+      std::lock_guard<std::mutex> lk(park_mu_);
+    }
+    park_cv_.notify_all();
     for (std::thread& t : pool_) t.join();
   }
 }
@@ -57,41 +74,64 @@ void Engine::ensure_pool() {
   }
 }
 
+template <typename Pred>
+void Engine::relax_or_park(const Pred& pred) {
+  for (int spins = 0; spins < 64; ++spins) {
+    if (pred()) return;
+  }
+  for (int yields = 0; yields < 64; ++yields) {
+    if (pred()) return;
+    std::this_thread::yield();
+  }
+  // Budget exhausted: park.  The predicate re-check runs under park_mu_,
+  // which the publisher also takes (after its claim_ release store), so
+  // either we see the new epoch here or the publisher sees parked_ > 0
+  // and notifies — a wakeup can never slip between check and sleep.
+  std::unique_lock<std::mutex> lk(park_mu_);
+  ++parked_;
+  park_cv_.wait(lk, pred);
+  --parked_;
+}
+
 void Engine::worker_main() {
   std::uint64_t seen = 0;
   for (;;) {
-    relax_until([&] {
-      return (claim_.load(std::memory_order_acquire) >> kIndexBits) != seen ||
+    relax_or_park([&] {
+      return (claim_.load(std::memory_order_acquire) >> kEpochShift) != seen ||
              shutdown_.load(std::memory_order_acquire);
     });
     if (shutdown_.load(std::memory_order_acquire)) return;
     const std::uint64_t epoch =
-        claim_.load(std::memory_order_acquire) >> kIndexBits;
+        claim_.load(std::memory_order_acquire) >> kEpochShift;
     seen = claim_and_run(
         epoch, Time::nanos(window_end_ns_.load(std::memory_order_acquire)));
   }
 }
 
 std::uint64_t Engine::claim_and_run(std::uint64_t epoch, Time end) {
-  const std::size_t n = sim_.num_domains();
   for (;;) {
     const std::uint64_t word = claim_.fetch_add(1, std::memory_order_acq_rel);
-    if ((word >> kIndexBits) != epoch) {
-      // Stale claim across a barrier: the main thread saw every domain
-      // of `epoch` done, ran the barrier hook and republished claim_
-      // before this fetch_add landed, so the claim we just consumed
-      // belongs to the *new* window.  Adopt it — the acquire above
-      // synchronises with that release publish, ordering us after the
-      // hook's insertions — and re-read the new window end (stable:
-      // the main thread cannot republish again while this claim's
-      // domain is unfinished).  Running it with the old `end` instead
-      // would silently skip the domain's new window and race with the
-      // hook's heap mutations.
-      epoch = word >> kIndexBits;
+    if ((word >> kEpochShift) != epoch) {
+      // Stale claim across a barrier: the main thread saw every active
+      // domain of `epoch` done, ran the barrier hook and republished
+      // claim_ before this fetch_add landed, so the claim we just
+      // consumed belongs to the *new* window.  Adopt it — the acquire
+      // above synchronises with that release publish, ordering us after
+      // the hook's insertions and the order_ rewrite — and re-read the
+      // new window end (stable: the main thread cannot republish again
+      // while this claim's domain is unfinished).  Running it with the
+      // old `end` instead would silently truncate the domain's new
+      // window and race with the hook's heap mutations.
+      epoch = word >> kEpochShift;
       end = Time::nanos(window_end_ns_.load(std::memory_order_acquire));
     }
-    const std::size_t d = static_cast<std::size_t>(word & kIndexMask);
-    if (d >= n) return epoch;
+    const std::size_t count =
+        static_cast<std::size_t>((word >> kCountShift) & kFieldMask);
+    const std::size_t idx = static_cast<std::size_t>(word & kFieldMask);
+    if (idx >= count) return epoch;
+    // A sub-count index proves the publisher is still waiting on
+    // domains_done_ < count, so order_ is frozen: plain read is safe.
+    const std::size_t d = order_[idx];
     Scheduler& sched = sim_.domain_scheduler(d);
     {
       par::ScopedDomain scope(&sched, static_cast<int>(d));
@@ -102,9 +142,9 @@ std::uint64_t Engine::claim_and_run(std::uint64_t epoch, Time end) {
 }
 
 void Engine::run_domains(Time end) {
-  const std::size_t n = sim_.num_domains();
+  const std::size_t count = order_.size();
   if (workers_ <= 1) {
-    for (std::size_t d = 0; d < n; ++d) {
+    for (const std::size_t d : order_) {
       Scheduler& sched = sim_.domain_scheduler(d);
       par::ScopedDomain scope(&sched, static_cast<int>(d));
       sched.run_window(end);
@@ -114,17 +154,31 @@ void Engine::run_domains(Time end) {
   ensure_pool();
   window_end_ns_.store(end.ns(), std::memory_order_relaxed);
   domains_done_.store(0, std::memory_order_relaxed);
-  // Single release store publishes the window: bumps the epoch (waking
-  // parked workers) and resets the claim index atomically.
+  // Single release store publishes the window: bumps the epoch, carries
+  // the active-domain count and resets the claim index atomically.
   ++epoch_;
-  claim_.store(epoch_ << kIndexBits, std::memory_order_release);
+  claim_.store((epoch_ << kEpochShift) |
+                   (static_cast<std::uint64_t>(count) << kCountShift),
+               std::memory_order_release);
+  bool wake;
+  {
+    // Taken after the claim_ store: any worker that checked its
+    // predicate before the store is counted in parked_ here (it holds
+    // or held park_mu_ on the way to sleep), so notify reaches it.
+    std::lock_guard<std::mutex> lk(park_mu_);
+    wake = parked_ > 0;
+  }
+  if (wake) park_cv_.notify_all();
   claim_and_run(epoch_, end);
+  const auto t0 = std::chrono::steady_clock::now();
   relax_until([&] {
-    return domains_done_.load(std::memory_order_acquire) >= n;
+    return domains_done_.load(std::memory_order_acquire) >= count;
   });
+  stats_.barrier_wait_ns += ns_since(t0);
 }
 
 void Engine::run_until(Time until) {
+  const auto wall0 = std::chrono::steady_clock::now();
   stopped_ = false;
   Scheduler& control = sim_.control_scheduler();
   const std::size_t n = sim_.num_domains();
@@ -135,6 +189,7 @@ void Engine::run_until(Time until) {
     control.run_until(until);
     stopped_ = control.stop_requested();
     if (hook_) hook_();
+    stats_.wall_ns += ns_since(wall0);
     return;
   }
   for (;;) {
@@ -147,9 +202,9 @@ void Engine::run_until(Time until) {
       any = true;
     }
     for (std::size_t d = 0; d < n; ++d) {
-      if (sim_.domain_scheduler(d).next_time(t) && t < next) {
-        next = t;
+      if (sim_.domain_scheduler(d).next_time(t)) {
         any = true;
+        if (t < next) next = t;
       }
     }
     if (!any || next >= until) {
@@ -160,6 +215,12 @@ void Engine::run_until(Time until) {
         stopped_ = true;
         break;
       }
+      // Final window: run EVERY domain, quiet or not, so all clocks
+      // park exactly at `until` (quiet-skip only applies mid-run).
+      order_.resize(n);
+      for (std::size_t d = 0; d < n; ++d) order_[d] = d;
+      ++stats_.windows;
+      stats_.domains_claimed += n;
       run_domains(until);
       break;
     }
@@ -169,9 +230,35 @@ void Engine::run_until(Time until) {
       stopped_ = true;
       break;
     }
-    run_domains(window_end);
+    // Quiet-domain skip + cost-ordered claiming.  Probe AFTER the
+    // control window so events it scheduled into domains count; keep a
+    // domain only when its next event falls inside this window, then
+    // order busiest-first (pending count desc, id asc) so the largest
+    // domain window starts earliest.  Ordering and skipping change
+    // scheduling only — every kept window executes the same events.
+    probe_.clear();
+    for (std::size_t d = 0; d < n; ++d) {
+      Scheduler& sched = sim_.domain_scheduler(d);
+      if (sched.next_time(t) && t < window_end) {
+        probe_.push_back(Probe{t, sched.pending(), d});
+      }
+    }
+    std::sort(probe_.begin(), probe_.end(),
+              [](const Probe& x, const Probe& y) {
+                if (x.pending != y.pending) return x.pending > y.pending;
+                return x.domain < y.domain;
+              });
+    order_.clear();
+    for (const Probe& p : probe_) order_.push_back(p.domain);
+    ++stats_.windows;
+    stats_.domains_claimed += order_.size();
+    stats_.domains_skipped += n - order_.size();
+    // An all-quiet window (the next event was control-only) publishes
+    // nothing at all — workers stay parked.
+    if (!order_.empty()) run_domains(window_end);
   }
   if (hook_) hook_();
+  stats_.wall_ns += ns_since(wall0);
 }
 
 }  // namespace mmptcp

@@ -5,11 +5,31 @@
 // The simulation's schedulers (one control + N domain) advance in
 // windows.  Each iteration finds T, the earliest pending event across
 // all schedulers, and executes every event in [T, T + lookahead) — the
-// control scheduler first and single-threaded, then all domains on a
-// worker pool.  `lookahead` is the minimum cross-domain propagation
-// delay, so an event at time t can only influence another domain at
-// t + lookahead or later: everything inside one window is causally
-// independent across domains and may run concurrently.
+// control scheduler first and single-threaded, then the *active*
+// domains on a worker pool.  `lookahead` is the minimum cross-domain
+// propagation delay, so an event at time t can only influence another
+// domain at t + lookahead or later: everything inside one window is
+// causally independent across domains and may run concurrently.
+//
+// Two scheduling refinements keep fine-grained decompositions (many
+// small domains) profitable:
+//
+//  * Quiet-domain skip.  After the control window runs, each domain is
+//    probed once; domains whose next event lies at or after the window
+//    end are never claimed.  A skipped domain's clock lags the window
+//    frontier, which is safe: it has no events below any prior window
+//    end, and cross-domain deliveries use absolute timestamps beyond
+//    the last window end.  The final window runs every domain so all
+//    clocks park at `until`.
+//
+//  * Cost-ordered claiming.  Active domains are sorted busiest-first
+//    (pending-event count descending, id ascending) before publication,
+//    so the longest domain windows start earliest and the barrier wait
+//    is bounded by the largest domain, not by unlucky claim order.
+//
+// Both are pure scheduling policies: they change which thread runs a
+// window and when, never what the window executes, so results stay
+// byte-identical across worker counts and decomposition granularities.
 //
 // Cross-domain packets and metric mutations are buffered during the
 // window (net/link.h outboxes, stats/metrics.h journals) and flushed by
@@ -20,8 +40,10 @@
 // threads only change which core executes a given window.
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -30,6 +52,17 @@
 namespace mmptcp {
 
 class Simulation;
+
+/// Per-run engine telemetry, accumulated across run_until calls.  All
+/// counters describe scheduling only — they may differ across machines
+/// and thread counts while the simulation results stay byte-identical.
+struct EngineStats {
+  std::uint64_t windows = 0;          ///< windowed iterations executed
+  std::uint64_t domains_claimed = 0;  ///< domain windows actually run
+  std::uint64_t domains_skipped = 0;  ///< quiet domains never claimed
+  std::uint64_t barrier_wait_ns = 0;  ///< main thread idle at the barrier
+  std::uint64_t wall_ns = 0;          ///< wall clock inside run_until
+};
 
 class Engine {
  public:
@@ -60,13 +93,21 @@ class Engine {
 
   unsigned workers() const { return workers_; }
 
+  const EngineStats& stats() const { return stats_; }
+
  private:
   void run_domains(Time end);
-  /// Claims and runs domains of `epoch`'s window until the claim index
-  /// is exhausted; follows the claim word across epochs if a stale
-  /// claim lands in a newer window.  Returns the last epoch it
-  /// participated in (workers use it as their park key).
+  /// Claims and runs entries of `order_` for `epoch`'s window until the
+  /// claim index reaches the published count; follows the claim word
+  /// across epochs if a stale claim lands in a newer window.  Returns
+  /// the last epoch it participated in (workers use it as their park
+  /// key).
   std::uint64_t claim_and_run(std::uint64_t epoch, Time end);
+  /// Spin, then yield, then park on park_cv_ until `pred` holds.  Worker
+  /// threads only — the main thread never parks (it is the one that
+  /// would have to ring the bell).
+  template <typename Pred>
+  void relax_or_park(const Pred& pred);
   void worker_main();
   void ensure_pool();
 
@@ -75,26 +116,58 @@ class Engine {
   unsigned workers_;
   std::function<void()> hook_;
   bool stopped_ = false;
+  EngineStats stats_;
 
-  // Worker-pool handshake.  claim_ packs (epoch << kIndexBits) | next
-  // domain index into one word: publishing a window is a single release
-  // store that simultaneously bumps the epoch (waking parked workers)
-  // and resets the claim index.  Because epoch and index travel
-  // together, a worker that was preempted across a barrier and
-  // fetch_adds a word of a *newer* epoch can detect it and adopt that
-  // window (re-reading window_end_ns_) instead of running the claimed
-  // domain against a stale window end — see claim_and_run.  Workers
-  // count completions in domains_done_; exactly num_domains() claims
-  // per epoch carry an index < num_domains(), so the main thread's
-  // wait-for-n and reset of domains_done_ cannot observe stragglers.
+  // Worker-pool handshake.  claim_ packs
+  //     (epoch << 32) | (active count << 16) | next claim index
+  // into one word: publishing a window is a single release store that
+  // simultaneously bumps the epoch (waking parked workers), announces
+  // how many active domains this window has, and resets the claim
+  // index.  Workers fetch_add the low index field and read the slot
+  // order_[index]; an index at or beyond the count is an overshoot and
+  // the worker retires to wait for the next epoch.  Reading order_
+  // without atomics is safe: a sub-count index proves the main thread
+  // is still blocked on domains_done_ < count and cannot republish (and
+  // so cannot rewrite order_) until this claim completes.
+  //
+  // Because epoch, count and index travel together, a worker that was
+  // preempted across a barrier and fetch_adds a word of a *newer* epoch
+  // can detect it and adopt that window — re-reading window_end_ns_ and
+  // taking the count from the new word — instead of running the claimed
+  // slot against a stale window end; see claim_and_run.  Workers count
+  // completions in domains_done_; exactly `count` claims per epoch
+  // carry an index below the count, so the main thread's wait-for-count
+  // and reset of domains_done_ cannot observe stragglers.
   static constexpr unsigned kIndexBits = 16;
-  static constexpr std::uint64_t kIndexMask = (1ull << kIndexBits) - 1;
+  static constexpr unsigned kCountShift = 16;
+  static constexpr unsigned kEpochShift = 32;
+  static constexpr std::uint64_t kFieldMask = (1ull << kIndexBits) - 1;
   std::vector<std::thread> pool_;
   std::uint64_t epoch_ = 0;  // main thread only; published via claim_
   std::atomic<std::uint64_t> claim_{0};
   std::atomic<std::int64_t> window_end_ns_{0};
   std::atomic<std::size_t> domains_done_{0};
   std::atomic<bool> shutdown_{false};
+
+  // Parking lot for idle workers.  After a spin/yield budget a worker
+  // increments parked_ under park_mu_ and waits on park_cv_ keyed by
+  // the claim-word epoch.  The publisher stores claim_ first, then
+  // takes park_mu_ to read parked_, so a worker either sees the new
+  // epoch before sleeping or is seen by the publisher — no lost wakeup.
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::size_t parked_ = 0;
+
+  // Scratch owned by the main thread between barriers.  order_ holds
+  // the active domain ids of the current window, busiest first; workers
+  // read it only while holding a sub-count claim (see above).
+  std::vector<std::size_t> order_;
+  struct Probe {
+    Time next;            // earliest pending event
+    std::size_t pending;  // queued-event count (cost proxy)
+    std::size_t domain;
+  };
+  std::vector<Probe> probe_;
 };
 
 }  // namespace mmptcp

@@ -1,6 +1,9 @@
 #include "topo/network.h"
 
 #include <algorithm>
+#include <cstdint>
+
+#include "util/check.h"
 
 namespace mmptcp {
 
@@ -29,11 +32,18 @@ void Network::connect(Node& a, Node& b, const LinkSpec& spec) {
   Channel& ab = *channels_.back();
   channels_.push_back(std::make_unique<Channel>(a_sched, spec.delay));
   Channel& ba = *channels_.back();
-  // Scheduler identity, not domain id: with domains unconfigured every
-  // node resolves to the control scheduler and nothing ever crosses.
-  if (&a_sched != &b_sched) {
-    ab.make_cross_domain(a_sched, &outbox(a.domain()));
-    ba.make_cross_domain(b_sched, &outbox(b.domain()));
+  // Crossing is decided on CANONICAL domains, not execution schedulers:
+  // a channel between two canonical units is outboxed and delivered in
+  // the canonical barrier order even when both endpoints happen to share
+  // an execution scheduler at the current granularity.  Same-instant
+  // arrival ties at a queue then resolve identically at every
+  // granularity — a direct insert here at one granularity and a flush
+  // at another would order those ties differently and change results.
+  // With domains unconfigured nothing ever crosses (pure serial path).
+  if (sim_.num_domains() > 0 &&
+      a.canonical_domain() != b.canonical_domain()) {
+    ab.make_cross_domain(a_sched, &outbox(a.canonical_domain(), a.domain()));
+    ba.make_cross_domain(b_sched, &outbox(b.canonical_domain(), b.domain()));
     cross_delay_min_ = std::min(cross_delay_min_, spec.delay);
     cross_channels_ += 2;
   }
@@ -47,14 +57,21 @@ void Network::connect(Node& a, Node& b, const LinkSpec& spec) {
   ba.attach_sink(&a, ap);
 }
 
-CrossDomainOutbox& Network::outbox(std::size_t domain) {
-  if (outboxes_.empty()) {
-    outboxes_.reserve(sim_.num_domains());
-    for (std::size_t d = 0; d < sim_.num_domains(); ++d) {
-      outboxes_.push_back(std::make_unique<CrossDomainOutbox>());
-    }
+CrossDomainOutbox& Network::outbox(std::size_t canonical, std::size_t exec) {
+  while (outboxes_.size() <= canonical) {
+    outboxes_.push_back(std::make_unique<CrossDomainOutbox>());
+    outbox_exec_.push_back(SIZE_MAX);
   }
-  return *outboxes_.at(domain);
+  // A canonical unit split across execution domains would make its
+  // outbox multi-writer within a window — a builder bug this
+  // flush-ordering scheme cannot canonicalise, so fail loudly.
+  if (outbox_exec_[canonical] == SIZE_MAX) {
+    outbox_exec_[canonical] = exec;
+  } else {
+    check(outbox_exec_[canonical] == exec,
+          "emitters of one canonical domain span execution domains");
+  }
+  return *outboxes_[canonical];
 }
 
 void Network::flush_cross_domain() {
@@ -68,7 +85,7 @@ void Network::flush_cross_domain() {
   std::sort(flush_scratch_.begin(), flush_scratch_.end(),
             [](const FlushRef& x, const FlushRef& y) {
               if (x.at != y.at) return x.at < y.at;
-              if (x.domain != y.domain) return x.domain < y.domain;
+              if (x.key != y.key) return x.key < y.key;
               return x.seq < y.seq;
             });
   for (const FlushRef& ref : flush_scratch_) {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <thread>
 
 #include "sim/engine.h"
 
@@ -41,8 +42,16 @@ void Scenario::build() {
     const FatTreeDomainPlan plan = FatTree::domain_plan(cfg_.fat_tree);
     if (plan.domains > 1) {
       sim_.configure_domains(plan.domains);
-      metrics_.configure_shards(plan.domains);
+      // Shards (flow-id allocation) are per canonical host group so ids
+      // are identical at every granularity; journals are per execution
+      // domain because that is what a worker thread owns.
+      metrics_.configure_shards(plan.host_groups, plan.domains);
+      const std::uint32_t half = cfg_.fat_tree.k / 2;
+      metrics_.set_group_of([half](Addr a) {
+        return FatTreeAddr::pod(a) * half + FatTreeAddr::edge(a);
+      });
       domains_ = plan.domains;
+      host_groups_ = plan.host_groups;
       lookahead_ = plan.lookahead;
     }
   }
@@ -53,7 +62,7 @@ void Scenario::build() {
                  cfg_.sim_threads,
                  cfg_.dual_homed ? "dual-homed" : "zero lookahead");
   }
-  flows_.resize(domains_);
+  flows_.resize(host_groups_);
   if (cfg_.dual_homed) {
     dh_ = std::make_unique<DualHomedFatTree>(sim_, cfg_.dual);
     net_ = &dh_->network();
@@ -124,11 +133,9 @@ void Scenario::build() {
   }
 }
 
-std::vector<std::unique_ptr<ClientFlow>>& Scenario::domain_flows() {
-  const int d = par::current_domain();
-  return flows_[d >= 0 && static_cast<std::size_t>(d) < flows_.size()
-                    ? static_cast<std::size_t>(d)
-                    : 0];
+std::vector<std::unique_ptr<ClientFlow>>& Scenario::flows_for(const Host& h) {
+  const std::size_t g = h.canonical_domain();
+  return flows_[g < flows_.size() ? g : 0];
 }
 
 const PathOracle& Scenario::oracle() const {
@@ -145,7 +152,18 @@ void Scenario::run() {
                                     [this] { periodic_check(); });
   // Tracing forces one worker: the windowed schedule is identical either
   // way, so trace and main results stay byte-equal to any thread count.
-  const unsigned workers = trace_ ? 1u : std::max(1u, cfg_.sim_threads);
+  // sim_threads == 0 means auto: one worker per hardware thread, clamped
+  // to the domain count (more workers than domains can never run).
+  unsigned workers = trace_ ? 1u : cfg_.sim_threads;
+  if (workers == 0) {
+    workers = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (domains_ > 1 && workers > domains_) {
+    std::fprintf(stderr,
+                 "mmptcp: clamping %u workers to %zu domains (use a finer "
+                 "--sim-domains granularity to engage more threads)\n",
+                 workers, domains_);
+  }
   Engine engine(sim_, lookahead_, workers);
   engine.set_barrier_hook([this] {
     net_->flush_cross_domain();
@@ -153,6 +171,8 @@ void Scenario::run() {
   });
   engine.run_until(cfg_.max_sim_time);
   end_time_ = sim_.now();
+  workers_used_ = engine.workers();
+  engine_stats_ = engine.stats();
 }
 
 void Scenario::start_long_flows() {
@@ -162,7 +182,7 @@ void Scenario::start_long_flows() {
         stagger.uniform(static_cast<std::uint64_t>(
             std::max<std::int64_t>(cfg_.long_start_spread.ns(), 1)))));
     sim_.domain_scheduler(host(h).domain()).schedule_at(at, [this, h] {
-      domain_flows().push_back(std::make_unique<ClientFlow>(
+      flows_for(host(h)).push_back(std::make_unique<ClientFlow>(
           sim_, metrics_, host(h), host(perm_[h]).addr(), long_transport_,
           ClientFlow::kLongFlow, /*long_flow=*/true));
     });
@@ -189,7 +209,7 @@ void Scenario::start_short_flow(std::size_t role_idx) {
   const std::uint64_t bytes =
       cfg_.short_sizes ? cfg_.short_sizes->sample(size_rngs_[role_idx])
                        : cfg_.short_flow_bytes;
-  domain_flows().push_back(std::make_unique<ClientFlow>(
+  flows_for(host(src_idx)).push_back(std::make_unique<ClientFlow>(
       sim_, metrics_, host(src_idx), host(dst).addr(), transport_, bytes,
       /*long_flow=*/false));
 }

@@ -166,6 +166,72 @@ TEST(Engine, ManyTinyWindowsHammerTheClaimHandshake) {
   EXPECT_EQ(ran.load(), 4 * kWindows);
 }
 
+// ------------------------------------------------- quiet-domain skip
+
+TEST(Engine, QuietDomainsAreSkippedNotClaimed) {
+  // Only one of four domains ever has work: every mid-run window claims
+  // just that domain and skips the other three.  The final window runs
+  // every domain (to park all clocks at `until`), so the exact budget is
+  // one claim per mid window plus four for the final one — and
+  // claimed + skipped must account for every domain of every window.
+  Simulation sim(1);
+  sim.configure_domains(4);
+  int ran = 0;
+  constexpr int kEvents = 50;
+  for (int i = 1; i <= kEvents; ++i) {
+    sim.domain_scheduler(2).schedule(Time::micros(10 * i), [&] { ++ran; });
+  }
+  Engine engine(sim, Time::micros(10), 2);
+  engine.run_until(Time::micros(10 * kEvents + 5));
+  EXPECT_EQ(ran, kEvents);
+  const EngineStats& s = engine.stats();
+  EXPECT_GT(s.windows, 0u);
+  EXPECT_GT(s.domains_skipped, 0u);
+  EXPECT_EQ(s.domains_claimed + s.domains_skipped, s.windows * 4);
+  EXPECT_EQ(s.domains_claimed, (s.windows - 1) + 4);
+}
+
+TEST(Engine, ParkedWorkersWakeAcrossManySparseWindows) {
+  // Eight domains, four workers, but only one domain ever busy: the idle
+  // workers blow through their spin/yield budget and park on the
+  // condvar, then must observe every epoch publication.  A lost wakeup
+  // hangs this test (the busy domain's window never gets claimed);
+  // quiet-skip keeps the idle domains out of every claim list.
+  Simulation sim(5);
+  sim.configure_domains(8);
+  std::atomic<int> ran{0};
+  constexpr int kWindows = 3000;
+  for (int i = 1; i <= kWindows; ++i) {
+    sim.domain_scheduler(3).schedule(Time::micros(10 * i), [&] { ++ran; });
+  }
+  Engine engine(sim, Time::micros(10), 4);
+  engine.run_until(Time::micros(10 * (kWindows + 1)));
+  EXPECT_EQ(ran.load(), kWindows);
+  EXPECT_GT(engine.stats().domains_skipped, 0u);
+}
+
+TEST(Engine, ManyDomainsPackIntoTheClaimWord) {
+  // More domains than a typical worker pool (edge granularity yields
+  // k^2/2 + k of them): counts and indices share the claim word's 16-bit
+  // fields with the epoch above, and every event must still run exactly
+  // once.
+  Simulation sim(9);
+  constexpr std::size_t kDomains = 24;
+  sim.configure_domains(kDomains);
+  std::atomic<int> ran{0};
+  for (std::size_t d = 0; d < kDomains; ++d) {
+    for (int i = 1; i <= 40; ++i) {
+      sim.domain_scheduler(d).schedule(
+          Time::micros(25 * i + static_cast<int>(d)), [&] { ++ran; });
+    }
+  }
+  Engine engine(sim, Time::micros(50), 4);
+  engine.run_until(Time::millis(2));
+  EXPECT_EQ(ran.load(), int(kDomains) * 40);
+  const EngineStats& s = engine.stats();
+  EXPECT_EQ(s.domains_claimed + s.domains_skipped, s.windows * kDomains);
+}
+
 TEST(Engine, ResultsIndependentOfWorkerCount) {
   // The same event program must leave identical executed counts and
   // clocks at 1, 2 and 4 workers.
